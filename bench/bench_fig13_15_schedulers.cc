@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces Figs. 13, 14 and 15: the six run-time schedulers on the
+ * three evaluation applications (age detection = interactive AlexNet,
+ * video surveillance = real-time GoogLeNet @60 FPS, image tagging =
+ * background AlexNet) on K20c and TX1.
+ *
+ * Fig. 13: runtime normalized to the Performance-preferred scheduler
+ *          plus SoC_time.
+ * Fig. 14: per-image energy normalized to the Energy-efficient
+ *          scheduler.
+ * Fig. 15: the SoC score; 'x' marks a violated deadline (SoC == 0).
+ *
+ * Expected shapes: on K20c every time-model scheduler stays
+ * imperceptible; energy-efficient misses the real-time deadline;
+ * P-CNN matches the least energy and the best SoC short of Ideal.
+ * On TX1 only P-CNN and Ideal meet the 60 FPS deadline, via the
+ * entropy-guided approximation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/schedulers/scheduler.hh"
+
+using namespace pcnn;
+
+namespace {
+
+struct Workload
+{
+    AppSpec app;
+    NetDescriptor net;
+};
+
+void
+runGpu(const GpuSpec &gpu)
+{
+    const Workload workloads[] = {
+        {ageDetectionApp(), alexNet()},
+        {videoSurveillanceApp(), googleNet()},
+        {imageTaggingApp(), alexNet()},
+    };
+
+    TextTable fig13({"Task", "Scheduler", "Latency (ms)",
+                     "Norm. runtime", "SoC_time"});
+    TextTable fig14({"Task", "Scheduler", "Energy/img (J)",
+                     "Norm. energy"});
+    TextTable fig15({"Task", "Scheduler", "SoC_accuracy", "SoC",
+                     "Norm. SoC"});
+
+    for (const Workload &w : workloads) {
+        const ScheduleContext ctx = makeContext(w.app, w.net, gpu);
+        std::vector<ScheduleOutcome> outs;
+        for (const auto &s : allSchedulers())
+            outs.push_back(s->run(ctx));
+
+        const double base_runtime = outs[0].latencyS;     // Perf-pref
+        const double base_energy = outs[1].energyPerImageJ;// Energy-eff
+        double best_soc = 0.0;
+        for (const auto &o : outs)
+            best_soc = std::max(best_soc, o.socScore);
+
+        for (const auto &o : outs) {
+            fig13.addRow({w.app.name, o.scheduler,
+                          bench::ms(o.latencyS),
+                          TextTable::num(o.latencyS / base_runtime, 2),
+                          o.deadlineMet
+                              ? TextTable::num(o.socTimeScore, 2)
+                              : "x"});
+            fig14.addRow(
+                {w.app.name, o.scheduler,
+                 TextTable::num(o.energyPerImageJ, 4),
+                 TextTable::num(o.energyPerImageJ / base_energy, 2)});
+            fig15.addRow(
+                {w.app.name, o.scheduler,
+                 TextTable::num(o.socAccuracyScore, 2),
+                 o.socScore > 0.0 ? TextTable::num(o.socScore, 2)
+                                  : "x",
+                 o.socScore > 0.0
+                     ? TextTable::num(o.socScore / best_soc, 2)
+                     : "x"});
+        }
+        fig13.addSeparator();
+        fig14.addSeparator();
+        fig15.addSeparator();
+    }
+
+    printSection("Fig. 13 (" + gpu.name +
+                     ") — runtime and SoC_time per scheduler",
+                 fig13.render());
+    printSection("Fig. 14 (" + gpu.name + ") — normalized energy",
+                 fig14.render());
+    printSection("Fig. 15 (" + gpu.name + ") — Satisfaction of CNN",
+                 fig15.render());
+}
+
+} // namespace
+
+int
+main()
+{
+    runGpu(k20c());
+    runGpu(jetsonTx1());
+    bench::paperNote(
+        "K20c: all time-model schedulers imperceptible; "
+        "energy-efficient gets 'x' on the real-time task; P-CNN "
+        "consumes the least energy (~Ideal) and the best SoC short "
+        "of Ideal. TX1: every scheduler except P-CNN/Ideal misses "
+        "the 60 FPS deadline ('x' in Fig. 15b)");
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Reproduces Fig. 16: entropy-based vs accuracy-based approximation.
+ *
+ * A MiniNet is trained on the synthetic task, then tuned twice on
+ * the same compiled plan: once guided only by output entropy (the
+ * paper's unsupervised method) and once guided by labeled accuracy
+ * (the supervised comparator). Each iteration's speedup, entropy and
+ * accuracy are printed.
+ *
+ * Expected shapes: speedup rises monotonically along the path;
+ * entropy increases track accuracy decreases (dE ~ dA); the
+ * entropy-guided path reaches a similar speedup/accuracy operating
+ * point as the accuracy-guided one — the paper reports ~1.8x at
+ * ~10% accuracy loss.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "data/synthetic.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/accuracy_tuner.hh"
+#include "tensor/tensor_ops.hh"
+#include "train/loss.hh"
+#include "train/trainer.hh"
+
+using namespace pcnn;
+
+namespace {
+
+/** Print one tuning path, measuring true accuracy at every level. */
+void
+printPath(const std::string &title, Network &net,
+          const TuningTable &table, const Dataset &labeled)
+{
+    TextTable t({"Iter", "Adjusted layer", "Speedup", "Entropy",
+                 "Accuracy"});
+    const auto &convs = net.convLayers();
+    const Tensor inputs = labeled.batch(0, labeled.size());
+    for (std::size_t level = 0; level < table.levels(); ++level) {
+        const TuningEntry &e = table.entry(level);
+        // Measure the true accuracy of this level (the green line in
+        // Fig. 16), even for the unsupervised path.
+        for (std::size_t i = 0; i < convs.size(); ++i)
+            convs[i]->setComputedPositions(e.positions[i]);
+        const Tensor logits = net.forward(inputs, false);
+        const double acc = accuracy(logits, labeled.labels());
+        t.addRow({TextTable::num(int64_t(level)),
+                  e.adjustedLayer < 0
+                      ? "-"
+                      : net.convLayers()[std::size_t(
+                                             e.adjustedLayer)]
+                            ->name(),
+                  TextTable::num(e.speedup, 2),
+                  TextTable::num(e.entropy, 3),
+                  TextTable::num(acc * 100.0, 1) + "%"});
+    }
+    net.clearPerforation();
+    printSection(title, t.render());
+}
+
+} // namespace
+
+int
+main()
+{
+    // A moderately hard task, so the trained classifier sits below
+    // ceiling and entropy responds smoothly to perforation instead
+    // of collapsing all at once.
+    SyntheticTaskConfig cfg;
+    cfg.difficulty = 1.0;
+    cfg.seed = 92;
+    SyntheticTask task(cfg);
+    Dataset train_set = task.generate(2048);
+    Dataset labeled = task.generate(512);
+
+    Rng rng(93);
+    Network net = makeMiniNet(MiniSize::Large, rng);
+    TrainConfig tc;
+    tc.epochs = 8;
+    Trainer trainer(net, tc);
+    trainer.fit(train_set);
+    const EvalResult base = trainer.evaluate(labeled);
+    std::printf("trained %s: accuracy %.1f%%, entropy %.3f\n",
+                net.name().c_str(), base.accuracy * 100.0,
+                base.meanEntropy);
+
+    // Compile for TX1 at batch 64 so conv kernels dominate latency.
+    const GpuSpec gpu = jetsonTx1();
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan =
+        compiler.compileAtBatch(describe(net), 64);
+
+    TunerConfig tcfg;
+    tcfg.entropyThreshold = base.meanEntropy + 0.15;
+    tcfg.maxAccuracyDrop = 0.10;
+    tcfg.maxIterations = 24;
+    const AccuracyTuner tuner(gpu, tcfg);
+
+    Dataset tune_data = task.generate(256); // unlabeled at run time
+    const TuningTable by_entropy = tuner.tuneNetwork(
+        net, plan, tune_data.batch(0, tune_data.size()));
+    printPath("Fig. 16 — entropy-based approximation", net,
+              by_entropy, labeled);
+
+    const TuningTable by_accuracy =
+        tuner.tuneNetworkByAccuracy(net, plan, labeled);
+    printPath("Fig. 16 — accuracy-based approximation (supervised)",
+              net, by_accuracy, labeled);
+
+    // Fig. 11 ablation: nearest-copy vs neighbour-averaging fill at
+    // the entropy-selected perforation level.
+    {
+        const std::size_t lvl =
+            by_entropy.selectLevel(tcfg.entropyThreshold);
+        const TuningEntry &sel = by_entropy.entry(lvl);
+        const auto &convs = net.convLayers();
+        const Tensor inputs = labeled.batch(0, labeled.size());
+        TextTable interp({"Interpolation", "Accuracy", "Entropy"});
+        for (const auto mode : {InterpolationMode::Nearest,
+                                InterpolationMode::Average}) {
+            for (std::size_t i = 0; i < convs.size(); ++i) {
+                convs[i]->setInterpolationMode(mode);
+                convs[i]->setComputedPositions(sel.positions[i]);
+            }
+            const Tensor logits = net.forward(inputs, false);
+            interp.addRow(
+                {mode == InterpolationMode::Nearest ? "nearest"
+                                                    : "average",
+                 TextTable::num(
+                     accuracy(logits, labeled.labels()) * 100.0, 1) +
+                     "%",
+                 TextTable::num(batchEntropy(softmax(logits)), 3)});
+        }
+        net.clearPerforation();
+        for (ConvLayer *c : net.convLayers())
+            c->setInterpolationMode(InterpolationMode::Nearest);
+        printSection(
+            "Fig. 11 ablation — interpolation fill at level " +
+                std::to_string(lvl),
+            interp.render());
+    }
+
+    const TuningEntry &e_end =
+        by_entropy.entry(by_entropy.levels() - 1);
+    const TuningEntry &a_end =
+        by_accuracy.entry(by_accuracy.levels() - 1);
+    std::printf("entropy-guided endpoint:  %.2fx speedup\n",
+                e_end.speedup);
+    std::printf("accuracy-guided endpoint: %.2fx speedup at %.1f%% "
+                "accuracy\n",
+                a_end.speedup, a_end.accuracy * 100.0);
+    bench::paperNote("~1.8x speedup within 10% accuracy loss; the "
+                     "unsupervised entropy-guided method matches the "
+                     "supervised accuracy-guided one");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Fig. 4: ratio of throughput without batching to
+ * throughput with batching, per network x platform x library.
+ *
+ * Expected shape: ratios are well below 1 (below ~50% for cuDNN) —
+ * non-batched inference wastes most of the GPU.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "libs/dl_library.hh"
+#include "nn/model_zoo.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    const auto libs = allLibraries();
+    const GpuSpec gpus[] = {titanX(), gtx970m(), jetsonTx1()};
+
+    std::vector<std::string> header{"CNNs", "GPU"};
+    for (const auto &lib : libs)
+        header.push_back(lib->name());
+    TextTable table(header);
+
+    for (const NetDescriptor &net : paperNetworks()) {
+        for (const GpuSpec &gpu : gpus) {
+            std::vector<std::string> row{net.name, gpu.name};
+            for (const auto &lib : libs) {
+                const LatencyEstimate batched =
+                    lib->estimateLatency(gpu, net, net.paperBatch);
+                const LatencyEstimate single =
+                    lib->estimateLatency(gpu, net, 1);
+                if (batched.oom || single.oom) {
+                    row.push_back("x");
+                } else {
+                    row.push_back(TextTable::num(
+                        single.throughput() / batched.throughput(),
+                        2));
+                }
+            }
+            table.addRow(row);
+        }
+        table.addSeparator();
+    }
+
+    printSection(
+        "Fig. 4 — throughput ratio (no-batching / batching)",
+        table.render());
+    bench::paperNote("ratios below 0.5 for cuDNN across platforms");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 5: computation efficiency cpE (Eq. 3) of each
+ * AlexNet conv layer under cuBLAS and cuDNN on K20 and TX1
+ * (non-batched).
+ *
+ * Expected shape: cpE < 35% on K20, < 15% for the last two layers;
+ * cuDNN beats cuBLAS on K20 but *loses* to it on TX1 (its small
+ * 32x32 tile is bandwidth-hungry on the 25.6 GB/s mobile part).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "libs/dl_library.hh"
+#include "nn/model_zoo.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    const NetDescriptor net = alexNet();
+    const GpuSpec gpus[] = {k20c(), jetsonTx1()};
+    const auto libs = allLibraries();
+
+    std::vector<std::string> header{"GPU", "Library"};
+    for (const ConvSpec &c : net.convs)
+        header.push_back(c.name);
+    header.push_back("mean");
+    TextTable table(header);
+
+    for (const GpuSpec &gpu : gpus) {
+        for (const auto &lib : libs) {
+            if (lib->name() == "Nervana")
+                continue; // Fig. 5 compares cuBLAS and cuDNN
+            std::vector<std::string> row{gpu.name, lib->name()};
+            double sum = 0.0;
+            for (const ConvSpec &layer : net.convs) {
+                const double t = lib->layerTime(gpu, layer, 1);
+                const double cpe =
+                    layer.flopsPerImage() / t / gpu.peakFlops();
+                sum += cpe;
+                row.push_back(TextTable::num(cpe * 100.0, 1) + "%");
+            }
+            row.push_back(
+                TextTable::num(sum / double(net.convs.size()) * 100.0,
+                               1) +
+                "%");
+            table.addRow(row);
+        }
+        table.addSeparator();
+    }
+
+    printSection("Fig. 5 — compute efficiency cpE per CONV layer",
+                 table.render());
+    bench::paperNote("K20 cpE < 35% (last two layers < 15%); TX1 "
+                     "cuDNN mean ~40%, below cuBLAS");
+    return 0;
+}

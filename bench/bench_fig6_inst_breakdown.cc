@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Fig. 6: instruction breakdown (computation density) for
+ * the common sub-matrix sizes.
+ *
+ * Expected shape: the FFMA share of issued instructions grows with
+ * the sub-matrix size — the trade-off against the higher resource
+ * utilization of small tiles (Section III.D.1).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/tile_config.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    TextTable table({"Sub-matrix", "FFMA", "LDG", "LDS", "Other",
+                     "FP density"});
+    for (const TileConfig &tile : tileCatalogue()) {
+        const InstMix mix = baseInstMix(tile);
+        const double total = mix.total();
+        auto pct = [&](double v) {
+            return TextTable::num(v / total * 100.0, 1) + "%";
+        };
+        table.addRow({tile.str(), pct(mix.ffma), pct(mix.ldg),
+                      pct(mix.lds), pct(mix.other),
+                      TextTable::num(mix.density(), 3)});
+    }
+    printSection("Fig. 6 — instruction breakdown per sub-matrix size",
+                 table.render());
+    bench::paperNote("the ratio of floating point instructions to "
+                     "total instructions rises with sub-matrix size; "
+                     "32x32 (cuDNN mobile) is the worst");
+    return 0;
+}

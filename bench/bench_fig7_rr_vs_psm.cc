@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Fig. 7: Round-Robin vs Priority-SM CTA scheduling.
+ *
+ * First the paper's illustration (4 SMs, 4 CTAs, optTLP 2), then the
+ * same comparison on a real layer (AlexNet CONV5, K20, batch 1).
+ * Expected shape: PSM achieves nearly RR's performance using half
+ * (or fewer) of the SMs, so gating the rest saves energy at equal
+ * service.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/sim/gpu_sim.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/kernel_scheduler.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    // ---- the Fig. 7 illustration -----------------------------------
+    GpuSpec toy = jetsonTx1();
+    toy.name = "Toy4";
+    toy.numSMs = 4;
+    const GpuSim sim(toy);
+
+    KernelDesc k;
+    k.name = "fig7";
+    k.gridSize = 4;
+    k.ctaWorkFlops = 1e7;
+    k.blockSize = 256;
+    k.issueDensity = 0.6;
+
+    LaunchConfig rr;
+    rr.scheduler = SchedKind::RoundRobin;
+    rr.tlpLimit = 2;
+    LaunchConfig psm;
+    psm.scheduler = SchedKind::PrioritySM;
+    psm.tlpLimit = 2;
+    psm.smsAllowed = 2;
+    psm.powerGateIdle = true;
+
+    const SimResult r_rr = sim.runKernel(k, rr);
+    const SimResult r_psm = sim.runKernel(k, psm);
+
+    TextTable toy_table({"Scheduler", "SMs used", "SMs powered",
+                         "Time (us)", "Energy (mJ)", "Avg power (W)"});
+    for (const auto &[name, r] :
+         {std::pair<const char *, const SimResult &>{"RR", r_rr},
+          {"PSM", r_psm}}) {
+        toy_table.addRow(
+            {name, TextTable::num(int64_t(r.smsUsed)),
+             TextTable::num(int64_t(r.smsPowered)),
+             TextTable::num(r.timeS * 1e6, 1),
+             TextTable::num(r.energy.total() * 1e3, 3),
+             TextTable::num(r.averagePowerW(), 2)});
+    }
+    printSection("Fig. 7 — RR vs PSM (4 SMs, 4 CTAs, optTLP 2)",
+                 toy_table.render());
+
+    // ---- the same effect on a real plan -----------------------------
+    const GpuSpec gpu = k20c();
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    const RuntimeKernelScheduler rt(gpu);
+    const SimResult base = rt.execute(plan, baselinePolicy());
+    const SimResult opt = rt.execute(plan, pcnnPolicy());
+
+    TextTable real_table({"Policy", "Latency (ms)", "Energy (J)",
+                          "Static energy (J)"});
+    real_table.addRow({"RR / all SMs", bench::ms(base.timeS),
+                       TextTable::num(base.energy.total(), 3),
+                       TextTable::num(base.energy.staticJ, 3)});
+    real_table.addRow({"PSM / optSM + gating", bench::ms(opt.timeS),
+                       TextTable::num(opt.energy.total(), 3),
+                       TextTable::num(opt.energy.staticJ, 3)});
+    printSection("Fig. 7 (applied) — AlexNet batch 1 on K20c",
+                 real_table.render());
+    bench::paperNote("PSM is better than RR: nearly the same "
+                     "performance with half the SM resources");
+    return 0;
+}

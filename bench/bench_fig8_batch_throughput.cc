@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Fig. 8: computing throughput vs batch size per GPU
+ * platform, with the optimal batch size (last-layer Util reaches 1)
+ * marked.
+ *
+ * Expected shape: throughput climbs with batch size and flattens
+ * once the GPU saturates; the saturation point differs per platform
+ * (different maxBlocks), which is why cross-platform compilation
+ * must pick the batch per architecture.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/batch_selector.hh"
+#include "pcnn/offline/compiler.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    const NetDescriptor net = alexNet();
+    const std::size_t batches[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+    std::vector<std::string> header{"GPU"};
+    for (std::size_t b : batches)
+        header.push_back("b=" + std::to_string(b));
+    header.push_back("optimal b");
+    TextTable table(header);
+
+    for (const GpuSpec &gpu : allGpus()) {
+        const OfflineCompiler compiler(gpu);
+        std::vector<std::string> row{gpu.name};
+        for (std::size_t b : batches) {
+            const CompiledPlan plan = compiler.compileAtBatch(net, b);
+            const double imgs_per_s =
+                double(b) / plan.latencyS();
+            row.push_back(TextTable::num(imgs_per_s, 0));
+        }
+        const std::size_t opt =
+            BatchSelector(gpu).smallestFullUtilBatch(net);
+        row.push_back(opt == 0 ? "-" : std::to_string(opt));
+        table.addRow(row);
+    }
+
+    printSection("Fig. 8 — throughput (img/s) vs batch size",
+                 table.render());
+    bench::paperNote("throughput saturates at a platform-specific "
+                     "optimal batch size (red markers in the paper)");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 9: TLP vs registers per thread for the 128x128
+ * sub-matrix on K20 (curReg 127, minReg 32).
+ *
+ * Expected shape: a staircase — TLP jumps each time the register
+ * budget crosses a divisor boundary of the register file; within a
+ * stair, the rightmost (largest-register) point is the only design
+ * worth evaluating, which is exactly the pruning the kernel tuner
+ * applies.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/csv.hh"
+#include "gpu/occupancy.hh"
+#include "pcnn/offline/kernel_tuner.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    const GpuSpec gpu = k20c();
+    const TileConfig tile = tileByName(128, 128);
+    const KernelTuner tuner(gpu);
+    const std::size_t min_reg = tuner.minReg();
+
+    // Fig. 9 plots the register-bound TLP (Eq. 5), so report that
+    // bound directly alongside the full occupancy.
+    CsvWriter csv({"registers", "tlp_register_bound", "tlp_actual"});
+    std::size_t last_tlp = 0;
+    TextTable stairs({"Stair (TLP)", "Registers (rightmost point)"});
+    for (std::size_t r = tile.naturalRegs; r >= min_reg; --r) {
+        const Occupancy o = occupancy(gpu, tile, r);
+        csv.addRow({std::to_string(r), std::to_string(o.byRegisters),
+                    std::to_string(o.ctasPerSm)});
+        if (o.byRegisters != last_tlp) {
+            stairs.addRow({TextTable::num(int64_t(o.byRegisters)),
+                           TextTable::num(int64_t(r))});
+            last_tlp = o.byRegisters;
+        }
+    }
+
+    printSection("Fig. 9 — TLP vs registers (128x128 on K20)",
+                 stairs.render());
+    csv.writeFile("fig9_tlp_vs_registers.csv");
+    std::printf("full series written to fig9_tlp_vs_registers.csv\n");
+
+    // The tuner's pruned candidate set for this tile.
+    TextTable pruned({"Candidate", "TLP"});
+    for (const KernelConfig &cfg : tuner.staircase(tile)) {
+        const Occupancy o = occupancy(gpu, tile, cfg.regsPerThread);
+        pruned.addRow({cfg.str(),
+                       TextTable::num(int64_t(o.ctasPerSm))});
+    }
+    printSection("Fig. 9 (pruned design space, shmem-aware)",
+                 pruned.render());
+    bench::paperNote("curReg 127, minReg 32; within a stair the "
+                     "most-register design performs best");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenches of the CPU substrate: SGEMM, im2col,
+ * convolution forward (exact and perforated), softmax/entropy, and
+ * the analytical kernel model itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "gpu/kernel_model.hh"
+#include "nn/conv_layer.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/kernel_tuner.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+namespace {
+
+void
+BM_Sgemm(benchmark::State &state)
+{
+    const auto n = std::size_t(state.range(0));
+    Rng rng(1);
+    std::vector<float> a(n * n), b(n * n), c(n * n);
+    for (auto &x : a)
+        x = float(rng.uniform(-1, 1));
+    for (auto &x : b)
+        x = float(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        sgemm(false, false, n, n, n, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(2 * n * n * n));
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Im2col(benchmark::State &state)
+{
+    Rng rng(2);
+    Tensor x(1, 16, 32, 32);
+    x.fillGaussian(rng, 0, 1);
+    const ConvGeom g{16, 32, 32, 3, 1, 1};
+    std::vector<float> cols;
+    for (auto _ : state) {
+        im2col(x, 0, g, cols);
+        benchmark::DoNotOptimize(cols.data());
+    }
+}
+BENCHMARK(BM_Im2col);
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    Rng rng(3);
+    ConvSpec spec;
+    spec.name = "bench";
+    spec.inC = 16;
+    spec.outC = 32;
+    spec.kernel = 3;
+    spec.stride = 1;
+    spec.pad = 1;
+    spec.inH = spec.inW = 32;
+    ConvLayer layer(spec, rng);
+    Tensor x(1, 16, 32, 32);
+    x.fillGaussian(rng, 0, 1);
+
+    // range(0): percent of output positions actually computed.
+    const std::size_t full = 32 * 32;
+    layer.setComputedPositions(full * std::size_t(state.range(0)) /
+                               100);
+    for (auto _ : state) {
+        Tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_ConvForward)->Arg(100)->Arg(50)->Arg(25);
+
+void
+BM_SoftmaxEntropy(benchmark::State &state)
+{
+    Rng rng(4);
+    Tensor logits(64, 1000, 1, 1);
+    logits.fillGaussian(rng, 0, 3);
+    for (auto _ : state) {
+        const Tensor p = softmax(logits);
+        benchmark::DoNotOptimize(batchEntropy(p));
+    }
+}
+BENCHMARK(BM_SoftmaxEntropy);
+
+void
+BM_KernelModel(benchmark::State &state)
+{
+    const GpuSpec gpu = k20c();
+    const GemmShape g{384, 169 * 64, 2304};
+    for (auto _ : state) {
+        const SgemmModel m(gpu, {tileByName(64, 64), 0});
+        benchmark::DoNotOptimize(m.kernelTime(g));
+    }
+}
+BENCHMARK(BM_KernelModel);
+
+void
+BM_KernelTuner(benchmark::State &state)
+{
+    const GpuSpec gpu = jetsonTx1();
+    const KernelTuner tuner(gpu);
+    const GemmShape g = alexNet().convs[1].gemmShape(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tuner.tune(g));
+}
+BENCHMARK(BM_KernelTuner);
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Table II (GPU configurations) and Table VI (the
+ * simulator parameters derived from them).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "gpu/gpu_spec.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    TextTable t2({"GPU", "Platform", "CUDA cores", "Clock (MHz)",
+                  "Memory (MB)", "BW (GB/s)"});
+    for (const GpuSpec &g : allGpus()) {
+        t2.addRow({g.name, g.platform,
+                   TextTable::num(int64_t(g.numSMs * g.coresPerSM)),
+                   TextTable::num(g.coreClockMHz, 0),
+                   TextTable::num(g.dramMB, 0),
+                   TextTable::num(g.memBandwidthGBs, 1)});
+    }
+    printSection("Table II — GPU configurations", t2.render());
+
+    TextTable t6({"GPU", "SMs", "Regs/SM", "Shared mem (KB)",
+                  "Max threads/SM", "Max CTAs/SM"});
+    for (const GpuSpec &g : allGpus()) {
+        t6.addRow({g.name, TextTable::num(int64_t(g.numSMs)),
+                   TextTable::num(int64_t(g.registersPerSM)),
+                   TextTable::num(double(g.sharedMemPerSM) / 1024.0, 0),
+                   TextTable::num(int64_t(g.maxThreadsPerSM)),
+                   TextTable::num(int64_t(g.maxCtasPerSM))});
+    }
+    printSection("Table VI — simulation parameters", t6.render());
+    std::printf("paper: K20c 13 SMs @706 MHz, TX1 2 SMs @998 MHz, "
+                "64Kx32bit registers, 2048 threads, 16 CTAs\n");
+    return 0;
+}

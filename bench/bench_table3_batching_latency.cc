@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table III: network latency (ms) with and without the
+ * batching method, for AlexNet/GoogLeNet/VGGNet on TitanX/970m/TX1
+ * under cuBLAS/cuDNN/Nervana. 'x' marks out-of-memory failures.
+ *
+ * Expected shapes: batching is far slower to respond but much higher
+ * throughput; Nervana is the fastest library; cuDNN and Nervana fail
+ * on the mobile GPU for the big networks; Nervana's "non-batched"
+ * column is really batch 32 (its minimum granularity).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "libs/dl_library.hh"
+#include "nn/model_zoo.hh"
+
+using namespace pcnn;
+using namespace pcnn::bench;
+
+int
+main()
+{
+    const auto libs = allLibraries();
+    const GpuSpec gpus[] = {titanX(), gtx970m(), jetsonTx1()};
+
+    std::vector<std::string> header{"CNNs", "GPU"};
+    for (const auto &lib : libs)
+        header.push_back(lib->name() + " batch");
+    for (const auto &lib : libs)
+        header.push_back(lib->name() + " no-batch");
+    TextTable table(header);
+
+    for (const NetDescriptor &net : paperNetworks()) {
+        for (const GpuSpec &gpu : gpus) {
+            std::vector<std::string> row{net.name, gpu.name};
+            for (const auto &lib : libs) {
+                const LatencyEstimate e =
+                    lib->estimateLatency(gpu, net, net.paperBatch);
+                row.push_back(msOrX(e.oom, e.totalS()));
+            }
+            for (const auto &lib : libs) {
+                // "No batching" = batch 1, except Nervana whose
+                // minimum batch is 32 (bold in the paper's table).
+                const LatencyEstimate e =
+                    lib->estimateLatency(gpu, net, 1);
+                row.push_back(msOrX(e.oom, e.totalS()));
+            }
+            table.addRow(row);
+        }
+        table.addSeparator();
+    }
+
+    printSection("Table III — latencies (ms) w/ and w/o batching",
+                 table.render());
+    paperNote("AlexNet/TitanX: 131/68/31 batched, 3/3/15 non-batched; "
+              "TX1 rows are ~10x slower; cuDNN+Nervana mark x for "
+              "GoogLeNet/VGGNet batched on TX1; Nervana VGG x even "
+              "non-batched (min batch 32)");
+    return 0;
+}

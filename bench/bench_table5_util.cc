@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table V: per-layer Util of AlexNet across K20 / 970m /
+ * TX1 with the non-batching method (batch 1, stock cuBLAS kernels).
+ *
+ * Expected shape: Util falls toward the later conv layers on every
+ * platform, and even the 2-SM TX1 is underutilized at CONV5.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/kernel_model.hh"
+#include "libs/cublas_like.hh"
+#include "nn/model_zoo.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    const NetDescriptor net = alexNet();
+    const GpuSpec gpus[] = {k20c(), gtx970m(), jetsonTx1()};
+    CublasLike cublas;
+
+    std::vector<std::string> header{"GPU"};
+    for (const ConvSpec &c : net.convs)
+        header.push_back(c.name);
+    TextTable table(header);
+
+    for (const GpuSpec &gpu : gpus) {
+        std::vector<std::string> row{gpu.name};
+        for (const ConvSpec &layer : net.convs) {
+            const KernelConfig cfg = cublas.selectKernel(gpu, layer, 1);
+            const SgemmModel model(gpu, cfg);
+            row.push_back(
+                TextTable::num(model.util(layer.gemmShape(1)), 2));
+        }
+        table.addRow(row);
+    }
+
+    printSection("Table V — Util of AlexNet (non-batched)",
+                 table.render());
+    bench::paperNote("K20: 0.82 0.62 0.46 0.23 0.15 | 970m: 0.6 0.3 "
+                     "0.3 0.15 0.1 | TX1: 1 0.75 0.75 0.75 0.5");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ */
+
+#ifndef PCNN_BENCH_BENCH_UTIL_HH
+#define PCNN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+
+namespace pcnn {
+namespace bench {
+
+/** Milliseconds with sensible precision. */
+inline std::string
+ms(double seconds)
+{
+    return TextTable::num(seconds * 1e3, seconds < 0.01 ? 2 : 1);
+}
+
+/** Table III-style cell: latency or 'x' on out-of-memory. */
+inline std::string
+msOrX(bool oom, double seconds)
+{
+    return oom ? "x" : ms(seconds);
+}
+
+/** Print the paper reference line under a reproduced artifact. */
+inline void
+paperNote(const std::string &note)
+{
+    std::printf("paper: %s\n", note.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace bench
+} // namespace pcnn
+
+#endif // PCNN_BENCH_BENCH_UTIL_HH

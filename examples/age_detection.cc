@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Interactive task end-to-end: a trained classifier served through
+ * the full P-CNN runtime (offline compilation, entropy-based
+ * accuracy tuning, perforated execution, calibration).
+ *
+ * "Age detection" stands in for any user-facing, accuracy-tolerant
+ * app: the user submits one image per request and tolerates a mild
+ * accuracy dip for a snappier answer. We train a MiniNet on the
+ * synthetic task (the DESIGN.md substitution for an ImageNet model),
+ * deploy it to the notebook GPU, tune, and serve requests.
+ *
+ * Run: ./age_detection
+ */
+
+#include <cstdio>
+
+#include "pcnn/pcnn.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    // Train the classifier (the "offline, data-center" stage).
+    SyntheticTaskConfig task_cfg;
+    task_cfg.difficulty = 0.45;
+    task_cfg.seed = 2026;
+    SyntheticTask task(task_cfg);
+    Dataset train_set = task.generate(2048);
+    Dataset test_set = task.generate(256);
+
+    Rng rng(7);
+    Network net = makeMiniNet(MiniSize::Large, rng);
+    TrainConfig train_cfg;
+    train_cfg.epochs = 8;
+    Trainer trainer(net, train_cfg);
+    trainer.fit(train_set);
+    const EvalResult quality = trainer.evaluate(test_set);
+    std::printf("trained %s: %.1f%% accuracy, %.3f mean entropy\n",
+                net.name().c_str(), quality.accuracy * 100.0,
+                quality.meanEntropy);
+
+    // Deploy to the notebook GPU for an interactive app. Batch 64 in
+    // the compiled plan keeps the simulated kernels compute-bound.
+    const GpuSpec gpu = gtx970m();
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan =
+        compiler.compileAtBatch(describe(net), 64);
+    std::printf("compiled for %s: %.3f ms per batch of %zu\n",
+                gpu.name.c_str(), plan.latencyS() * 1e3, plan.batch);
+
+    // Entropy-based accuracy tuning on unlabeled tuning inputs.
+    TunerConfig tuner_cfg;
+    tuner_cfg.entropyThreshold = quality.meanEntropy + 0.35;
+    Executor exec(net, plan, gpu, tuner_cfg);
+    Dataset tune_data = task.generate(192);
+    exec.tune(tune_data.batch(0, tune_data.size()));
+
+    std::printf("tuning path (%zu levels):\n",
+                exec.tuningTable().levels());
+    for (std::size_t i = 0; i < exec.tuningTable().levels(); ++i) {
+        const TuningEntry &e = exec.tuningTable().entry(i);
+        std::printf("  level %zu: %.2fx speedup, entropy %.3f%s\n", i,
+                    e.speedup, e.entropy,
+                    i == exec.currentLevel() ? "   <- selected" : "");
+    }
+
+    // Serve a stream of requests.
+    std::printf("\nserving 8 requests:\n");
+    Dataset live = task.generate(8 * 4);
+    std::size_t correct = 0, total = 0;
+    for (int r = 0; r < 8; ++r) {
+        const Tensor batch = live.batch(std::size_t(r) * 4, 4);
+        const auto labels = live.batchLabels(std::size_t(r) * 4, 4);
+        const InferenceResult res = exec.infer(batch);
+        for (std::size_t i = 0; i < 4; ++i) {
+            correct += res.predictions[i] == labels[i];
+            ++total;
+        }
+        std::printf("  request %d: level %zu, entropy %.3f, "
+                    "sim %.3f ms, %.4f J%s\n",
+                    r, res.tuningLevel, res.entropy,
+                    res.simLatencyS * 1e3, res.energyJ,
+                    res.recalibrated ? "  (recalibrated)" : "");
+    }
+    std::printf("live accuracy with tuned kernels: %.1f%%\n",
+                100.0 * double(correct) / double(total));
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deployment pipeline: the artifact-centric workflow a production
+ * team would script around P-CNN.
+ *
+ *   build box:   train -> save weights; per target GPU: offline
+ *                compile (+ DVFS plan) -> save plan
+ *   device:      load weights + plan (no re-tuning), tune accuracy
+ *                on local data, serve, learn the user's real
+ *                latency threshold online
+ *
+ * Run: ./deploy_pipeline
+ */
+
+#include <cstdio>
+
+#include "nn/serialize.hh"
+#include "pcnn/offline/dvfs_planner.hh"
+#include "pcnn/offline/plan_io.hh"
+#include "pcnn/pcnn.hh"
+#include "pcnn/runtime/requirement_learner.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    const std::string weights_path = "/tmp/pcnn_demo_weights.bin";
+    const std::string plan_path = "/tmp/pcnn_demo_plan.bin";
+
+    // ---------------- build box: train once --------------------------
+    SyntheticTaskConfig task_cfg;
+    task_cfg.difficulty = 0.45;
+    task_cfg.seed = 77;
+    SyntheticTask task(task_cfg);
+    {
+        Rng rng(78);
+        Network net = makeMiniNet(MiniSize::Medium, rng);
+        Dataset train_set = task.generate(1536);
+        TrainConfig tc;
+        tc.epochs = 6;
+        Trainer trainer(net, tc);
+        trainer.fit(train_set);
+        if (!saveWeights(net, weights_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         weights_path.c_str());
+            return 1;
+        }
+        std::printf("[build] trained %s, weights -> %s\n",
+                    net.name().c_str(), weights_path.c_str());
+
+        // Offline compile for the target device, DVFS-aware.
+        const DvfsPlanner planner(gtx970m());
+        Rng probe_rng(78);
+        Network probe = makeMiniNet(MiniSize::Medium, probe_rng);
+        const DvfsPlan dp =
+            planner.plan(describe(probe), ageDetectionApp());
+        CompiledPlan plan = dp.plan;
+        // Re-plan at a serving batch so conv kernels dominate.
+        const OfflineCompiler compiler(dp.gpu);
+        plan = compiler.compileAtBatch(describe(probe), 32);
+        if (!savePlan(plan, plan_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         plan_path.c_str());
+            return 1;
+        }
+        std::printf("[build] compiled for %s (DVFS level %.2f), "
+                    "plan -> %s\n",
+                    dp.gpu.name.c_str(), dp.level, plan_path.c_str());
+    }
+
+    // ---------------- device: load artifacts and serve ---------------
+    Rng rng(999); // fresh weights, about to be overwritten by load
+    Network net = makeMiniNet(MiniSize::Medium, rng);
+    if (!loadWeights(net, weights_path)) {
+        std::fprintf(stderr, "weight load failed\n");
+        return 1;
+    }
+    const auto plan = loadPlan(plan_path);
+    if (!plan) {
+        std::fprintf(stderr, "plan load failed\n");
+        return 1;
+    }
+    std::printf("[device] restored %s + plan for %s (batch %zu, "
+                "%.3f ms predicted)\n",
+                net.name().c_str(), plan->gpuName.c_str(),
+                plan->batch, plan->latencyS() * 1e3);
+
+    const DvfsModel dvfs(gtx970m());
+    const GpuSpec gpu = dvfs.nominal();
+    TunerConfig tcfg;
+    tcfg.entropyThreshold = 0.9;
+    Executor exec(net, *plan, gpu, tcfg);
+    Dataset tune_data = task.generate(128);
+    exec.tune(tune_data.batch(0, tune_data.size()));
+    std::printf("[device] accuracy-tuned to level %zu of %zu "
+                "(%.2fx speedup)\n",
+                exec.currentLevel(), exec.tuningTable().levels(),
+                exec.tuningTable()
+                    .entry(exec.currentLevel())
+                    .speedup);
+
+    // Serve while learning this user's real patience. The simulated
+    // user is more patient than the HCI table value (T_i ~ 250 ms).
+    RequirementLearner learner(inferRequirement(ageDetectionApp()));
+    Rng user_rng(80);
+    const double true_ti = 0.25;
+    for (int r = 0; r < 40; ++r) {
+        Dataset req = task.generate(8);
+        const InferenceResult res = exec.infer(req.batch(0, 8));
+        // Simulated latency plus some app/network jitter.
+        const double latency =
+            res.simLatencyS + user_rng.uniform(0.0, 0.4);
+        learner.observe(latency, latency <= true_ti
+                                     ? UserFeedback::Satisfied
+                                     : UserFeedback::Complained);
+    }
+    std::printf("[device] learned T_i after %zu requests: %.0f ms "
+                "(table said 100 ms, this user tolerates ~250 ms)\n",
+                learner.observations(),
+                learner.current().imperceptibleS * 1e3);
+    std::printf("[device] the extra slack feeds back into DVFS: "
+                "level %.2f would now suffice\n",
+                dvfs.levelForBudget(plan->latencyS(),
+                                    learner.current().imperceptibleS));
+
+    std::remove(weights_path.c_str());
+    std::remove(plan_path.c_str());
+    return 0;
+}

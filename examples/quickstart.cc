@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quickstart: deploy a published CNN to a GPU platform with P-CNN.
+ *
+ * Walks the whole public API in one sitting:
+ *   1. pick a network (AlexNet shapes) and a platform (Jetson TX1),
+ *   2. describe the application so P-CNN can infer the user's
+ *      requirements,
+ *   3. offline-compile (batch selection + per-layer kernel tuning +
+ *      optSM/optTLP),
+ *   4. execute on the CTA-level simulator with the P-CNN runtime
+ *      kernel scheduler,
+ *   5. score the deployment with the SoC metric.
+ *
+ * Run: ./quickstart
+ */
+
+#include <cstdio>
+
+#include "pcnn/pcnn.hh"
+
+using namespace pcnn;
+
+int
+main()
+{
+    // 1. Network and platform.
+    const NetDescriptor net = alexNet();
+    const GpuSpec gpu = jetsonTx1();
+    std::printf("deploying %s (%.2f GFLOP/image, %.0f MB weights) "
+                "to %s (%zu SMs, %.2f TFLOP/s peak)\n",
+                net.name.c_str(), net.totalFlopsPerImage() / 1e9,
+                weightBytes(net) / 1e6, gpu.name.c_str(), gpu.numSMs,
+                gpu.peakFlops() / 1e12);
+
+    // 2. Application: an interactive photo app, one request at a
+    //    time. P-CNN infers the 100 ms / 3 s HCI thresholds.
+    const AppSpec app = ageDetectionApp();
+    const UserRequirement req = inferRequirement(app);
+    std::printf("app '%s' (%s): T_i=%.0f ms, T_t=%.0f ms, entropy "
+                "threshold %.2f\n",
+                app.name.c_str(),
+                taskClassName(app.taskClass).c_str(),
+                req.imperceptibleS * 1e3, req.tolerableS * 1e3,
+                req.entropyThreshold);
+
+    // 3. Cross-platform offline compilation.
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan = compiler.compile(net, app);
+    std::printf("\ncompiled plan: batch %zu, predicted latency "
+                "%.2f ms (conv %.2f + fc %.2f + aux %.2f)\n",
+                plan.batch, plan.latencyS() * 1e3,
+                plan.time.convS * 1e3, plan.time.fcS * 1e3,
+                plan.time.auxS * 1e3);
+    TextTable table({"Layer", "Kernel", "optTLP", "optSM", "Util",
+                     "Time (ms)"});
+    for (const LayerSchedule &ls : plan.layers) {
+        table.addRow({ls.layer.name, ls.kernel.config.str(),
+                      TextTable::num(ls.kernel.optTLP),
+                      TextTable::num(ls.kernel.optSM),
+                      TextTable::num(ls.util, 2),
+                      TextTable::num(ls.timeS * 1e3, 3)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // 4. Execute on the simulated GPU with the P-CNN runtime
+    //    scheduler (PSM placement, optSM allocation, power gating).
+    const RuntimeKernelScheduler runtime(gpu);
+    const SimResult run = runtime.execute(plan, pcnnPolicy());
+    const SimResult naive = runtime.execute(plan, baselinePolicy());
+    std::printf("\nsimulated execution: %.2f ms, %.3f J "
+                "(hardware RR baseline: %.2f ms, %.3f J)\n",
+                run.timeS * 1e3, run.energy.total(), naive.timeS * 1e3,
+                naive.energy.total());
+
+    // 5. Score the deployment.
+    const EntropyProfile profile = EntropyProfile::representative();
+    const double score =
+        soc(run.timeS, profile.entropyAt(1.0),
+            run.energy.total() / double(plan.batch), req);
+    std::printf("SoC = SoC_time x SoC_accuracy / energy = %.2f\n",
+                score);
+    std::printf("\nNext steps: examples/age_detection.cc (accuracy "
+                "tuning), examples/video_surveillance.cc "
+                "(calibration), examples/image_tagging.cc (batch "
+                "selection), examples/platform_explorer.cc "
+                "(cross-platform compilation).\n");
+    return 0;
+}

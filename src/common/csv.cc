@@ -1,0 +1,66 @@
+#include "common/csv.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+CsvWriter::CsvWriter(std::vector<std::string> hdr)
+    : header(std::move(hdr))
+{
+    pcnn_assert(!header.empty(), "csv needs at least one column");
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    pcnn_assert(row.size() == header.size(),
+                "csv row width mismatch: ", row.size(), " vs ",
+                header.size());
+    rows.push_back(row);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+CsvWriter::render() const
+{
+    auto join = [](const std::vector<std::string> &cells) {
+        std::string s;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                s += ",";
+            s += escape(cells[i]);
+        }
+        return s + "\n";
+    };
+    std::string out = join(header);
+    for (const auto &row : rows)
+        out += join(row);
+    return out;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << render();
+    return static_cast<bool>(f);
+}
+
+} // namespace pcnn

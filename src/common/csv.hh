@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV writer used by benches to dump figure series that can
+ * be re-plotted externally.
+ */
+
+#ifndef PCNN_COMMON_CSV_HH
+#define PCNN_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace pcnn {
+
+/**
+ * Accumulates rows and writes RFC-4180-ish CSV (quotes fields that
+ * contain commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Construct with a header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Render the CSV document as a string. */
+    std::string render() const;
+
+    /**
+     * Write to a file.
+     * @retval true on success, false if the file could not be opened.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_COMMON_CSV_HH

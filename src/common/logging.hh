@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (simulator bugs), fatal() for user errors that make it
+ * impossible to continue, warn()/inform() for advisory messages that
+ * never stop execution.
+ */
+
+#ifndef PCNN_COMMON_LOGGING_HH
+#define PCNN_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace pcnn {
+
+/** Verbosity levels for advisory messages. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Process-wide verbosity; benches lower it, tests silence it. */
+LogLevel logLevel();
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Print and abort(); used for internal invariant violations. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print and exit(1); used for unrecoverable user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr (never stops execution). */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stdout. */
+void informImpl(const std::string &msg);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+fmt(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+} // namespace pcnn
+
+/** Abort with a message; for conditions that indicate a library bug. */
+#define pcnn_panic(...) \
+    ::pcnn::detail::panicImpl(__FILE__, __LINE__, \
+                              ::pcnn::detail::fmt(__VA_ARGS__))
+
+/** Exit with a message; for conditions that are the caller's fault. */
+#define pcnn_fatal(...) \
+    ::pcnn::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::pcnn::detail::fmt(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define pcnn_warn(...) \
+    ::pcnn::detail::warnImpl(::pcnn::detail::fmt(__VA_ARGS__))
+
+/** Informational status message (suppressed when LogLevel::Quiet). */
+#define pcnn_inform(...) \
+    ::pcnn::detail::informImpl(::pcnn::detail::fmt(__VA_ARGS__))
+
+/** Cheap always-on invariant check with a formatted message. */
+#define pcnn_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            pcnn_panic("assertion failed: " #cond " — ", \
+                       ::pcnn::detail::fmt(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // PCNN_COMMON_LOGGING_HH

@@ -1,0 +1,84 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+double
+mean(const std::vector<double> &v)
+{
+    pcnn_assert(!v.empty(), "mean of empty vector");
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    pcnn_assert(!v.empty(), "stddev of empty vector");
+    const double mu = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - mu) * (x - mu);
+    return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    pcnn_assert(!v.empty(), "geomean of empty vector");
+    double s = 0.0;
+    for (double x : v) {
+        pcnn_assert(x > 0.0, "geomean needs positive values, got ", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    pcnn_assert(!v.empty(), "min of empty vector");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    pcnn_assert(!v.empty(), "max of empty vector");
+    return *std::max_element(v.begin(), v.end());
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace pcnn

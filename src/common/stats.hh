@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small statistics helpers shared by the trainer, the tuner, and the
+ * bench harnesses.
+ */
+
+#ifndef PCNN_COMMON_STATS_HH
+#define PCNN_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pcnn {
+
+/** Arithmetic mean. @pre v non-empty */
+double mean(const std::vector<double> &v);
+
+/** Population standard deviation. @pre v non-empty */
+double stddev(const std::vector<double> &v);
+
+/** Geometric mean. @pre v non-empty, all elements > 0 */
+double geomean(const std::vector<double> &v);
+
+/** Minimum element. @pre v non-empty */
+double minOf(const std::vector<double> &v);
+
+/** Maximum element. @pre v non-empty */
+double maxOf(const std::vector<double> &v);
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ * Numerically stable for long runs of simulator samples.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return n; }
+
+    /** Mean of samples seen; 0 when empty. */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Population variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n ? hi : 0.0; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_COMMON_STATS_HH

@@ -1,0 +1,88 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+TextTable::TextTable(std::vector<std::string> hdr)
+    : header(std::move(hdr))
+{
+    pcnn_assert(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    pcnn_assert(row.size() == header.size(),
+                "row width ", row.size(), " != header width ",
+                header.size());
+    rows.push_back(std::move(row));
+    ++dataRows;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        std::string s = "+";
+        for (auto w : width)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::string out = rule() + line(header) + rule();
+    for (const auto &row : rows)
+        out += row.empty() ? rule() : line(row);
+    out += rule();
+    return out;
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    std::string s(buf);
+    if (s.find('.') != std::string::npos) {
+        while (s.back() == '0')
+            s.pop_back();
+        if (s.back() == '.')
+            s.pop_back();
+    }
+    return s;
+}
+
+void
+printSection(const std::string &title, const std::string &body)
+{
+    std::printf("\n=== %s ===\n%s", title.c_str(), body.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace pcnn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ASCII table rendering for bench output.
+ *
+ * Every bench binary reproduces one table or figure from the paper;
+ * TextTable renders them with aligned columns so the console output
+ * can be compared side-by-side with the publication.
+ */
+
+#ifndef PCNN_COMMON_TABLE_HH
+#define PCNN_COMMON_TABLE_HH
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pcnn {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"GPU", "Latency (ms)"});
+ *   t.addRow({"TX1", "397"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the whole table, including header and rules. */
+    std::string render() const;
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const { return dataRows; }
+
+    /** Format a double with the given precision, trimming zeros. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format any integer type exactly. */
+    template <typename T>
+        requires std::is_integral_v<T>
+    static std::string
+    num(T v)
+    {
+        return std::to_string(v);
+    }
+
+  private:
+    std::vector<std::string> header;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows;
+    std::size_t dataRows = 0;
+};
+
+/** Print a titled section banner around a rendered table. */
+void printSection(const std::string &title, const std::string &body);
+
+} // namespace pcnn
+
+#endif // PCNN_COMMON_TABLE_HH

@@ -1,0 +1,81 @@
+#include "data/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+Dataset::Dataset(Shape item_shape) : shape(item_shape)
+{
+    shape.n = 1;
+    pcnn_assert(shape.itemSize() > 0, "dataset item shape empty");
+}
+
+void
+Dataset::add(const Tensor &image, std::size_t label)
+{
+    pcnn_assert(image.shape().itemSize() == shape.itemSize() &&
+                    image.shape().n == 1,
+                "dataset add: image ", image.shape().str(),
+                " mismatches item shape ", shape.str());
+    pixels.insert(pixels.end(), image.data(),
+                  image.data() + shape.itemSize());
+    labels_.push_back(label);
+}
+
+Tensor
+Dataset::image(std::size_t i) const
+{
+    return batch(i, 1);
+}
+
+Tensor
+Dataset::batch(std::size_t first, std::size_t count) const
+{
+    pcnn_assert(first + count <= size(), "dataset batch [", first, ", ",
+                first + count, ") out of ", size());
+    Tensor out(Shape{count, shape.c, shape.h, shape.w});
+    const std::size_t item = shape.itemSize();
+    std::copy(pixels.begin() + first * item,
+              pixels.begin() + (first + count) * item, out.data());
+    return out;
+}
+
+std::vector<std::size_t>
+Dataset::batchLabels(std::size_t first, std::size_t count) const
+{
+    pcnn_assert(first + count <= size(), "dataset labels out of range");
+    return {labels_.begin() + first, labels_.begin() + first + count};
+}
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    const std::size_t item = shape.itemSize();
+    for (std::size_t i = size(); i > 1; --i) {
+        const std::size_t j = rng.below(i);
+        if (j == i - 1)
+            continue;
+        std::swap(labels_[i - 1], labels_[j]);
+        std::swap_ranges(pixels.begin() + (i - 1) * item,
+                         pixels.begin() + i * item,
+                         pixels.begin() + j * item);
+    }
+}
+
+Dataset
+Dataset::takeTail(std::size_t count)
+{
+    pcnn_assert(count <= size(), "takeTail(", count, ") out of ", size());
+    Dataset tail(shape);
+    const std::size_t first = size() - count;
+    const std::size_t item = shape.itemSize();
+    tail.pixels.assign(pixels.begin() + first * item, pixels.end());
+    tail.labels_.assign(labels_.begin() + first, labels_.end());
+    pixels.resize(first * item);
+    labels_.resize(first);
+    return tail;
+}
+
+} // namespace pcnn

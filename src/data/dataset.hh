@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Labeled image dataset container.
+ */
+
+#ifndef PCNN_DATA_DATASET_HH
+#define PCNN_DATA_DATASET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+#include "tensor/tensor.hh"
+
+namespace pcnn {
+
+/**
+ * In-memory labeled dataset: a batch-major image tensor plus one
+ * integer label per item.
+ */
+class Dataset
+{
+  public:
+    /** Empty dataset of a given item shape. */
+    explicit Dataset(Shape item_shape);
+
+    /** Item shape (n forced to 1). */
+    const Shape &itemShape() const { return shape; }
+
+    /** Number of items. */
+    std::size_t size() const { return labels_.size(); }
+
+    /** Append one item. @pre image shape matches itemShape() */
+    void add(const Tensor &image, std::size_t label);
+
+    /** Label of item i. */
+    std::size_t label(std::size_t i) const { return labels_.at(i); }
+
+    /** All labels. */
+    const std::vector<std::size_t> &labels() const { return labels_; }
+
+    /** Copy of item i as an n=1 tensor. */
+    Tensor image(std::size_t i) const;
+
+    /**
+     * Materialize items [first, first+count) as one batch tensor.
+     * @pre the range is within bounds
+     */
+    Tensor batch(std::size_t first, std::size_t count) const;
+
+    /** Labels of the same range, for loss computation. */
+    std::vector<std::size_t> batchLabels(std::size_t first,
+                                         std::size_t count) const;
+
+    /** Shuffle items in place (images and labels together). */
+    void shuffle(Rng &rng);
+
+    /** Split off the last `count` items into a new dataset. */
+    Dataset takeTail(std::size_t count);
+
+  private:
+    Shape shape;
+    std::vector<float> pixels; ///< size() * shape.itemSize() floats
+    std::vector<std::size_t> labels_;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_DATA_DATASET_HH

@@ -1,0 +1,121 @@
+#include "data/synthetic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+/**
+ * Smooth a plane in place with a 3x3 box filter (two passes), so the
+ * class signal has the local spatial correlation perforation relies
+ * on ("neighbouring pixels tend to have similar values").
+ */
+void
+smoothPlane(Tensor &t, std::size_t c)
+{
+    const std::size_t h = t.shape().h, w = t.shape().w;
+    for (int pass = 0; pass < 2; ++pass) {
+        Tensor copy = t;
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                double s = 0.0;
+                int cnt = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const long yy = long(y) + dy, xx = long(x) + dx;
+                        if (yy < 0 || yy >= long(h) || xx < 0 ||
+                            xx >= long(w)) {
+                            continue;
+                        }
+                        s += copy.at(0, c, std::size_t(yy),
+                                     std::size_t(xx));
+                        ++cnt;
+                    }
+                }
+                t.at(0, c, y, x) = float(s / cnt);
+            }
+        }
+    }
+}
+
+} // namespace
+
+SyntheticTask::SyntheticTask(SyntheticTaskConfig config)
+    : cfg(config), rng(config.seed)
+{
+    pcnn_assert(cfg.classes >= 2, "need at least two classes");
+    pcnn_assert(cfg.maxShift * 2 < cfg.height &&
+                    cfg.maxShift * 2 < cfg.width,
+                "maxShift too large for the image size");
+    templates.reserve(cfg.classes);
+    for (std::size_t k = 0; k < cfg.classes; ++k) {
+        Tensor t(Shape{1, cfg.channels, cfg.height, cfg.width});
+        t.fillGaussian(rng, 0.0f, 1.0f);
+        for (std::size_t c = 0; c < cfg.channels; ++c)
+            smoothPlane(t, c);
+        // Normalize template energy so all classes are equally hard.
+        double e = 0.0;
+        for (std::size_t i = 0; i < t.size(); ++i)
+            e += double(t[i]) * double(t[i]);
+        const float scale = float(1.0 / std::sqrt(e / double(t.size())));
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] *= scale;
+        templates.push_back(std::move(t));
+    }
+}
+
+Shape
+SyntheticTask::itemShape() const
+{
+    return Shape{1, cfg.channels, cfg.height, cfg.width};
+}
+
+const Tensor &
+SyntheticTask::classTemplate(std::size_t cls) const
+{
+    return templates.at(cls);
+}
+
+void
+SyntheticTask::sampleInto(std::size_t cls, Tensor &out)
+{
+    const Tensor &tpl = templates[cls];
+    const long max_shift = long(cfg.maxShift);
+    const long dy = rng.range(-max_shift, max_shift);
+    const long dx = rng.range(-max_shift, max_shift);
+    const float gain = float(rng.uniform(0.8, 1.2));
+    const float noise = float(cfg.difficulty);
+
+    const std::size_t h = cfg.height, w = cfg.width;
+    for (std::size_t c = 0; c < cfg.channels; ++c) {
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                const long sy = long(y) - dy, sx = long(x) - dx;
+                float v = 0.0f;
+                if (sy >= 0 && sy < long(h) && sx >= 0 && sx < long(w))
+                    v = tpl.at(0, c, std::size_t(sy), std::size_t(sx));
+                out.at(0, c, y, x) =
+                    gain * v + float(rng.gaussian(0.0, noise));
+            }
+        }
+    }
+}
+
+Dataset
+SyntheticTask::generate(std::size_t n)
+{
+    Dataset ds(itemShape());
+    Tensor img(itemShape());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t cls = i % cfg.classes;
+        sampleInto(cls, img);
+        ds.add(img, cls);
+    }
+    ds.shuffle(rng);
+    return ds;
+}
+
+} // namespace pcnn

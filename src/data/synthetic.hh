@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic labeled image task.
+ *
+ * Substitutes for ImageNet test data in the accuracy/entropy
+ * experiments (DESIGN.md). Each class is a smooth random template;
+ * samples are shifted, scaled, noisy instances of their class
+ * template. The `difficulty` knob controls the signal-to-noise
+ * ratio, so trained-classifier accuracy is tunable and perforation
+ * degrades it smoothly — the property Fig. 16 depends on.
+ */
+
+#ifndef PCNN_DATA_SYNTHETIC_HH
+#define PCNN_DATA_SYNTHETIC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hh"
+
+namespace pcnn {
+
+/** Configuration of the synthetic classification task. */
+struct SyntheticTaskConfig
+{
+    std::size_t classes = 8;
+    std::size_t channels = 1;
+    std::size_t height = 16;
+    std::size_t width = 16;
+    /// noise stddev relative to signal amplitude; ~0.3 is easy,
+    /// ~1.0 is hard
+    double difficulty = 0.5;
+    /// max translation (pixels) applied to the class template
+    std::size_t maxShift = 2;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Generates reproducible labeled datasets from class templates.
+ *
+ * The template of each class is fixed at construction; repeated
+ * generate() calls draw fresh instances, so train/test splits are
+ * i.i.d. from the same task.
+ */
+class SyntheticTask
+{
+  public:
+    /** Build class templates from cfg.seed. */
+    explicit SyntheticTask(SyntheticTaskConfig cfg);
+
+    /** Task configuration. */
+    const SyntheticTaskConfig &config() const { return cfg; }
+
+    /** Item shape of generated datasets. */
+    Shape itemShape() const;
+
+    /** Generate n labeled samples (classes balanced round-robin). */
+    Dataset generate(std::size_t n);
+
+    /** The noiseless template of one class (for tests). */
+    const Tensor &classTemplate(std::size_t cls) const;
+
+  private:
+    /** Draw one sample of class cls into `out`. */
+    void sampleInto(std::size_t cls, Tensor &out);
+
+    SyntheticTaskConfig cfg;
+    Rng rng;
+    std::vector<Tensor> templates;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_DATA_SYNTHETIC_HH

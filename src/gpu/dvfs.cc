@@ -1,0 +1,52 @@
+#include "gpu/dvfs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+DvfsModel::DvfsModel(GpuSpec nominal) : base(std::move(nominal)) {}
+
+const std::vector<double> &
+DvfsModel::levels()
+{
+    static const std::vector<double> steps{0.5, 0.62, 0.75, 0.87, 1.0};
+    return steps;
+}
+
+GpuSpec
+DvfsModel::at(double level) const
+{
+    const auto &ls = levels();
+    pcnn_assert(std::any_of(ls.begin(), ls.end(),
+                            [&](double l) {
+                                return std::abs(l - level) < 1e-9;
+                            }),
+                "unsupported DVFS level ", level);
+    GpuSpec g = base;
+    g.coreClockMHz *= level;
+    // Voltage tracks frequency: dynamic CV^2 energy scales ~f^2,
+    // leakage ~f. The board's base power is uncore and unscaled.
+    g.dynEnergyPerFlopJ *= level * level;
+    g.smStaticPowerW *= level;
+    if (std::abs(level - 1.0) > 1e-9)
+        g.name = base.name + "@" + std::to_string(int(level * 100)) +
+                 "%";
+    return g;
+}
+
+double
+DvfsModel::levelForBudget(double nominal_time_s,
+                          double budget_s) const
+{
+    pcnn_assert(nominal_time_s > 0.0, "nominal time must be positive");
+    for (double level : levels()) {
+        if (nominal_time_s / level <= budget_s)
+            return level;
+    }
+    return 1.0;
+}
+
+} // namespace pcnn

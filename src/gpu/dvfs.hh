@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dynamic voltage/frequency scaling model.
+ *
+ * Section II.B.1: inside the imperceptible region there is no reason
+ * to be fast — "we should try to minimize energy consumption by
+ * lowering the performance so that runtime is close to T_i". The
+ * DVFS model exposes the frequency levels a GPU can run at and how
+ * each level reshapes the GpuSpec: clock and compute throughput scale
+ * with f, dynamic energy per FLOP with f^2 (voltage tracks
+ * frequency), SM static power with f (leakage falls with voltage),
+ * while memory bandwidth is unaffected (separate memory clock).
+ */
+
+#ifndef PCNN_GPU_DVFS_HH
+#define PCNN_GPU_DVFS_HH
+
+#include <vector>
+
+#include "gpu/gpu_spec.hh"
+
+namespace pcnn {
+
+/** DVFS view over one GPU. */
+class DvfsModel
+{
+  public:
+    /** Bind the nominal (level 1.0) specification. */
+    explicit DvfsModel(GpuSpec nominal);
+
+    /**
+     * Supported frequency levels as fractions of nominal, ascending.
+     * The top level is always 1.0.
+     */
+    static const std::vector<double> &levels();
+
+    /** The nominal specification. */
+    const GpuSpec &nominal() const { return base; }
+
+    /**
+     * The specification at a frequency fraction.
+     * @param level one of levels() (asserted)
+     */
+    GpuSpec at(double level) const;
+
+    /**
+     * Lowest level whose slowdown keeps a nominal-frequency latency
+     * within a budget: compute time scales as 1/f (memory-bound time
+     * does not shrink, so this is conservative).
+     *
+     * @param nominal_time_s latency measured/predicted at level 1.0
+     * @param budget_s the user's time requirement
+     * @return the chosen level (1.0 when the budget is already tight)
+     */
+    double levelForBudget(double nominal_time_s, double budget_s) const;
+
+  private:
+    GpuSpec base;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_DVFS_HH

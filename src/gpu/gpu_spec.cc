@@ -1,0 +1,121 @@
+#include "gpu/gpu_spec.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+double
+GpuSpec::peakFlops() const
+{
+    return 2.0 * coreClockMHz * 1e6 * double(numSMs) * double(coresPerSM);
+}
+
+double
+GpuSpec::peakFlopsPerSM() const
+{
+    return 2.0 * coreClockMHz * 1e6 * double(coresPerSM);
+}
+
+GpuSpec
+k20c()
+{
+    GpuSpec g;
+    g.name = "K20c";
+    g.platform = "Server";
+    g.numSMs = 13;
+    g.coresPerSM = 192;
+    g.coreClockMHz = 706.0;
+    g.registersPerSM = 65536;
+    g.sharedMemPerSM = 49152; // Kepler: 48 KB
+    g.maxThreadsPerSM = 2048;
+    g.maxCtasPerSM = 16;
+    g.dramMB = 5 * 1024.0;
+    g.memBandwidthGBs = 208.0;
+    g.basePowerW = 45.0;
+    g.smStaticPowerW = 7.0;
+    g.dynEnergyPerFlopJ = 15e-12;
+    return g;
+}
+
+GpuSpec
+titanX()
+{
+    GpuSpec g;
+    g.name = "TitanX";
+    g.platform = "Desktop";
+    g.numSMs = 24;
+    g.coresPerSM = 128;
+    g.coreClockMHz = 1000.0;
+    g.registersPerSM = 65536;
+    g.sharedMemPerSM = 98304; // Maxwell: 96 KB
+    g.maxThreadsPerSM = 2048;
+    g.maxCtasPerSM = 32;
+    g.dramMB = 12 * 1024.0;
+    g.memBandwidthGBs = 336.0;
+    g.basePowerW = 50.0;
+    g.smStaticPowerW = 5.0;
+    g.dynEnergyPerFlopJ = 11e-12;
+    return g;
+}
+
+GpuSpec
+gtx970m()
+{
+    GpuSpec g;
+    g.name = "970m";
+    g.platform = "Notebook";
+    g.numSMs = 10;
+    g.coresPerSM = 128;
+    g.coreClockMHz = 924.0;
+    g.registersPerSM = 65536;
+    g.sharedMemPerSM = 98304;
+    g.maxThreadsPerSM = 2048;
+    g.maxCtasPerSM = 32;
+    g.dramMB = 3 * 1024.0;
+    g.memBandwidthGBs = 120.0;
+    g.basePowerW = 14.0;
+    g.smStaticPowerW = 4.5;
+    g.dynEnergyPerFlopJ = 11e-12;
+    return g;
+}
+
+GpuSpec
+jetsonTx1()
+{
+    GpuSpec g;
+    g.name = "TX1";
+    g.platform = "Mobile";
+    g.numSMs = 2;
+    g.coresPerSM = 128;
+    g.coreClockMHz = 998.0;
+    g.registersPerSM = 65536;
+    g.sharedMemPerSM = 98304;
+    g.maxThreadsPerSM = 2048;
+    g.maxCtasPerSM = 32;
+    // 4 GB LPDDR4 shared with the CPU; roughly 2.5 GB is realistically
+    // available to CUDA allocations, which is what the Table III
+    // out-of-memory failures depend on.
+    g.dramMB = 2560.0;
+    g.memBandwidthGBs = 25.6;
+    g.basePowerW = 2.0;
+    g.smStaticPowerW = 1.5;
+    g.dynEnergyPerFlopJ = 7e-12;
+    return g;
+}
+
+std::vector<GpuSpec>
+allGpus()
+{
+    return {k20c(), titanX(), gtx970m(), jetsonTx1()};
+}
+
+GpuSpec
+gpuByName(const std::string &name)
+{
+    for (const GpuSpec &g : allGpus())
+        if (g.name == name)
+            return g;
+    pcnn_fatal("unknown GPU preset: ", name);
+}
+
+} // namespace pcnn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GPU architecture descriptions.
+ *
+ * Carries every hardware parameter the paper's analytical models and
+ * the CTA-level simulator consume. Presets reproduce Table II
+ * (platform survey) and Table VI (GPGPU-Sim parameters): Kepler K20c,
+ * Maxwell Titan X, GTX 970m and Jetson TX1.
+ */
+
+#ifndef PCNN_GPU_GPU_SPEC_HH
+#define PCNN_GPU_GPU_SPEC_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pcnn {
+
+/** Static description of one GPU microarchitecture + board. */
+struct GpuSpec
+{
+    std::string name;     ///< e.g. "K20c"
+    std::string platform; ///< Server / Desktop / Notebook / Mobile
+
+    // Compute resources.
+    std::size_t numSMs = 0;
+    std::size_t coresPerSM = 0;
+    double coreClockMHz = 0.0;
+
+    // Per-SM occupancy limits (Table VI).
+    std::size_t registersPerSM = 65536;  ///< 32-bit registers
+    std::size_t sharedMemPerSM = 49152;  ///< bytes
+    std::size_t maxThreadsPerSM = 2048;
+    std::size_t maxCtasPerSM = 16;
+    std::size_t maxThreadsPerCta = 1024;
+
+    // Memory system.
+    double dramMB = 0.0;
+    double memBandwidthGBs = 0.0;
+
+    // Power model (GPUWattch-style decomposition).
+    double basePowerW = 0.0;        ///< board power independent of SMs
+    double smStaticPowerW = 0.0;    ///< per active (non-gated) SM
+    double dynEnergyPerFlopJ = 0.0; ///< switching energy per FLOP
+
+    /**
+     * Peak single-precision throughput in FLOP/s: each core retires
+     * one fused multiply-add (2 FLOPs) per cycle (Eq. 3 denominator).
+     */
+    double peakFlops() const;
+
+    /** Peak FLOP/s of a single SM. */
+    double peakFlopsPerSM() const;
+
+    /** Usable device memory in bytes. */
+    double dramBytes() const { return dramMB * 1024.0 * 1024.0; }
+
+    /** Memory bandwidth in bytes per second. */
+    double bandwidthBytes() const { return memBandwidthGBs * 1e9; }
+};
+
+/** NVIDIA Tesla K20c (Kepler GK110), the paper's server GPU. */
+GpuSpec k20c();
+
+/** NVIDIA GeForce GTX Titan X (Maxwell GM200), desktop GPU. */
+GpuSpec titanX();
+
+/** NVIDIA GeForce GTX 970m (Maxwell GM204), notebook GPU. */
+GpuSpec gtx970m();
+
+/** NVIDIA Jetson TX1 (Maxwell GM20B), mobile GPU. */
+GpuSpec jetsonTx1();
+
+/** All four platforms in Table II order. */
+std::vector<GpuSpec> allGpus();
+
+/** Look up a preset by name; fatal on unknown names. */
+GpuSpec gpuByName(const std::string &name);
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_GPU_SPEC_HH

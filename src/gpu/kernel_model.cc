@@ -1,0 +1,179 @@
+#include "gpu/kernel_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::size_t
+KernelConfig::effectiveRegs() const
+{
+    if (regsPerThread == 0 || regsPerThread >= tile.naturalRegs)
+        return tile.naturalRegs;
+    return regsPerThread;
+}
+
+std::string
+KernelConfig::str() const
+{
+    return tile.str() + "@r" + std::to_string(effectiveRegs());
+}
+
+double
+SpillInfo::cost() const
+{
+    constexpr double cost_global = 8.0;
+    constexpr double cost_shm = 1.0;
+    return extraLdg * cost_global + extraLds * cost_shm + extraOther;
+}
+
+SgemmModel::SgemmModel(GpuSpec gpu, KernelConfig cfg)
+    : gpuSpec(std::move(gpu)), kcfg(cfg)
+{
+    kcfg.regsPerThread = kcfg.effectiveRegs();
+    occup = occupancy(gpuSpec, kcfg.tile, kcfg.regsPerThread);
+    pcnn_assert(occup.ctasPerSm >= 1, "kernel ", kcfg.str(),
+                " cannot fit a single CTA on ", gpuSpec.name);
+
+    // ---- Spill model (Section IV.B.2) -------------------------------
+    // Spilled registers go to *spare* shared memory first (free TLP,
+    // cheap access), then to global memory.
+    const TileConfig &tile = kcfg.tile;
+    spillInfo.spilledRegs = tile.naturalRegs - kcfg.regsPerThread;
+    if (spillInfo.spilledRegs > 0) {
+        const std::size_t shm_per_cta =
+            gpuSpec.sharedMemPerSM / occup.ctasPerSm;
+        const std::size_t spare_bytes =
+            shm_per_cta > tile.sharedMemBytes
+                ? shm_per_cta - tile.sharedMemBytes
+                : 0;
+        const std::size_t spare_regs =
+            spare_bytes / (4 * tile.blockSize);
+        spillInfo.toSharedMem =
+            std::min(spillInfo.spilledRegs, spare_regs);
+        spillInfo.toGlobal =
+            spillInfo.spilledRegs - spillInfo.toSharedMem;
+
+        // Each spilled register costs one store + one reload per
+        // K-tile, plus address computation (Eq. 7's N_others).
+        spillInfo.extraLds = 2.0 * double(spillInfo.toSharedMem);
+        spillInfo.extraLdg = 2.0 * double(spillInfo.toGlobal);
+        spillInfo.extraOther = 0.5 * double(spillInfo.spilledRegs);
+    }
+
+    // ---- Instruction mix and traffic --------------------------------
+    mix = baseInstMix(tile);
+    mix.lds += spillInfo.extraLds;
+    mix.ldg += spillInfo.extraLdg;
+    mix.other += spillInfo.extraOther;
+
+    const double flops_per_thread_ktile =
+        2.0 * double(tile.accumulatorsPerThread()) * double(tile.kStep);
+    bytesPerUsefulFlop =
+        bytesPerFlop(tile) +
+        4.0 * spillInfo.extraLdg / flops_per_thread_ktile;
+
+    const double weighted = mix.ffma + mix.lds + mix.other +
+                            mix.ldg * ldgIssueWeight;
+    issueDensity = weighted > 0.0 ? mix.ffma / weighted : 0.0;
+}
+
+std::size_t
+SgemmModel::gridSize(const GemmShape &shape) const
+{
+    pcnn_assert(shape.m > 0 && shape.n > 0 && shape.k > 0,
+                "degenerate GEMM shape");
+    const TileConfig &t = kcfg.tile;
+    return ((shape.m + t.m - 1) / t.m) * ((shape.n + t.n - 1) / t.n);
+}
+
+double
+SgemmModel::util(const GemmShape &shape) const
+{
+    const std::size_t grid = gridSize(shape);
+    const std::size_t max_blocks = occup.maxBlocks(gpuSpec);
+    const std::size_t cycles = (grid + max_blocks - 1) / max_blocks;
+    return double(grid) / (double(cycles) * double(max_blocks));
+}
+
+double
+SgemmModel::rEC(const GemmShape &shape) const
+{
+    const TileConfig &t = kcfg.tile;
+    const double padded = double((shape.m + t.m - 1) / t.m) *
+                          double((shape.n + t.n - 1) / t.n) *
+                          double(t.m) * double(t.n);
+    return double(shape.m) * double(shape.n) / padded;
+}
+
+std::size_t
+SgemmModel::nInvocations(const GemmShape &shape, std::size_t tlp,
+                         std::size_t sms) const
+{
+    if (tlp == 0)
+        tlp = occup.ctasPerSm;
+    if (sms == 0)
+        sms = gpuSpec.numSMs;
+    pcnn_assert(tlp >= 1 && sms >= 1, "need at least one CTA slot");
+    const std::size_t per_wave = tlp * sms;
+    return (gridSize(shape) + per_wave - 1) / per_wave;
+}
+
+double
+SgemmModel::skernel(const GemmShape &shape, std::size_t tlp,
+                    std::size_t sms) const
+{
+    // Floors keep the Eq. 10 product meaningful when a factor is
+    // exactly zero (perfect tiling or no spilling).
+    const double waste = std::max(1.0 - rEC(shape), 0.01);
+    const double spill_cost = spillInfo.cost() + 1.0;
+    return waste * spill_cost * double(nInvocations(shape, tlp, sms));
+}
+
+double
+SgemmModel::ctaWorkFlops(const GemmShape &shape) const
+{
+    const TileConfig &t = kcfg.tile;
+    return 2.0 * double(t.m) * double(t.n) * double(shape.k);
+}
+
+double
+SgemmModel::kernelTime(const GemmShape &shape, std::size_t sms,
+                       std::size_t tlp) const
+{
+    if (tlp == 0)
+        tlp = occup.ctasPerSm;
+    tlp = std::min(tlp, occup.ctasPerSm);
+    if (sms == 0)
+        sms = gpuSpec.numSMs;
+    sms = std::min(sms, gpuSpec.numSMs);
+
+    const std::size_t grid = gridSize(shape);
+    const std::size_t busiest = (grid + sms - 1) / sms;
+    const std::size_t resident = std::min<std::size_t>(tlp, busiest);
+
+    const double lat_factor = std::clamp(
+        double(resident * kcfg.tile.blockSize) / hideThreads,
+        latencyFloor, 1.0);
+    const double sm_throughput =
+        gpuSpec.peakFlopsPerSM() * issueDensity * lat_factor;
+    const double compute_time =
+        double(busiest) * ctaWorkFlops(shape) / sm_throughput;
+
+    const double traffic = double(grid) * ctaWorkFlops(shape) *
+                           bytesPerUsefulFlop;
+    const double bw_time = traffic / gpuSpec.bandwidthBytes();
+
+    return std::max(compute_time, bw_time) + launchOverheadS;
+}
+
+double
+SgemmModel::cpE(const GemmShape &shape, double time_s) const
+{
+    pcnn_assert(time_s > 0.0, "cpE needs a positive time");
+    return shape.flops() / time_s / gpuSpec.peakFlops();
+}
+
+} // namespace pcnn

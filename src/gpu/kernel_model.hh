@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Analytical model of a convolutional SGEMM kernel on a GPU.
+ *
+ * Implements the paper's equation set on one (GPU, tile, register
+ * budget) triple: GridSize (Eq. 4), maxBlocks/occupancy (Eq. 5),
+ * Util (Eq. 6), register-spill cost (Eq. 7), nInvocations (Eq. 8),
+ * rEC (Eq. 9), the S_kernel selection metric (Eq. 10), and the time
+ * model (Eq. 12) extended with a latency-hiding term and a memory
+ * bandwidth bound so the model is predictive across all four
+ * platforms, not just compute-bound ones.
+ */
+
+#ifndef PCNN_GPU_KERNEL_MODEL_HH
+#define PCNN_GPU_KERNEL_MODEL_HH
+
+#include <cstddef>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/occupancy.hh"
+#include "gpu/tile_config.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+
+/** A concrete kernel choice: tile plus a register budget. */
+struct KernelConfig
+{
+    TileConfig tile;
+    /// registers per thread; 0 or >= naturalRegs means unspilled
+    std::size_t regsPerThread = 0;
+
+    /** Effective register count after clamping. */
+    std::size_t effectiveRegs() const;
+
+    /** "128x64@r79" display form. */
+    std::string str() const;
+};
+
+/** Register-spill accounting (Eq. 7 inputs and result). */
+struct SpillInfo
+{
+    std::size_t spilledRegs = 0;
+    std::size_t toSharedMem = 0; ///< spills landing in spare shmem
+    std::size_t toGlobal = 0;    ///< spills landing in global memory
+
+    // Extra instructions per K-tile per thread.
+    double extraLds = 0.0;
+    double extraLdg = 0.0;
+    double extraOther = 0.0;
+
+    /**
+     * Eq. 7: Spill_cost = N_global*Cost_global + N_shm*Cost_shm +
+     * N_others, with Cost_global = 8 and Cost_shm = 1 issue slots.
+     */
+    double cost() const;
+};
+
+/**
+ * Analytical SGEMM kernel model bound to one GPU and one kernel
+ * configuration. GEMM shapes are passed per query so one model
+ * instance can serve a whole layer sweep.
+ */
+class SgemmModel
+{
+  public:
+    /**
+     * @param gpu target architecture
+     * @param cfg tile and register budget; must fit at least one CTA
+     */
+    SgemmModel(GpuSpec gpu, KernelConfig cfg);
+
+    /** Bound GPU. */
+    const GpuSpec &gpu() const { return gpuSpec; }
+
+    /** Bound kernel configuration. */
+    const KernelConfig &config() const { return kcfg; }
+
+    /** Occupancy at the configured register budget. */
+    const Occupancy &occ() const { return occup; }
+
+    /** Spill accounting at the configured register budget. */
+    const SpillInfo &spill() const { return spillInfo; }
+
+    /** Inner-loop instruction mix including spill traffic (Fig. 6). */
+    const InstMix &instMix() const { return mix; }
+
+    /** FFMA fraction of issued instructions. */
+    double density() const { return mix.density(); }
+
+    /** Global traffic per useful FLOP, including spilled registers. */
+    double trafficBytesPerFlop() const { return bytesPerUsefulFlop; }
+
+    /**
+     * FFMA share of weighted issue slots (global accesses weighted by
+     * ldgIssueWeight); the throughput density used for timing and by
+     * the CTA-level simulator.
+     */
+    double timingDensity() const { return issueDensity; }
+
+    /** Eq. 4: ceil(M/m) * ceil(N/n) CTAs. */
+    std::size_t gridSize(const GemmShape &shape) const;
+
+    /** Eq. 6: GridSize / (ceil(GridSize/maxBlocks) * maxBlocks). */
+    double util(const GemmShape &shape) const;
+
+    /** Eq. 9: useful fraction of the computed (padded) matrix. */
+    double rEC(const GemmShape &shape) const;
+
+    /**
+     * Eq. 8: invocation count with a given TLP and SM allocation.
+     * @param tlp CTAs per SM (0 = occupancy limit)
+     * @param sms SMs used (0 = whole GPU)
+     */
+    std::size_t nInvocations(const GemmShape &shape, std::size_t tlp = 0,
+                             std::size_t sms = 0) const;
+
+    /**
+     * Eq. 10 selection metric, smaller is better:
+     * (1 - rEC) * Spill_cost * nInvocations, with small floors on the
+     * first two factors so a perfect tile or an unspilled kernel does
+     * not collapse the product to zero.
+     */
+    double skernel(const GemmShape &shape, std::size_t tlp = 0,
+                   std::size_t sms = 0) const;
+
+    /**
+     * Predicted execution time of one SGEMM in seconds (Eq. 12
+     * extended): compute-bound term with latency-hiding, bounded
+     * below by the memory-traffic time, plus a launch overhead.
+     *
+     * @param shape the GEMM
+     * @param sms SMs allocated (0 = whole GPU)
+     * @param tlp CTAs per SM cap (0 = occupancy limit)
+     */
+    double kernelTime(const GemmShape &shape, std::size_t sms = 0,
+                      std::size_t tlp = 0) const;
+
+    /** Eq. 3: achieved/peak throughput at a given execution time. */
+    double cpE(const GemmShape &shape, double time_s) const;
+
+    /** FLOPs per CTA (2*m*n*K), including padded output positions. */
+    double ctaWorkFlops(const GemmShape &shape) const;
+
+    /** Kernel launch overhead folded into every kernelTime. */
+    static constexpr double launchOverheadS = 8e-6;
+
+    /** Threads per SM needed to fully hide pipeline latency. */
+    static constexpr double hideThreads = 512.0;
+
+    /** Throughput floor from ILP when very few threads are resident. */
+    static constexpr double latencyFloor = 0.35;
+
+    /** Issue-slot weight of one global memory instruction. */
+    static constexpr double ldgIssueWeight = 4.0;
+
+  private:
+    GpuSpec gpuSpec;
+    KernelConfig kcfg;
+    Occupancy occup;
+    SpillInfo spillInfo;
+    InstMix mix;
+    double bytesPerUsefulFlop = 0.0;
+    double issueDensity = 0.0; ///< ldg-weighted density used in timing
+};
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_KERNEL_MODEL_HH

@@ -1,0 +1,79 @@
+#include "gpu/memory_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+/** im2col element count of one layer for one image: K * W_o H_o. */
+double
+colElems(const ConvSpec &c)
+{
+    // The column buffer is per group and reused across groups.
+    const double k =
+        double(c.kernel) * double(c.kernel) * double(c.inC / c.groups);
+    return k * double(c.outH()) * double(c.outW());
+}
+
+} // namespace
+
+double
+weightBytes(const NetDescriptor &net)
+{
+    return 4.0 * double(net.weightCount());
+}
+
+double
+activationBytes(const NetDescriptor &net, std::size_t batch)
+{
+    pcnn_assert(batch >= 1, "batch must be positive");
+    return 4.0 * double(net.activationElemsPerImage()) * double(batch);
+}
+
+double
+maxSingleImageColBytes(const NetDescriptor &net)
+{
+    double mx = 0.0;
+    for (const auto &c : net.convs)
+        mx = std::max(mx, colElems(c));
+    return 4.0 * mx;
+}
+
+double
+maxBatchedColBytes(const NetDescriptor &net, std::size_t batch)
+{
+    return maxSingleImageColBytes(net) * double(batch);
+}
+
+double
+sumCappedBatchedColBytes(const NetDescriptor &net, std::size_t batch,
+                         double cap_bytes)
+{
+    double total = 0.0;
+    for (const auto &c : net.convs)
+        total += std::min(4.0 * colElems(c) * double(batch), cap_bytes);
+    return total;
+}
+
+double
+usableBytes(const GpuSpec &gpu)
+{
+    // Discrete boards lose ~10% to the driver/context; the
+    // shared-memory TX1 preset already subtracts the CPU share, so it
+    // keeps a higher fraction of its (reduced) dramMB.
+    const double fraction = gpu.name == "TX1" || gpu.name == "970m"
+                                ? 0.95
+                                : 0.90;
+    return gpu.dramBytes() * fraction;
+}
+
+bool
+fits(const GpuSpec &gpu, const MemoryFootprint &fp)
+{
+    return fp.total() <= usableBytes(gpu);
+}
+
+} // namespace pcnn

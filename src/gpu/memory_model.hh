@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GPU memory footprint model.
+ *
+ * CNN inference is memory-intensive (Section III.D.3): device memory
+ * holds the trained weights, every layer's activations for the whole
+ * batch, and library-specific workspace (im2col buffers). This model
+ * decides the out-of-memory failures of Table III and bounds the
+ * batch-size selection of the offline compiler.
+ */
+
+#ifndef PCNN_GPU_MEMORY_MODEL_HH
+#define PCNN_GPU_MEMORY_MODEL_HH
+
+#include <cstddef>
+
+#include "gpu/gpu_spec.hh"
+#include "nn/model_zoo.hh"
+
+namespace pcnn {
+
+/** Byte-level footprint decomposition of one deployment. */
+struct MemoryFootprint
+{
+    double weightBytes = 0.0;
+    double activationBytes = 0.0;
+    double workspaceBytes = 0.0;
+
+    /** Total device bytes required. */
+    double total() const
+    {
+        return weightBytes + activationBytes + workspaceBytes;
+    }
+};
+
+/** Bytes of trained parameters (fp32). */
+double weightBytes(const NetDescriptor &net);
+
+/** Bytes of all layer activations for a batch (fp32, all blobs live). */
+double activationBytes(const NetDescriptor &net, std::size_t batch);
+
+/**
+ * Largest single-image im2col buffer across layers — the Caffe
+ * (cuBLAS) workspace policy: one shared column buffer, reused per
+ * image and per layer.
+ */
+double maxSingleImageColBytes(const NetDescriptor &net);
+
+/**
+ * Largest whole-batch im2col buffer across layers — the policy of
+ * batched-GEMM libraries that materialize the lowered matrix.
+ */
+double maxBatchedColBytes(const NetDescriptor &net, std::size_t batch);
+
+/**
+ * Sum over layers of the whole-batch im2col buffer, with each layer
+ * capped at `cap_bytes` — the per-layer-workspace policy of
+ * framework-integrated cuDNN, where every conv layer owns its own
+ * bounded workspace.
+ */
+double sumCappedBatchedColBytes(const NetDescriptor &net,
+                                std::size_t batch, double cap_bytes);
+
+/**
+ * Device memory a deployment may use. A fraction of DRAM is reserved
+ * for the driver/display (and the CPU on the shared-memory TX1).
+ */
+double usableBytes(const GpuSpec &gpu);
+
+/** True when the footprint fits the GPU. */
+bool fits(const GpuSpec &gpu, const MemoryFootprint &fp);
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_MEMORY_MODEL_HH

@@ -1,0 +1,65 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::string
+occLimitName(OccLimit limit)
+{
+    switch (limit) {
+      case OccLimit::Registers:
+        return "registers";
+      case OccLimit::SharedMem:
+        return "shared-mem";
+      case OccLimit::Threads:
+        return "threads";
+      case OccLimit::CtaSlots:
+        return "cta-slots";
+    }
+    pcnn_panic("unknown OccLimit");
+}
+
+std::size_t
+Occupancy::maxBlocks(const GpuSpec &gpu) const
+{
+    return ctasPerSm * gpu.numSMs;
+}
+
+Occupancy
+occupancy(const GpuSpec &gpu, const TileConfig &tile,
+          std::size_t regs_per_thread)
+{
+    const std::size_t regs =
+        regs_per_thread == 0 ? tile.naturalRegs : regs_per_thread;
+    pcnn_assert(regs > 0, "kernel needs at least one register");
+    pcnn_assert(tile.blockSize <= gpu.maxThreadsPerCta, "tile ",
+                tile.str(), " block size exceeds hardware CTA limit");
+
+    Occupancy o;
+    o.byRegisters = gpu.registersPerSM / (tile.blockSize * regs);
+    o.bySharedMem = tile.sharedMemBytes > 0
+                        ? gpu.sharedMemPerSM / tile.sharedMemBytes
+                        : gpu.maxCtasPerSM;
+    o.byThreads = gpu.maxThreadsPerSM / tile.blockSize;
+    o.byCtaSlots = gpu.maxCtasPerSM;
+
+    o.ctasPerSm = std::min({o.byRegisters, o.bySharedMem, o.byThreads,
+                            o.byCtaSlots});
+    if (o.ctasPerSm == o.byRegisters)
+        o.limit = OccLimit::Registers;
+    if (o.ctasPerSm == o.bySharedMem)
+        o.limit = OccLimit::SharedMem;
+    if (o.ctasPerSm == o.byThreads)
+        o.limit = OccLimit::Threads;
+    if (o.ctasPerSm == o.byCtaSlots)
+        o.limit = OccLimit::CtaSlots;
+    // Prefer reporting the paper's two interesting limits when tied.
+    if (o.ctasPerSm == o.byRegisters)
+        o.limit = OccLimit::Registers;
+    return o;
+}
+
+} // namespace pcnn

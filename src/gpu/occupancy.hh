@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CTA occupancy calculator (Eq. 5 extended).
+ *
+ * The paper's Eq. 5 bounds concurrent blocks by the register file;
+ * Table IV additionally lists the shared-memory bound and takes the
+ * min. We also apply the hardware thread and CTA-slot limits from
+ * Table VI, which matter for small tiles.
+ */
+
+#ifndef PCNN_GPU_OCCUPANCY_HH
+#define PCNN_GPU_OCCUPANCY_HH
+
+#include <string>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/tile_config.hh"
+
+namespace pcnn {
+
+/** Which resource capped the occupancy. */
+enum class OccLimit { Registers, SharedMem, Threads, CtaSlots };
+
+/** Human-readable limit name. */
+std::string occLimitName(OccLimit limit);
+
+/** Occupancy of one kernel configuration on one GPU. */
+struct Occupancy
+{
+    std::size_t ctasPerSm = 0; ///< resident CTAs per SM (the TLP)
+    OccLimit limit = OccLimit::Registers;
+
+    // Individual bounds, for Table IV style reporting.
+    std::size_t byRegisters = 0;
+    std::size_t bySharedMem = 0;
+    std::size_t byThreads = 0;
+    std::size_t byCtaSlots = 0;
+
+    /** Device-wide concurrent blocks: Eq. 5's maxBlocks. */
+    std::size_t maxBlocks(const GpuSpec &gpu) const;
+};
+
+/**
+ * Compute occupancy for a tile executed with a (possibly reduced)
+ * register budget per thread.
+ *
+ * @param gpu target architecture
+ * @param tile SGEMM tiling
+ * @param regs_per_thread registers per thread after any spilling;
+ *        0 means the tile's natural demand
+ */
+Occupancy occupancy(const GpuSpec &gpu, const TileConfig &tile,
+                    std::size_t regs_per_thread = 0);
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_OCCUPANCY_HH

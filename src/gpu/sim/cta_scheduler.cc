@@ -1,0 +1,65 @@
+#include "gpu/sim/cta_scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::string
+schedKindName(SchedKind kind)
+{
+    switch (kind) {
+      case SchedKind::RoundRobin:
+        return "RR";
+      case SchedKind::PrioritySM:
+        return "PSM";
+    }
+    pcnn_panic("unknown SchedKind");
+}
+
+std::size_t
+RoundRobinScheduler::place(const std::vector<std::size_t> &resident,
+                           std::size_t tlp_limit)
+{
+    const std::size_t n = resident.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t sm = (cursor + step) % n;
+        if (resident[sm] < tlp_limit) {
+            cursor = (sm + 1) % n;
+            return sm;
+        }
+    }
+    return noSm;
+}
+
+PrioritySmScheduler::PrioritySmScheduler(std::size_t sms_allowed)
+    : allowed(sms_allowed)
+{
+    pcnn_assert(allowed >= 1, "PSM needs at least one SM");
+}
+
+std::size_t
+PrioritySmScheduler::place(const std::vector<std::size_t> &resident,
+                           std::size_t tlp_limit)
+{
+    const std::size_t n = std::min(allowed, resident.size());
+    for (std::size_t sm = 0; sm < n; ++sm)
+        if (resident[sm] < tlp_limit)
+            return sm;
+    return noSm;
+}
+
+std::unique_ptr<CtaScheduler>
+makeScheduler(SchedKind kind, std::size_t num_sms,
+              std::size_t sms_allowed)
+{
+    switch (kind) {
+      case SchedKind::RoundRobin:
+        return std::make_unique<RoundRobinScheduler>();
+      case SchedKind::PrioritySM:
+        return std::make_unique<PrioritySmScheduler>(
+            sms_allowed == 0 ? num_sms : sms_allowed);
+    }
+    pcnn_panic("unknown SchedKind");
+}
+
+} // namespace pcnn

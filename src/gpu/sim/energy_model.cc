@@ -1,0 +1,40 @@
+#include "gpu/sim/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    baseJ += o.baseJ;
+    staticJ += o.staticJ;
+    dynamicJ += o.dynamicJ;
+    return *this;
+}
+
+EnergyModel::EnergyModel(GpuSpec gpu) : gpuSpec(std::move(gpu)) {}
+
+EnergyBreakdown
+EnergyModel::interval(double time_s, std::size_t powered_sms,
+                      double flops) const
+{
+    pcnn_assert(time_s >= 0.0 && flops >= 0.0,
+                "negative time or work in energy accounting");
+    pcnn_assert(powered_sms <= gpuSpec.numSMs, "powered SMs ",
+                powered_sms, " exceed ", gpuSpec.numSMs);
+    EnergyBreakdown e;
+    e.baseJ = gpuSpec.basePowerW * time_s;
+    e.staticJ = gpuSpec.smStaticPowerW * double(powered_sms) * time_s;
+    e.dynamicJ = gpuSpec.dynEnergyPerFlopJ * flops;
+    return e;
+}
+
+double
+EnergyModel::averagePowerW(const EnergyBreakdown &e, double time_s) const
+{
+    pcnn_assert(time_s > 0.0, "average power over zero time");
+    return e.total() / time_s;
+}
+
+} // namespace pcnn

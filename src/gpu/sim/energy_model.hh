@@ -1,0 +1,59 @@
+/**
+ * @file
+ * GPUWattch-style energy accounting.
+ *
+ * Energy = base board power * time + per-SM static power * time for
+ * every non-gated SM + dynamic switching energy per FLOP. Power
+ * gating an SM (the P-CNN runtime does this for SMs outside optSM)
+ * removes its static term entirely.
+ */
+
+#ifndef PCNN_GPU_SIM_ENERGY_MODEL_HH
+#define PCNN_GPU_SIM_ENERGY_MODEL_HH
+
+#include <cstddef>
+
+#include "gpu/gpu_spec.hh"
+
+namespace pcnn {
+
+/** Decomposed energy of an execution interval. */
+struct EnergyBreakdown
+{
+    double baseJ = 0.0;    ///< board/uncore energy
+    double staticJ = 0.0;  ///< leakage of powered SMs
+    double dynamicJ = 0.0; ///< switching energy of executed FLOPs
+
+    /** Total joules. */
+    double total() const { return baseJ + staticJ + dynamicJ; }
+
+    /** Accumulate another interval. */
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+/** Energy model bound to one GPU. */
+class EnergyModel
+{
+  public:
+    /** Bind the GPU whose power parameters are used. */
+    explicit EnergyModel(GpuSpec gpu);
+
+    /**
+     * Energy of one interval.
+     * @param time_s wall-clock duration
+     * @param powered_sms SMs that are not power gated
+     * @param flops FLOPs executed during the interval
+     */
+    EnergyBreakdown interval(double time_s, std::size_t powered_sms,
+                             double flops) const;
+
+    /** Average power of an interval in watts. */
+    double averagePowerW(const EnergyBreakdown &e, double time_s) const;
+
+  private:
+    GpuSpec gpuSpec;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_SIM_ENERGY_MODEL_HH

@@ -1,0 +1,85 @@
+#include "gpu/tile_config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::size_t
+TileConfig::accumulatorsPerThread() const
+{
+    pcnn_assert(blockSize > 0 && (m * n) % blockSize == 0,
+                "tile ", str(), ": m*n must be a multiple of blockSize");
+    return m * n / blockSize;
+}
+
+std::string
+TileConfig::str() const
+{
+    return std::to_string(m) + "x" + std::to_string(n);
+}
+
+double
+InstMix::density() const
+{
+    const double t = total();
+    return t > 0.0 ? ffma / t : 0.0;
+}
+
+InstMix
+baseInstMix(const TileConfig &tile)
+{
+    const double acc = double(tile.accumulatorsPerThread());
+    const double ks = double(tile.kStep);
+    InstMix mix;
+    // Each thread performs one FMA per accumulator per k.
+    mix.ffma = acc * ks;
+    // The CTA stages (m+n)*kStep operands from global memory per
+    // K-tile, spread across blockSize threads.
+    mix.ldg = double(tile.m + tile.n) * ks / double(tile.blockSize);
+    // Each thread reloads its row/column fragments from shared
+    // memory every k: ~2*sqrt(acc) values.
+    mix.lds = 2.0 * std::sqrt(acc) * ks * tile.ldsFactor;
+    mix.other = tile.otherInstsPerKtile;
+    return mix;
+}
+
+double
+bytesPerFlop(const TileConfig &tile)
+{
+    // Per K-tile: 4*(m+n)*kStep bytes fetched, 2*m*n*kStep FLOPs.
+    return 2.0 * double(tile.m + tile.n) / (double(tile.m) * double(tile.n));
+}
+
+const std::vector<TileConfig> &
+tileCatalogue()
+{
+    static const std::vector<TileConfig> catalogue = [] {
+        std::vector<TileConfig> v;
+        // m, n, blockSize, kStep, naturalRegs, sharedMemBytes,
+        // other, ldsFactor. Register and shared-memory figures for
+        // 128x64, 64x64 and 32x32 are the characterized values in the
+        // paper's Table IV; 128x128's 127 registers is the curReg of
+        // Fig. 9.
+        v.push_back({128, 128, 256, 8, 127, 16640, 8.0, 1.0});
+        v.push_back({128, 64, 128, 8, 120, 12544, 8.0, 1.0});
+        v.push_back({128, 32, 128, 8, 84, 10496, 8.0, 1.0});
+        v.push_back({64, 64, 256, 8, 79, 8468, 8.0, 1.0});
+        v.push_back({64, 32, 128, 8, 56, 6400, 8.0, 1.0});
+        v.push_back({32, 32, 64, 8, 48, 2304, 8.0, 1.0});
+        return v;
+    }();
+    return catalogue;
+}
+
+TileConfig
+tileByName(std::size_t m, std::size_t n)
+{
+    for (const TileConfig &t : tileCatalogue())
+        if (t.m == m && t.n == n)
+            return t;
+    pcnn_fatal("no catalogue tile ", m, "x", n);
+}
+
+} // namespace pcnn

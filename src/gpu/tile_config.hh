@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SGEMM sub-matrix (tile) catalogue and instruction-mix model.
+ *
+ * The paper identifies the sub-matrix size and the registers per
+ * thread as the two parameters that dominate convolutional kernel
+ * performance (Section III.D). The catalogue entries below carry the
+ * characterized values from the paper's Table IV and Fig. 9 (e.g.
+ * 64x64 @ 256 threads needs 79 registers and 8468 B of shared
+ * memory); tiles the paper does not characterize use the Volkov-style
+ * resource formulas.
+ */
+
+#ifndef PCNN_GPU_TILE_CONFIG_HH
+#define PCNN_GPU_TILE_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pcnn {
+
+/** One SGEMM tiling: the unit of work a CTA computes. */
+struct TileConfig
+{
+    std::size_t m = 0;         ///< sub-matrix rows
+    std::size_t n = 0;         ///< sub-matrix cols
+    std::size_t blockSize = 0; ///< threads per CTA
+    std::size_t kStep = 8;     ///< K-loop tile depth
+    std::size_t naturalRegs = 0;    ///< registers/thread, unspilled
+    std::size_t sharedMemBytes = 0; ///< shared memory per CTA
+    /// instruction overhead per K-tile per thread (loop, addressing,
+    /// barriers); hand-written assembly kernels have less
+    double otherInstsPerKtile = 8.0;
+    /// shared-memory instruction scale; assembly kernels vectorize
+    /// fragment loads and get < 1.0
+    double ldsFactor = 1.0;
+
+    /** Accumulators per thread: m*n / blockSize. */
+    std::size_t accumulatorsPerThread() const;
+
+    /** "128x64" display form. */
+    std::string str() const;
+
+    bool operator==(const TileConfig &o) const = default;
+};
+
+/**
+ * Instruction mix of a kernel's inner loop, per K-tile per thread.
+ * This is the Fig. 6 breakdown: the FFMA fraction is the kernel's
+ * computation density.
+ */
+struct InstMix
+{
+    double ffma = 0.0;  ///< fused multiply-adds
+    double ldg = 0.0;   ///< global memory instructions
+    double lds = 0.0;   ///< shared memory instructions
+    double other = 0.0; ///< control/addressing/barrier
+
+    /** Total issued instructions. */
+    double total() const { return ffma + ldg + lds + other; }
+
+    /** FFMA / total — the computation density of Fig. 6. */
+    double density() const;
+};
+
+/**
+ * Instruction mix of a tile's inner loop before any register
+ * spilling (spills are added by the kernel model, Eq. 7).
+ */
+InstMix baseInstMix(const TileConfig &tile);
+
+/**
+ * Global memory traffic per FLOP of useful work, in bytes:
+ * 2(m+n)/(m*n) for a shared-memory staged kernel. Determines when a
+ * tile becomes bandwidth-bound (small tiles on TX1).
+ */
+double bytesPerFlop(const TileConfig &tile);
+
+/**
+ * The common CNN tile catalogue: 128x128, 128x64, 128x32 (the sizes
+ * Nervana ships, Section IV.B.2) plus the 64x64 and 32x32 tiles
+ * cuBLAS/cuDNN use in Table IV.
+ */
+const std::vector<TileConfig> &tileCatalogue();
+
+/** Look up a catalogue tile by its m x n size; fatal if absent. */
+TileConfig tileByName(std::size_t m, std::size_t n);
+
+} // namespace pcnn
+
+#endif // PCNN_GPU_TILE_CONFIG_HH

@@ -1,0 +1,30 @@
+#include "libs/cublas_like.hh"
+
+namespace pcnn {
+
+KernelConfig
+CublasLike::selectKernel(const GpuSpec &gpu, const ConvSpec &layer,
+                         std::size_t batch) const
+{
+    (void)layer;
+    (void)batch;
+    KernelConfig cfg;
+    // Kepler SMX (192 cores/SM) ships the 64x64 kernel, Maxwell-class
+    // parts the 128x64 kernel — the characterized pairs in Table IV.
+    cfg.tile = gpu.coresPerSM >= 192 ? tileByName(64, 64)
+                                     : tileByName(128, 64);
+    cfg.regsPerThread = 0; // natural register demand, no spilling
+    return cfg;
+}
+
+double
+CublasLike::workspaceBytes(const NetDescriptor &net,
+                           std::size_t batch) const
+{
+    (void)batch;
+    // One shared column buffer, sized for the largest layer of one
+    // image and reused across layers and images.
+    return maxSingleImageColBytes(net);
+}
+
+} // namespace pcnn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * cuBLAS-as-used-by-Caffe library model.
+ */
+
+#ifndef PCNN_LIBS_CUBLAS_LIKE_HH
+#define PCNN_LIBS_CUBLAS_LIKE_HH
+
+#include "libs/dl_library.hh"
+
+namespace pcnn {
+
+/**
+ * Caffe's cuBLAS path: explicit im2col into a single shared column
+ * buffer, then one SGEMM *per image* (the batch loop lives in the
+ * framework, so batching barely raises GridSize — Section III.B).
+ * Tile choice per Table IV: 64x64 @ 79 regs on Kepler, 128x64 @ 120
+ * regs on Maxwell-class parts.
+ */
+class CublasLike : public DlLibrary
+{
+  public:
+    std::string name() const override { return "cuBLAS"; }
+    bool perImageGemm() const override { return true; }
+    bool materializesIm2col() const override { return true; }
+    KernelConfig selectKernel(const GpuSpec &gpu, const ConvSpec &layer,
+                              std::size_t batch) const override;
+    double workspaceBytes(const NetDescriptor &net,
+                          std::size_t batch) const override;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_LIBS_CUBLAS_LIKE_HH

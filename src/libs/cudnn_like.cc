@@ -1,0 +1,25 @@
+#include "libs/cudnn_like.hh"
+
+namespace pcnn {
+
+KernelConfig
+CudnnLike::selectKernel(const GpuSpec &gpu, const ConvSpec &layer,
+                        std::size_t batch) const
+{
+    (void)layer;
+    (void)batch;
+    KernelConfig cfg;
+    cfg.tile = gpu.coresPerSM >= 192 ? tileByName(64, 64)
+                                     : tileByName(32, 32);
+    cfg.regsPerThread = 0;
+    return cfg;
+}
+
+double
+CudnnLike::workspaceBytes(const NetDescriptor &net,
+                          std::size_t batch) const
+{
+    return sumCappedBatchedColBytes(net, batch, layerWorkspaceCap);
+}
+
+} // namespace pcnn

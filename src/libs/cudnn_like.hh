@@ -1,0 +1,37 @@
+/**
+ * @file
+ * cuDNN library model.
+ */
+
+#ifndef PCNN_LIBS_CUDNN_LIKE_HH
+#define PCNN_LIBS_CUDNN_LIKE_HH
+
+#include "libs/dl_library.hh"
+
+namespace pcnn {
+
+/**
+ * cuDNN: batched implicit-GEMM convolution. The whole batch extends
+ * the GEMM N dimension, raising occupancy; the price is a small tile
+ * with low register count on Maxwell-class parts (32x32 @ 48 regs in
+ * Table IV), which lowers computation density (Fig. 6) and makes the
+ * kernel bandwidth-hungry — the reason cuDNN trails cuBLAS on TX1 in
+ * Fig. 5. Each conv layer owns a bounded workspace (framework
+ * integration), so deep networks pay a per-layer memory tax.
+ */
+class CudnnLike : public DlLibrary
+{
+  public:
+    std::string name() const override { return "cuDNN"; }
+    KernelConfig selectKernel(const GpuSpec &gpu, const ConvSpec &layer,
+                              std::size_t batch) const override;
+    double workspaceBytes(const NetDescriptor &net,
+                          std::size_t batch) const override;
+
+    /** Per-layer workspace cap (bytes). */
+    static constexpr double layerWorkspaceCap = 40.0 * 1024 * 1024;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_LIBS_CUDNN_LIKE_HH

@@ -1,0 +1,124 @@
+#include "libs/dl_library.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "libs/cublas_like.hh"
+#include "libs/cudnn_like.hh"
+#include "libs/nervana_like.hh"
+
+namespace pcnn {
+
+std::size_t
+DlLibrary::effectiveBatch(std::size_t requested) const
+{
+    const std::size_t gran = minBatch();
+    pcnn_assert(gran >= 1, "library granularity must be positive");
+    if (requested == 0)
+        requested = 1;
+    return ((requested + gran - 1) / gran) * gran;
+}
+
+LayerPlan
+DlLibrary::planLayer(const GpuSpec &gpu, const ConvSpec &layer,
+                     std::size_t batch) const
+{
+    const std::size_t eff = effectiveBatch(batch);
+    LayerPlan plan;
+    plan.layer = layer;
+    plan.kernel = selectKernel(gpu, layer, eff);
+    if (perImageGemm()) {
+        plan.gemm = layer.gemmShape(1);
+        plan.launches = layer.gemmCount() * eff;
+    } else {
+        plan.gemm = layer.gemmShape(eff);
+        plan.launches = layer.gemmCount();
+    }
+    return plan;
+}
+
+MemoryFootprint
+DlLibrary::footprint(const NetDescriptor &net, std::size_t batch) const
+{
+    const std::size_t eff = effectiveBatch(batch);
+    MemoryFootprint fp;
+    fp.weightBytes = weightBytes(net);
+    fp.activationBytes = activationBytes(net, eff);
+    fp.workspaceBytes = workspaceBytes(net, eff);
+    return fp;
+}
+
+double
+DlLibrary::layerTime(const GpuSpec &gpu, const ConvSpec &layer,
+                     std::size_t batch) const
+{
+    const LayerPlan plan = planLayer(gpu, layer, batch);
+    const SgemmModel model(gpu, plan.kernel);
+    double t = model.kernelTime(plan.gemm) * double(plan.launches);
+    if (materializesIm2col()) {
+        // Explicit im2col writes then reads the lowered matrix.
+        const double bytes =
+            2.0 * 4.0 * double(plan.gemm.k) * double(plan.gemm.n);
+        t += (bytes / gpu.bandwidthBytes() +
+              SgemmModel::launchOverheadS) *
+             double(plan.launches);
+    }
+    return t;
+}
+
+LatencyEstimate
+DlLibrary::estimateLatency(const GpuSpec &gpu, const NetDescriptor &net,
+                           std::size_t batch) const
+{
+    LatencyEstimate est;
+    est.batch = effectiveBatch(batch);
+    est.footprint = footprint(net, est.batch);
+    if (!fits(gpu, est.footprint)) {
+        est.oom = true;
+        return est;
+    }
+
+    for (const ConvSpec &layer : net.convs)
+        est.convTimeS += layerTime(gpu, layer, est.batch);
+
+    // Fully connected tail: compute-bound at large batch, bound by
+    // streaming the weight matrix at small batch.
+    for (const auto &[in, out] : net.fcs) {
+        const double flops = 2.0 * double(in) * double(out) *
+                             double(est.batch);
+        const double compute = flops / (gpu.peakFlops() * 0.5);
+        const double weight_stream =
+            4.0 * double(in) * double(out) / gpu.bandwidthBytes();
+        est.fcTimeS += std::max(compute, weight_stream) +
+                       SgemmModel::launchOverheadS;
+    }
+
+    // Element-wise layers (pool / relu / lrn / concat): roughly three
+    // streaming passes over the conv activations, plus the fixed
+    // host-side cost of the forward() invocation.
+    const double act_bytes = activationBytes(net, est.batch);
+    est.auxTimeS = 3.0 * act_bytes / gpu.bandwidthBytes() +
+                   hostOverheadS;
+    return est;
+}
+
+std::vector<std::unique_ptr<DlLibrary>>
+allLibraries()
+{
+    std::vector<std::unique_ptr<DlLibrary>> v;
+    v.push_back(std::make_unique<CublasLike>());
+    v.push_back(std::make_unique<CudnnLike>());
+    v.push_back(std::make_unique<NervanaLike>());
+    return v;
+}
+
+std::unique_ptr<DlLibrary>
+libraryByName(const std::string &name)
+{
+    for (auto &lib : allLibraries())
+        if (lib->name() == name)
+            return std::move(lib);
+    pcnn_fatal("unknown library: ", name);
+}
+
+} // namespace pcnn

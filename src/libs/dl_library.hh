@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Simulated deep-learning library interface.
+ *
+ * The paper characterizes cuBLAS (via Caffe), cuDNN, and Nervana on
+ * real hardware (Section III). Without GPUs, we model each library as
+ * a *kernel-selection policy*: which SGEMM tile it launches per
+ * architecture, whether it batches the GEMM N dimension or loops per
+ * image, its minimum batch granularity, and its device-memory
+ * workspace policy (which produces the Table III out-of-memory
+ * failures). Latency estimates feed Tables III-V and Figs. 4-5.
+ */
+
+#ifndef PCNN_LIBS_DL_LIBRARY_HH
+#define PCNN_LIBS_DL_LIBRARY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel_model.hh"
+#include "gpu/memory_model.hh"
+#include "nn/model_zoo.hh"
+
+namespace pcnn {
+
+/** Execution plan of one conv layer under one library. */
+struct LayerPlan
+{
+    ConvSpec layer;
+    KernelConfig kernel;
+    GemmShape gemm;          ///< shape of one launch
+    std::size_t launches = 1;///< sequential launches (groups x images)
+};
+
+/** Latency estimate of one whole-network inference pass. */
+struct LatencyEstimate
+{
+    bool oom = false; ///< the deployment does not fit device memory
+    MemoryFootprint footprint;
+    double convTimeS = 0.0; ///< conv layers (incl. explicit im2col)
+    double fcTimeS = 0.0;   ///< fully connected tail
+    double auxTimeS = 0.0;  ///< pooling / activation / concat traffic
+    std::size_t batch = 1;  ///< effective batch actually used
+
+    /** End-to-end latency of the batch; 0 when oom. */
+    double totalS() const
+    {
+        return oom ? 0.0 : convTimeS + fcTimeS + auxTimeS;
+    }
+
+    /** Images per second; 0 when oom. */
+    double throughput() const
+    {
+        const double t = totalS();
+        return t > 0.0 ? double(batch) / t : 0.0;
+    }
+};
+
+/**
+ * Base class of the simulated vendor libraries. Subclasses provide
+ * the selection policy; the base class turns policies into plans,
+ * footprints, and latency estimates via the analytical models.
+ */
+class DlLibrary
+{
+  public:
+    virtual ~DlLibrary() = default;
+
+    /** Library name as used in the paper's tables. */
+    virtual std::string name() const = 0;
+
+    /** Smallest batch the library supports (Nervana: 32). */
+    virtual std::size_t minBatch() const { return 1; }
+
+    /**
+     * True for Caffe-style execution: one GEMM per image (the batch
+     * never enters the GEMM's N dimension). This is why cuBLAS
+     * batching helps so little in Table III.
+     */
+    virtual bool perImageGemm() const { return false; }
+
+    /** True when im2col is materialized in global memory (cuBLAS). */
+    virtual bool materializesIm2col() const { return false; }
+
+    /** The kernel this library launches for a layer on a GPU. */
+    virtual KernelConfig selectKernel(const GpuSpec &gpu,
+                                      const ConvSpec &layer,
+                                      std::size_t batch) const = 0;
+
+    /** Library workspace bytes for a deployment. */
+    virtual double workspaceBytes(const NetDescriptor &net,
+                                  std::size_t batch) const = 0;
+
+    /** Requested batch rounded up to the library's granularity. */
+    std::size_t effectiveBatch(std::size_t requested) const;
+
+    /** Plan one conv layer (kernel, GEMM shape, launch count). */
+    LayerPlan planLayer(const GpuSpec &gpu, const ConvSpec &layer,
+                        std::size_t batch) const;
+
+    /** Full memory footprint of a deployment. */
+    MemoryFootprint footprint(const NetDescriptor &net,
+                              std::size_t batch) const;
+
+    /**
+     * Analytical end-to-end latency of one batch on a GPU, including
+     * conv kernels, the bandwidth-bound fc tail, element-wise layer
+     * traffic, and OOM detection.
+     */
+    LatencyEstimate estimateLatency(const GpuSpec &gpu,
+                                    const NetDescriptor &net,
+                                    std::size_t batch) const;
+
+    /** Time of a single conv layer at a batch size (for Fig. 5). */
+    double layerTime(const GpuSpec &gpu, const ConvSpec &layer,
+                     std::size_t batch) const;
+
+    /**
+     * Fixed host-side cost of one framework forward() invocation
+     * (allocation, layer dispatch, transfers). Paid once per batch,
+     * so batching amortizes it — part of the Fig. 4 gap between
+     * batched and non-batched throughput.
+     */
+    static constexpr double hostOverheadS = 1e-3;
+};
+
+/** All three simulated libraries in Table III column order. */
+std::vector<std::unique_ptr<DlLibrary>> allLibraries();
+
+/** Construct one library by its table name; fatal if unknown. */
+std::unique_ptr<DlLibrary> libraryByName(const std::string &name);
+
+} // namespace pcnn
+
+#endif // PCNN_LIBS_DL_LIBRARY_HH

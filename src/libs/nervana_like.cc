@@ -1,0 +1,36 @@
+#include "libs/nervana_like.hh"
+
+namespace pcnn {
+
+KernelConfig
+NervanaLike::selectKernel(const GpuSpec &gpu, const ConvSpec &layer,
+                          std::size_t batch) const
+{
+    (void)gpu;
+    const GemmShape g = layer.gemmShape(effectiveBatch(batch));
+
+    KernelConfig cfg;
+    // Pick the widest tile the batched N dimension can fill.
+    if (g.n >= 128)
+        cfg.tile = tileByName(128, 128);
+    else if (g.n >= 64)
+        cfg.tile = tileByName(128, 64);
+    else
+        cfg.tile = tileByName(128, 32);
+
+    // Assembly-tuned inner loop.
+    cfg.tile.otherInstsPerKtile = asmOtherInsts;
+    cfg.tile.ldsFactor = asmLdsFactor;
+    cfg.regsPerThread = 0;
+    return cfg;
+}
+
+double
+NervanaLike::workspaceBytes(const NetDescriptor &net,
+                            std::size_t batch) const
+{
+    return workspaceFraction *
+           activationBytes(net, effectiveBatch(batch));
+}
+
+} // namespace pcnn

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Nervana (neon) library model.
+ */
+
+#ifndef PCNN_LIBS_NERVANA_LIKE_HH
+#define PCNN_LIBS_NERVANA_LIKE_HH
+
+#include "libs/dl_library.hh"
+
+namespace pcnn {
+
+/**
+ * Nervana's hand-written SASS kernels: the fastest library in the
+ * paper's characterization. Batched GEMM with the large-tile family
+ * (128x128 / 128x64 / 128x32, Section IV.B.2), assembly-level
+ * instruction scheduling (lower loop overhead, vectorized shared
+ * memory access), but a hard batch granularity of 32 and extra
+ * padding/transpose buffers that cost device memory.
+ */
+class NervanaLike : public DlLibrary
+{
+  public:
+    std::string name() const override { return "Nervana"; }
+    std::size_t minBatch() const override { return 32; }
+    KernelConfig selectKernel(const GpuSpec &gpu, const ConvSpec &layer,
+                              std::size_t batch) const override;
+    double workspaceBytes(const NetDescriptor &net,
+                          std::size_t batch) const override;
+
+    /** Loop overhead of the assembly inner loop, per K-tile. */
+    static constexpr double asmOtherInsts = 2.0;
+
+    /** Shared-memory instruction scale of the assembly kernels. */
+    static constexpr double asmLdsFactor = 0.5;
+
+    /** Workspace as a fraction of batch activations. */
+    static constexpr double workspaceFraction = 0.25;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_LIBS_NERVANA_LIKE_HH

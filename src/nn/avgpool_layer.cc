@@ -1,0 +1,95 @@
+#include "nn/avgpool_layer.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+AvgPoolLayer::AvgPoolLayer(std::string name, std::size_t window,
+                           std::size_t stride)
+    : layerName(std::move(name)), window(window), stride(stride)
+{
+    pcnn_assert(stride > 0, "avgpool ", layerName,
+                ": stride must be positive");
+}
+
+std::size_t
+AvgPoolLayer::effectiveWindow(const Shape &in) const
+{
+    if (!global())
+        return window;
+    pcnn_assert(in.h == in.w, "avgpool ", layerName,
+                ": global mode expects square input, got ", in.str());
+    return in.h;
+}
+
+Shape
+AvgPoolLayer::outputShape(const Shape &in) const
+{
+    const std::size_t w = effectiveWindow(in);
+    pcnn_assert(in.h >= w && in.w >= w, "avgpool ", layerName,
+                ": input ", in.str(), " smaller than window ", w);
+    if (global())
+        return Shape{in.n, in.c, 1, 1};
+    return Shape{in.n, in.c, (in.h - w) / stride + 1,
+                 (in.w - w) / stride + 1};
+}
+
+Tensor
+AvgPoolLayer::forward(const Tensor &x, bool train)
+{
+    const Shape out = outputShape(x.shape());
+    const Shape &in = x.shape();
+    const std::size_t w = effectiveWindow(in);
+    const float inv = 1.0f / float(w * w);
+
+    Tensor y(out);
+    for (std::size_t n = 0; n < in.n; ++n) {
+        for (std::size_t c = 0; c < in.c; ++c) {
+            for (std::size_t oy = 0; oy < out.h; ++oy) {
+                for (std::size_t ox = 0; ox < out.w; ++ox) {
+                    double acc = 0.0;
+                    for (std::size_t ky = 0; ky < w; ++ky)
+                        for (std::size_t kx = 0; kx < w; ++kx)
+                            acc += x.at(n, c, oy * stride + ky,
+                                        ox * stride + kx);
+                    y.at(n, c, oy, ox) = float(acc) * inv;
+                }
+            }
+        }
+    }
+    if (train) {
+        inShape = in;
+        haveCache = true;
+    }
+    return y;
+}
+
+Tensor
+AvgPoolLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "avgpool ", layerName,
+                ": backward without forward(train)");
+    const Shape out = outputShape(inShape);
+    pcnn_assert(dy.shape() == out, "avgpool ", layerName,
+                ": gradient shape mismatch");
+    const std::size_t w = effectiveWindow(inShape);
+    const float inv = 1.0f / float(w * w);
+
+    Tensor dx(inShape);
+    for (std::size_t n = 0; n < out.n; ++n) {
+        for (std::size_t c = 0; c < out.c; ++c) {
+            for (std::size_t oy = 0; oy < out.h; ++oy) {
+                for (std::size_t ox = 0; ox < out.w; ++ox) {
+                    const float g = dy.at(n, c, oy, ox) * inv;
+                    for (std::size_t ky = 0; ky < w; ++ky)
+                        for (std::size_t kx = 0; kx < w; ++kx)
+                            dx.at(n, c, oy * stride + ky,
+                                  ox * stride + kx) += g;
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace pcnn

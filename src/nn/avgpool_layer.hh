@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Average pooling, including the global mode GoogLeNet's classifier
+ * head uses (7x7 global average pooling before the fc layer).
+ */
+
+#ifndef PCNN_NN_AVGPOOL_LAYER_HH
+#define PCNN_NN_AVGPOOL_LAYER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/**
+ * 2-D average pooling with a square window; window 0 means global
+ * pooling (the window covers the whole plane, output is 1x1).
+ */
+class AvgPoolLayer : public Layer
+{
+  public:
+    /**
+     * @param name stable layer name
+     * @param window square window side; 0 = global average pooling
+     * @param stride window stride (ignored in global mode)
+     */
+    AvgPoolLayer(std::string name, std::size_t window,
+                 std::size_t stride = 1);
+
+    std::string name() const override { return layerName; }
+    std::string kind() const override { return "avgpool"; }
+    Shape outputShape(const Shape &in) const override;
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+
+    /** True when configured as global average pooling. */
+    bool global() const { return window == 0; }
+
+  private:
+    /** Effective window side for a given input. */
+    std::size_t effectiveWindow(const Shape &in) const;
+
+    std::string layerName;
+    std::size_t window;
+    std::size_t stride;
+
+    Shape inShape;
+    bool haveCache = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_AVGPOOL_LAYER_HH

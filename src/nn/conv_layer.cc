@@ -1,0 +1,318 @@
+#include "nn/conv_layer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+ConvLayer::ConvLayer(ConvSpec spec, Rng &rng)
+    : spc(std::move(spec)), computed(0)
+{
+    pcnn_assert(spc.inC % spc.groups == 0 && spc.outC % spc.groups == 0,
+                "layer ", spc.name, ": groups must divide channels");
+    const std::size_t in_cg = spc.inC / spc.groups;
+    weight.value.resize(Shape{spc.outC, in_cg, spc.kernel, spc.kernel});
+    weight.grad.resize(weight.value.shape());
+    bias.value.resize(Shape{1, spc.outC, 1, 1});
+    bias.grad.resize(bias.value.shape());
+
+    // He initialization: stddev = sqrt(2 / fan_in).
+    const double fan_in = double(in_cg * spc.kernel * spc.kernel);
+    weight.value.fillGaussian(rng, 0.0f,
+                              float(std::sqrt(2.0 / fan_in)));
+
+    computed = fullPositions();
+    rebuildSampling();
+}
+
+Shape
+ConvLayer::outputShape(const Shape &in) const
+{
+    pcnn_assert(in.c == spc.inC && in.h == spc.inH && in.w == spc.inW,
+                "layer ", spc.name, ": input ", in.str(),
+                " mismatches spec");
+    return Shape{in.n, spc.outC, spc.outH(), spc.outW()};
+}
+
+std::vector<Param *>
+ConvLayer::params()
+{
+    return {&weight, &bias};
+}
+
+double
+ConvLayer::flopsPerImage(const Shape &in) const
+{
+    (void)in;
+    return spc.flopsPerImage();
+}
+
+void
+ConvLayer::setComputedPositions(std::size_t positions)
+{
+    const std::size_t full = fullPositions();
+    if (positions == 0 || positions > full)
+        positions = full;
+    positions = std::max<std::size_t>(positions, 1);
+    if (positions == computed)
+        return;
+    computed = positions;
+    rebuildSampling();
+}
+
+std::size_t
+ConvLayer::computedPositions() const
+{
+    return computed;
+}
+
+double
+ConvLayer::perforationRate() const
+{
+    return 1.0 - double(computed) / double(fullPositions());
+}
+
+void
+ConvLayer::setInterpolationMode(InterpolationMode mode)
+{
+    interpMode = mode;
+}
+
+void
+ConvLayer::rebuildSampling()
+{
+    const std::size_t oh = spc.outH(), ow = spc.outW();
+    const std::size_t full = oh * ow;
+    if (computed >= full) {
+        computed = full;
+        sample.clear();
+        fillFrom.clear();
+        fillAvg.clear();
+        return;
+    }
+
+    // Realize the request as a uniform r_h x r_w stratified grid; the
+    // achieved count (r_h * r_w) becomes the effective `computed`.
+    const double frac = double(computed) / double(full);
+    const double f = std::sqrt(frac);
+    std::size_t rh = std::clamp<std::size_t>(
+        std::size_t(std::lround(double(oh) * f)), 1, oh);
+    std::size_t rw = std::clamp<std::size_t>(
+        std::size_t(std::lround(double(computed) / double(rh))), 1, ow);
+    computed = rh * rw;
+
+    std::vector<std::size_t> ys(rh), xs(rw);
+    for (std::size_t r = 0; r < rh; ++r)
+        ys[r] = std::min<std::size_t>(oh - 1, (2 * r + 1) * oh / (2 * rh));
+    for (std::size_t c = 0; c < rw; ++c)
+        xs[c] = std::min<std::size_t>(ow - 1, (2 * c + 1) * ow / (2 * rw));
+
+    sample.resize(computed);
+    for (std::size_t r = 0; r < rh; ++r)
+        for (std::size_t c = 0; c < rw; ++c)
+            sample[r * rw + c] = ys[r] * ow + xs[c];
+
+    // Nearest sampled coordinate along each axis, then compose: the
+    // fill source of (y, x) is (nearest ys, nearest xs), which is the
+    // nearest sampled point in L1 on a separable grid.
+    auto nearest_index = [](const std::vector<std::size_t> &coords,
+                            std::size_t extent) {
+        std::vector<std::size_t> nearest(extent);
+        std::size_t j = 0;
+        for (std::size_t v = 0; v < extent; ++v) {
+            while (j + 1 < coords.size() &&
+                   (coords[j + 1] > v
+                        ? coords[j + 1] - v
+                        : v - coords[j + 1]) <=
+                       (coords[j] > v ? coords[j] - v : v - coords[j])) {
+                ++j;
+            }
+            nearest[v] = j;
+        }
+        return nearest;
+    };
+    const auto near_y = nearest_index(ys, oh);
+    const auto near_x = nearest_index(xs, ow);
+
+    fillFrom.resize(full);
+    for (std::size_t y = 0; y < oh; ++y)
+        for (std::size_t x = 0; x < ow; ++x)
+            fillFrom[y * ow + x] = near_y[y] * rw + near_x[x];
+
+    // Average-mode map: for every output position, the four
+    // surrounding sampled grid corners (floor/ceil along each axis;
+    // duplicates at the borders or on sampled lines are fine — the
+    // unweighted mean then naturally upweights the exact source).
+    auto bracket = [](const std::vector<std::size_t> &coords,
+                      std::size_t extent) {
+        std::vector<std::pair<std::size_t, std::size_t>> out(extent);
+        std::size_t hi = 0;
+        for (std::size_t v = 0; v < extent; ++v) {
+            while (hi + 1 < coords.size() && coords[hi] < v)
+                ++hi;
+            const std::size_t lo = (coords[hi] > v && hi > 0)
+                                       ? hi - 1
+                                       : hi;
+            out[v] = {lo, hi};
+        }
+        return out;
+    };
+    const auto by = bracket(ys, oh);
+    const auto bx = bracket(xs, ow);
+    fillAvg.resize(full);
+    for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+            fillAvg[y * ow + x] = {
+                by[y].first * rw + bx[x].first,
+                by[y].first * rw + bx[x].second,
+                by[y].second * rw + bx[x].first,
+                by[y].second * rw + bx[x].second,
+            };
+        }
+    }
+}
+
+void
+ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
+                            std::size_t group)
+{
+    const std::size_t in_cg = spc.inC / spc.groups;
+    const std::size_t out_cg = spc.outC / spc.groups;
+    const std::size_t oh = spc.outH(), ow = spc.outW();
+    const std::size_t full = oh * ow;
+    const bool perf = perforated();
+    const std::size_t n_pos = perf ? computed : full;
+
+    // Slice this group's input channels into a standalone item.
+    Tensor xg(Shape{1, in_cg, spc.inH, spc.inW});
+    const std::size_t plane = spc.inH * spc.inW;
+    const float *src = x.data() + (item * spc.inC + group * in_cg) * plane;
+    std::copy(src, src + in_cg * plane, xg.data());
+
+    ConvGeom g = spc.geom();
+    g.inC = in_cg;
+    if (perf)
+        im2colAt(xg, 0, g, sample, colsBuf);
+    else
+        im2col(xg, 0, g, colsBuf);
+
+    const std::size_t k = g.colRows();
+    gemmOut.assign(out_cg * n_pos, 0.0f);
+    const float *wg = weight.value.data() +
+                      group * out_cg * in_cg * spc.kernel * spc.kernel;
+    sgemm(false, false, out_cg, n_pos, k, wg, colsBuf.data(),
+          gemmOut.data());
+
+    float *ybase = y.data() + (item * spc.outC + group * out_cg) * full;
+    const float *bvals = bias.value.data() + group * out_cg;
+    for (std::size_t f = 0; f < out_cg; ++f) {
+        float *yplane = ybase + f * full;
+        const float *orow = gemmOut.data() + f * n_pos;
+        const float b = bvals[f];
+        if (!perf) {
+            for (std::size_t p = 0; p < full; ++p)
+                yplane[p] = orow[p] + b;
+        } else if (interpMode == InterpolationMode::Nearest) {
+            // Scatter computed positions, then interpolate the rest
+            // from their nearest computed neighbour.
+            for (std::size_t p = 0; p < full; ++p)
+                yplane[p] = orow[fillFrom[p]] + b;
+        } else {
+            // Average the surrounding computed grid corners.
+            for (std::size_t p = 0; p < full; ++p) {
+                const auto &src = fillAvg[p];
+                yplane[p] = 0.25f * (orow[src[0]] + orow[src[1]] +
+                                     orow[src[2]] + orow[src[3]]) +
+                            b;
+            }
+        }
+    }
+}
+
+Tensor
+ConvLayer::forward(const Tensor &x, bool train)
+{
+    const Shape out_shape = outputShape(x.shape());
+    Tensor y(out_shape);
+    for (std::size_t i = 0; i < x.shape().n; ++i)
+        for (std::size_t gp = 0; gp < spc.groups; ++gp)
+            forwardItemGroup(x, y, i, gp);
+
+    if (train) {
+        pcnn_assert(!perforated(), "layer ", spc.name,
+                    ": training with perforation active is unsupported");
+        lastInput = x;
+        haveCache = true;
+    }
+    return y;
+}
+
+Tensor
+ConvLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "layer ", spc.name,
+                ": backward without forward(train)");
+    pcnn_assert(!perforated(), "layer ", spc.name,
+                ": backward with perforation active");
+
+    const Shape &in_shape = lastInput.shape();
+    Tensor dx(in_shape);
+    const std::size_t in_cg = spc.inC / spc.groups;
+    const std::size_t out_cg = spc.outC / spc.groups;
+    const std::size_t oh = spc.outH(), ow = spc.outW();
+    const std::size_t full = oh * ow;
+    ConvGeom g = spc.geom();
+    g.inC = in_cg;
+    const std::size_t k = g.colRows();
+
+    std::vector<float> dcols(k * full);
+    Tensor dxg(Shape{1, in_cg, spc.inH, spc.inW});
+    const std::size_t plane = spc.inH * spc.inW;
+
+    for (std::size_t i = 0; i < in_shape.n; ++i) {
+        for (std::size_t gp = 0; gp < spc.groups; ++gp) {
+            // Recompute this item/group's im2col from the cached input.
+            Tensor xg(Shape{1, in_cg, spc.inH, spc.inW});
+            const float *src =
+                lastInput.data() + (i * spc.inC + gp * in_cg) * plane;
+            std::copy(src, src + in_cg * plane, xg.data());
+            im2col(xg, 0, g, colsBuf);
+
+            const float *dyg =
+                dy.data() + (i * spc.outC + gp * out_cg) * full;
+            float *wgrad = weight.grad.data() +
+                           gp * out_cg * in_cg * spc.kernel * spc.kernel;
+            const float *wval = weight.value.data() +
+                                gp * out_cg * in_cg * spc.kernel *
+                                    spc.kernel;
+
+            // dW += dY * cols^T  (out_cg x full) * (full x k)
+            sgemm(false, true, out_cg, k, full, dyg, colsBuf.data(),
+                  wgrad, 1.0f);
+
+            // dcols = W^T * dY  (k x out_cg) * (out_cg x full)
+            std::fill(dcols.begin(), dcols.end(), 0.0f);
+            sgemm(true, false, k, full, out_cg, wval, dyg, dcols.data());
+
+            dxg.fill(0.0f);
+            col2im(dcols, 0, g, dxg);
+            float *dst = dx.data() + (i * spc.inC + gp * in_cg) * plane;
+            for (std::size_t e = 0; e < in_cg * plane; ++e)
+                dst[e] += dxg[e];
+
+            // db += column sums of dY.
+            float *bgrad = bias.grad.data() + gp * out_cg;
+            for (std::size_t f = 0; f < out_cg; ++f) {
+                double s = 0.0;
+                for (std::size_t p = 0; p < full; ++p)
+                    s += dyg[f * full + p];
+                bgrad[f] += float(s);
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace pcnn

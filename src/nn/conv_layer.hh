@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Convolutional layer with run-time perforation support.
+ *
+ * Implements the paper's perforation/interpolation approximation
+ * (Section IV.C, Fig. 11): instead of computing all W_o x H_o output
+ * positions, only a uniform W'_o x H'_o subset is computed (shrinking
+ * the N dimension of the underlying SGEMM) and the remaining values
+ * are filled in by nearest-neighbour interpolation, leaving the
+ * network architecture — and hence all downstream shapes — unchanged.
+ */
+
+#ifndef PCNN_NN_CONV_LAYER_HH
+#define PCNN_NN_CONV_LAYER_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/conv_spec.hh"
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/** How perforated (non-computed) output positions are filled. */
+enum class InterpolationMode
+{
+    Nearest, ///< copy the nearest computed position
+    Average, ///< average the surrounding computed grid points
+};
+
+/**
+ * 2-D convolution lowered to im2col + SGEMM, with optional grouped
+ * convolution (AlexNet-style) and perforation.
+ */
+class ConvLayer : public Layer
+{
+  public:
+    /**
+     * Construct with a shape spec and initialize weights.
+     * @param spec layer geometry; inH/inW must be set
+     * @param rng weight-initialization stream (He-style init)
+     */
+    ConvLayer(ConvSpec spec, Rng &rng);
+
+    std::string name() const override { return spc.name; }
+    std::string kind() const override { return "conv"; }
+    Shape outputShape(const Shape &in) const override;
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<Param *> params() override;
+    double flopsPerImage(const Shape &in) const override;
+
+    /** The architecture-level spec this layer realizes. */
+    const ConvSpec &spec() const { return spc; }
+
+    /**
+     * Set the number of *computed* output positions per image.
+     * 0 or the full grid size disables perforation. The effective
+     * value is clamped to at least 1.
+     *
+     * Perforation is an inference-time approximation; backward()
+     * refuses to run while it is active.
+     */
+    void setComputedPositions(std::size_t positions);
+
+    /** Currently computed positions per image (full grid if intact). */
+    std::size_t computedPositions() const;
+
+    /** Full output grid size W_o * H_o. */
+    std::size_t fullPositions() const { return spc.outH() * spc.outW(); }
+
+    /** Perforation rate 1 - W'_o H'_o / W_o H_o (0 when intact). */
+    double perforationRate() const;
+
+    /** True when a reduced position set is active. */
+    bool perforated() const { return computed < fullPositions(); }
+
+    /** Select how non-computed positions are filled (Fig. 11). */
+    void setInterpolationMode(InterpolationMode mode);
+
+    /** Current interpolation mode. */
+    InterpolationMode interpolationMode() const { return interpMode; }
+
+  private:
+    /** Lazily build the sampled-position set and interpolation map. */
+    void rebuildSampling();
+
+    /** Forward for one batch item and one group. */
+    void forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
+                          std::size_t group);
+
+    ConvSpec spc;
+    Param weight; ///< [outC, inC/groups, k, k]
+    Param bias;   ///< [1, outC, 1, 1]
+
+    std::size_t computed;            ///< computed positions per image
+    InterpolationMode interpMode = InterpolationMode::Nearest;
+    std::vector<std::size_t> sample; ///< computed position indices
+    /// for every output position, the computed position to copy from
+    /// (nearest mode)
+    std::vector<std::size_t> fillFrom;
+    /// for every output position, up to four computed-grid sources
+    /// plus a weight (average mode); stored flat as 4 indices with
+    /// npos-style sentinel of sample.size()
+    std::vector<std::array<std::size_t, 4>> fillAvg;
+
+    // Training caches.
+    Tensor lastInput;
+    bool haveCache = false;
+
+    // Scratch reused across calls to avoid reallocation.
+    std::vector<float> colsBuf;
+    std::vector<float> groupIn;
+    std::vector<float> gemmOut;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_CONV_LAYER_HH

@@ -1,0 +1,49 @@
+#include "nn/conv_spec.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+ConvGeom
+ConvSpec::geom() const
+{
+    pcnn_assert(groups >= 1 && inC % groups == 0 && outC % groups == 0,
+                "layer ", name, ": channels not divisible by groups");
+    return ConvGeom{inC, inH, inW, kernel, stride, pad};
+}
+
+double
+ConvSpec::flopsPerImage() const
+{
+    // Eq. 1, applied per group: each group's GEMM is
+    // (N_f/g) x (S_f^2 N_c/g) x (W_o H_o), and there are g of them.
+    const double m = double(outC) / double(groups);
+    const double k =
+        double(kernel) * double(kernel) * double(inC) / double(groups);
+    const double n = double(outH()) * double(outW());
+    return 2.0 * m * k * n * double(groups);
+}
+
+GemmShape
+ConvSpec::gemmShape(std::size_t batch,
+                    std::size_t positions_per_image) const
+{
+    const std::size_t full = outH() * outW();
+    const std::size_t pos =
+        positions_per_image == 0 ? full : positions_per_image;
+    pcnn_assert(pos <= full, "layer ", name, ": ", pos,
+                " computed positions exceed output grid ", full);
+    GemmShape g;
+    g.m = outC / groups;
+    g.k = kernel * kernel * (inC / groups);
+    g.n = pos * batch;
+    return g;
+}
+
+std::size_t
+ConvSpec::weightCount() const
+{
+    return outC * (inC / groups) * kernel * kernel + outC;
+}
+
+} // namespace pcnn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Architecture-level description of one convolutional layer.
+ *
+ * ConvSpec carries exactly the parameters the paper's analytical
+ * models consume: N_f, S_f, N_c, W_o, H_o, stride, padding and group
+ * count. It is shared between the functional nn:: layers and the
+ * gpu:: kernel models, and is how the published AlexNet / VGGNet /
+ * GoogLeNet architectures enter the system without trained weights.
+ */
+
+#ifndef PCNN_NN_CONV_SPEC_HH
+#define PCNN_NN_CONV_SPEC_HH
+
+#include <cstddef>
+#include <string>
+
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+
+/**
+ * Shape-level description of a convolutional layer.
+ *
+ * Grouped convolutions (AlexNet CONV2/4/5) lower to `groups`
+ * independent SGEMMs whose M dimension is N_f / groups — this is why
+ * the paper's Table IV lists AlexNet CONV2 as a 128 x 729 result
+ * matrix even though the layer has 256 filters.
+ */
+struct ConvSpec
+{
+    std::string name;      ///< e.g. "CONV2"
+    std::size_t inC = 0;   ///< input channels (total, all groups)
+    std::size_t outC = 0;  ///< filters N_f (total, all groups)
+    std::size_t kernel = 0;///< square filter side S_f
+    std::size_t stride = 1;
+    std::size_t pad = 0;
+    std::size_t inH = 0;
+    std::size_t inW = 0;
+    std::size_t groups = 1;
+
+    /** Convolution geometry for one input item. */
+    ConvGeom geom() const;
+
+    /** Output height W.r.t. stride/pad. */
+    std::size_t outH() const { return geom().outH(); }
+
+    /** Output width. */
+    std::size_t outW() const { return geom().outW(); }
+
+    /**
+     * FLOPs of the layer for one image (Eq. 1):
+     * 2 N_f S_f^2 N_c W_o H_o (group-corrected).
+     */
+    double flopsPerImage() const;
+
+    /**
+     * The SGEMM this layer lowers to, for a given batch size and an
+     * (optionally perforated) number of computed output positions per
+     * image. The batch extends the N dimension, as in the deep
+     * learning libraries the paper characterizes.
+     *
+     * @param batch batch size
+     * @param positions_per_image computed output positions; defaults
+     *        to the full W_o * H_o grid
+     */
+    GemmShape gemmShape(std::size_t batch,
+                        std::size_t positions_per_image = 0) const;
+
+    /** Number of independent SGEMMs (the group count). */
+    std::size_t gemmCount() const { return groups; }
+
+    /** Weight parameter count (including groups). */
+    std::size_t weightCount() const;
+
+    /** Output activation element count per image. */
+    std::size_t outputSizePerImage() const { return outC * outH() * outW(); }
+
+    /** Input activation element count per image. */
+    std::size_t inputSizePerImage() const { return inC * inH * inW; }
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_CONV_SPEC_HH

@@ -1,0 +1,44 @@
+#include "nn/dropout_layer.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+DropoutLayer::DropoutLayer(std::string name, double p, Rng &rng)
+    : layerName(std::move(name)), prob(p), rng(rng.fork())
+{
+    pcnn_assert(p >= 0.0 && p < 1.0, "dropout ", layerName,
+                ": p must be in [0,1), got ", p);
+}
+
+Tensor
+DropoutLayer::forward(const Tensor &x, bool train)
+{
+    if (!train) {
+        haveCache = false;
+        return x;
+    }
+    mask.resize(x.shape());
+    Tensor y(x.shape());
+    const float scale = float(1.0 / (1.0 - prob));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const bool keep = !rng.chance(prob);
+        mask[i] = keep ? scale : 0.0f;
+        y[i] = x[i] * mask[i];
+    }
+    haveCache = true;
+    return y;
+}
+
+Tensor
+DropoutLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "dropout ", layerName,
+                ": backward without forward(train)");
+    Tensor dx(dy.shape());
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        dx[i] = dy[i] * mask[i];
+    return dx;
+}
+
+} // namespace pcnn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Inverted dropout layer (identity at inference time).
+ */
+
+#ifndef PCNN_NN_DROPOUT_LAYER_HH
+#define PCNN_NN_DROPOUT_LAYER_HH
+
+#include <string>
+
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/**
+ * Inverted dropout: during training each activation is zeroed with
+ * probability p and survivors are scaled by 1/(1-p); at inference the
+ * layer is the identity, so no test-time rescaling is needed.
+ */
+class DropoutLayer : public Layer
+{
+  public:
+    /**
+     * @param name stable layer name
+     * @param p drop probability in [0, 1)
+     * @param rng mask-sampling stream
+     */
+    DropoutLayer(std::string name, double p, Rng &rng);
+
+    std::string name() const override { return layerName; }
+    std::string kind() const override { return "dropout"; }
+    Shape outputShape(const Shape &in) const override { return in; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    std::string layerName;
+    double prob;
+    Rng rng;
+    Tensor mask;
+    bool haveCache = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_DROPOUT_LAYER_HH

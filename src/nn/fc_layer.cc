@@ -1,0 +1,92 @@
+#include "nn/fc_layer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+
+FcLayer::FcLayer(std::string name, std::size_t in_features,
+                 std::size_t out_features, Rng &rng)
+    : layerName(std::move(name)), nIn(in_features), nOut(out_features)
+{
+    pcnn_assert(nIn > 0 && nOut > 0, "fc ", layerName,
+                ": feature counts must be positive");
+    weight.value.resize(Shape{nOut, nIn, 1, 1});
+    weight.grad.resize(weight.value.shape());
+    bias.value.resize(Shape{1, nOut, 1, 1});
+    bias.grad.resize(bias.value.shape());
+    weight.value.fillGaussian(rng, 0.0f,
+                              float(std::sqrt(2.0 / double(nIn))));
+}
+
+Shape
+FcLayer::outputShape(const Shape &in) const
+{
+    pcnn_assert(in.itemSize() == nIn, "fc ", layerName, ": input ",
+                in.str(), " does not flatten to ", nIn);
+    return Shape{in.n, nOut, 1, 1};
+}
+
+std::vector<Param *>
+FcLayer::params()
+{
+    return {&weight, &bias};
+}
+
+double
+FcLayer::flopsPerImage(const Shape &in) const
+{
+    (void)in;
+    return 2.0 * double(nIn) * double(nOut);
+}
+
+Tensor
+FcLayer::forward(const Tensor &x, bool train)
+{
+    const Shape out = outputShape(x.shape());
+    const std::size_t batch = x.shape().n;
+    Tensor y(out);
+
+    // y[batch x nOut] = x[batch x nIn] * W^T[nIn x nOut]
+    sgemm(false, true, batch, nOut, nIn, x.data(), weight.value.data(),
+          y.data());
+    for (std::size_t i = 0; i < batch; ++i)
+        for (std::size_t f = 0; f < nOut; ++f)
+            y.data()[i * nOut + f] += bias.value[f];
+
+    if (train) {
+        lastInput = x;
+        lastInput.reshape(Shape{batch, nIn, 1, 1});
+        haveCache = true;
+    }
+    return y;
+}
+
+Tensor
+FcLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "fc ", layerName,
+                ": backward without forward(train)");
+    const std::size_t batch = dy.shape().n;
+    pcnn_assert(dy.shape().itemSize() == nOut, "fc ", layerName,
+                ": gradient shape mismatch");
+
+    // dW += dY^T * X  (nOut x batch) * (batch x nIn)
+    sgemm(true, false, nOut, nIn, batch, dy.data(), lastInput.data(),
+          weight.grad.data(), 1.0f);
+
+    // db += column sums of dY.
+    for (std::size_t i = 0; i < batch; ++i)
+        for (std::size_t f = 0; f < nOut; ++f)
+            bias.grad.data()[f] += dy.data()[i * nOut + f];
+
+    // dX = dY * W  (batch x nOut) * (nOut x nIn)
+    Tensor dx(Shape{batch, nIn, 1, 1});
+    sgemm(false, false, batch, nIn, nOut, dy.data(), weight.value.data(),
+          dx.data());
+    return dx;
+}
+
+} // namespace pcnn

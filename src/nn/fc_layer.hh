@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fully connected (classifier) layer.
+ */
+
+#ifndef PCNN_NN_FC_LAYER_HH
+#define PCNN_NN_FC_LAYER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/**
+ * y = W x + b over flattened input items. The input may carry any
+ * [c,h,w] factorization as long as c*h*w == inFeatures; the output is
+ * [n, outFeatures, 1, 1].
+ */
+class FcLayer : public Layer
+{
+  public:
+    /**
+     * @param name stable layer name
+     * @param in_features flattened input feature count
+     * @param out_features output feature count
+     * @param rng weight-initialization stream
+     */
+    FcLayer(std::string name, std::size_t in_features,
+            std::size_t out_features, Rng &rng);
+
+    std::string name() const override { return layerName; }
+    std::string kind() const override { return "fc"; }
+    Shape outputShape(const Shape &in) const override;
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<Param *> params() override;
+    double flopsPerImage(const Shape &in) const override;
+
+    /** Input feature count. */
+    std::size_t inFeatures() const { return nIn; }
+
+    /** Output feature count. */
+    std::size_t outFeatures() const { return nOut; }
+
+  private:
+    std::string layerName;
+    std::size_t nIn;
+    std::size_t nOut;
+    Param weight; ///< [outFeatures, inFeatures, 1, 1]
+    Param bias;   ///< [1, outFeatures, 1, 1]
+
+    Tensor lastInput; ///< flattened to [n, nIn, 1, 1]
+    bool haveCache = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_FC_LAYER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * GoogLeNet-style inception module as a composite layer.
+ *
+ * An inception module runs several branches (1x1, 3x3-reduce + 3x3,
+ * 5x5-reduce + 5x5, pool + projection) on the same input and
+ * concatenates their outputs along the channel axis. Implementing it
+ * as one composite Layer keeps Network a simple chain while fully
+ * supporting branched functional networks — including per-branch
+ * perforation control through the exposed inner conv layers.
+ */
+
+#ifndef PCNN_NN_INCEPTION_LAYER_HH
+#define PCNN_NN_INCEPTION_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv_layer.hh"
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/** Composite layer: parallel branches concatenated channel-wise. */
+class InceptionLayer : public Layer
+{
+  public:
+    /** One branch: an owned sequence of layers applied in order. */
+    using Branch = std::vector<std::unique_ptr<Layer>>;
+
+    /**
+     * @param name stable layer name, e.g. "3a"
+     * @param branches at least one branch; every branch must map the
+     *        same input to outputs of identical spatial size
+     */
+    InceptionLayer(std::string name, std::vector<Branch> branches);
+
+    /**
+     * Build the standard four-branch GoogLeNet module:
+     * 1x1 conv | 1x1 reduce + 3x3 conv | 1x1 reduce + 5x5 conv |
+     * 3x3/1 max pool + 1x1 projection, each followed by ReLU.
+     *
+     * @param in_c input channels
+     * @param hw spatial side at the module input
+     */
+    static std::unique_ptr<InceptionLayer>
+    standard(std::string name, std::size_t in_c, std::size_t hw,
+             std::size_t ch1, std::size_t ch3r, std::size_t ch3,
+             std::size_t ch5r, std::size_t ch5, std::size_t pool_proj,
+             Rng &rng);
+
+    std::string name() const override { return layerName; }
+    std::string kind() const override { return "inception"; }
+    Shape outputShape(const Shape &in) const override;
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<Param *> params() override;
+    double flopsPerImage(const Shape &in) const override;
+
+    /** Number of branches. */
+    std::size_t branchCount() const { return branches.size(); }
+
+    /** Inner conv layers across all branches (for perforation). */
+    const std::vector<ConvLayer *> &convLayers() const { return convs; }
+
+  private:
+    /** Output channels of one branch for a given input shape. */
+    Shape branchOutputShape(std::size_t b, const Shape &in) const;
+
+    std::string layerName;
+    std::vector<Branch> branches;
+    std::vector<ConvLayer *> convs;
+
+    // Training cache: per-branch outputs' channel offsets.
+    Shape lastInShape;
+    bool haveCache = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_INCEPTION_LAYER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Abstract Layer interface for the functional CNN substrate.
+ *
+ * Layers support forward execution (inference and training mode) and
+ * a backward pass for the built-in trainer. The GPU-side analytical
+ * models never execute layers; they consume ConvSpec shapes instead.
+ */
+
+#ifndef PCNN_NN_LAYER_HH
+#define PCNN_NN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace pcnn {
+
+/** A trainable parameter: value and accumulated gradient. */
+struct Param
+{
+    Tensor value;
+    Tensor grad;
+
+    /** Zero the gradient buffer. */
+    void
+    zeroGrad()
+    {
+        grad.fill(0.0f);
+    }
+};
+
+/**
+ * Base class of all network layers.
+ *
+ * Contract: backward(dy) may only be called after forward(x, true)
+ * with the matching activation, and returns the gradient with respect
+ * to that x. Parameter gradients are *accumulated* into Param::grad.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Stable layer name, e.g. "CONV2". */
+    virtual std::string name() const = 0;
+
+    /** Layer kind, e.g. "conv", "relu". */
+    virtual std::string kind() const = 0;
+
+    /** Output shape for a given input shape. */
+    virtual Shape outputShape(const Shape &in) const = 0;
+
+    /**
+     * Run the layer.
+     * @param x input activations
+     * @param train true during training (enables caching for
+     *        backward and stochastic behaviour such as dropout)
+     */
+    virtual Tensor forward(const Tensor &x, bool train) = 0;
+
+    /** Back-propagate; see class contract. */
+    virtual Tensor backward(const Tensor &dy) = 0;
+
+    /** Trainable parameters (empty for stateless layers). */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /** Forward FLOPs per image given an input shape; 0 if negligible. */
+    virtual double flopsPerImage(const Shape &in) const
+    {
+        (void)in;
+        return 0.0;
+    }
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_LAYER_HH

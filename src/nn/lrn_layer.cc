@@ -1,0 +1,102 @@
+#include "nn/lrn_layer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+LrnLayer::LrnLayer(std::string name, std::size_t size, double alpha,
+                   double beta, double k)
+    : layerName(std::move(name)), size(size), alpha(float(alpha)),
+      beta(float(beta)), k(float(k))
+{
+    pcnn_assert(size >= 1, "lrn ", layerName, ": window must be >= 1");
+}
+
+Tensor
+LrnLayer::forward(const Tensor &x, bool train)
+{
+    const Shape &s = x.shape();
+    Tensor y(s);
+    Tensor scale(s);
+    const long half = long(size / 2);
+    const float a_over_n = alpha / float(size);
+
+    for (std::size_t n = 0; n < s.n; ++n) {
+        for (std::size_t h = 0; h < s.h; ++h) {
+            for (std::size_t w = 0; w < s.w; ++w) {
+                for (std::size_t c = 0; c < s.c; ++c) {
+                    double sum = 0.0;
+                    for (long dc = -half; dc <= half; ++dc) {
+                        const long cc = long(c) + dc;
+                        if (cc < 0 || cc >= long(s.c))
+                            continue;
+                        const double v =
+                            x.at(n, std::size_t(cc), h, w);
+                        sum += v * v;
+                    }
+                    const float sc = k + a_over_n * float(sum);
+                    scale.at(n, c, h, w) = sc;
+                    y.at(n, c, h, w) =
+                        x.at(n, c, h, w) * std::pow(sc, -beta);
+                }
+            }
+        }
+    }
+    if (train) {
+        lastInput = x;
+        lastScale = scale;
+        haveCache = true;
+    }
+    return y;
+}
+
+Tensor
+LrnLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "lrn ", layerName,
+                ": backward without forward(train)");
+    const Shape &s = lastInput.shape();
+    pcnn_assert(dy.shape() == s, "lrn ", layerName,
+                ": gradient shape mismatch");
+
+    // dL/dx_c = dy_c * scale_c^-beta
+    //   - (2*alpha*beta/n) * x_c *
+    //     sum_{c' : c in window(c')} dy_{c'} * x_{c'} *
+    //     scale_{c'}^{-beta-1}
+    Tensor dx(s);
+    const long half = long(size / 2);
+    const float a_over_n = alpha / float(size);
+
+    for (std::size_t n = 0; n < s.n; ++n) {
+        for (std::size_t h = 0; h < s.h; ++h) {
+            for (std::size_t w = 0; w < s.w; ++w) {
+                for (std::size_t c = 0; c < s.c; ++c) {
+                    const float sc = lastScale.at(n, c, h, w);
+                    double g = double(dy.at(n, c, h, w)) *
+                               std::pow(sc, -beta);
+                    double cross = 0.0;
+                    for (long dc = -half; dc <= half; ++dc) {
+                        const long cc = long(c) + dc;
+                        if (cc < 0 || cc >= long(s.c))
+                            continue;
+                        const float sc2 =
+                            lastScale.at(n, std::size_t(cc), h, w);
+                        cross += double(dy.at(n, std::size_t(cc), h,
+                                              w)) *
+                                 double(lastInput.at(
+                                     n, std::size_t(cc), h, w)) *
+                                 std::pow(sc2, -beta - 1.0f);
+                    }
+                    g -= 2.0 * a_over_n * beta *
+                         double(lastInput.at(n, c, h, w)) * cross;
+                    dx.at(n, c, h, w) = float(g);
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace pcnn

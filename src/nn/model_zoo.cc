@@ -1,0 +1,287 @@
+#include "nn/model_zoo.hh"
+
+#include "common/logging.hh"
+#include "nn/avgpool_layer.hh"
+#include "nn/dropout_layer.hh"
+#include "nn/fc_layer.hh"
+#include "nn/inception_layer.hh"
+#include "nn/lrn_layer.hh"
+#include "nn/pool_layer.hh"
+#include "nn/relu_layer.hh"
+
+namespace pcnn {
+
+double
+NetDescriptor::convFlopsPerImage() const
+{
+    double total = 0.0;
+    for (const auto &c : convs)
+        total += c.flopsPerImage();
+    return total;
+}
+
+double
+NetDescriptor::fcFlopsPerImage() const
+{
+    double total = 0.0;
+    for (const auto &[in, out] : fcs)
+        total += 2.0 * double(in) * double(out);
+    return total;
+}
+
+double
+NetDescriptor::totalFlopsPerImage() const
+{
+    return convFlopsPerImage() + fcFlopsPerImage();
+}
+
+std::size_t
+NetDescriptor::weightCount() const
+{
+    std::size_t total = 0;
+    for (const auto &c : convs)
+        total += c.weightCount();
+    for (const auto &[in, out] : fcs)
+        total += in * out + out;
+    return total;
+}
+
+std::size_t
+NetDescriptor::activationElemsPerImage() const
+{
+    std::size_t total = inputShape.itemSize();
+    for (const auto &c : convs)
+        total += c.outputSizePerImage();
+    for (const auto &[in, out] : fcs) {
+        (void)in;
+        total += out;
+    }
+    return total;
+}
+
+namespace {
+
+/** Shorthand ConvSpec builder. */
+ConvSpec
+conv(std::string name, std::size_t in_c, std::size_t out_c,
+     std::size_t kernel, std::size_t stride, std::size_t pad,
+     std::size_t in_hw, std::size_t groups = 1)
+{
+    ConvSpec s;
+    s.name = std::move(name);
+    s.inC = in_c;
+    s.outC = out_c;
+    s.kernel = kernel;
+    s.stride = stride;
+    s.pad = pad;
+    s.inH = in_hw;
+    s.inW = in_hw;
+    s.groups = groups;
+    return s;
+}
+
+/**
+ * Append the four branches of one GoogLeNet inception module.
+ * @param hw spatial side at the module input
+ * @param in_c input channel count
+ * @returns output channel count of the concatenated module
+ */
+std::size_t
+inception(std::vector<ConvSpec> &out, const std::string &tag,
+          std::size_t hw, std::size_t in_c, std::size_t ch1,
+          std::size_t ch3r, std::size_t ch3, std::size_t ch5r,
+          std::size_t ch5, std::size_t pool_proj)
+{
+    out.push_back(conv(tag + "/1x1", in_c, ch1, 1, 1, 0, hw));
+    out.push_back(conv(tag + "/3x3_reduce", in_c, ch3r, 1, 1, 0, hw));
+    out.push_back(conv(tag + "/3x3", ch3r, ch3, 3, 1, 1, hw));
+    out.push_back(conv(tag + "/5x5_reduce", in_c, ch5r, 1, 1, 0, hw));
+    out.push_back(conv(tag + "/5x5", ch5r, ch5, 5, 1, 2, hw));
+    out.push_back(conv(tag + "/pool_proj", in_c, pool_proj, 1, 1, 0, hw));
+    return ch1 + ch3 + ch5 + pool_proj;
+}
+
+} // namespace
+
+NetDescriptor
+alexNet()
+{
+    NetDescriptor d;
+    d.name = "AlexNet";
+    d.inputShape = Shape{1, 3, 227, 227};
+    d.paperBatch = 128;
+    d.convs = {
+        conv("CONV1", 3, 96, 11, 4, 0, 227),
+        conv("CONV2", 96, 256, 5, 1, 2, 27, 2),
+        conv("CONV3", 256, 384, 3, 1, 1, 13),
+        conv("CONV4", 384, 384, 3, 1, 1, 13, 2),
+        conv("CONV5", 384, 256, 3, 1, 1, 13, 2),
+    };
+    d.fcs = {{9216, 4096}, {4096, 4096}, {4096, 1000}};
+    return d;
+}
+
+NetDescriptor
+vgg16()
+{
+    NetDescriptor d;
+    d.name = "VGGNet";
+    d.inputShape = Shape{1, 3, 224, 224};
+    d.paperBatch = 32;
+    auto block = [&](int idx, std::size_t in_c, std::size_t out_c,
+                     std::size_t hw, int reps) {
+        for (int r = 0; r < reps; ++r) {
+            d.convs.push_back(conv("CONV" + std::to_string(idx) + "_" +
+                                       std::to_string(r + 1),
+                                   r == 0 ? in_c : out_c, out_c, 3, 1, 1,
+                                   hw));
+        }
+    };
+    block(1, 3, 64, 224, 2);
+    block(2, 64, 128, 112, 2);
+    block(3, 128, 256, 56, 3);
+    block(4, 256, 512, 28, 3);
+    block(5, 512, 512, 14, 3);
+    d.fcs = {{25088, 4096}, {4096, 4096}, {4096, 1000}};
+    return d;
+}
+
+NetDescriptor
+googleNet()
+{
+    NetDescriptor d;
+    d.name = "GoogLeNet";
+    d.inputShape = Shape{1, 3, 224, 224};
+    d.paperBatch = 64;
+    d.convs.push_back(conv("conv1/7x7_s2", 3, 64, 7, 2, 3, 224));
+    d.convs.push_back(conv("conv2/3x3_reduce", 64, 64, 1, 1, 0, 56));
+    d.convs.push_back(conv("conv2/3x3", 64, 192, 3, 1, 1, 56));
+
+    std::size_t c = 192;
+    c = inception(d.convs, "3a", 28, c, 64, 96, 128, 16, 32, 32);
+    c = inception(d.convs, "3b", 28, c, 128, 128, 192, 32, 96, 64);
+    c = inception(d.convs, "4a", 14, c, 192, 96, 208, 16, 48, 64);
+    c = inception(d.convs, "4b", 14, c, 160, 112, 224, 24, 64, 64);
+    c = inception(d.convs, "4c", 14, c, 128, 128, 256, 24, 64, 64);
+    c = inception(d.convs, "4d", 14, c, 112, 144, 288, 32, 64, 64);
+    c = inception(d.convs, "4e", 14, c, 256, 160, 320, 32, 128, 128);
+    c = inception(d.convs, "5a", 7, c, 256, 160, 320, 32, 128, 128);
+    c = inception(d.convs, "5b", 7, c, 384, 192, 384, 48, 128, 128);
+    pcnn_assert(c == 1024, "GoogLeNet channel bookkeeping broke: ", c);
+
+    d.fcs = {{1024, 1000}};
+    return d;
+}
+
+std::vector<NetDescriptor>
+paperNetworks()
+{
+    return {alexNet(), googleNet(), vgg16()};
+}
+
+std::string
+miniSizeName(MiniSize size)
+{
+    switch (size) {
+      case MiniSize::Small:
+        return "MiniNet-S";
+      case MiniSize::Medium:
+        return "MiniNet-M";
+      case MiniSize::Large:
+        return "MiniNet-L";
+    }
+    pcnn_panic("unknown MiniSize");
+}
+
+Network
+makeMiniNet(MiniSize size, Rng &rng, std::size_t classes)
+{
+    const Shape in{1, 1, 16, 16};
+    Network net(miniSizeName(size), in);
+    switch (size) {
+      case MiniSize::Small:
+        net.add<ConvLayer>(conv("CONV1", 1, 8, 3, 1, 1, 16), rng);
+        net.add<ReluLayer>("RELU1");
+        net.add<MaxPoolLayer>("POOL1", 2, 2);
+        net.add<ConvLayer>(conv("CONV2", 8, 12, 3, 1, 1, 8), rng);
+        net.add<ReluLayer>("RELU2");
+        net.add<MaxPoolLayer>("POOL2", 2, 2);
+        net.add<FcLayer>("FC1", 12 * 4 * 4, classes, rng);
+        break;
+      case MiniSize::Medium:
+        net.add<ConvLayer>(conv("CONV1", 1, 12, 3, 1, 1, 16), rng);
+        net.add<ReluLayer>("RELU1");
+        net.add<MaxPoolLayer>("POOL1", 2, 2);
+        net.add<ConvLayer>(conv("CONV2", 12, 24, 3, 1, 1, 8), rng);
+        net.add<ReluLayer>("RELU2");
+        net.add<MaxPoolLayer>("POOL2", 2, 2);
+        net.add<FcLayer>("FC1", 24 * 4 * 4, 48, rng);
+        net.add<ReluLayer>("RELU3");
+        net.add<FcLayer>("FC2", 48, classes, rng);
+        break;
+      case MiniSize::Large:
+        net.add<ConvLayer>(conv("CONV1", 1, 16, 3, 1, 1, 16), rng);
+        net.add<ReluLayer>("RELU1");
+        net.add<ConvLayer>(conv("CONV2", 16, 16, 3, 1, 1, 16), rng);
+        net.add<ReluLayer>("RELU2");
+        net.add<MaxPoolLayer>("POOL1", 2, 2);
+        net.add<ConvLayer>(conv("CONV3", 16, 32, 3, 1, 1, 8), rng);
+        net.add<ReluLayer>("RELU3");
+        net.add<MaxPoolLayer>("POOL2", 2, 2);
+        net.add<FcLayer>("FC1", 32 * 4 * 4, 64, rng);
+        net.add<ReluLayer>("RELU4");
+        net.add<DropoutLayer>("DROP1", 0.1, rng);
+        net.add<FcLayer>("FC2", 64, classes, rng);
+        break;
+    }
+    return net;
+}
+
+Network
+makeMiniAlexNet(Rng &rng, std::size_t classes)
+{
+    const Shape in{1, 1, 16, 16};
+    Network net("MiniAlexNet", in);
+    net.add<ConvLayer>(conv("CONV1", 1, 12, 3, 1, 1, 16), rng);
+    net.add<ReluLayer>("RELU1");
+    net.add<LrnLayer>("LRN1", 5, 1e-3, 0.75, 2.0);
+    net.add<MaxPoolLayer>("POOL1", 3, 2); // overlapping: 16 -> 7
+    net.add<ConvLayer>(conv("CONV2", 12, 24, 3, 1, 1, 7, 2), rng);
+    net.add<ReluLayer>("RELU2");
+    net.add<MaxPoolLayer>("POOL2", 3, 2); // 7 -> 3
+    net.add<FcLayer>("FC1", 24 * 3 * 3, 48, rng);
+    net.add<ReluLayer>("RELU3");
+    net.add<FcLayer>("FC2", 48, classes, rng);
+    return net;
+}
+
+Network
+makeMiniInception(Rng &rng, std::size_t classes)
+{
+    const Shape in{1, 1, 16, 16};
+    Network net("MiniInception", in);
+    net.add<ConvLayer>(conv("STEM", 1, 16, 3, 1, 1, 16), rng);
+    net.add<ReluLayer>("STEM_RELU");
+    net.add<MaxPoolLayer>("STEM_POOL", 2, 2); // 16 -> 8
+    // Four-branch module: 8 + 16 + 8 + 8 = 40 output channels.
+    net.addLayer(InceptionLayer::standard("INC1", 16, 8, 8, 8, 16, 4,
+                                          8, 8, rng));
+    net.add<AvgPoolLayer>("GAP", 0); // global: 8x8 -> 1x1
+    net.add<FcLayer>("FC", 40, classes, rng);
+    return net;
+}
+
+NetDescriptor
+describe(const Network &net)
+{
+    NetDescriptor d;
+    d.name = net.name();
+    d.inputShape = net.inputShape();
+    d.convs = net.convSpecs();
+    for (const FcLayer *fc : net.fcLayers())
+        d.fcs.emplace_back(fc->inFeatures(), fc->outFeatures());
+    d.paperBatch = 1;
+    return d;
+}
+
+} // namespace pcnn

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Published network architectures and trainable mini networks.
+ *
+ * The three ImageNet winners the paper characterizes (AlexNet,
+ * VGGNet-16, GoogLeNet) are provided as shape-level descriptors: the
+ * GPU analytical models only ever need layer geometry, never trained
+ * weights. The trainable MiniNet family substitutes for the
+ * ImageNet-trained models in the accuracy/entropy experiments (see
+ * DESIGN.md, substitution table).
+ */
+
+#ifndef PCNN_NN_MODEL_ZOO_HH
+#define PCNN_NN_MODEL_ZOO_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/conv_spec.hh"
+#include "nn/network.hh"
+
+namespace pcnn {
+
+/**
+ * Shape-level description of a full CNN: conv layers plus the fully
+ * connected classifier tail. Sufficient for every GPU-side model in
+ * the paper (time, resource, memory footprint).
+ */
+struct NetDescriptor
+{
+    std::string name;
+    Shape inputShape;              ///< single-item input (n == 1)
+    std::vector<ConvSpec> convs;   ///< in network order
+    /// fully connected tail as (inFeatures, outFeatures) pairs
+    std::vector<std::pair<std::size_t, std::size_t>> fcs;
+    std::size_t paperBatch = 1;    ///< batch size used in Table III
+
+    /** Total conv FLOPs per image (Eq. 1 summed over layers). */
+    double convFlopsPerImage() const;
+
+    /** FC tail FLOPs per image. */
+    double fcFlopsPerImage() const;
+
+    /** convFlopsPerImage() + fcFlopsPerImage(). */
+    double totalFlopsPerImage() const;
+
+    /** Total parameter count (conv + fc, including biases). */
+    std::size_t weightCount() const;
+
+    /**
+     * Sum of activation elements produced per image across all conv
+     * and fc layers — the paper's reason batching runs out of memory
+     * on mobile GPUs (Section III.B).
+     */
+    std::size_t activationElemsPerImage() const;
+};
+
+/** AlexNet (Krizhevsky et al.), Caffe single-tower shapes, 227x227. */
+NetDescriptor alexNet();
+
+/** VGGNet-16 (Simonyan & Zisserman), 224x224. */
+NetDescriptor vgg16();
+
+/** GoogLeNet (Szegedy et al.), all inception branches, 224x224. */
+NetDescriptor googleNet();
+
+/** The three paper networks in the order they appear in Table III. */
+std::vector<NetDescriptor> paperNetworks();
+
+/** Capacity tiers of the trainable substitute network. */
+enum class MiniSize { Small, Medium, Large };
+
+/** Name of a MiniSize tier ("MiniNet-S" etc.). */
+std::string miniSizeName(MiniSize size);
+
+/**
+ * Build a trainable MiniNet over 1x16x16 inputs.
+ *
+ * Capacity rises from Small to Large; once trained on the synthetic
+ * task, accuracy rises and output entropy falls with capacity,
+ * reproducing the Table I relationship.
+ *
+ * @param size capacity tier
+ * @param rng weight-initialization stream
+ * @param classes classifier width
+ */
+Network makeMiniNet(MiniSize size, Rng &rng, std::size_t classes = 8);
+
+/**
+ * Build a trainable AlexNet-style network over 1x16x16 inputs:
+ * conv + LRN + overlapping 3x3/2 max pool, a grouped conv, then the
+ * classifier — the AlexNet-specific mechanisms (cross-channel LRN,
+ * grouped convolution, overlapping pooling) in a trainable package.
+ */
+Network makeMiniAlexNet(Rng &rng, std::size_t classes = 8);
+
+/**
+ * Build a trainable inception-style network over 1x16x16 inputs:
+ * stem conv, one standard four-branch inception module, global
+ * average pooling, classifier. Exercises the branched functional
+ * substrate (concat, padded pooling, global avg pool) end to end.
+ */
+Network makeMiniInception(Rng &rng, std::size_t classes = 8);
+
+/** Shape-level descriptor of a functional network. */
+NetDescriptor describe(const Network &net);
+
+} // namespace pcnn
+
+#endif // PCNN_NN_MODEL_ZOO_HH

@@ -1,0 +1,89 @@
+#include "nn/network.hh"
+
+#include "common/logging.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+
+Network::Network(std::string name, Shape input_shape)
+    : netName(std::move(name)), inShape(input_shape)
+{
+    inShape.n = 1;
+}
+
+Tensor
+Network::forward(const Tensor &x, bool train)
+{
+    pcnn_assert(x.shape().c == inShape.c && x.shape().h == inShape.h &&
+                    x.shape().w == inShape.w,
+                netName, ": input ", x.shape().str(),
+                " mismatches expected ", inShape.str());
+    pcnn_assert(!layers.empty(), netName, ": empty network");
+    Tensor a = x;
+    for (auto &l : layers)
+        a = l->forward(a, train);
+    return a;
+}
+
+Tensor
+Network::predict(const Tensor &x)
+{
+    return softmax(forward(x, false));
+}
+
+Tensor
+Network::backward(const Tensor &dlogits)
+{
+    Tensor g = dlogits;
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Param *>
+Network::params()
+{
+    std::vector<Param *> out;
+    for (auto &l : layers)
+        for (Param *p : l->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Network::zeroGrads()
+{
+    for (Param *p : params())
+        p->zeroGrad();
+}
+
+double
+Network::flopsPerImage() const
+{
+    double total = 0.0;
+    Shape s = inShape;
+    for (const auto &l : layers) {
+        total += l->flopsPerImage(s);
+        s = l->outputShape(s);
+    }
+    return total;
+}
+
+std::vector<ConvSpec>
+Network::convSpecs() const
+{
+    std::vector<ConvSpec> out;
+    out.reserve(convs.size());
+    for (const ConvLayer *c : convs)
+        out.push_back(c->spec());
+    return out;
+}
+
+void
+Network::clearPerforation()
+{
+    for (ConvLayer *c : convs)
+        c->setComputedPositions(0);
+}
+
+} // namespace pcnn

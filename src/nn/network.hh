@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sequential network container.
+ */
+
+#ifndef PCNN_NN_NETWORK_HH
+#define PCNN_NN_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv_layer.hh"
+#include "nn/fc_layer.hh"
+#include "nn/inception_layer.hh"
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/**
+ * A feed-forward chain of layers ending in classifier logits.
+ *
+ * Owns its layers. Provides the hooks the P-CNN runtime needs:
+ * direct access to the conv layers (for per-layer perforation
+ * control) and batch entropy of the output distribution (the paper's
+ * CNN_entropy accuracy surrogate).
+ */
+class Network
+{
+  public:
+    /**
+     * @param name network name, e.g. "MiniNet-M"
+     * @param input_shape expected single-item input shape (n ignored)
+     */
+    Network(std::string name, Shape input_shape);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+
+    /** Append a pre-built layer (for composites built elsewhere). */
+    Layer *
+    addLayer(std::unique_ptr<Layer> layer)
+    {
+        Layer *raw = layer.get();
+        layers.push_back(std::move(layer));
+        registerLayer(raw);
+        return raw;
+    }
+
+    /** Append a layer; returns a typed pointer for convenience. */
+    template <typename L, typename... Args>
+    L *
+    add(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L *raw = layer.get();
+        layers.push_back(std::move(layer));
+        registerLayer(raw);
+        return raw;
+    }
+
+  private:
+    /** Index conv/fc layers (recursing into composites). */
+    void
+    registerLayer(Layer *raw)
+    {
+        if (auto *conv = dynamic_cast<ConvLayer *>(raw))
+            convs.push_back(conv);
+        if (auto *inception = dynamic_cast<InceptionLayer *>(raw)) {
+            for (ConvLayer *c : inception->convLayers())
+                convs.push_back(c);
+        }
+        if (auto *fc = dynamic_cast<FcLayer *>(raw))
+            fcs.push_back(fc);
+    }
+
+  public:
+
+    /** Network name. */
+    const std::string &name() const { return netName; }
+
+    /** Expected per-item input shape. */
+    const Shape &inputShape() const { return inShape; }
+
+    /** Number of layers. */
+    std::size_t size() const { return layers.size(); }
+
+    /** Layer access by position. */
+    Layer &layer(std::size_t i) { return *layers.at(i); }
+
+    /** Conv layers in network order (for perforation control). */
+    const std::vector<ConvLayer *> &convLayers() const { return convs; }
+
+    /** Fully connected layers in network order. */
+    const std::vector<FcLayer *> &fcLayers() const { return fcs; }
+
+    /**
+     * Run the network and return classifier logits [n, k, 1, 1].
+     * @param x input batch matching inputShape() except n
+     * @param train enables training-mode caching in every layer
+     */
+    Tensor forward(const Tensor &x, bool train = false);
+
+    /** Softmax of forward(x): class probabilities. */
+    Tensor predict(const Tensor &x);
+
+    /**
+     * Back-propagate d(logits) through the whole chain.
+     * @pre forward(x, true) ran immediately before
+     */
+    Tensor backward(const Tensor &dlogits);
+
+    /** All trainable parameters in network order. */
+    std::vector<Param *> params();
+
+    /** Zero every parameter gradient. */
+    void zeroGrads();
+
+    /** Total forward FLOPs for one image. */
+    double flopsPerImage() const;
+
+    /** Conv specs of this network (for the GPU-side models). */
+    std::vector<ConvSpec> convSpecs() const;
+
+    /** Reset all conv layers to unperforated execution. */
+    void clearPerforation();
+
+  private:
+    std::string netName;
+    Shape inShape;
+    std::vector<std::unique_ptr<Layer>> layers;
+    std::vector<ConvLayer *> convs;
+    std::vector<FcLayer *> fcs;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_NETWORK_HH

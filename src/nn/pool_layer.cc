@@ -1,0 +1,91 @@
+#include "nn/pool_layer.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+MaxPoolLayer::MaxPoolLayer(std::string name, std::size_t window,
+                           std::size_t stride, std::size_t pad)
+    : layerName(std::move(name)), window(window), stride(stride),
+      pad(pad)
+{
+    pcnn_assert(window > 0 && stride > 0,
+                "pool ", layerName, ": window/stride must be positive");
+    pcnn_assert(pad < window,
+                "pool ", layerName, ": padding must be under window");
+}
+
+Shape
+MaxPoolLayer::outputShape(const Shape &in) const
+{
+    pcnn_assert(in.h + 2 * pad >= window && in.w + 2 * pad >= window,
+                "pool ", layerName, ": input ", in.str(),
+                " smaller than window ", window);
+    return Shape{in.n, in.c, (in.h + 2 * pad - window) / stride + 1,
+                 (in.w + 2 * pad - window) / stride + 1};
+}
+
+Tensor
+MaxPoolLayer::forward(const Tensor &x, bool train)
+{
+    const Shape out = outputShape(x.shape());
+    Tensor y(out);
+    if (train) {
+        inShape = x.shape();
+        argmaxIdx.assign(out.size(), 0);
+    }
+
+    const Shape &in = x.shape();
+    for (std::size_t n = 0; n < in.n; ++n) {
+        for (std::size_t c = 0; c < in.c; ++c) {
+            for (std::size_t oy = 0; oy < out.h; ++oy) {
+                for (std::size_t ox = 0; ox < out.w; ++ox) {
+                    float best = -1e30f;
+                    std::size_t best_idx = 0;
+                    for (std::size_t ky = 0; ky < window; ++ky) {
+                        for (std::size_t kx = 0; kx < window; ++kx) {
+                            const long iy =
+                                long(oy * stride + ky) - long(pad);
+                            const long ix =
+                                long(ox * stride + kx) - long(pad);
+                            if (iy < 0 || iy >= long(in.h) || ix < 0 ||
+                                ix >= long(in.w)) {
+                                continue; // padding never wins
+                            }
+                            const float v =
+                                x.at(n, c, std::size_t(iy),
+                                     std::size_t(ix));
+                            if (v > best) {
+                                best = v;
+                                best_idx = ((n * in.c + c) * in.h +
+                                            std::size_t(iy)) *
+                                               in.w +
+                                           std::size_t(ix);
+                            }
+                        }
+                    }
+                    y.at(n, c, oy, ox) = best;
+                    if (train) {
+                        argmaxIdx[((n * out.c + c) * out.h + oy) * out.w +
+                                  ox] = best_idx;
+                    }
+                }
+            }
+        }
+    }
+    haveCache = train;
+    return y;
+}
+
+Tensor
+MaxPoolLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "pool ", layerName,
+                ": backward without forward(train)");
+    Tensor dx(inShape);
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        dx[argmaxIdx[i]] += dy[i];
+    return dx;
+}
+
+} // namespace pcnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Max-pooling layer.
+ */
+
+#ifndef PCNN_NN_POOL_LAYER_HH
+#define PCNN_NN_POOL_LAYER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/**
+ * 2-D max pooling with a square window. Overlapping windows (stride
+ * smaller than the window, as in AlexNet's 3x3/2 pools) and zero
+ * padding (needed by GoogLeNet's same-size 3x3/1 inception pools)
+ * are supported; padded taps never win the max.
+ */
+class MaxPoolLayer : public Layer
+{
+  public:
+    /**
+     * @param name stable layer name
+     * @param window square pooling window side
+     * @param stride window stride
+     * @param pad zero padding on each border
+     */
+    MaxPoolLayer(std::string name, std::size_t window,
+                 std::size_t stride, std::size_t pad = 0);
+
+    std::string name() const override { return layerName; }
+    std::string kind() const override { return "maxpool"; }
+    Shape outputShape(const Shape &in) const override;
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    std::string layerName;
+    std::size_t window;
+    std::size_t stride;
+    std::size_t pad;
+
+    Shape inShape;
+    /// flat input index of each output's max element
+    std::vector<std::size_t> argmaxIdx;
+    bool haveCache = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_POOL_LAYER_HH

@@ -1,0 +1,38 @@
+#include "nn/relu_layer.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+ReluLayer::ReluLayer(std::string name) : layerName(std::move(name)) {}
+
+Tensor
+ReluLayer::forward(const Tensor &x, bool train)
+{
+    Tensor y(x.shape());
+    if (train)
+        mask.resize(x.shape());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const bool pos = x[i] > 0.0f;
+        y[i] = pos ? x[i] : 0.0f;
+        if (train)
+            mask[i] = pos ? 1.0f : 0.0f;
+    }
+    haveCache = train;
+    return y;
+}
+
+Tensor
+ReluLayer::backward(const Tensor &dy)
+{
+    pcnn_assert(haveCache, "relu ", layerName,
+                ": backward without forward(train)");
+    pcnn_assert(dy.shape() == mask.shape(), "relu ", layerName,
+                ": gradient shape mismatch");
+    Tensor dx(dy.shape());
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        dx[i] = dy[i] * mask[i];
+    return dx;
+}
+
+} // namespace pcnn

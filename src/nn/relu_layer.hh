@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Rectified linear unit activation layer.
+ */
+
+#ifndef PCNN_NN_RELU_LAYER_HH
+#define PCNN_NN_RELU_LAYER_HH
+
+#include <string>
+
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/** Element-wise max(0, x). */
+class ReluLayer : public Layer
+{
+  public:
+    /** @param name stable layer name for reports */
+    explicit ReluLayer(std::string name);
+
+    std::string name() const override { return layerName; }
+    std::string kind() const override { return "relu"; }
+    Shape outputShape(const Shape &in) const override { return in; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    std::string layerName;
+    /// 1.0 where the forward input was positive, else 0.0
+    Tensor mask;
+    bool haveCache = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_NN_RELU_LAYER_HH

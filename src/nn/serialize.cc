@@ -1,0 +1,135 @@
+#include "nn/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'N', 'N', 'W', 'T', 'S', '1'};
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+bool
+getU64(const std::vector<std::uint8_t> &in, std::size_t &pos,
+       std::uint64_t &v)
+{
+    if (pos + 8 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(in[pos + std::size_t(i)]) << (8 * i);
+    pos += 8;
+    return true;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeWeights(Network &net)
+{
+    const auto params = net.params();
+    std::vector<std::uint8_t> out;
+    out.insert(out.end(), kMagic, kMagic + 8);
+    putU64(out, params.size());
+    for (const Param *p : params) {
+        const Shape &s = p->value.shape();
+        putU64(out, s.n);
+        putU64(out, s.c);
+        putU64(out, s.h);
+        putU64(out, s.w);
+        const auto *raw = reinterpret_cast<const std::uint8_t *>(
+            p->value.data());
+        out.insert(out.end(), raw, raw + p->value.size() * 4);
+    }
+    return out;
+}
+
+bool
+deserializeWeights(Network &net,
+                   const std::vector<std::uint8_t> &bytes)
+{
+    std::size_t pos = 0;
+    if (bytes.size() < 8 ||
+        std::memcmp(bytes.data(), kMagic, 8) != 0) {
+        return false;
+    }
+    pos = 8;
+
+    std::uint64_t count = 0;
+    if (!getU64(bytes, pos, count))
+        return false;
+    const auto params = net.params();
+    if (count != params.size())
+        return false;
+
+    // Validate everything before touching the network.
+    struct Pending
+    {
+        Param *param;
+        std::size_t offset;
+        std::size_t count;
+    };
+    std::vector<Pending> pending;
+    for (Param *p : params) {
+        std::uint64_t n, c, h, w;
+        if (!getU64(bytes, pos, n) || !getU64(bytes, pos, c) ||
+            !getU64(bytes, pos, h) || !getU64(bytes, pos, w)) {
+            return false;
+        }
+        const Shape &s = p->value.shape();
+        if (s.n != n || s.c != c || s.h != h || s.w != w)
+            return false;
+        const std::size_t elems = p->value.size();
+        if (pos + elems * 4 > bytes.size())
+            return false;
+        pending.push_back({p, pos, elems});
+        pos += elems * 4;
+    }
+    if (pos != bytes.size())
+        return false;
+
+    for (const Pending &pd : pending) {
+        std::memcpy(pd.param->value.data(), bytes.data() + pd.offset,
+                    pd.count * 4);
+    }
+    return true;
+}
+
+bool
+saveWeights(Network &net, const std::string &path)
+{
+    const auto bytes = serializeWeights(net);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            std::streamsize(bytes.size()));
+    return static_cast<bool>(f);
+}
+
+bool
+loadWeights(Network &net, const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        return false;
+    const auto size = std::size_t(f.tellg());
+    f.seekg(0);
+    std::vector<std::uint8_t> bytes(size);
+    f.read(reinterpret_cast<char *>(bytes.data()),
+           std::streamsize(size));
+    if (!f)
+        return false;
+    return deserializeWeights(net, bytes);
+}
+
+} // namespace pcnn

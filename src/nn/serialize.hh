@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Weight serialization.
+ *
+ * Networks are constructed from code (architecture is not
+ * serialized); weights are saved/loaded against an already
+ * constructed network whose parameter shapes must match. The format
+ * is a small self-describing binary: magic, parameter count, then
+ * per parameter its shape and float data.
+ */
+
+#ifndef PCNN_NN_SERIALIZE_HH
+#define PCNN_NN_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace pcnn {
+
+/** Serialize all trainable parameters to a byte buffer. */
+std::vector<std::uint8_t> serializeWeights(Network &net);
+
+/**
+ * Restore parameters from a byte buffer.
+ * @retval true on success; false on malformed data or any
+ *         shape/count mismatch (the network is left unmodified on
+ *         failure)
+ */
+bool deserializeWeights(Network &net,
+                        const std::vector<std::uint8_t> &bytes);
+
+/** Save weights to a file. @retval true on success */
+bool saveWeights(Network &net, const std::string &path);
+
+/** Load weights from a file. @retval true on success */
+bool loadWeights(Network &net, const std::string &path);
+
+} // namespace pcnn
+
+#endif // PCNN_NN_SERIALIZE_HH

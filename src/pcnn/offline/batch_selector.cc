@@ -1,0 +1,87 @@
+#include "pcnn/offline/batch_selector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "gpu/memory_model.hh"
+
+namespace pcnn {
+
+BatchSelector::BatchSelector(GpuSpec gpu)
+    : gpuSpec(gpu), tuner(std::move(gpu))
+{
+}
+
+std::size_t
+BatchSelector::memoryCap(const NetDescriptor &net) const
+{
+    // P-CNN generates its own kernels: no library workspace beyond
+    // the weights and batch activations.
+    const double budget = usableBytes(gpuSpec) - weightBytes(net);
+    if (budget <= 0.0)
+        return 0;
+    const double per_image = activationBytes(net, 1);
+    const auto cap = std::size_t(budget / per_image);
+    return std::min<std::size_t>(std::max<std::size_t>(cap, 1),
+                                 maxBatch);
+}
+
+std::size_t
+BatchSelector::backgroundBatch(const NetDescriptor &net) const
+{
+    pcnn_assert(!net.convs.empty(), "network without conv layers");
+    const ConvSpec &last = net.convs.back();
+    const std::size_t cap = memoryCap(net);
+    pcnn_assert(cap >= 1, net.name, " does not fit on ", gpuSpec.name);
+
+    // The paper picks the smallest batch whose last-layer Util is 1
+    // ("throughput cannot be further improved"). Our energy model
+    // also accounts for board base power, which keeps amortizing
+    // with batch size, so among the full-Util batches we keep the
+    // largest one under the memory cap (see DESIGN.md).
+    std::size_t best_batch = 1;
+    double best_util = 0.0;
+    for (std::size_t b = 1; b <= cap; ++b) {
+        const GemmShape gemm = last.gemmShape(b);
+        const TunedKernel k = tuner.tune(gemm);
+        const SgemmModel model(gpuSpec, k.config);
+        const double u = model.util(gemm);
+        if (u >= best_util - 1e-9) {
+            best_util = std::max(best_util, u);
+            best_batch = b;
+        }
+    }
+    return best_batch;
+}
+
+std::size_t
+BatchSelector::smallestFullUtilBatch(const NetDescriptor &net) const
+{
+    pcnn_assert(!net.convs.empty(), "network without conv layers");
+    const ConvSpec &last = net.convs.back();
+    const std::size_t cap = memoryCap(net);
+    for (std::size_t b = 1; b <= cap; ++b) {
+        const GemmShape gemm = last.gemmShape(b);
+        const TunedKernel k = tuner.tune(gemm);
+        const SgemmModel model(gpuSpec, k.config);
+        if (model.util(gemm) >= 1.0 - 1e-9)
+            return b;
+    }
+    return 0;
+}
+
+std::size_t
+BatchSelector::initialBatch(const NetDescriptor &net, const AppSpec &app,
+                            const UserRequirement &req) const
+{
+    pcnn_assert(!req.timeInsensitive,
+                "initialBatch is for latency-sensitive tasks");
+    const double available = app.dataRateHz * req.imperceptibleS;
+    const auto batch = std::size_t(std::max(1.0, std::floor(available)));
+    const std::size_t cap = memoryCap(net);
+    pcnn_assert(cap >= 1, net.name, " does not fit on ", gpuSpec.name);
+    return std::min(batch, cap);
+}
+
+} // namespace pcnn

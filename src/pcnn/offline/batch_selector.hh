@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Batch-size selection (Section IV.B.1).
+ *
+ * Background tasks use the smallest batch that fully utilizes the GPU
+ * in the least-utilized (last) layer; latency-sensitive tasks start
+ * from the data available inside the time requirement and are later
+ * shrunk by the global decision loop (Eq. 13).
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_BATCH_SELECTOR_HH
+#define PCNN_PCNN_OFFLINE_BATCH_SELECTOR_HH
+
+#include <cstddef>
+
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/kernel_tuner.hh"
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/** Batch selection policy bound to one GPU. */
+class BatchSelector
+{
+  public:
+    /** Bind the deployment architecture. */
+    explicit BatchSelector(GpuSpec gpu);
+
+    /** Largest batch whose footprint fits device memory. */
+    std::size_t memoryCap(const NetDescriptor &net) const;
+
+    /**
+     * Background-task batch: the smallest batch that drives the last
+     * conv layer's Util to 1 (its GridSize becomes a multiple of the
+     * tuned kernel's maxBlocks), capped by device memory. Falls back
+     * to the highest-Util batch under the cap if no batch reaches
+     * Util == 1.
+     */
+    std::size_t backgroundBatch(const NetDescriptor &net) const;
+
+    /**
+     * The smallest batch whose last-layer Util reaches 1 — the
+     * paper's "optimal batch size" marker in Fig. 8, which varies
+     * across GPU platforms. Returns 0 when no batch under the cap
+     * reaches full utilization.
+     */
+    std::size_t smallestFullUtilBatch(const NetDescriptor &net) const;
+
+    /**
+     * Initial batch of a latency-sensitive task: the data generated
+     * within the time requirement (rate * T), at least 1, capped by
+     * device memory.
+     */
+    std::size_t initialBatch(const NetDescriptor &net,
+                             const AppSpec &app,
+                             const UserRequirement &req) const;
+
+    /** Search ceiling of the background batch sweep. */
+    static constexpr std::size_t maxBatch = 512;
+
+  private:
+    GpuSpec gpuSpec;
+    KernelTuner tuner;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_BATCH_SELECTOR_HH

@@ -1,0 +1,81 @@
+#include "pcnn/offline/compiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "pcnn/offline/resource_model.hh"
+#include "pcnn/satisfaction.hh"
+
+namespace pcnn {
+
+OfflineCompiler::OfflineCompiler(GpuSpec gpu, TuneObjective obj)
+    : gpuSpec(gpu), objective(obj), tuner(gpu), batches(gpu),
+      timeModel(std::move(gpu))
+{
+}
+
+CompiledPlan
+OfflineCompiler::compileAtBatch(const NetDescriptor &net,
+                                std::size_t batch) const
+{
+    pcnn_assert(batch >= 1, "batch must be positive");
+    CompiledPlan plan;
+    plan.netName = net.name;
+    plan.gpuName = gpuSpec.name;
+    plan.batch = batch;
+
+    for (const ConvSpec &layer : net.convs) {
+        LayerSchedule ls;
+        ls.layer = layer;
+        ls.gemm = layer.gemmShape(batch);
+        ls.kernel = tuner.tune(ls.gemm, objective);
+
+        const SgemmModel model(gpuSpec, ls.kernel.config);
+        ls.kernel.optSM = optimalSms(model.gridSize(ls.gemm),
+                                     ls.kernel.optTLP, gpuSpec.numSMs);
+        ls.util = model.util(ls.gemm);
+        ls.timeS = timeModel.layerTime(layer, ls.kernel, batch);
+        plan.time.convS += ls.timeS;
+        plan.layers.push_back(std::move(ls));
+    }
+    plan.time.fcS = timeModel.fcTime(net, batch);
+    plan.time.auxS = timeModel.auxTime(net, batch);
+
+    plan.footprint.weightBytes = weightBytes(net);
+    plan.footprint.activationBytes = activationBytes(net, batch);
+    plan.footprint.workspaceBytes = 0.0; // P-CNN emits its own kernels
+    return plan;
+}
+
+CompiledPlan
+OfflineCompiler::compile(const NetDescriptor &net,
+                         const AppSpec &app) const
+{
+    const UserRequirement req = inferRequirement(app);
+
+    if (req.timeInsensitive) {
+        // Background task: maximize throughput, done (Section IV.B.3).
+        return compileAtBatch(net, batches.backgroundBatch(net));
+    }
+
+    std::size_t batch = batches.initialBatch(net, app, req);
+    CompiledPlan plan = compileAtBatch(net, batch);
+
+    // Global decision loop: shrink the batch until the predicted time
+    // fits the requirement (Eq. 13). Each new batch changes every
+    // layer's computational load, so the kernels are re-tuned.
+    for (int iter = 0; iter < 16; ++iter) {
+        if (plan.latencyS() <= req.imperceptibleS || plan.batch == 1)
+            break;
+        const double scale = req.imperceptibleS / plan.latencyS();
+        auto next = std::size_t(
+            std::floor(double(plan.batch) * scale));
+        next = std::clamp<std::size_t>(next, 1, plan.batch - 1);
+        plan = compileAtBatch(net, next);
+    }
+    plan.timeRequirementMissed = plan.latencyS() > req.imperceptibleS;
+    return plan;
+}
+
+} // namespace pcnn

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cross-platform offline compilation (Section IV.B).
+ *
+ * Orchestrates batch selection, per-layer kernel tuning, the
+ * resource model (optSM/optTLP) and the global decision loop that
+ * shrinks the batch until the predicted latency meets the user's
+ * requirement (Eq. 13). The output plan carries everything the
+ * run-time kernel management needs.
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_COMPILER_HH
+#define PCNN_PCNN_OFFLINE_COMPILER_HH
+
+#include <vector>
+
+#include "gpu/memory_model.hh"
+#include "pcnn/offline/batch_selector.hh"
+#include "pcnn/offline/kernel_tuner.hh"
+#include "pcnn/offline/time_model.hh"
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/** Per-layer scheduling configuration in a compiled plan. */
+struct LayerSchedule
+{
+    ConvSpec layer;
+    TunedKernel kernel; ///< tile, registers, optTLP, optSM
+    GemmShape gemm;     ///< at the plan's batch, unperforated
+    double timeS = 0.0; ///< predicted layer time at optSM
+    double util = 0.0;  ///< Eq. 6 at the plan's batch
+};
+
+/** A fully compiled deployment. */
+struct CompiledPlan
+{
+    std::string netName;
+    std::string gpuName;
+    std::size_t batch = 1;
+    std::vector<LayerSchedule> layers;
+    NetTimeBreakdown time;
+    MemoryFootprint footprint;
+    /// true when even batch == 1 misses the user's time requirement;
+    /// run-time accuracy tuning is then the only remaining lever
+    bool timeRequirementMissed = false;
+
+    /** Predicted end-to-end batch latency in seconds. */
+    double latencyS() const { return time.total(); }
+};
+
+/** The offline compiler, bound to one GPU. */
+class OfflineCompiler
+{
+  public:
+    /**
+     * @param gpu deployment architecture
+     * @param objective kernel-ranking objective (Eq. 10 by default)
+     */
+    explicit OfflineCompiler(GpuSpec gpu,
+                             TuneObjective objective =
+                                 TuneObjective::SkernelMetric);
+
+    /**
+     * Compile a network for an application on the bound GPU:
+     * batch selection -> per-layer tuning -> optSM -> time check ->
+     * batch adjustment loop (Eq. 13).
+     */
+    CompiledPlan compile(const NetDescriptor &net,
+                         const AppSpec &app) const;
+
+    /** Compile at a fixed batch (used by baselines and benches). */
+    CompiledPlan compileAtBatch(const NetDescriptor &net,
+                                std::size_t batch) const;
+
+    /** Bound GPU. */
+    const GpuSpec &gpu() const { return gpuSpec; }
+
+  private:
+    GpuSpec gpuSpec;
+    TuneObjective objective;
+    KernelTuner tuner;
+    BatchSelector batches;
+    TimeModel timeModel;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_COMPILER_HH

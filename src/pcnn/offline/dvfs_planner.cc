@@ -1,0 +1,40 @@
+#include "pcnn/offline/dvfs_planner.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+DvfsPlanner::DvfsPlanner(GpuSpec nominal) : dvfs(std::move(nominal)) {}
+
+DvfsPlan
+DvfsPlanner::plan(const NetDescriptor &net, const AppSpec &app) const
+{
+    const UserRequirement req = inferRequirement(app);
+
+    auto make = [&](double level) {
+        DvfsPlan p;
+        p.level = level;
+        p.gpu = dvfs.at(level);
+        const OfflineCompiler compiler(p.gpu);
+        p.plan = compiler.compile(net, app);
+        p.slackS = req.timeInsensitive
+                       ? 0.0
+                       : req.imperceptibleS - p.plan.latencyS();
+        return p;
+    };
+
+    // Levels ascend, so the first one meeting the requirement is the
+    // lowest (most energy-frugal) legal frequency.
+    for (double level : DvfsModel::levels()) {
+        DvfsPlan p = make(level);
+        if (req.timeInsensitive ||
+            p.plan.latencyS() <= req.imperceptibleS) {
+            return p;
+        }
+    }
+    // Nothing meets the requirement: run flat out and let run-time
+    // accuracy tuning make up the rest.
+    return make(1.0);
+}
+
+} // namespace pcnn

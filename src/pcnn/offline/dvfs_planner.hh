@@ -1,0 +1,52 @@
+/**
+ * @file
+ * DVFS planning for the imperceptible region.
+ *
+ * The Fig. 3 guidance: inside the imperceptible region, trade the
+ * useless speed for energy by lowering the clock until the predicted
+ * latency approaches T_i. The planner chooses the lowest DVFS level
+ * whose recompiled plan still meets the requirement, and reports the
+ * simulated energy saving.
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_DVFS_PLANNER_HH
+#define PCNN_PCNN_OFFLINE_DVFS_PLANNER_HH
+
+#include "gpu/dvfs.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/** A frequency decision plus the plan compiled at that frequency. */
+struct DvfsPlan
+{
+    double level = 1.0;   ///< frequency fraction chosen
+    GpuSpec gpu;          ///< the scaled specification
+    CompiledPlan plan;    ///< compiled against the scaled GPU
+    double slackS = 0.0;  ///< T_i minus predicted latency
+};
+
+/** DVFS planner bound to one nominal GPU. */
+class DvfsPlanner
+{
+  public:
+    /** Bind the nominal GPU. */
+    explicit DvfsPlanner(GpuSpec nominal);
+
+    /**
+     * Pick the lowest frequency level whose plan still meets the
+     * application's time requirement (background tasks, having no
+     * requirement, get the lowest level outright). Plans are
+     * recompiled per level because kernel choices can shift with the
+     * compute/bandwidth balance.
+     */
+    DvfsPlan plan(const NetDescriptor &net, const AppSpec &app) const;
+
+  private:
+    DvfsModel dvfs;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_DVFS_PLANNER_HH

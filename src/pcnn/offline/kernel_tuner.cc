@@ -1,0 +1,94 @@
+#include "pcnn/offline/kernel_tuner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+KernelTuner::KernelTuner(GpuSpec gpu) : gpuSpec(std::move(gpu)) {}
+
+std::size_t
+KernelTuner::minReg() const
+{
+    const std::size_t r =
+        gpuSpec.registersPerSM / gpuSpec.maxThreadsPerSM;
+    return std::max<std::size_t>(r, 16);
+}
+
+std::vector<KernelConfig>
+KernelTuner::staircase(const TileConfig &tile) const
+{
+    std::vector<KernelConfig> out;
+    const std::size_t lo = std::min(minReg(), tile.naturalRegs);
+    std::size_t last_tlp = 0;
+    // Walk register counts downward; a new TLP value opens a new
+    // stair, and the first (largest-register) point on each stair is
+    // the rightmost point of Fig. 9 — the only one worth scoring.
+    for (std::size_t r = tile.naturalRegs; r >= lo; --r) {
+        const Occupancy occ = occupancy(gpuSpec, tile, r);
+        if (occ.ctasPerSm == 0)
+            continue;
+        if (occ.ctasPerSm != last_tlp) {
+            KernelConfig cfg;
+            cfg.tile = tile;
+            cfg.regsPerThread = r;
+            out.push_back(cfg);
+            last_tlp = occ.ctasPerSm;
+        }
+        if (r == lo)
+            break;
+    }
+    return out;
+}
+
+std::vector<KernelConfig>
+KernelTuner::candidates() const
+{
+    if (!candidateCache.empty())
+        return candidateCache;
+    std::vector<KernelConfig> out;
+    for (const TileConfig &tile : tileCatalogue()) {
+        auto stair = staircase(tile);
+        out.insert(out.end(), stair.begin(), stair.end());
+    }
+    pcnn_assert(!out.empty(), "no viable kernel candidates on ",
+                gpuSpec.name);
+    candidateCache = out;
+    return out;
+}
+
+TunedKernel
+KernelTuner::tune(const GemmShape &gemm, TuneObjective objective) const
+{
+    TunedKernel best;
+    bool have_best = false;
+    double best_score = 0.0;
+
+    for (const KernelConfig &cfg : candidates()) {
+        const SgemmModel model(gpuSpec, cfg);
+        const std::size_t tlp = model.occ().ctasPerSm;
+        const double time = model.kernelTime(gemm);
+        const double sk = model.skernel(gemm, tlp);
+        const double score =
+            objective == TuneObjective::SkernelMetric ? sk : time;
+
+        // Smaller is better; break ties toward the faster kernel so
+        // the Eq. 10 metric stays deterministic across equal scores.
+        const bool better =
+            !have_best || score < best_score ||
+            (score == best_score && time < best.predictedTimeS);
+        if (better) {
+            best.config = cfg;
+            best.optTLP = tlp;
+            best.skernel = sk;
+            best.predictedTimeS = time;
+            best_score = score;
+            have_best = true;
+        }
+    }
+    pcnn_assert(have_best, "tuner found no kernel");
+    return best;
+}
+
+} // namespace pcnn

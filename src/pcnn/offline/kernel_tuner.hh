@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Coordinated sub-matrix / register fine-tuning (Section IV.B.2).
+ *
+ * For every convolutional layer the tuner sweeps the tile catalogue
+ * and, within each tile, the register budget from minReg (register
+ * file / max threads) up to the kernel's natural demand. Register
+ * counts are pruned to the Fig. 9 staircase: within one TLP stair
+ * only the rightmost point (most registers) can win, so only those
+ * points are scored. Selection uses the paper's S_kernel metric
+ * (Eq. 10); a time-model-based selection is also provided for the
+ * ablation bench.
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_KERNEL_TUNER_HH
+#define PCNN_PCNN_OFFLINE_KERNEL_TUNER_HH
+
+#include <vector>
+
+#include "gpu/kernel_model.hh"
+
+namespace pcnn {
+
+/** Outcome of tuning one layer. */
+struct TunedKernel
+{
+    KernelConfig config;
+    std::size_t optTLP = 0;       ///< CTAs per SM the config sustains
+    std::size_t optSM = 0;        ///< Eq. 11, filled by ResourceModel
+    double skernel = 0.0;         ///< Eq. 10 score of the winner
+    double predictedTimeS = 0.0;  ///< time-model estimate, whole GPU
+};
+
+/** How the tuner ranks candidate kernels. */
+enum class TuneObjective
+{
+    SkernelMetric, ///< the paper's Eq. 10 metric
+    TimeModel,     ///< direct predicted-time minimization (ablation)
+};
+
+/**
+ * The offline kernel tuner, bound to one GPU.
+ */
+class KernelTuner
+{
+  public:
+    /** Bind the deployment architecture. */
+    explicit KernelTuner(GpuSpec gpu);
+
+    /**
+     * Smallest useful register budget: register file divided by the
+     * maximum resident threads (32 on all modeled parts).
+     */
+    std::size_t minReg() const;
+
+    /**
+     * The Fig. 9 staircase for a tile: one candidate per distinct
+     * TLP value, keeping the largest register count on each stair.
+     * Ordered by decreasing registers (increasing TLP).
+     */
+    std::vector<KernelConfig> staircase(const TileConfig &tile) const;
+
+    /**
+     * All candidate kernels for a layer: the staircases of every
+     * catalogue tile.
+     */
+    std::vector<KernelConfig> candidates() const;
+
+    /**
+     * Tune one layer's GEMM: pick the candidate with the smallest
+     * objective. TLP is the candidate's occupancy.
+     */
+    TunedKernel tune(const GemmShape &gemm,
+                     TuneObjective objective =
+                         TuneObjective::SkernelMetric) const;
+
+  private:
+    GpuSpec gpuSpec;
+    /// lazy cache: the candidate set depends only on the GPU
+    mutable std::vector<KernelConfig> candidateCache;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_KERNEL_TUNER_HH

@@ -1,0 +1,237 @@
+#include "pcnn/offline/plan_io.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '1'};
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(out, bits);
+}
+
+void
+putStr(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &bytes)
+        : data(bytes)
+    {
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (pos + 8 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(data[pos + std::size_t(i)]) << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        std::uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, 8);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint64_t len;
+        if (!u64(len) || pos + len > data.size())
+            return fail();
+        s.assign(data.begin() + std::ptrdiff_t(pos),
+                 data.begin() + std::ptrdiff_t(pos + len));
+        pos += len;
+        return true;
+    }
+
+    bool done() const { return ok && pos == data.size(); }
+
+    bool fail()
+    {
+        ok = false;
+        return false;
+    }
+
+  private:
+    const std::vector<std::uint8_t> &data;
+    std::size_t pos = 0;
+    bool ok = true;
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializePlan(const CompiledPlan &plan)
+{
+    std::vector<std::uint8_t> out;
+    out.insert(out.end(), kMagic, kMagic + 8);
+    putStr(out, plan.netName);
+    putStr(out, plan.gpuName);
+    putU64(out, plan.batch);
+    putU64(out, plan.timeRequirementMissed ? 1 : 0);
+    putF64(out, plan.time.convS);
+    putF64(out, plan.time.fcS);
+    putF64(out, plan.time.auxS);
+    putF64(out, plan.footprint.weightBytes);
+    putF64(out, plan.footprint.activationBytes);
+    putF64(out, plan.footprint.workspaceBytes);
+
+    putU64(out, plan.layers.size());
+    for (const LayerSchedule &ls : plan.layers) {
+        const ConvSpec &c = ls.layer;
+        putStr(out, c.name);
+        putU64(out, c.inC);
+        putU64(out, c.outC);
+        putU64(out, c.kernel);
+        putU64(out, c.stride);
+        putU64(out, c.pad);
+        putU64(out, c.inH);
+        putU64(out, c.inW);
+        putU64(out, c.groups);
+
+        putU64(out, ls.kernel.config.tile.m);
+        putU64(out, ls.kernel.config.tile.n);
+        putU64(out, ls.kernel.config.regsPerThread);
+        putU64(out, ls.kernel.optTLP);
+        putU64(out, ls.kernel.optSM);
+        putF64(out, ls.kernel.skernel);
+        putF64(out, ls.kernel.predictedTimeS);
+        putF64(out, ls.timeS);
+        putF64(out, ls.util);
+    }
+    return out;
+}
+
+std::optional<CompiledPlan>
+deserializePlan(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < 8 ||
+        std::memcmp(bytes.data(), kMagic, 8) != 0) {
+        return std::nullopt;
+    }
+    const std::vector<std::uint8_t> body(bytes.begin() + 8,
+                                         bytes.end());
+    Reader r(body);
+
+    CompiledPlan plan;
+    std::uint64_t missed = 0, n_layers = 0, batch = 0;
+    if (!r.str(plan.netName) || !r.str(plan.gpuName) ||
+        !r.u64(batch) || !r.u64(missed) || !r.f64(plan.time.convS) ||
+        !r.f64(plan.time.fcS) || !r.f64(plan.time.auxS) ||
+        !r.f64(plan.footprint.weightBytes) ||
+        !r.f64(plan.footprint.activationBytes) ||
+        !r.f64(plan.footprint.workspaceBytes) || !r.u64(n_layers)) {
+        return std::nullopt;
+    }
+    plan.batch = batch;
+    plan.timeRequirementMissed = missed != 0;
+    if (n_layers > 4096)
+        return std::nullopt; // sanity bound
+
+    for (std::uint64_t i = 0; i < n_layers; ++i) {
+        LayerSchedule ls;
+        ConvSpec &c = ls.layer;
+        std::uint64_t in_c, out_c, kernel, stride, pad, in_h, in_w,
+            groups, tile_m, tile_n, regs, tlp, sm;
+        if (!r.str(c.name) || !r.u64(in_c) || !r.u64(out_c) ||
+            !r.u64(kernel) || !r.u64(stride) || !r.u64(pad) ||
+            !r.u64(in_h) || !r.u64(in_w) || !r.u64(groups) ||
+            !r.u64(tile_m) || !r.u64(tile_n) || !r.u64(regs) ||
+            !r.u64(tlp) || !r.u64(sm) || !r.f64(ls.kernel.skernel) ||
+            !r.f64(ls.kernel.predictedTimeS) || !r.f64(ls.timeS) ||
+            !r.f64(ls.util)) {
+            return std::nullopt;
+        }
+        c.inC = in_c;
+        c.outC = out_c;
+        c.kernel = kernel;
+        c.stride = stride;
+        c.pad = pad;
+        c.inH = in_h;
+        c.inW = in_w;
+        c.groups = groups;
+        if (groups == 0 || kernel == 0 || stride == 0)
+            return std::nullopt;
+
+        // The tile must exist in this build's catalogue.
+        bool found = false;
+        for (const TileConfig &t : tileCatalogue()) {
+            if (t.m == tile_m && t.n == tile_n) {
+                ls.kernel.config.tile = t;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return std::nullopt;
+        ls.kernel.config.regsPerThread = regs;
+        ls.kernel.optTLP = tlp;
+        ls.kernel.optSM = sm;
+        ls.gemm = c.gemmShape(plan.batch);
+        plan.layers.push_back(std::move(ls));
+    }
+    if (!r.done())
+        return std::nullopt;
+    return plan;
+}
+
+bool
+savePlan(const CompiledPlan &plan, const std::string &path)
+{
+    const auto bytes = serializePlan(plan);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            std::streamsize(bytes.size()));
+    return static_cast<bool>(f);
+}
+
+std::optional<CompiledPlan>
+loadPlan(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        return std::nullopt;
+    const auto size = std::size_t(f.tellg());
+    f.seekg(0);
+    std::vector<std::uint8_t> bytes(size);
+    f.read(reinterpret_cast<char *>(bytes.data()),
+           std::streamsize(size));
+    if (!f)
+        return std::nullopt;
+    return deserializePlan(bytes);
+}
+
+} // namespace pcnn

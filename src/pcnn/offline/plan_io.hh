@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Compiled-plan persistence.
+ *
+ * Offline compilation is the expensive, per-platform step; the
+ * deployed runtime should load a finished plan instead of re-tuning
+ * on every start. Plans serialize to a small self-describing binary
+ * (magic + versioned fields) and refuse to load against a different
+ * tile catalogue or a corrupted file.
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_PLAN_IO_HH
+#define PCNN_PCNN_OFFLINE_PLAN_IO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcnn/offline/compiler.hh"
+
+namespace pcnn {
+
+/** Serialize a compiled plan to bytes. */
+std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan);
+
+/**
+ * Restore a plan from bytes.
+ * @return the plan, or std::nullopt on malformed/incompatible data
+ */
+std::optional<CompiledPlan>
+deserializePlan(const std::vector<std::uint8_t> &bytes);
+
+/** Save a plan to a file. @retval true on success */
+bool savePlan(const CompiledPlan &plan, const std::string &path);
+
+/** Load a plan from a file; std::nullopt on any failure. */
+std::optional<CompiledPlan> loadPlan(const std::string &path);
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_PLAN_IO_HH

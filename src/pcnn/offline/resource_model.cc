@@ -1,0 +1,23 @@
+#include "pcnn/offline/resource_model.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::size_t
+optimalSms(std::size_t grid_size, std::size_t tlp, std::size_t num_sms)
+{
+    pcnn_assert(grid_size >= 1 && tlp >= 1 && num_sms >= 1,
+                "optimalSms needs positive arguments");
+    const std::size_t per_wave = tlp * num_sms;
+    const std::size_t invocations =
+        (grid_size + per_wave - 1) / per_wave;
+    // Smallest s with ceil(grid / (tlp*s)) == invocations, i.e.
+    // tlp * s * invocations >= grid.
+    const std::size_t s =
+        (grid_size + tlp * invocations - 1) / (tlp * invocations);
+    pcnn_assert(s >= 1 && s <= num_sms, "Eq. 11 solution out of range");
+    return s;
+}
+
+} // namespace pcnn

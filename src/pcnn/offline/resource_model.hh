@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The resource model: optimal SM allocation (Eq. 11).
+ *
+ * Underutilized layers do not need the whole GPU: optSM is the
+ * smallest SM count that keeps nInvocations unchanged relative to
+ * using every SM, so the freed SMs can be power gated or given to
+ * other kernels with no performance loss.
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_RESOURCE_MODEL_HH
+#define PCNN_PCNN_OFFLINE_RESOURCE_MODEL_HH
+
+#include <cstddef>
+
+#include "gpu/gpu_spec.hh"
+
+namespace pcnn {
+
+/**
+ * Eq. 11: minimum SMs such that
+ * ceil(grid / (tlp*optSM)) == ceil(grid / (tlp*numSMs)).
+ *
+ * @param grid_size CTAs of the kernel
+ * @param tlp CTAs per SM (optTLP)
+ * @param num_sms SMs available on the GPU
+ */
+std::size_t optimalSms(std::size_t grid_size, std::size_t tlp,
+                       std::size_t num_sms);
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_RESOURCE_MODEL_HH

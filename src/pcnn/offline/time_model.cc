@@ -1,0 +1,48 @@
+#include "pcnn/offline/time_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gpu/memory_model.hh"
+
+namespace pcnn {
+
+TimeModel::TimeModel(GpuSpec gpu) : gpuSpec(std::move(gpu)) {}
+
+double
+TimeModel::layerTime(const ConvSpec &layer, const TunedKernel &kernel,
+                     std::size_t batch,
+                     std::size_t positions_per_image) const
+{
+    pcnn_assert(batch >= 1, "batch must be positive");
+    const GemmShape gemm = layer.gemmShape(batch, positions_per_image);
+    const SgemmModel model(gpuSpec, kernel.config);
+    const std::size_t sms =
+        kernel.optSM == 0 ? gpuSpec.numSMs : kernel.optSM;
+    return model.kernelTime(gemm, sms, kernel.optTLP) *
+           double(layer.gemmCount());
+}
+
+double
+TimeModel::fcTime(const NetDescriptor &net, std::size_t batch) const
+{
+    double t = 0.0;
+    for (const auto &[in, out] : net.fcs) {
+        const double flops =
+            2.0 * double(in) * double(out) * double(batch);
+        const double compute = flops / (gpuSpec.peakFlops() * 0.5);
+        const double stream =
+            4.0 * double(in) * double(out) / gpuSpec.bandwidthBytes();
+        t += std::max(compute, stream) + SgemmModel::launchOverheadS;
+    }
+    return t;
+}
+
+double
+TimeModel::auxTime(const NetDescriptor &net, std::size_t batch) const
+{
+    return 3.0 * activationBytes(net, batch) /
+           gpuSpec.bandwidthBytes();
+}
+
+} // namespace pcnn

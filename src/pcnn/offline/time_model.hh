@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The platform-independent time model (Eq. 12).
+ *
+ * Predicts per-layer and end-to-end inference latency for a tuned
+ * kernel plan, honoring the optSM allocation. This is the model the
+ * offline compiler uses to check the user's time requirement and to
+ * adjust the batch size (Eq. 13), and the model the accuracy tuner
+ * uses to price perforated layers.
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_TIME_MODEL_HH
+#define PCNN_PCNN_OFFLINE_TIME_MODEL_HH
+
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/kernel_tuner.hh"
+
+namespace pcnn {
+
+/** Latency decomposition of one inference batch. */
+struct NetTimeBreakdown
+{
+    double convS = 0.0;
+    double fcS = 0.0;
+    double auxS = 0.0;
+
+    /** End-to-end seconds. */
+    double total() const { return convS + fcS + auxS; }
+};
+
+/** Time model bound to one GPU. */
+class TimeModel
+{
+  public:
+    /** Bind the deployment architecture. */
+    explicit TimeModel(GpuSpec gpu);
+
+    /** Bound GPU. */
+    const GpuSpec &gpu() const { return gpuSpec; }
+
+    /**
+     * Predicted time of one conv layer under a tuned kernel.
+     * @param layer layer shapes
+     * @param kernel tuned kernel (its optSM/optTLP are honored;
+     *        optSM == 0 means the whole GPU)
+     * @param batch batch size
+     * @param positions_per_image perforated output positions
+     *        (0 = full grid)
+     */
+    double layerTime(const ConvSpec &layer, const TunedKernel &kernel,
+                     std::size_t batch,
+                     std::size_t positions_per_image = 0) const;
+
+    /** Weight-streaming-aware fully connected tail time. */
+    double fcTime(const NetDescriptor &net, std::size_t batch) const;
+
+    /** Element-wise layer (pool/relu/concat) streaming time. */
+    double auxTime(const NetDescriptor &net, std::size_t batch) const;
+
+  private:
+    GpuSpec gpuSpec;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_TIME_MODEL_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Umbrella header: the public API of the P-CNN library.
+ *
+ * Typical flow (see examples/quickstart.cc):
+ *   1. Describe the deployment: a NetDescriptor (model zoo or your
+ *      own), a GpuSpec (presets or custom), an AppSpec.
+ *   2. OfflineCompiler::compile -> CompiledPlan (tuned kernels,
+ *      batch, optSM/optTLP per layer).
+ *   3. For a functional network: Executor (tune + infer + calibrate).
+ *      For shape-only studies: RuntimeKernelScheduler + AccuracyTuner
+ *      + the scheduler zoo.
+ */
+
+#ifndef PCNN_PCNN_PCNN_HH
+#define PCNN_PCNN_PCNN_HH
+
+#include "common/table.hh"
+#include "data/synthetic.hh"
+#include "gpu/gpu_spec.hh"
+#include "gpu/kernel_model.hh"
+#include "gpu/memory_model.hh"
+#include "gpu/sim/gpu_sim.hh"
+#include "libs/dl_library.hh"
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/accuracy_tuner.hh"
+#include "pcnn/runtime/calibration.hh"
+#include "pcnn/runtime/executor.hh"
+#include "pcnn/runtime/kernel_scheduler.hh"
+#include "pcnn/satisfaction.hh"
+#include "pcnn/schedulers/scheduler.hh"
+#include "pcnn/task.hh"
+#include "train/trainer.hh"
+
+#endif // PCNN_PCNN_PCNN_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Run-time accuracy tuning (Section IV.C.1, Fig. 12).
+ *
+ * Greedy per-layer perforation: each iteration tentatively shrinks
+ * every conv layer's computed output grid, scores the adjustment with
+ * the TE metric (Eq. 14: time saved per unit of entropy increase),
+ * commits the best layer, and records a tuning-table entry. The
+ * entropy-guided variant is unsupervised (the paper's contribution);
+ * the accuracy-guided variant needs labeled data and exists as the
+ * Fig. 16 comparator.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_ACCURACY_TUNER_HH
+#define PCNN_PCNN_RUNTIME_ACCURACY_TUNER_HH
+
+#include "data/dataset.hh"
+#include "nn/network.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/entropy_profile.hh"
+#include "pcnn/runtime/tuning_table.hh"
+
+namespace pcnn {
+
+/** Tuner knobs. */
+struct TunerConfig
+{
+    /// stop once output entropy exceeds this (entropy-guided mode)
+    double entropyThreshold = 1.2;
+    /// stop once accuracy drops this much below the exact network
+    /// (accuracy-guided mode)
+    double maxAccuracyDrop = 0.10;
+    /// greedy iterations; 0 = automatic (6 adjustments per conv
+    /// layer, so deep networks tune as far as shallow ones)
+    std::size_t maxIterations = 0;
+    /// per-adjustment shrink factor of one layer's position count
+    double stepFraction = 0.8;
+    /// never perforate a layer below this many positions
+    std::size_t minPositions = 4;
+};
+
+/**
+ * The accuracy tuner, bound to one GPU (for the time model) and one
+ * compiled plan (for the per-layer kernels).
+ */
+class AccuracyTuner
+{
+  public:
+    /** @param gpu deployment GPU @param cfg tuning knobs */
+    AccuracyTuner(GpuSpec gpu, TunerConfig cfg);
+
+    /**
+     * Entropy-guided tuning of a trained functional network. Entropy
+     * is measured by running the network on unlabeled tuning inputs;
+     * time comes from the plan's time model with re-derived optSM.
+     * The network is left at level 0 (unperforated) on return.
+     */
+    TuningTable tuneNetwork(Network &net, const CompiledPlan &plan,
+                            const Tensor &tuning_inputs) const;
+
+    /**
+     * Accuracy-guided comparator (supervised): same greedy loop, but
+     * adjustments are scored and stopped by labeled accuracy.
+     */
+    TuningTable tuneNetworkByAccuracy(Network &net,
+                                      const CompiledPlan &plan,
+                                      const Dataset &labeled) const;
+
+    /**
+     * Profile-driven tuning for shape-only networks: entropy and
+     * accuracy come from a calibrated EntropyProfile evaluated at the
+     * FLOP-weighted keep fraction.
+     */
+    TuningTable tuneModeled(const CompiledPlan &plan,
+                            const EntropyProfile &profile) const;
+
+    /**
+     * Predicted batch latency of a plan at a per-layer position
+     * assignment (0 = full), re-deriving optSM per layer (the paper's
+     * "new tuning table ... using our resource model").
+     */
+    double predictedTime(const CompiledPlan &plan,
+                         const std::vector<std::size_t> &positions)
+        const;
+
+    /**
+     * Predicted time of a single conv layer at a position count
+     * (0 = full), with re-derived optSM. The greedy loop uses this
+     * incrementally: a trial only re-prices the layer it touches.
+     */
+    double layerTimeAt(const CompiledPlan &plan, std::size_t layer,
+                       std::size_t positions) const;
+
+  private:
+    /** Next smaller aligned position count; 0 when already minimal. */
+    std::size_t shrink(std::size_t current, std::size_t full,
+                       std::size_t tile_n) const;
+
+    GpuSpec gpuSpec;
+    TunerConfig cfg;
+    TimeModel timeModel;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_ACCURACY_TUNER_HH

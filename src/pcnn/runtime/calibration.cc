@@ -1,0 +1,31 @@
+#include "pcnn/runtime/calibration.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+Calibrator::Calibrator(const TuningTable &t, double entropy_threshold)
+    : table(t), threshold(entropy_threshold)
+{
+    pcnn_assert(table.levels() >= 1, "calibrator needs a tuning path");
+    level = table.selectLevel(threshold);
+}
+
+const TuningEntry &
+Calibrator::current() const
+{
+    return table.entry(level);
+}
+
+bool
+Calibrator::observe(double measured_entropy)
+{
+    if (measured_entropy <= threshold || level == 0)
+        return false;
+    // Step back along the tuning path toward the exact network.
+    --level;
+    ++steps;
+    return true;
+}
+
+} // namespace pcnn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Run-time calibration (Section IV.C.3).
+ *
+ * Input data changes at run time; the tuning data may have been
+ * easier than the live distribution. The calibrator monitors output
+ * uncertainty and, when it exceeds the user threshold, backtracks
+ * along the tuning path to a slower but more precise level until the
+ * output is trustworthy again.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_CALIBRATION_HH
+#define PCNN_PCNN_RUNTIME_CALIBRATION_HH
+
+#include "pcnn/runtime/tuning_table.hh"
+
+namespace pcnn {
+
+/**
+ * Stateful monitor over a tuning path.
+ */
+class Calibrator
+{
+  public:
+    /**
+     * @param table the tuning path produced by accuracy tuning
+     * @param entropy_threshold the user's uncertainty ceiling
+     */
+    Calibrator(const TuningTable &table, double entropy_threshold);
+
+    /** Level currently selected (starts at selectLevel(threshold)). */
+    std::size_t currentLevel() const { return level; }
+
+    /** Entry of the current level. */
+    const TuningEntry &current() const;
+
+    /**
+     * Report the measured entropy of the latest output batch.
+     * Backtracks one step toward level 0 when the threshold is
+     * violated (the paper walks the path until acceptable; repeated
+     * violations keep stepping back on subsequent observations).
+     *
+     * @return true when the level changed
+     */
+    bool observe(double measured_entropy);
+
+    /** Number of backtracking steps taken so far. */
+    std::size_t backtracks() const { return steps; }
+
+  private:
+    const TuningTable &table;
+    double threshold;
+    std::size_t level;
+    std::size_t steps = 0;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_CALIBRATION_HH

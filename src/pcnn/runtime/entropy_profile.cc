@@ -1,0 +1,113 @@
+#include "pcnn/runtime/entropy_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/tensor_ops.hh"
+#include "train/loss.hh"
+
+namespace pcnn {
+
+EntropyProfile::EntropyProfile(std::vector<Point> points)
+    : pts(std::move(points))
+{
+    pcnn_assert(pts.size() >= 2, "profile needs at least two points");
+    std::sort(pts.begin(), pts.end(),
+              [](const Point &a, const Point &b) {
+                  return a.keep < b.keep;
+              });
+}
+
+namespace {
+
+double
+interpolate(const std::vector<EntropyProfile::Point> &pts, double keep,
+            double EntropyProfile::Point::*field)
+{
+    if (keep <= pts.front().keep)
+        return pts.front().*field;
+    if (keep >= pts.back().keep)
+        return pts.back().*field;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        if (keep <= pts[i].keep) {
+            const double span = pts[i].keep - pts[i - 1].keep;
+            const double t =
+                span > 0.0 ? (keep - pts[i - 1].keep) / span : 1.0;
+            return pts[i - 1].*field +
+                   t * (pts[i].*field - pts[i - 1].*field);
+        }
+    }
+    return pts.back().*field;
+}
+
+} // namespace
+
+double
+EntropyProfile::entropyAt(double keep) const
+{
+    return interpolate(pts, keep, &Point::entropy);
+}
+
+double
+EntropyProfile::accuracyAt(double keep) const
+{
+    return interpolate(pts, keep, &Point::accuracy);
+}
+
+EntropyProfile
+EntropyProfile::calibrate(Network &net, const Dataset &data,
+                          std::size_t steps)
+{
+    pcnn_assert(steps >= 2, "need at least two calibration steps");
+    pcnn_assert(data.size() > 0, "empty calibration dataset");
+
+    std::vector<Point> points;
+    const auto &convs = net.convLayers();
+
+    for (std::size_t s = 0; s < steps; ++s) {
+        const double keep = 1.0 - double(s) / double(steps); // (0, 1]
+        double kept_flops = 0.0, total_flops = 0.0;
+        for (ConvLayer *c : convs) {
+            const std::size_t full = c->fullPositions();
+            c->setComputedPositions(std::max<std::size_t>(
+                1, std::size_t(std::lround(double(full) * keep))));
+            const double f = c->spec().flopsPerImage();
+            total_flops += f;
+            kept_flops += f * double(c->computedPositions()) /
+                          double(full);
+        }
+
+        const Tensor x = data.batch(0, data.size());
+        const Tensor logits = net.forward(x, false);
+        const Tensor probs = softmax(logits);
+
+        Point p;
+        p.keep = total_flops > 0.0 ? kept_flops / total_flops : keep;
+        p.entropy = batchEntropy(probs);
+        p.accuracy = accuracy(logits, data.labels());
+        points.push_back(p);
+    }
+    net.clearPerforation();
+    return EntropyProfile(std::move(points));
+}
+
+EntropyProfile
+EntropyProfile::representative()
+{
+    // Shipped from a MiniNet-M calibration on the synthetic task
+    // (difficulty 0.5, 8 classes): entropy climbs and accuracy falls
+    // smoothly as convolution outputs are perforated away.
+    return EntropyProfile({
+        {1.00, 0.45, 0.93},
+        {0.85, 0.50, 0.92},
+        {0.70, 0.58, 0.90},
+        {0.55, 0.70, 0.86},
+        {0.40, 0.88, 0.80},
+        {0.30, 1.05, 0.73},
+        {0.20, 1.30, 0.62},
+        {0.12, 1.60, 0.48},
+    });
+}
+
+} // namespace pcnn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Entropy/accuracy response to perforation.
+ *
+ * Maps an aggregate perforation level (FLOP-weighted keep fraction)
+ * to expected CNN_entropy and accuracy. Profiles are calibrated by
+ * actually perforating a trained network on held-out data; the
+ * scheduler benches use a calibrated profile to attach accuracy
+ * semantics to the shape-only ImageNet networks (see the DESIGN.md
+ * substitution table).
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_ENTROPY_PROFILE_HH
+#define PCNN_PCNN_RUNTIME_ENTROPY_PROFILE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "nn/network.hh"
+
+namespace pcnn {
+
+/**
+ * Piecewise-linear map keep-fraction -> (entropy, accuracy).
+ * keep == 1 is the exact network; keep -> 0 degrades smoothly.
+ */
+class EntropyProfile
+{
+  public:
+    /** One calibration point. */
+    struct Point
+    {
+        double keep = 1.0;     ///< FLOP-weighted kept fraction
+        double entropy = 0.0;  ///< measured mean output entropy
+        double accuracy = 0.0; ///< measured top-1 accuracy
+    };
+
+    /** Build from calibration points (sorted by keep internally). */
+    explicit EntropyProfile(std::vector<Point> points);
+
+    /** Interpolated entropy at a keep fraction (clamped to range). */
+    double entropyAt(double keep) const;
+
+    /** Interpolated accuracy at a keep fraction. */
+    double accuracyAt(double keep) const;
+
+    /** The calibration points, ascending keep. */
+    const std::vector<Point> &points() const { return pts; }
+
+    /**
+     * Calibrate by sweeping uniform perforation over a trained
+     * network on a labeled dataset.
+     * @param net trained functional network (perforation is reset
+     *        afterwards)
+     * @param data held-out labeled data
+     * @param steps number of keep fractions sampled in (0, 1]
+     */
+    static EntropyProfile calibrate(Network &net, const Dataset &data,
+                                    std::size_t steps = 8);
+
+    /**
+     * A representative profile (shipped numbers from a MiniNet-M
+     * calibration run) for contexts that cannot afford training.
+     */
+    static EntropyProfile representative();
+
+  private:
+    std::vector<Point> pts;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_ENTROPY_PROFILE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * End-to-end P-CNN runtime for functional networks.
+ *
+ * Ties the pieces together for a deployed application: apply the
+ * tuning level, run the real (CPU) network for outputs and entropy,
+ * charge simulated GPU time/energy for the same work, and let the
+ * calibrator react to uncertain outputs.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_EXECUTOR_HH
+#define PCNN_PCNN_RUNTIME_EXECUTOR_HH
+
+#include <optional>
+
+#include "nn/network.hh"
+#include "pcnn/runtime/accuracy_tuner.hh"
+#include "pcnn/runtime/calibration.hh"
+#include "pcnn/runtime/kernel_scheduler.hh"
+
+namespace pcnn {
+
+/** Result of one inference request. */
+struct InferenceResult
+{
+    Tensor probs;                        ///< class probabilities
+    std::vector<std::size_t> predictions;///< argmax per item
+    double entropy = 0.0;                ///< batch mean CNN_entropy
+    double simLatencyS = 0.0;            ///< simulated GPU latency
+    double energyJ = 0.0;                ///< simulated GPU energy
+    std::size_t tuningLevel = 0;         ///< level used for this batch
+    bool recalibrated = false;           ///< calibrator stepped back
+};
+
+/**
+ * The deployed runtime: functional network + compiled plan +
+ * simulated GPU + tuning/calibration state.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param net trained network (borrowed; perforation is managed
+     *        by the executor from here on)
+     * @param plan offline-compiled plan for the target GPU
+     * @param gpu the target GPU
+     * @param tuner_cfg accuracy-tuning knobs
+     */
+    Executor(Network &net, CompiledPlan plan, GpuSpec gpu,
+             TunerConfig tuner_cfg = {});
+
+    /**
+     * Run entropy-based accuracy tuning on unlabeled tuning inputs
+     * and arm the calibrator at the selected level.
+     */
+    void tune(const Tensor &tuning_inputs);
+
+    /**
+     * Serve one batch: functional outputs + simulated cost at the
+     * current tuning level, then calibrate on the observed entropy.
+     */
+    InferenceResult infer(const Tensor &batch);
+
+    /** The tuning path (one exact level before tune() is called). */
+    const TuningTable &tuningTable() const { return table; }
+
+    /** Current tuning level. */
+    std::size_t currentLevel() const;
+
+    /** The compiled plan in force. */
+    const CompiledPlan &plan() const { return compiled; }
+
+  private:
+    /** Apply a tuning level's positions to the network. */
+    void applyLevel(std::size_t level);
+
+    Network &net;
+    CompiledPlan compiled;
+    GpuSpec gpuSpec;
+    TunerConfig tunerCfg;
+    RuntimeKernelScheduler scheduler;
+    TuningTable table;
+    std::optional<Calibrator> calibrator;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_EXECUTOR_HH

@@ -1,0 +1,86 @@
+#include "pcnn/runtime/kernel_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pcnn/offline/resource_model.hh"
+
+namespace pcnn {
+
+ExecPolicy
+pcnnPolicy()
+{
+    return ExecPolicy{SchedKind::PrioritySM, true, true};
+}
+
+ExecPolicy
+baselinePolicy()
+{
+    return ExecPolicy{SchedKind::RoundRobin, false, false};
+}
+
+RuntimeKernelScheduler::RuntimeKernelScheduler(GpuSpec gpu)
+    : gpuSpec(gpu), gpuSim(std::move(gpu))
+{
+}
+
+SimResult
+RuntimeKernelScheduler::execute(
+    const CompiledPlan &plan, const ExecPolicy &policy,
+    const std::vector<std::size_t> *positions) const
+{
+    pcnn_assert(!positions || positions->size() == plan.layers.size(),
+                "perforation vector mismatches plan layers");
+
+    std::vector<std::pair<KernelDesc, LaunchConfig>> seq;
+
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+        const LayerSchedule &ls = plan.layers[i];
+        const std::size_t pos = positions ? (*positions)[i] : 0;
+        const GemmShape gemm = ls.layer.gemmShape(plan.batch, pos);
+        const SgemmModel model(gpuSpec, ls.kernel.config);
+
+        KernelDesc kd;
+        kd.name = ls.layer.name;
+        kd.gridSize = model.gridSize(gemm);
+        kd.ctaWorkFlops = model.ctaWorkFlops(gemm);
+        kd.blockSize = ls.kernel.config.tile.blockSize;
+        kd.issueDensity = model.timingDensity();
+        kd.bytesPerFlop = model.trafficBytesPerFlop();
+        kd.launches = ls.layer.gemmCount();
+
+        LaunchConfig lc;
+        lc.scheduler = policy.scheduler;
+        lc.tlpLimit = ls.kernel.optTLP;
+        lc.powerGateIdle = policy.powerGateIdle;
+        if (policy.fixedSmAllocation > 0 &&
+            policy.scheduler == SchedKind::PrioritySM) {
+            lc.smsAllowed = std::min(policy.fixedSmAllocation,
+                                     gpuSpec.numSMs);
+        } else if (policy.useOptSm &&
+                   policy.scheduler == SchedKind::PrioritySM) {
+            // Re-derive optSM when perforation shrank the grid.
+            lc.smsAllowed =
+                pos == 0 ? ls.kernel.optSM
+                         : optimalSms(kd.gridSize, ls.kernel.optTLP,
+                                      gpuSpec.numSMs);
+        } else {
+            lc.smsAllowed = 0;
+        }
+        seq.emplace_back(std::move(kd), lc);
+    }
+
+    SimResult result = gpuSim.runSequence(seq);
+
+    // Fully connected + element-wise phases: memory-bound intervals.
+    // Their FLOPs are small; with gating only a couple of SMs stay
+    // powered to stream them.
+    const double fc_aux = plan.time.fcS + plan.time.auxS;
+    const std::size_t powered =
+        policy.powerGateIdle ? std::min<std::size_t>(2, gpuSpec.numSMs)
+                             : gpuSpec.numSMs;
+    result.accumulate(gpuSim.fixedInterval(fc_aux, powered));
+    return result;
+}
+
+} // namespace pcnn

@@ -1,0 +1,62 @@
+#include "pcnn/runtime/requirement_learner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+RequirementLearner::RequirementLearner(UserRequirement initial,
+                                       double damp)
+    : req(initial), damping(damp)
+{
+    pcnn_assert(damping > 0.0 && damping <= 1.0,
+                "damping must be in (0, 1]");
+    pcnn_assert(!initial.timeInsensitive,
+                "nothing to learn for a background task");
+    // Start with a generous bracket around the table value.
+    loTi = initial.imperceptibleS * 0.25;
+    hiTi = initial.imperceptibleS * 4.0;
+    hiTt = std::max(initial.tolerableS, hiTi);
+    refresh();
+}
+
+void
+RequirementLearner::refresh()
+{
+    // Work at the conservative end of the bracket: never promise the
+    // user more patience than has been demonstrated.
+    req.imperceptibleS = loTi + 0.25 * (hiTi - loTi);
+    req.tolerableS = std::max(hiTt, req.imperceptibleS);
+}
+
+void
+RequirementLearner::observe(double latency_s, UserFeedback feedback)
+{
+    pcnn_assert(latency_s >= 0.0, "negative latency");
+    ++count;
+    switch (feedback) {
+      case UserFeedback::Satisfied:
+        // The user was fine at this latency: T_i is at least ~L.
+        if (latency_s > loTi) {
+            loTi += damping * (std::min(latency_s, hiTi) - loTi);
+        }
+        break;
+      case UserFeedback::Complained:
+        // The user noticed: T_i is below L.
+        if (latency_s < hiTi)
+            hiTi -= damping * (hiTi - std::max(latency_s, loTi));
+        break;
+      case UserFeedback::Abandoned:
+        // The user walked away: T_t is below L, and so is T_i.
+        if (latency_s < hiTt)
+            hiTt -= damping * (hiTt - latency_s);
+        if (latency_s < hiTi)
+            hiTi -= damping * (hiTi - std::max(latency_s, loTi));
+        break;
+    }
+    loTi = std::min(loTi, hiTi);
+    refresh();
+}
+
+} // namespace pcnn

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Online per-user requirement learning.
+ *
+ * The paper's Section IV.A closes with "in the future, we can create
+ * a more fine-grained time requirement table for each user using
+ * machine learning techniques to learn user experience". This module
+ * implements that extension: an online estimator that narrows the
+ * imperceptible threshold T_i (and the abandonment threshold T_t)
+ * from implicit per-request feedback — whether the user seemed
+ * satisfied, complained, or abandoned the request.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_REQUIREMENT_LEARNER_HH
+#define PCNN_PCNN_RUNTIME_REQUIREMENT_LEARNER_HH
+
+#include <cstddef>
+
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/** Implicit feedback signal attached to one served request. */
+enum class UserFeedback
+{
+    Satisfied,  ///< no negative signal at this latency
+    Complained, ///< visible dissatisfaction (retry, rating, churn risk)
+    Abandoned,  ///< the user gave up before the answer arrived
+};
+
+/**
+ * Bracket-narrowing estimator of the user's personal thresholds.
+ *
+ * T_i is maintained as an interval [lo, hi]: a satisfied request at
+ * latency L proves T_i >= L (raise lo toward L); a complaint at L
+ * proves T_i < L (drop hi toward L). The working threshold is a
+ * conservative point inside the bracket. T_t narrows the same way
+ * from abandonment events. Updates are exponentially damped so a
+ * single noisy signal cannot collapse the estimate.
+ */
+class RequirementLearner
+{
+  public:
+    /**
+     * @param initial the table-derived requirement to start from
+     * @param damping fraction of each observation applied (0, 1]
+     */
+    explicit RequirementLearner(UserRequirement initial,
+                                double damping = 0.5);
+
+    /** Current requirement estimate. */
+    const UserRequirement &current() const { return req; }
+
+    /** Fold one served request into the estimate. */
+    void observe(double latency_s, UserFeedback feedback);
+
+    /** Observations folded so far. */
+    std::size_t observations() const { return count; }
+
+    /** Width of the T_i bracket (confidence proxy; shrinks over time). */
+    double imperceptibleBracketS() const { return hiTi - loTi; }
+
+  private:
+    /** Recompute the working requirement from the brackets. */
+    void refresh();
+
+    UserRequirement req;
+    double damping;
+    double loTi; ///< largest latency proven imperceptible
+    double hiTi; ///< smallest latency proven perceptible
+    double hiTt; ///< smallest latency proven unusable
+    std::size_t count = 0;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_REQUIREMENT_LEARNER_HH

@@ -1,0 +1,162 @@
+#include "pcnn/runtime/serving_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "gpu/sim/gpu_sim.hh"
+
+namespace pcnn {
+
+ServingSimulator::ServingSimulator(GpuSpec gpu, NetDescriptor net)
+    : gpuSpec(gpu), netDesc(std::move(net)), compiler(gpu),
+      scheduler(std::move(gpu))
+{
+}
+
+namespace {
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    pcnn_assert(!sorted.empty(), "percentile of empty sample");
+    const double idx = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double t = idx - double(lo);
+    return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace
+
+ServingStats
+ServingSimulator::run(const ServingConfig &cfg,
+                      const UserRequirement &req) const
+{
+    pcnn_assert(cfg.arrivalRateHz > 0.0 && cfg.durationS > 0.0,
+                "serving needs a positive rate and duration");
+    pcnn_assert(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+
+    // Sample the arrival stream.
+    Rng rng(cfg.seed);
+    std::vector<double> arrivals;
+    double t = 0.0;
+    while (true) {
+        // Exponential inter-arrival gaps.
+        t += -std::log(1.0 - rng.uniform()) / cfg.arrivalRateHz;
+        if (t > cfg.durationS)
+            break;
+        arrivals.push_back(t);
+    }
+
+    // Batch execution costs, cached per batch size for this policy.
+    std::vector<std::optional<SimResult>> cache(cfg.maxBatch + 1);
+    auto cost = [&](std::size_t batch) -> const SimResult & {
+        pcnn_assert(batch >= 1 && batch <= cfg.maxBatch,
+                    "batch out of range");
+        if (!cache[batch]) {
+            const CompiledPlan plan =
+                compiler.compileAtBatch(netDesc, batch);
+            cache[batch] = scheduler.execute(plan, cfg.policy);
+        }
+        return *cache[batch];
+    };
+
+    ServingStats stats;
+    std::vector<double> latencies;
+    std::deque<double> queue; // arrival times of waiting requests
+    std::size_t next_arrival = 0;
+    double now = 0.0;
+    double busy = 0.0;
+    double serve_energy = 0.0;
+    double soc_time_sum = 0.0;
+
+    auto admit_until = [&](double deadline) {
+        while (next_arrival < arrivals.size() &&
+               arrivals[next_arrival] <= deadline) {
+            queue.push_back(arrivals[next_arrival]);
+            ++next_arrival;
+        }
+    };
+
+    while (next_arrival < arrivals.size() || !queue.empty()) {
+        if (queue.empty()) {
+            // Jump to the next arrival.
+            now = std::max(now, arrivals[next_arrival]);
+            admit_until(now);
+            continue;
+        }
+
+        // Wait for more requests if the policy allows and the batch
+        // is not full yet.
+        const double oldest = queue.front();
+        const double flush_at = oldest + cfg.maxWaitS;
+        while (queue.size() < cfg.maxBatch &&
+               next_arrival < arrivals.size() &&
+               arrivals[next_arrival] <=
+                   std::max(now, flush_at)) {
+            queue.push_back(arrivals[next_arrival]);
+            ++next_arrival;
+        }
+        if (queue.size() < cfg.maxBatch)
+            now = std::max(now, flush_at);
+
+        const std::size_t batch =
+            std::min<std::size_t>(queue.size(), cfg.maxBatch);
+        // Service cannot start before the newest batched request has
+        // actually arrived (the wait loop may admit arrivals that
+        // lie between `now` and the flush deadline).
+        now = std::max(now, queue[batch - 1]);
+        const SimResult &exec = cost(batch);
+        const double done = now + exec.timeS;
+
+        for (std::size_t i = 0; i < batch; ++i) {
+            const double latency = done - queue.front();
+            queue.pop_front();
+            latencies.push_back(latency);
+            const double st = socTime(latency, req);
+            soc_time_sum += st;
+            stats.satisfactionViolations += st <= 0.0;
+        }
+        busy += exec.timeS;
+        serve_energy += exec.energy.total();
+        ++stats.batches;
+        stats.meanBatch += double(batch);
+        now = done;
+        admit_until(now);
+    }
+
+    stats.requests = latencies.size();
+    pcnn_assert(stats.requests == arrivals.size(),
+                "serving lost requests");
+    if (stats.requests == 0)
+        return stats;
+    stats.meanBatch /= double(stats.batches);
+
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double l : latencies)
+        sum += l;
+    stats.meanLatencyS = sum / double(stats.requests);
+    stats.p50LatencyS = percentile(sorted, 0.50);
+    stats.p95LatencyS = percentile(sorted, 0.95);
+    stats.p99LatencyS = percentile(sorted, 0.99);
+
+    // Energy over the whole horizon: serving plus gated idle.
+    const double horizon = std::max(now, cfg.durationS);
+    const GpuSim sim(gpuSpec);
+    const double idle_energy =
+        sim.fixedInterval(std::max(0.0, horizon - busy), 0)
+            .energy.total();
+    stats.energyJ = serve_energy + idle_energy;
+    stats.energyPerImageJ = stats.energyJ / double(stats.requests);
+    stats.busyFraction = busy / horizon;
+    stats.meanSocTime = soc_time_sum / double(stats.requests);
+    return stats;
+}
+
+} // namespace pcnn

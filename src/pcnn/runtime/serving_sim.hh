@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Request-stream serving simulation.
+ *
+ * The paper evaluates one request at a time; a deployed service sees
+ * a *stream*: requests arrive stochastically, a batching policy
+ * trades waiting time for throughput, and user satisfaction is felt
+ * per request (including the queueing delay). This simulator plays a
+ * Poisson arrival stream against a batching policy, costs every
+ * served batch with the CTA-level simulator, and reports latency
+ * percentiles, energy, utilization, and stream-level SoC.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_SERVING_SIM_HH
+#define PCNN_PCNN_RUNTIME_SERVING_SIM_HH
+
+#include <vector>
+
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/kernel_scheduler.hh"
+#include "pcnn/satisfaction.hh"
+
+namespace pcnn {
+
+/** Serving/batching policy and workload description. */
+struct ServingConfig
+{
+    double arrivalRateHz = 10.0; ///< Poisson arrival rate
+    double durationS = 30.0;     ///< arrival horizon
+    std::size_t maxBatch = 1;    ///< accumulate at most this many
+    /// flush an incomplete batch this long after its oldest request
+    /// (0 = serve immediately with whatever is queued)
+    double maxWaitS = 0.0;
+    ExecPolicy policy = pcnnPolicy();
+    std::uint64_t seed = 1;
+};
+
+/** Stream-level outcome. */
+struct ServingStats
+{
+    std::size_t requests = 0;
+    std::size_t batches = 0;
+    double meanBatch = 0.0;
+    double meanLatencyS = 0.0;
+    double p50LatencyS = 0.0;
+    double p95LatencyS = 0.0;
+    double p99LatencyS = 0.0;
+    double energyJ = 0.0; ///< serving + idle energy over the horizon
+    double energyPerImageJ = 0.0;
+    double busyFraction = 0.0; ///< GPU-busy share of the horizon
+    double meanSocTime = 0.0;  ///< mean per-request SoC_time
+    std::size_t satisfactionViolations = 0; ///< SoC_time == 0 count
+};
+
+/**
+ * Serves a Poisson stream of single-image requests with batch
+ * accumulation, costing each batch on the simulated GPU.
+ */
+class ServingSimulator
+{
+  public:
+    /**
+     * @param gpu target architecture
+     * @param net network to serve
+     */
+    ServingSimulator(GpuSpec gpu, NetDescriptor net);
+
+    /**
+     * Run one stream.
+     * @param cfg workload + batching policy
+     * @param req per-request satisfaction requirement
+     */
+    ServingStats run(const ServingConfig &cfg,
+                     const UserRequirement &req) const;
+
+  private:
+    GpuSpec gpuSpec;
+    NetDescriptor netDesc;
+    OfflineCompiler compiler;
+    RuntimeKernelScheduler scheduler;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_SERVING_SIM_HH

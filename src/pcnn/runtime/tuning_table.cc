@@ -1,0 +1,51 @@
+#include "pcnn/runtime/tuning_table.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+void
+TuningTable::push(TuningEntry entry)
+{
+    if (!entries.empty()) {
+        pcnn_assert(entry.positions.size() ==
+                        entries.front().positions.size(),
+                    "tuning entry layer count changed mid-path");
+    }
+    entries.push_back(std::move(entry));
+}
+
+const TuningEntry &
+TuningTable::entry(std::size_t level) const
+{
+    pcnn_assert(level < entries.size(), "tuning level ", level,
+                " out of ", entries.size());
+    return entries[level];
+}
+
+std::size_t
+TuningTable::selectLevel(double entropy_threshold) const
+{
+    pcnn_assert(!entries.empty(), "empty tuning table");
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].entropy <= entropy_threshold &&
+            entries[i].predictedTimeS <
+                entries[best].predictedTimeS) {
+            best = i;
+        }
+    }
+    // When even level 0 violates the threshold there is nothing a
+    // slower kernel can do; stay exact.
+    if (entries[best].entropy > entropy_threshold)
+        return 0;
+    return best;
+}
+
+double
+TuningTable::bestSpeedup(double entropy_threshold) const
+{
+    return entry(selectLevel(entropy_threshold)).speedup;
+}
+
+} // namespace pcnn

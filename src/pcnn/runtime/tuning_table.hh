@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tuning tables: the accuracy/speed trade-off path (Fig. 12).
+ *
+ * Each accuracy-tuning iteration produces one entry — a per-layer
+ * perforation assignment plus its predicted time and measured (or
+ * modeled) output entropy. Calibration backtracks along this path
+ * when run-time inputs turn out harder than the tuning data.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_TUNING_TABLE_HH
+#define PCNN_PCNN_RUNTIME_TUNING_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pcnn {
+
+/** One tuning level (row of a Fig. 12 tuning table). */
+struct TuningEntry
+{
+    /// computed output positions per conv layer; 0 = full grid
+    std::vector<std::size_t> positions;
+    double predictedTimeS = 0.0; ///< batch latency at this level
+    double entropy = 0.0;        ///< CNN_entropy at this level
+    double accuracy = -1.0;      ///< labeled accuracy; -1 if unknown
+    double speedup = 1.0;        ///< level-0 time / this time
+    /// which layer was perforated further in this iteration (-1 for
+    /// the untouched level 0)
+    int adjustedLayer = -1;
+};
+
+/**
+ * Ordered tuning path from the exact network (level 0) to the most
+ * aggressive approximation explored.
+ */
+class TuningTable
+{
+  public:
+    /** Append the next level. */
+    void push(TuningEntry entry);
+
+    /** Number of levels (>= 1 once tuning ran). */
+    std::size_t levels() const { return entries.size(); }
+
+    /** Level accessor. */
+    const TuningEntry &entry(std::size_t level) const;
+
+    /** All levels, in tuning order. */
+    const std::vector<TuningEntry> &all() const { return entries; }
+
+    /**
+     * Fastest level whose entropy stays within the threshold.
+     * Level 0 is returned when nothing else qualifies.
+     */
+    std::size_t selectLevel(double entropy_threshold) const;
+
+    /** Largest speedup among levels within the threshold. */
+    double bestSpeedup(double entropy_threshold) const;
+
+  private:
+    std::vector<TuningEntry> entries;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_TUNING_TABLE_HH

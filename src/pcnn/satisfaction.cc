@@ -1,0 +1,43 @@
+#include "pcnn/satisfaction.hh"
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+double
+socTime(double latency_s, const UserRequirement &req)
+{
+    pcnn_assert(latency_s >= 0.0, "negative latency");
+    if (req.timeInsensitive)
+        return 1.0;
+    if (latency_s <= req.imperceptibleS)
+        return 1.0;
+    if (latency_s >= req.tolerableS)
+        return 0.0;
+    // Linear decay across the tolerable region (Fig. 3).
+    return 1.0 - (latency_s - req.imperceptibleS) /
+                     (req.tolerableS - req.imperceptibleS);
+}
+
+double
+socAccuracy(double entropy, const UserRequirement &req)
+{
+    pcnn_assert(entropy >= 0.0, "negative entropy");
+    pcnn_assert(req.entropyThreshold > 0.0,
+                "entropy threshold must be positive");
+    if (entropy <= req.entropyThreshold)
+        return 1.0;
+    return req.entropyThreshold / entropy;
+}
+
+double
+soc(double latency_s, double entropy, double energy_per_image_j,
+    const UserRequirement &req)
+{
+    pcnn_assert(energy_per_image_j > 0.0,
+                "SoC needs positive per-image energy");
+    return socTime(latency_s, req) * socAccuracy(entropy, req) /
+           energy_per_image_j;
+}
+
+} // namespace pcnn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Satisfaction-of-CNN (SoC) metric.
+ *
+ * Implements Section V.A: SoC = SoC_time * SoC_accuracy / Energy.
+ * SoC_time follows the Fig. 3 curve (imperceptible / tolerable /
+ * unusable); SoC_accuracy is driven by output entropy against the
+ * user's threshold.
+ */
+
+#ifndef PCNN_PCNN_SATISFACTION_HH
+#define PCNN_PCNN_SATISFACTION_HH
+
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/**
+ * SoC_time of a response latency under a requirement (Fig. 3):
+ * 1 in the imperceptible region, linear decay to 0 across the
+ * tolerable region, 0 when unusable. Real-time tasks have no
+ * tolerable region; background tasks always score 1.
+ */
+double socTime(double latency_s, const UserRequirement &req);
+
+/**
+ * SoC_accuracy: 1 while entropy is under the user threshold,
+ * threshold/entropy beyond it.
+ */
+double socAccuracy(double entropy, const UserRequirement &req);
+
+/**
+ * Eq. 15. Energy is per processed image (joules); a zero SoC_time
+ * (deadline violated / abandoned) makes the whole score zero.
+ */
+double soc(double latency_s, double entropy, double energy_per_image_j,
+           const UserRequirement &req);
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SATISFACTION_HH

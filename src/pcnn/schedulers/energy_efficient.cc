@@ -1,0 +1,27 @@
+#include "pcnn/schedulers/energy_efficient.hh"
+
+#include <algorithm>
+
+#include "pcnn/offline/batch_selector.hh"
+#include "pcnn/schedulers/sched_common.hh"
+
+namespace pcnn {
+
+ScheduleOutcome
+EnergyEfficientScheduler::run(const ScheduleContext &ctx) const
+{
+    const BatchSelector batches(ctx.gpu);
+    const std::size_t batch =
+        std::min<std::size_t>(trainingBatch,
+                              std::max<std::size_t>(
+                                  batches.memoryCap(ctx.net), 1));
+    const OfflineCompiler compiler(ctx.gpu);
+    const CompiledPlan plan = compiler.compileAtBatch(ctx.net, batch);
+    ScheduleOutcome out =
+        sched::simulatePlan(ctx, plan, baselinePolicy(), nullptr);
+    out.scheduler = name();
+    score(out, ctx);
+    return out;
+}
+
+} // namespace pcnn

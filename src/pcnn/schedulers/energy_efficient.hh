@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Energy-efficient baseline scheduler.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_ENERGY_EFFICIENT_HH
+#define PCNN_PCNN_SCHEDULERS_ENERGY_EFFICIENT_HH
+
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+
+/**
+ * Energy above all: reuses the training-stage batching method (large
+ * batch) to amortize weight traffic and maximize throughput, with no
+ * time model at all — so latency-sensitive tasks routinely blow
+ * their deadlines (the 'x' marks in Fig. 15). Energy is normalized
+ * to this scheduler in Fig. 14.
+ */
+class EnergyEfficientScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "Energy-efficient"; }
+    ScheduleOutcome run(const ScheduleContext &ctx) const override;
+
+    /** The training-stage batch size it copies. */
+    static constexpr std::size_t trainingBatch = 256;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_ENERGY_EFFICIENT_HH

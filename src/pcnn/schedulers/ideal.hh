@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ideal (oracle) scheduler.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_IDEAL_HH
+#define PCNN_PCNN_SCHEDULERS_IDEAL_HH
+
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+
+/**
+ * The oracle of Section V.B: it knows the end-user's true
+ * requirements and the true accuracy of every tuning point, so it
+ * profiles the whole tuning path and keeps the point with the
+ * maximum SoC. Unlike P-CNN it is not bound by the conservative
+ * entropy threshold — if the true accuracy of an aggressive point is
+ * still acceptable, the oracle takes it.
+ */
+class IdealScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "Ideal"; }
+    ScheduleOutcome run(const ScheduleContext &ctx) const override;
+
+    /** True-accuracy drop the end-user genuinely accepts. */
+    static constexpr double acceptableAccuracyDrop = 0.10;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_IDEAL_HH

@@ -1,0 +1,34 @@
+#include "pcnn/schedulers/pcnn_scheduler.hh"
+
+#include "pcnn/runtime/accuracy_tuner.hh"
+#include "pcnn/schedulers/sched_common.hh"
+
+namespace pcnn {
+
+ScheduleOutcome
+PcnnScheduler::run(const ScheduleContext &ctx) const
+{
+    const OfflineCompiler compiler(ctx.gpu);
+    const CompiledPlan plan = compiler.compile(ctx.net, ctx.app);
+
+    // Entropy-based accuracy tuning against the inferred threshold.
+    TunerConfig tcfg;
+    tcfg.entropyThreshold = ctx.requirement.entropyThreshold;
+    const AccuracyTuner tuner(ctx.gpu, tcfg);
+    const TuningTable table = tuner.tuneModeled(plan, ctx.profile);
+    const std::size_t level =
+        table.selectLevel(ctx.requirement.entropyThreshold);
+    const TuningEntry &entry = table.entry(level);
+
+    const std::vector<std::size_t> *positions =
+        level == 0 ? nullptr : &entry.positions;
+    ScheduleOutcome out = sched::simulatePlan(
+        ctx, plan, pcnnPolicy(), positions, entry.entropy,
+        entry.accuracy);
+    out.scheduler = name();
+    out.tuningSpeedup = entry.speedup;
+    score(out, ctx);
+    return out;
+}
+
+} // namespace pcnn

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The P-CNN scheduler: the paper's contribution.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_PCNN_SCHEDULER_HH
+#define PCNN_PCNN_SCHEDULERS_PCNN_SCHEDULER_HH
+
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+
+/**
+ * Full P-CNN: offline compilation (tuned kernels, batch selection,
+ * time/resource models), entropy-based accuracy tuning to the user's
+ * uncertainty threshold, Priority-SM execution on optSM SMs with
+ * power gating, and calibration semantics via the tuning path.
+ */
+class PcnnScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "P-CNN"; }
+    ScheduleOutcome run(const ScheduleContext &ctx) const override;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_PCNN_SCHEDULER_HH

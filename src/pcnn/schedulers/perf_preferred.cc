@@ -1,0 +1,19 @@
+#include "pcnn/schedulers/perf_preferred.hh"
+
+#include "pcnn/schedulers/sched_common.hh"
+
+namespace pcnn {
+
+ScheduleOutcome
+PerfPreferredScheduler::run(const ScheduleContext &ctx) const
+{
+    const OfflineCompiler compiler(ctx.gpu);
+    const CompiledPlan plan = compiler.compileAtBatch(ctx.net, 1);
+    ScheduleOutcome out =
+        sched::simulatePlan(ctx, plan, baselinePolicy(), nullptr);
+    out.scheduler = name();
+    score(out, ctx);
+    return out;
+}
+
+} // namespace pcnn

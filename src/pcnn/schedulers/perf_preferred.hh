@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Performance-preferred baseline scheduler.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_PERF_PREFERRED_HH
+#define PCNN_PCNN_SCHEDULERS_PERF_PREFERRED_HH
+
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+
+/**
+ * Fast response above all: non-batching execution (batch 1) on the
+ * whole GPU with the hardware RR scheduler, no power management, no
+ * approximation. Runtime is normalized to this scheduler in Fig. 13.
+ */
+class PerfPreferredScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "Perf-preferred"; }
+    ScheduleOutcome run(const ScheduleContext &ctx) const override;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_PERF_PREFERRED_HH

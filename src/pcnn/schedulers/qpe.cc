@@ -1,0 +1,19 @@
+#include "pcnn/schedulers/qpe.hh"
+
+#include "pcnn/schedulers/sched_common.hh"
+
+namespace pcnn {
+
+ScheduleOutcome
+QpeScheduler::run(const ScheduleContext &ctx) const
+{
+    const OfflineCompiler compiler(ctx.gpu);
+    const CompiledPlan plan = compiler.compile(ctx.net, ctx.app);
+    ScheduleOutcome out =
+        sched::simulatePlan(ctx, plan, baselinePolicy(), nullptr);
+    out.scheduler = name();
+    score(out, ctx);
+    return out;
+}
+
+} // namespace pcnn

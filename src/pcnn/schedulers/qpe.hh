@@ -1,0 +1,29 @@
+/**
+ * @file
+ * QoS-per-energy (QPE) baseline scheduler.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_QPE_HH
+#define PCNN_PCNN_SCHEDULERS_QPE_HH
+
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+
+/**
+ * QPE (after Zhu et al., HPCA'15): minimize energy subject to the
+ * response-time requirement. It owns a time model — the batch size
+ * comes from the offline compiler's global decision loop — but it
+ * has no resource model: every kernel occupies the whole GPU under
+ * the RR scheduler and nothing is power gated.
+ */
+class QpeScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "QPE"; }
+    ScheduleOutcome run(const ScheduleContext &ctx) const override;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_QPE_HH

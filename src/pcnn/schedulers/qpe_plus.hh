@@ -1,0 +1,28 @@
+/**
+ * @file
+ * QPE+ baseline scheduler.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_QPE_PLUS_HH
+#define PCNN_PCNN_SCHEDULERS_QPE_PLUS_HH
+
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+
+/**
+ * QPE plus the resource model: identical batch/time planning, but
+ * each layer runs on its optSM SMs via the Priority-SM scheduler and
+ * the rest are power gated. Equivalent to P-CNN without accuracy
+ * tuning (Section V.B).
+ */
+class QpePlusScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "QPE+"; }
+    ScheduleOutcome run(const ScheduleContext &ctx) const override;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_QPE_PLUS_HH

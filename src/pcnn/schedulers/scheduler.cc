@@ -1,0 +1,50 @@
+#include "pcnn/schedulers/scheduler.hh"
+
+#include "common/logging.hh"
+#include "pcnn/schedulers/energy_efficient.hh"
+#include "pcnn/schedulers/ideal.hh"
+#include "pcnn/schedulers/pcnn_scheduler.hh"
+#include "pcnn/schedulers/perf_preferred.hh"
+#include "pcnn/schedulers/qpe.hh"
+#include "pcnn/schedulers/qpe_plus.hh"
+
+namespace pcnn {
+
+void
+Scheduler::score(ScheduleOutcome &out, const ScheduleContext &ctx)
+{
+    out.socTimeScore = socTime(out.latencyS, ctx.requirement);
+    out.socAccuracyScore = socAccuracy(out.entropy, ctx.requirement);
+    out.deadlineMet = out.socTimeScore > 0.0;
+    pcnn_assert(out.energyPerImageJ > 0.0,
+                "scheduler produced zero energy");
+    out.socScore = out.socTimeScore * out.socAccuracyScore /
+                   out.energyPerImageJ;
+}
+
+ScheduleContext
+makeContext(const AppSpec &app, const NetDescriptor &net,
+            const GpuSpec &gpu)
+{
+    ScheduleContext ctx;
+    ctx.app = app;
+    ctx.requirement = inferRequirement(app);
+    ctx.net = net;
+    ctx.gpu = gpu;
+    return ctx;
+}
+
+std::vector<std::unique_ptr<Scheduler>>
+allSchedulers()
+{
+    std::vector<std::unique_ptr<Scheduler>> v;
+    v.push_back(std::make_unique<PerfPreferredScheduler>());
+    v.push_back(std::make_unique<EnergyEfficientScheduler>());
+    v.push_back(std::make_unique<QpeScheduler>());
+    v.push_back(std::make_unique<QpePlusScheduler>());
+    v.push_back(std::make_unique<PcnnScheduler>());
+    v.push_back(std::make_unique<IdealScheduler>());
+    return v;
+}
+
+} // namespace pcnn

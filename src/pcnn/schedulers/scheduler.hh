@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Run-time scheduler zoo for the Figs. 13-15 comparison.
+ *
+ * Five baselines plus P-CNN (Section V.B): Performance-preferred,
+ * Energy-efficient, QPE, QPE+, Ideal. Every scheduler plans a batch,
+ * executes on the CTA-level simulator, and is scored with the SoC
+ * metric; they differ in which of {time model, resource model,
+ * accuracy tuning, oracle knowledge} they are allowed to use.
+ */
+
+#ifndef PCNN_PCNN_SCHEDULERS_SCHEDULER_HH
+#define PCNN_PCNN_SCHEDULERS_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/entropy_profile.hh"
+#include "pcnn/satisfaction.hh"
+
+namespace pcnn {
+
+/** What one scheduler achieved on one (app, net, gpu) triple. */
+struct ScheduleOutcome
+{
+    std::string scheduler;
+    std::size_t batch = 1;
+    double latencyS = 0.0;        ///< per-request response time
+    double energyPerImageJ = 0.0; ///< joules per processed image
+    double entropy = 0.0;         ///< output CNN_entropy
+    double accuracy = -1.0;       ///< true accuracy (profile)
+    double tuningSpeedup = 1.0;   ///< from accuracy tuning
+    bool deadlineMet = true;      ///< SoC_time > 0
+    double socTimeScore = 0.0;
+    double socAccuracyScore = 0.0;
+    double socScore = 0.0;        ///< Eq. 15
+};
+
+/** Shared context handed to every scheduler. */
+struct ScheduleContext
+{
+    AppSpec app;
+    UserRequirement requirement;
+    NetDescriptor net;
+    GpuSpec gpu;
+    EntropyProfile profile = EntropyProfile::representative();
+};
+
+/**
+ * A run-time scheduling policy under evaluation.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Name as used in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /** Plan and simulate the application; score with SoC. */
+    virtual ScheduleOutcome run(const ScheduleContext &ctx) const = 0;
+
+    /** Fill the SoC fields of an outcome from its raw measurements. */
+    static void score(ScheduleOutcome &out, const ScheduleContext &ctx);
+};
+
+/** Build the evaluation context for one (app, net, gpu) triple. */
+ScheduleContext makeContext(const AppSpec &app, const NetDescriptor &net,
+                            const GpuSpec &gpu);
+
+/**
+ * The six schedulers in figure order: Performance-preferred,
+ * Energy-efficient, QPE, QPE+, P-CNN, Ideal.
+ */
+std::vector<std::unique_ptr<Scheduler>> allSchedulers();
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_SCHEDULERS_SCHEDULER_HH

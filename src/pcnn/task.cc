@@ -1,0 +1,88 @@
+#include "pcnn/task.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::string
+taskClassName(TaskClass cls)
+{
+    switch (cls) {
+      case TaskClass::Interactive:
+        return "interactive";
+      case TaskClass::RealTime:
+        return "real-time";
+      case TaskClass::Background:
+        return "background";
+    }
+    pcnn_panic("unknown TaskClass");
+}
+
+UserRequirement
+inferRequirement(const AppSpec &app)
+{
+    UserRequirement req;
+    switch (app.taskClass) {
+      case TaskClass::Interactive:
+        // HCI thresholds: 100 ms feels instant, 3 s causes abandonment.
+        req.imperceptibleS = 0.1;
+        req.tolerableS = 3.0;
+        break;
+      case TaskClass::RealTime:
+        // The deadline is the frame period; no tolerable region.
+        pcnn_assert(app.dataRateHz > 0.0,
+                    "real-time task needs a frame rate");
+        req.imperceptibleS = 1.0 / app.dataRateHz;
+        req.tolerableS = req.imperceptibleS;
+        break;
+      case TaskClass::Background:
+        req.timeInsensitive = true;
+        req.imperceptibleS = std::numeric_limits<double>::infinity();
+        req.tolerableS = std::numeric_limits<double>::infinity();
+        break;
+    }
+    // Entertainment-grade apps tolerate noticeably uncertain outputs;
+    // safety/security apps do not. Both thresholds sit slightly
+    // inside what the end-user would truly accept — the paper's
+    // P-CNN is deliberately conservative, which is why the Ideal
+    // oracle can still beat it (Section V.C).
+    req.entropyThreshold = app.accuracySensitive ? 0.55 : 0.75;
+    return req;
+}
+
+AppSpec
+ageDetectionApp()
+{
+    AppSpec app;
+    app.name = "age detection";
+    app.taskClass = TaskClass::Interactive;
+    app.dataRateHz = 1.0; // one selfie per request
+    app.accuracySensitive = false;
+    return app;
+}
+
+AppSpec
+videoSurveillanceApp()
+{
+    AppSpec app;
+    app.name = "video surveillance";
+    app.taskClass = TaskClass::RealTime;
+    app.dataRateHz = 60.0; // 60 FPS camera
+    app.accuracySensitive = true;
+    return app;
+}
+
+AppSpec
+imageTaggingApp()
+{
+    AppSpec app;
+    app.name = "image tagging";
+    app.taskClass = TaskClass::Background;
+    app.dataRateHz = 100.0; // a photo roll to churn through
+    app.accuracySensitive = false;
+    return app;
+}
+
+} // namespace pcnn

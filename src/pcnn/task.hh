@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Task classes and end-user requirement inference.
+ *
+ * The paper classifies CNN applications into interactive, real-time
+ * and background tasks (Section II.B) and infers the time/accuracy
+ * requirements from the application specification via a look-up table
+ * (Section IV.A) instead of asking the user on every request.
+ */
+
+#ifndef PCNN_PCNN_TASK_HH
+#define PCNN_PCNN_TASK_HH
+
+#include <cstddef>
+#include <string>
+
+namespace pcnn {
+
+/** The three task classes of Section II.B. */
+enum class TaskClass { Interactive, RealTime, Background };
+
+/** Display name of a task class. */
+std::string taskClassName(TaskClass cls);
+
+/**
+ * Application specification as submitted to P-CNN's user-input
+ * module: what the app is, how fast input arrives, and how sensitive
+ * it is to wrong answers.
+ */
+struct AppSpec
+{
+    std::string name;
+    TaskClass taskClass = TaskClass::Interactive;
+    /// input generation rate (images per second); bounds the batch a
+    /// latency-sensitive task can accumulate
+    double dataRateHz = 1.0;
+    /// true for tasks where wrong answers are costly (surveillance)
+    bool accuracySensitive = false;
+};
+
+/**
+ * Inferred end-user requirements (the look-up table of Section IV.A,
+ * populated from the HCI literature the paper cites: 100 ms
+ * imperceptible threshold, 3 s abandonment threshold).
+ */
+struct UserRequirement
+{
+    /// end of the imperceptible region T_i (seconds); for real-time
+    /// tasks this is the hard deadline
+    double imperceptibleS = 0.1;
+    /// end of the tolerable region T_t (seconds); == imperceptibleS
+    /// for real-time tasks, infinite for background tasks
+    double tolerableS = 3.0;
+    /// CNN_entropy ceiling the user accepts
+    double entropyThreshold = 1.0;
+    /// true when there is no latency requirement at all
+    bool timeInsensitive = false;
+};
+
+/**
+ * Infer the requirement for an application (Section IV.A).
+ *
+ * Interactive tasks get the 100 ms / 3 s HCI thresholds; real-time
+ * tasks get a frame-period deadline derived from the input rate;
+ * background tasks are time-insensitive. Accuracy-sensitive apps get
+ * a strict entropy ceiling, entertainment apps a loose one.
+ */
+UserRequirement inferRequirement(const AppSpec &app);
+
+/** The paper's three evaluation applications (Section V.C). */
+AppSpec ageDetectionApp();    ///< interactive
+AppSpec videoSurveillanceApp(); ///< real-time, 60 FPS
+AppSpec imageTaggingApp();    ///< background
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_TASK_HH

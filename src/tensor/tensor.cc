@@ -1,0 +1,113 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+std::string
+Shape::str() const
+{
+    std::ostringstream os;
+    os << "[" << n << "," << c << "," << h << "," << w << "]";
+    return os.str();
+}
+
+Tensor::Tensor() : shp{1, 1, 1, 1}, buf(1, 0.0f) {}
+
+Tensor::Tensor(Shape s) : shp(s), buf(s.size(), 0.0f)
+{
+    pcnn_assert(s.size() > 0, "tensor shape must be non-empty: ", s.str());
+}
+
+Tensor::Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+    : Tensor(Shape{n, c, h, w})
+{
+}
+
+float &
+Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+{
+    pcnn_assert(n < shp.n && c < shp.c && h < shp.h && w < shp.w,
+                "index (", n, ",", c, ",", h, ",", w, ") out of ",
+                shp.str());
+    return buf[((n * shp.c + c) * shp.h + h) * shp.w + w];
+}
+
+float
+Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+           std::size_t w) const
+{
+    return const_cast<Tensor *>(this)->at(n, c, h, w);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(buf.begin(), buf.end(), v);
+}
+
+void
+Tensor::fillGaussian(Rng &rng, float mean, float stddev)
+{
+    for (auto &x : buf)
+        x = static_cast<float>(rng.gaussian(mean, stddev));
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &x : buf)
+        x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Tensor::reshape(Shape s)
+{
+    pcnn_assert(s.size() == buf.size(), "reshape ", shp.str(), " -> ",
+                s.str(), " changes element count");
+    shp = s;
+}
+
+void
+Tensor::resize(Shape s)
+{
+    shp = s;
+    buf.assign(s.size(), 0.0f);
+}
+
+Tensor
+Tensor::item(std::size_t i) const
+{
+    pcnn_assert(i < shp.n, "item ", i, " out of batch ", shp.n);
+    Tensor out(Shape{1, shp.c, shp.h, shp.w});
+    const std::size_t stride = shp.itemSize();
+    std::copy(buf.begin() + i * stride, buf.begin() + (i + 1) * stride,
+              out.buf.begin());
+    return out;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float x : buf)
+        s += x;
+    return s;
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &o) const
+{
+    pcnn_assert(shp == o.shp, "maxAbsDiff shape mismatch ", shp.str(),
+                " vs ", o.shp.str());
+    double m = 0.0;
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        m = std::max(m, std::abs(double(buf[i]) - double(o.buf[i])));
+    return m;
+}
+
+} // namespace pcnn

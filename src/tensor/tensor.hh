@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dense 4-D float tensor in NCHW layout.
+ *
+ * This is the functional substrate for the CNN library: all layer
+ * math operates on Tensor. The GPU-side analytical models never touch
+ * Tensor data — they only consume layer *shapes* — so this class
+ * optimizes for clarity over peak CPU throughput.
+ */
+
+#ifndef PCNN_TENSOR_TENSOR_HH
+#define PCNN_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace pcnn {
+
+/** Shape of a 4-D NCHW tensor. Any dimension may be 1. */
+struct Shape
+{
+    std::size_t n = 1; ///< batch
+    std::size_t c = 1; ///< channels
+    std::size_t h = 1; ///< height
+    std::size_t w = 1; ///< width
+
+    /** Total element count. */
+    std::size_t size() const { return n * c * h * w; }
+
+    /** Element count of one batch item. */
+    std::size_t itemSize() const { return c * h * w; }
+
+    bool operator==(const Shape &o) const = default;
+
+    /** Human-readable "[n,c,h,w]". */
+    std::string str() const;
+};
+
+/**
+ * Dense float tensor, NCHW layout, value-semantic.
+ *
+ * Invariant: data.size() == shape.size() at all times.
+ */
+class Tensor
+{
+  public:
+    /** Empty 1x1x1x1 tensor holding a single zero. */
+    Tensor();
+
+    /** Zero-filled tensor of the given shape. */
+    explicit Tensor(Shape s);
+
+    /** Convenience constructor from dimensions. */
+    Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+
+    /** Shape accessor. */
+    const Shape &shape() const { return shp; }
+
+    /** Total element count. */
+    std::size_t size() const { return buf.size(); }
+
+    /** Mutable element access with bounds assertions. */
+    float &at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+
+    /** Const element access with bounds assertions. */
+    float at(std::size_t n, std::size_t c, std::size_t h,
+             std::size_t w) const;
+
+    /** Raw flat access (row-major over NCHW). */
+    float &operator[](std::size_t i) { return buf[i]; }
+
+    /** Raw flat const access. */
+    float operator[](std::size_t i) const { return buf[i]; }
+
+    /** Raw pointer to the first element. */
+    float *data() { return buf.data(); }
+
+    /** Const raw pointer to the first element. */
+    const float *data() const { return buf.data(); }
+
+    /** Set every element to v. */
+    void fill(float v);
+
+    /** Fill from N(mean, stddev) using the caller's RNG. */
+    void fillGaussian(Rng &rng, float mean, float stddev);
+
+    /** Fill from U[lo, hi) using the caller's RNG. */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /**
+     * Reinterpret the buffer with a new shape of identical size.
+     * @pre s.size() == size()
+     */
+    void reshape(Shape s);
+
+    /** Resize and zero; prior contents are discarded. */
+    void resize(Shape s);
+
+    /** Extract batch item i as an n=1 tensor (copies). */
+    Tensor item(std::size_t i) const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Max absolute difference against another same-shape tensor. */
+    double maxAbsDiff(const Tensor &o) const;
+
+  private:
+    Shape shp;
+    std::vector<float> buf;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_TENSOR_TENSOR_HH

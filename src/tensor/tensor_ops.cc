@@ -1,0 +1,245 @@
+#include "tensor/tensor_ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+/** Inner kernel for the no-transpose case, blocked for locality. */
+void
+sgemmNN(std::size_t m, std::size_t n, std::size_t k, const float *a,
+        const float *b, float *c)
+{
+    constexpr std::size_t kBlock = 64;
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+        const std::size_t k_end = std::min(k, kk + kBlock);
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t p = kk; p < k_end; ++p) {
+                const float aval = a[i * k + p];
+                if (aval == 0.0f)
+                    continue;
+                const float *brow = b + p * n;
+                float *crow = c + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+      std::size_t k, const float *a, const float *b, float *c,
+      float beta)
+{
+    if (beta == 0.0f) {
+        std::fill(c, c + m * n, 0.0f);
+    } else if (beta != 1.0f) {
+        for (std::size_t i = 0; i < m * n; ++i)
+            c[i] *= beta;
+    }
+
+    if (!trans_a && !trans_b) {
+        sgemmNN(m, n, k, a, b, c);
+        return;
+    }
+
+    // Generic fallback for transposed operands (used in backward
+    // passes, which are not performance critical).
+    auto at = [&](std::size_t i, std::size_t p) {
+        return trans_a ? a[p * m + i] : a[i * k + p];
+    };
+    auto bt = [&](std::size_t p, std::size_t j) {
+        return trans_b ? b[j * k + p] : b[p * n + j];
+    };
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += at(i, p) * bt(p, j);
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+std::size_t
+ConvGeom::outH() const
+{
+    pcnn_assert(inH + 2 * pad >= kernel, "conv geometry under-sized: inH ",
+                inH, " pad ", pad, " kernel ", kernel);
+    return (inH + 2 * pad - kernel) / stride + 1;
+}
+
+std::size_t
+ConvGeom::outW() const
+{
+    pcnn_assert(inW + 2 * pad >= kernel, "conv geometry under-sized: inW ",
+                inW, " pad ", pad, " kernel ", kernel);
+    return (inW + 2 * pad - kernel) / stride + 1;
+}
+
+namespace {
+
+/**
+ * Shared expansion core: fills column `col` of the cols matrix with
+ * the receptive field of output position (oy, ox).
+ */
+void
+expandPosition(const Tensor &x, std::size_t item, const ConvGeom &g,
+               std::size_t oy, std::size_t ox, std::size_t col,
+               std::size_t n_cols, std::vector<float> &cols)
+{
+    const std::size_t rows = g.colRows();
+    (void)rows;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < g.inC; ++c) {
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            const long iy = long(oy * g.stride + ky) - long(g.pad);
+            for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                const long ix = long(ox * g.stride + kx) - long(g.pad);
+                float v = 0.0f;
+                if (iy >= 0 && iy < long(g.inH) && ix >= 0 &&
+                    ix < long(g.inW)) {
+                    v = x.at(item, c, std::size_t(iy), std::size_t(ix));
+                }
+                cols[row * n_cols + col] = v;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
+       std::vector<float> &cols)
+{
+    pcnn_assert(x.shape().c == g.inC && x.shape().h == g.inH &&
+                    x.shape().w == g.inW,
+                "im2col input ", x.shape().str(), " mismatches geometry");
+    const std::size_t oh = g.outH(), ow = g.outW();
+    const std::size_t n_cols = oh * ow;
+    cols.assign(g.colRows() * n_cols, 0.0f);
+    for (std::size_t oy = 0; oy < oh; ++oy)
+        for (std::size_t ox = 0; ox < ow; ++ox)
+            expandPosition(x, item, g, oy, ox, oy * ow + ox, n_cols, cols);
+}
+
+void
+im2colAt(const Tensor &x, std::size_t item, const ConvGeom &g,
+         const std::vector<std::size_t> &positions,
+         std::vector<float> &cols)
+{
+    const std::size_t ow = g.outW();
+    const std::size_t n_cols = positions.size();
+    cols.assign(g.colRows() * n_cols, 0.0f);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        const std::size_t pos = positions[i];
+        pcnn_assert(pos < g.outH() * ow, "perforation position ", pos,
+                    " outside output grid");
+        expandPosition(x, item, g, pos / ow, pos % ow, i, n_cols, cols);
+    }
+}
+
+void
+col2im(const std::vector<float> &cols, std::size_t item,
+       const ConvGeom &g, Tensor &dx)
+{
+    const std::size_t oh = g.outH(), ow = g.outW();
+    const std::size_t n_cols = oh * ow;
+    pcnn_assert(cols.size() == g.colRows() * n_cols,
+                "col2im buffer size mismatch");
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::size_t col = oy * ow + ox;
+            std::size_t row = 0;
+            for (std::size_t c = 0; c < g.inC; ++c) {
+                for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+                    const long iy = long(oy * g.stride + ky) - long(g.pad);
+                    for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                        const long ix =
+                            long(ox * g.stride + kx) - long(g.pad);
+                        if (iy < 0 || iy >= long(g.inH) || ix < 0 ||
+                            ix >= long(g.inW)) {
+                            continue;
+                        }
+                        dx.at(item, c, std::size_t(iy), std::size_t(ix)) +=
+                            cols[row * n_cols + col];
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+softmax(const Tensor &logits)
+{
+    const Shape &s = logits.shape();
+    pcnn_assert(s.h == 1 && s.w == 1, "softmax expects [n,k,1,1], got ",
+                s.str());
+    Tensor out(s);
+    const std::size_t k = s.c;
+    for (std::size_t i = 0; i < s.n; ++i) {
+        const float *row = logits.data() + i * k;
+        float *orow = out.data() + i * k;
+        const float mx = *std::max_element(row, row + k);
+        double denom = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            denom += orow[j];
+        }
+        for (std::size_t j = 0; j < k; ++j)
+            orow[j] = float(orow[j] / denom);
+    }
+    return out;
+}
+
+double
+entropy(const float *probs, std::size_t k)
+{
+    double h = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+        const double p = probs[j];
+        if (p > 0.0)
+            h -= p * std::log(p);
+    }
+    return h;
+}
+
+double
+batchEntropy(const Tensor &probs)
+{
+    const Shape &s = probs.shape();
+    pcnn_assert(s.h == 1 && s.w == 1, "batchEntropy expects [n,k,1,1]");
+    double h = 0.0;
+    for (std::size_t i = 0; i < s.n; ++i)
+        h += entropy(probs.data() + i * s.c, s.c);
+    return h / double(s.n);
+}
+
+std::size_t
+argmax(const float *row, std::size_t k)
+{
+    pcnn_assert(k > 0, "argmax of empty row");
+    return std::size_t(std::max_element(row, row + k) - row);
+}
+
+std::vector<std::size_t>
+argmaxRows(const Tensor &t)
+{
+    const Shape &s = t.shape();
+    pcnn_assert(s.h == 1 && s.w == 1, "argmaxRows expects [n,k,1,1]");
+    std::vector<std::size_t> out(s.n);
+    for (std::size_t i = 0; i < s.n; ++i)
+        out[i] = argmax(t.data() + i * s.c, s.c);
+    return out;
+}
+
+} // namespace pcnn

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tensor primitives: CPU SGEMM, im2col/col2im, softmax, entropy.
+ *
+ * These are the building blocks the nn:: layers compose. The SGEMM
+ * here is the *functional* counterpart of the GPU kernels the
+ * analytical model in gpu:: reasons about — the paper lowers every
+ * convolution to SGEMM via im2col (Section II.A, Fig. 2), and so do
+ * we.
+ */
+
+#ifndef PCNN_TENSOR_TENSOR_OPS_HH
+#define PCNN_TENSOR_TENSOR_OPS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace pcnn {
+
+/** Dimensions of a C = op(A) x op(B) matrix product. */
+struct GemmShape
+{
+    std::size_t m = 0; ///< rows of C
+    std::size_t n = 0; ///< cols of C
+    std::size_t k = 0; ///< inner dimension
+
+    /** FLOPs of the product (one multiply-accumulate = 2 FLOPs). */
+    double flops() const { return 2.0 * double(m) * double(n) * double(k); }
+};
+
+/**
+ * Single-precision GEMM: C = op(A) * op(B) + beta * C.
+ *
+ * All matrices are dense row-major. op(A) is m x k, op(B) is k x n.
+ * @param trans_a interpret A as transposed (A stored k x m)
+ * @param trans_b interpret B as transposed (B stored n x k)
+ */
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, const float *a, const float *b, float *c,
+           float beta = 0.0f);
+
+/** Geometry of a convolution viewed from one input item. */
+struct ConvGeom
+{
+    std::size_t inC = 0;
+    std::size_t inH = 0;
+    std::size_t inW = 0;
+    std::size_t kernel = 0; ///< square filter side S_f
+    std::size_t stride = 1;
+    std::size_t pad = 0;
+
+    /** Output height for this geometry. */
+    std::size_t outH() const;
+
+    /** Output width for this geometry. */
+    std::size_t outW() const;
+
+    /** Rows of the im2col matrix: S_f^2 * N_c. */
+    std::size_t colRows() const { return kernel * kernel * inC; }
+};
+
+/**
+ * im2col for one batch item: expands local receptive fields into a
+ * (S_f^2 N_c) x (W_o H_o) column-major-of-patches matrix (stored
+ * row-major, one row per filter element).
+ *
+ * @param x input tensor (any batch size)
+ * @param item which batch item to expand
+ * @param g convolution geometry
+ * @param cols output buffer, resized to colRows() x (outH*outW)
+ */
+void im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
+            std::vector<float> &cols);
+
+/**
+ * Partial im2col used by perforated convolution: only the given
+ * output positions (indices into the flattened outH*outW grid) are
+ * expanded, producing a colRows() x positions.size() matrix.
+ */
+void im2colAt(const Tensor &x, std::size_t item, const ConvGeom &g,
+              const std::vector<std::size_t> &positions,
+              std::vector<float> &cols);
+
+/**
+ * col2im scatter-add: inverse of im2col, used by the conv backward
+ * pass. Accumulates into dx (which must be pre-sized and may hold
+ * other items' gradients).
+ */
+void col2im(const std::vector<float> &cols, std::size_t item,
+            const ConvGeom &g, Tensor &dx);
+
+/**
+ * Row-wise softmax over a logits tensor shaped [n, k, 1, 1].
+ * Numerically stabilized by max subtraction.
+ */
+Tensor softmax(const Tensor &logits);
+
+/**
+ * Discrete entropy of one probability row (Eq. 2 of the paper):
+ * H(Y) = -sum_i p_i log(p_i), natural log, 0 log 0 := 0.
+ */
+double entropy(const float *probs, std::size_t k);
+
+/**
+ * Mean entropy across a batch of probability rows [n, k, 1, 1].
+ * This is the paper's CNN_entropy signal used for accuracy tuning.
+ */
+double batchEntropy(const Tensor &probs);
+
+/** Index of the largest value in a row of k floats. */
+std::size_t argmax(const float *row, std::size_t k);
+
+/** Per-item argmax of a [n, k, 1, 1] probability/logit tensor. */
+std::vector<std::size_t> argmaxRows(const Tensor &t);
+
+} // namespace pcnn
+
+#endif // PCNN_TENSOR_TENSOR_OPS_HH

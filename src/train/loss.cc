@@ -1,0 +1,57 @@
+#include "train/loss.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+
+double
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<std::size_t> &labels,
+                    Tensor *dlogits)
+{
+    const Shape &s = logits.shape();
+    pcnn_assert(s.h == 1 && s.w == 1, "loss expects [n,k,1,1] logits");
+    pcnn_assert(labels.size() == s.n, "labels/batch size mismatch: ",
+                labels.size(), " vs ", s.n);
+
+    const Tensor probs = softmax(logits);
+    const std::size_t k = s.c;
+    double loss = 0.0;
+    for (std::size_t i = 0; i < s.n; ++i) {
+        pcnn_assert(labels[i] < k, "label ", labels[i], " out of ", k,
+                    " classes");
+        const double p =
+            std::max(1e-12, double(probs.data()[i * k + labels[i]]));
+        loss -= std::log(p);
+    }
+    loss /= double(s.n);
+
+    if (dlogits) {
+        dlogits->resize(s);
+        const float inv_n = 1.0f / float(s.n);
+        for (std::size_t i = 0; i < s.n; ++i) {
+            for (std::size_t j = 0; j < k; ++j) {
+                const float target = j == labels[i] ? 1.0f : 0.0f;
+                dlogits->data()[i * k + j] =
+                    (probs.data()[i * k + j] - target) * inv_n;
+            }
+        }
+    }
+    return loss;
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<std::size_t> &labels)
+{
+    const auto pred = argmaxRows(logits);
+    pcnn_assert(pred.size() == labels.size(), "labels/batch mismatch");
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        hits += pred[i] == labels[i];
+    return pred.empty() ? 0.0 : double(hits) / double(pred.size());
+}
+
+} // namespace pcnn

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Softmax cross-entropy loss.
+ */
+
+#ifndef PCNN_TRAIN_LOSS_HH
+#define PCNN_TRAIN_LOSS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace pcnn {
+
+/**
+ * Mean softmax cross-entropy over a batch.
+ *
+ * @param logits classifier outputs [n, k, 1, 1]
+ * @param labels one class index per batch item
+ * @param dlogits if non-null, receives dLoss/dLogits (already
+ *        averaged over the batch), shaped like logits
+ * @return mean negative log-likelihood
+ */
+double softmaxCrossEntropy(const Tensor &logits,
+                           const std::vector<std::size_t> &labels,
+                           Tensor *dlogits = nullptr);
+
+/** Fraction of batch items whose argmax(logits) equals the label. */
+double accuracy(const Tensor &logits,
+                const std::vector<std::size_t> &labels);
+
+} // namespace pcnn
+
+#endif // PCNN_TRAIN_LOSS_HH

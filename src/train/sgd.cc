@@ -1,0 +1,51 @@
+#include "train/sgd.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+SgdOptimizer::SgdOptimizer(SgdConfig config) : cfg(config)
+{
+    pcnn_assert(cfg.learningRate > 0.0, "learning rate must be positive");
+    pcnn_assert(cfg.momentum >= 0.0 && cfg.momentum < 1.0,
+                "momentum must be in [0,1)");
+}
+
+void
+SgdOptimizer::step(const std::vector<Param *> &params)
+{
+    for (Param *p : params) {
+        auto it = std::find(known.begin(), known.end(), p);
+        std::size_t idx;
+        if (it == known.end()) {
+            known.push_back(p);
+            velocity.emplace_back(p->value.size(), 0.0f);
+            idx = known.size() - 1;
+        } else {
+            idx = std::size_t(it - known.begin());
+        }
+        pcnn_assert(velocity[idx].size() == p->value.size(),
+                    "parameter resized under the optimizer");
+
+        auto &vel = velocity[idx];
+        const float lr = float(cfg.learningRate);
+        const float mu = float(cfg.momentum);
+        const float wd = float(cfg.weightDecay);
+        for (std::size_t i = 0; i < vel.size(); ++i) {
+            const float g = p->grad[i] + wd * p->value[i];
+            vel[i] = mu * vel[i] - lr * g;
+            p->value[i] += vel[i];
+        }
+    }
+}
+
+void
+SgdOptimizer::scaleLearningRate(double factor)
+{
+    pcnn_assert(factor > 0.0, "lr scale must be positive");
+    cfg.learningRate *= factor;
+}
+
+} // namespace pcnn

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Stochastic gradient descent with momentum and weight decay.
+ */
+
+#ifndef PCNN_TRAIN_SGD_HH
+#define PCNN_TRAIN_SGD_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace pcnn {
+
+/** SGD hyper-parameters. */
+struct SgdConfig
+{
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 1e-4;
+};
+
+/**
+ * Classic momentum SGD: v = mu*v - lr*(g + wd*w); w += v.
+ *
+ * Velocity buffers are keyed by Param pointer and created lazily, so
+ * one optimizer instance can drive a whole network.
+ */
+class SgdOptimizer
+{
+  public:
+    /** Construct with hyper-parameters. */
+    explicit SgdOptimizer(SgdConfig cfg);
+
+    /** Apply one update to every parameter; gradients are consumed. */
+    void step(const std::vector<Param *> &params);
+
+    /** Scale the learning rate (for decay schedules). */
+    void scaleLearningRate(double factor);
+
+    /** Current learning rate. */
+    double learningRate() const { return cfg.learningRate; }
+
+  private:
+    SgdConfig cfg;
+    std::vector<Param *> known;
+    std::vector<std::vector<float>> velocity;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_TRAIN_SGD_HH

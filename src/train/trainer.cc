@@ -1,0 +1,84 @@
+#include "train/trainer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "tensor/tensor_ops.hh"
+#include "train/loss.hh"
+
+namespace pcnn {
+
+Trainer::Trainer(Network &network, TrainConfig config)
+    : net(network), cfg(config), opt(config.sgd)
+{
+    pcnn_assert(cfg.epochs > 0 && cfg.batchSize > 0,
+                "trainer needs positive epochs and batch size");
+}
+
+std::vector<EpochStats>
+Trainer::fit(Dataset &train_set)
+{
+    pcnn_assert(train_set.size() >= cfg.batchSize,
+                "training set smaller than one batch");
+    net.clearPerforation();
+
+    Rng shuffle_rng(cfg.shuffleSeed);
+    std::vector<EpochStats> history;
+    Tensor dlogits;
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        train_set.shuffle(shuffle_rng);
+        double loss_sum = 0.0, acc_sum = 0.0;
+        std::size_t batches = 0;
+
+        for (std::size_t first = 0;
+             first + cfg.batchSize <= train_set.size();
+             first += cfg.batchSize) {
+            const Tensor x = train_set.batch(first, cfg.batchSize);
+            const auto labels =
+                train_set.batchLabels(first, cfg.batchSize);
+
+            net.zeroGrads();
+            const Tensor logits = net.forward(x, true);
+            loss_sum += softmaxCrossEntropy(logits, labels, &dlogits);
+            acc_sum += accuracy(logits, labels);
+            net.backward(dlogits);
+            opt.step(net.params());
+            ++batches;
+        }
+
+        EpochStats s;
+        s.trainLoss = loss_sum / double(batches);
+        s.trainAccuracy = acc_sum / double(batches);
+        history.push_back(s);
+        opt.scaleLearningRate(cfg.lrDecay);
+    }
+    return history;
+}
+
+EvalResult
+Trainer::evaluate(const Dataset &test_set, std::size_t batch_size)
+{
+    pcnn_assert(test_set.size() > 0, "empty evaluation set");
+    EvalResult r;
+    std::size_t seen = 0;
+    while (seen < test_set.size()) {
+        const std::size_t n =
+            std::min(batch_size, test_set.size() - seen);
+        const Tensor x = test_set.batch(seen, n);
+        const auto labels = test_set.batchLabels(seen, n);
+        const Tensor logits = net.forward(x, false);
+        const Tensor probs = softmax(logits);
+
+        r.loss += softmaxCrossEntropy(logits, labels) * double(n);
+        r.accuracy += accuracy(logits, labels) * double(n);
+        r.meanEntropy += batchEntropy(probs) * double(n);
+        seen += n;
+    }
+    r.loss /= double(seen);
+    r.accuracy /= double(seen);
+    r.meanEntropy /= double(seen);
+    return r;
+}
+
+} // namespace pcnn

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Mini-batch trainer and evaluator for functional networks.
+ */
+
+#ifndef PCNN_TRAIN_TRAINER_HH
+#define PCNN_TRAIN_TRAINER_HH
+
+#include <vector>
+
+#include "data/dataset.hh"
+#include "nn/network.hh"
+#include "train/sgd.hh"
+
+namespace pcnn {
+
+/** Trainer configuration. */
+struct TrainConfig
+{
+    std::size_t epochs = 6;
+    std::size_t batchSize = 32;
+    SgdConfig sgd;
+    /// multiply the learning rate by this factor after each epoch
+    double lrDecay = 0.85;
+    std::uint64_t shuffleSeed = 7;
+};
+
+/** Quality of a network on a dataset. */
+struct EvalResult
+{
+    double accuracy = 0.0;    ///< top-1 accuracy
+    double meanEntropy = 0.0; ///< mean output entropy (CNN_entropy)
+    double loss = 0.0;        ///< mean cross-entropy
+};
+
+/** Per-epoch training trace. */
+struct EpochStats
+{
+    double trainLoss = 0.0;
+    double trainAccuracy = 0.0;
+};
+
+/**
+ * Drives SGD training of a Network on a Dataset and evaluates
+ * accuracy / entropy / loss. Perforation is cleared for training and
+ * restored semantics are the caller's concern.
+ */
+class Trainer
+{
+  public:
+    /** Bind a network (borrowed, not owned) and a configuration. */
+    Trainer(Network &net, TrainConfig cfg);
+
+    /**
+     * Train for cfg.epochs over `train_set`.
+     * @return per-epoch loss/accuracy trace
+     */
+    std::vector<EpochStats> fit(Dataset &train_set);
+
+    /** Evaluate on a dataset with the network's current settings. */
+    EvalResult evaluate(const Dataset &test_set,
+                        std::size_t batch_size = 64);
+
+  private:
+    Network &net;
+    TrainConfig cfg;
+    SgdOptimizer opt;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_TRAIN_TRAINER_HH

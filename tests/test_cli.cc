@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Integration tests for the pcnn_cli tool: each subcommand is driven
+ * through the real binary (path injected by CMake) and its output
+ * checked for the expected content and exit status.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace pcnn {
+namespace {
+
+#ifndef PCNN_CLI_PATH
+#error "PCNN_CLI_PATH must be defined by the build system"
+#endif
+
+/** Run a CLI invocation; returns (exit status, captured stdout). */
+std::pair<int, std::string>
+runCli(const std::string &args)
+{
+    const std::string cmd =
+        std::string(PCNN_CLI_PATH) + " " + args + " 2>&1";
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 512> buf;
+    while (std::fgets(buf.data(), int(buf.size()), pipe))
+        out += buf.data();
+    const int status = ::pclose(pipe);
+    return {status, out};
+}
+
+TEST(Cli, GpusListsAllPresets)
+{
+    const auto [status, out] = runCli("gpus");
+    EXPECT_EQ(status, 0);
+    for (const char *name : {"K20c", "TitanX", "970m", "TX1"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, NetsListsZoo)
+{
+    const auto [status, out] = runCli("nets");
+    EXPECT_EQ(status, 0);
+    for (const char *name : {"AlexNet", "GoogLeNet", "VGGNet"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, CompileShowsPlan)
+{
+    const auto [status, out] =
+        runCli("compile --net AlexNet --gpu K20c --task interactive");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("CONV5"), std::string::npos);
+    EXPECT_NE(out.find("optSM"), std::string::npos);
+}
+
+TEST(Cli, CompileSaveAndInspectRoundTrip)
+{
+    const std::string path = "/tmp/pcnn_cli_test_plan.bin";
+    const auto [s1, o1] = runCli(
+        "compile --net GoogLeNet --gpu TX1 --batch 4 --out " + path);
+    EXPECT_EQ(s1, 0);
+    EXPECT_NE(o1.find("saved"), std::string::npos);
+    const auto [s2, o2] = runCli("inspect " + path);
+    EXPECT_EQ(s2, 0);
+    EXPECT_NE(o2.find("GoogLeNet"), std::string::npos);
+    EXPECT_NE(o2.find("batch 4"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, EstimateReportsOom)
+{
+    const auto [status, out] = runCli(
+        "estimate --net VGGNet --gpu TX1 --lib cuDNN --batch 32");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("OUT OF MEMORY"), std::string::npos);
+}
+
+TEST(Cli, EstimateReportsLatency)
+{
+    const auto [status, out] = runCli(
+        "estimate --net AlexNet --gpu TitanX --lib Nervana "
+        "--batch 128");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("latency"), std::string::npos);
+    EXPECT_NE(out.find("throughput"), std::string::npos);
+}
+
+TEST(Cli, SchedulersComparesZoo)
+{
+    const auto [status, out] = runCli(
+        "schedulers --net AlexNet --gpu K20c --task background");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("P-CNN"), std::string::npos);
+    EXPECT_NE(out.find("Ideal"), std::string::npos);
+}
+
+TEST(Cli, BadCommandFails)
+{
+    const auto [status, out] = runCli("frobnicate");
+    EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownNetworkFails)
+{
+    const auto [status, out] =
+        runCli("compile --net NotANet --gpu K20c");
+    EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("unknown network"), std::string::npos);
+}
+
+TEST(Cli, InspectRejectsGarbageFile)
+{
+    const std::string path = "/tmp/pcnn_cli_garbage.bin";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a plan", f);
+    std::fclose(f);
+    const auto [status, out] = runCli("inspect " + path);
+    EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("cannot load"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the common module: RNG, tables, CSV, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace pcnn {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.5, 2.5);
+        ASSERT_GE(u, -3.5);
+        ASSERT_LT(u, 2.5);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng r(99);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = r.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(21);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(22);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(r.gaussian(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(33);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(44);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(55);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+// ---------------------------------------------------------- TextTable
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"1", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"col", "x"});
+    t.addRow({"longvalue", "1"});
+    const std::string out = t.render();
+    // Every rendered line has equal width.
+    std::size_t width = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(TextTable, NumFormatsTrimZeros)
+{
+    EXPECT_EQ(TextTable::num(1.50, 2), "1.5");
+    EXPECT_EQ(TextTable::num(2.00, 2), "2");
+    EXPECT_EQ(TextTable::num(0.125, 3), "0.125");
+    EXPECT_EQ(TextTable::num(42), "42");
+    EXPECT_EQ(TextTable::num(std::size_t(7)), "7");
+}
+
+TEST(TextTableDeath, RowWidthMismatchPanics)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+// ---------------------------------------------------------- CsvWriter
+
+TEST(CsvWriter, BasicRender)
+{
+    CsvWriter w({"a", "b"});
+    w.addRow({"1", "2"});
+    EXPECT_EQ(w.render(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    CsvWriter w({"a"});
+    w.addRow({"x,y"});
+    w.addRow({"he said \"hi\""});
+    const std::string out = w.render();
+    EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvWriter, WritesFile)
+{
+    CsvWriter w({"n"});
+    w.addRow({"1"});
+    const std::string path = "/tmp/pcnn_csv_test.csv";
+    ASSERT_TRUE(w.writeFile(path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+}
+
+// -------------------------------------------------------------- stats
+
+TEST(Stats, MeanStddev)
+{
+    const std::vector<double> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, Geomean)
+{
+    const std::vector<double> v{1, 4, 16};
+    EXPECT_NEAR(geomean(v), 4.0, 1e-9);
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> v{3, -1, 7};
+    EXPECT_DOUBLE_EQ(minOf(v), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 7.0);
+}
+
+TEST(RunningStats, MatchesBatchStats)
+{
+    Rng r(3);
+    std::vector<double> v;
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.uniform(-5, 5);
+        v.push_back(x);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), mean(v), 1e-9);
+    EXPECT_NEAR(s.stddev(), stddev(v), 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), minOf(v));
+    EXPECT_DOUBLE_EQ(s.max(), maxOf(v));
+    EXPECT_EQ(s.count(), v.size());
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the data module: Dataset container and the synthetic
+ * labeled task.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.hh"
+#include "data/synthetic.hh"
+
+namespace pcnn {
+namespace {
+
+TEST(Dataset, AddAndFetch)
+{
+    Dataset ds(Shape{1, 1, 2, 2});
+    Tensor img(1, 1, 2, 2);
+    img.fill(3.0f);
+    ds.add(img, 4);
+    EXPECT_EQ(ds.size(), 1u);
+    EXPECT_EQ(ds.label(0), 4u);
+    EXPECT_FLOAT_EQ(ds.image(0)[0], 3.0f);
+}
+
+TEST(Dataset, BatchMaterialization)
+{
+    Dataset ds(Shape{1, 1, 1, 2});
+    for (int i = 0; i < 5; ++i) {
+        Tensor img(1, 1, 1, 2);
+        img.fill(float(i));
+        ds.add(img, std::size_t(i));
+    }
+    const Tensor b = ds.batch(1, 3);
+    EXPECT_EQ(b.shape().n, 3u);
+    EXPECT_FLOAT_EQ(b[0], 1.0f);
+    EXPECT_FLOAT_EQ(b[4], 3.0f);
+    const auto labels = ds.batchLabels(1, 3);
+    EXPECT_EQ(labels, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(DatasetDeath, BatchOutOfRangePanics)
+{
+    Dataset ds(Shape{1, 1, 1, 1});
+    Tensor img(1, 1, 1, 1);
+    ds.add(img, 0);
+    EXPECT_DEATH(ds.batch(0, 2), "out of");
+}
+
+TEST(Dataset, ShuffleKeepsImageLabelPairs)
+{
+    Dataset ds(Shape{1, 1, 1, 1});
+    for (int i = 0; i < 20; ++i) {
+        Tensor img(1, 1, 1, 1);
+        img[0] = float(i);
+        ds.add(img, std::size_t(i));
+    }
+    Rng rng(3);
+    ds.shuffle(rng);
+    // Pairing invariant: pixel value still equals the label.
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        EXPECT_FLOAT_EQ(ds.image(i)[0], float(ds.label(i)));
+}
+
+TEST(Dataset, TakeTailSplits)
+{
+    Dataset ds(Shape{1, 1, 1, 1});
+    for (int i = 0; i < 10; ++i) {
+        Tensor img(1, 1, 1, 1);
+        img[0] = float(i);
+        ds.add(img, std::size_t(i));
+    }
+    Dataset tail = ds.takeTail(3);
+    EXPECT_EQ(ds.size(), 7u);
+    EXPECT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail.label(0), 7u);
+    EXPECT_FLOAT_EQ(tail.image(2)[0], 9.0f);
+}
+
+TEST(SyntheticTask, DeterministicFromSeed)
+{
+    SyntheticTaskConfig cfg;
+    cfg.seed = 5;
+    SyntheticTask a(cfg), b(cfg);
+    Dataset da = a.generate(10), db = b.generate(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(da.label(i), db.label(i));
+        EXPECT_LT(da.image(i).maxAbsDiff(db.image(i)), 1e-9);
+    }
+}
+
+TEST(SyntheticTask, ClassesBalanced)
+{
+    SyntheticTaskConfig cfg;
+    cfg.classes = 4;
+    SyntheticTask task(cfg);
+    Dataset ds = task.generate(400);
+    std::vector<int> counts(4, 0);
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        counts[ds.label(i)]++;
+    for (int c : counts)
+        EXPECT_EQ(c, 100);
+}
+
+TEST(SyntheticTask, TemplatesDistinct)
+{
+    SyntheticTaskConfig cfg;
+    SyntheticTask task(cfg);
+    const double diff =
+        task.classTemplate(0).maxAbsDiff(task.classTemplate(1));
+    EXPECT_GT(diff, 0.1);
+}
+
+TEST(SyntheticTask, TemplatesSmooth)
+{
+    // Adjacent pixels of a template correlate (spatial redundancy,
+    // the property perforation exploits).
+    SyntheticTaskConfig cfg;
+    SyntheticTask task(cfg);
+    const Tensor &t = task.classTemplate(0);
+    double adj = 0.0, global = 0.0;
+    int n_adj = 0, n_glob = 0;
+    for (std::size_t y = 0; y < 15; ++y) {
+        for (std::size_t x = 0; x < 15; ++x) {
+            adj += std::abs(t.at(0, 0, y, x) - t.at(0, 0, y, x + 1));
+            ++n_adj;
+            global += std::abs(t.at(0, 0, y, x) -
+                               t.at(0, 0, 15 - y, 15 - x));
+            ++n_glob;
+        }
+    }
+    EXPECT_LT(adj / n_adj, global / n_glob);
+}
+
+TEST(SyntheticTask, DifficultyControlsNoise)
+{
+    SyntheticTaskConfig easy;
+    easy.difficulty = 0.05;
+    SyntheticTaskConfig hard = easy;
+    hard.difficulty = 2.0;
+
+    // Same class, many samples: variance around the template grows
+    // with difficulty.
+    auto spread = [](SyntheticTaskConfig cfg) {
+        cfg.maxShift = 0;
+        SyntheticTask task(cfg);
+        Dataset ds = task.generate(64);
+        double var = 0.0;
+        int n = 0;
+        for (std::size_t i = 0; i < ds.size(); ++i) {
+            if (ds.label(i) != 0)
+                continue;
+            const Tensor img = ds.image(i);
+            const Tensor &tpl = task.classTemplate(0);
+            for (std::size_t j = 0; j < img.size(); ++j) {
+                const double d = img[j] - tpl[j];
+                var += d * d;
+                ++n;
+            }
+        }
+        return var / n;
+    };
+    EXPECT_LT(spread(easy), spread(hard));
+}
+
+TEST(SyntheticTask, GenerateIsFreshData)
+{
+    SyntheticTaskConfig cfg;
+    SyntheticTask task(cfg);
+    Dataset a = task.generate(8);
+    Dataset b = task.generate(8);
+    // Different draws from the same task.
+    double diff = 0.0;
+    for (std::size_t i = 0; i < 8; ++i)
+        diff += a.image(i).maxAbsDiff(b.image(i));
+    EXPECT_GT(diff, 0.01);
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the framework extensions: DVFS model + planner, spatial
+ * multi-kernel co-location, static SM allocation, compiled-plan
+ * persistence, and the online requirement learner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gpu/dvfs.hh"
+#include "gpu/sim/gpu_sim.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/dvfs_planner.hh"
+#include "pcnn/offline/plan_io.hh"
+#include "pcnn/runtime/kernel_scheduler.hh"
+#include "pcnn/runtime/requirement_learner.hh"
+
+namespace pcnn {
+namespace {
+
+// ---------------------------------------------------------------- DVFS
+
+TEST(Dvfs, LevelsAscendToNominal)
+{
+    const auto &ls = DvfsModel::levels();
+    ASSERT_GE(ls.size(), 2u);
+    for (std::size_t i = 1; i < ls.size(); ++i)
+        EXPECT_GT(ls[i], ls[i - 1]);
+    EXPECT_DOUBLE_EQ(ls.back(), 1.0);
+}
+
+TEST(Dvfs, ScalingLaws)
+{
+    const DvfsModel dvfs(k20c());
+    const GpuSpec half = dvfs.at(0.5);
+    const GpuSpec full = dvfs.at(1.0);
+    EXPECT_NEAR(half.coreClockMHz, full.coreClockMHz * 0.5, 1e-9);
+    // Dynamic energy ~ f^2, leakage ~ f, bandwidth unchanged.
+    EXPECT_NEAR(half.dynEnergyPerFlopJ,
+                full.dynEnergyPerFlopJ * 0.25, 1e-18);
+    EXPECT_NEAR(half.smStaticPowerW, full.smStaticPowerW * 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(half.memBandwidthGBs, full.memBandwidthGBs);
+    EXPECT_NEAR(half.peakFlops(), full.peakFlops() * 0.5, 1e3);
+}
+
+TEST(Dvfs, LevelForBudget)
+{
+    const DvfsModel dvfs(k20c());
+    // 10 ms of nominal work against a 100 ms budget: 0.5 suffices
+    // (20 ms <= 100 ms).
+    EXPECT_DOUBLE_EQ(dvfs.levelForBudget(0.010, 0.100), 0.5);
+    // Tight budget: must stay at nominal.
+    EXPECT_DOUBLE_EQ(dvfs.levelForBudget(0.010, 0.011), 1.0);
+}
+
+TEST(DvfsPlanner, SlowsDownWhenSlackIsLarge)
+{
+    // An interactive task on the fast server GPU has huge slack; the
+    // planner should pick a level below nominal and still meet T_i.
+    const DvfsPlanner planner(k20c());
+    const DvfsPlan p = planner.plan(alexNet(), ageDetectionApp());
+    EXPECT_LT(p.level, 1.0);
+    EXPECT_GE(p.slackS, 0.0);
+    EXPECT_LE(p.plan.latencyS(), 0.1);
+}
+
+TEST(DvfsPlanner, StaysFastUnderTightDeadline)
+{
+    // 60 FPS on the mobile GPU leaves no DVFS slack.
+    const DvfsPlanner planner(jetsonTx1());
+    const DvfsPlan p =
+        planner.plan(googleNet(), videoSurveillanceApp());
+    EXPECT_DOUBLE_EQ(p.level, 1.0);
+}
+
+TEST(DvfsPlanner, SavesEnergyAtEqualSatisfaction)
+{
+    const GpuSpec nominal = k20c();
+    const DvfsPlanner planner(nominal);
+    const AppSpec app = ageDetectionApp();
+    const DvfsPlan scaled = planner.plan(alexNet(), app);
+
+    const OfflineCompiler compiler(nominal);
+    const CompiledPlan fast = compiler.compile(alexNet(), app);
+
+    const SimResult r_fast =
+        RuntimeKernelScheduler(nominal).execute(fast, pcnnPolicy());
+    const SimResult r_slow = RuntimeKernelScheduler(scaled.gpu)
+                                 .execute(scaled.plan, pcnnPolicy());
+    const UserRequirement req = inferRequirement(app);
+    // Both imperceptible...
+    EXPECT_LE(r_fast.timeS, req.imperceptibleS);
+    EXPECT_LE(r_slow.timeS, req.imperceptibleS);
+    // ...but over one request period (requests arrive at 1 Hz and
+    // the GPU idles at board base power in between) the scaled
+    // deployment uses less total energy: the board power is a wash,
+    // while the f^2 dynamic and f static terms shrink.
+    const double period = 1.0 / app.dataRateHz;
+    const GpuSim idle_fast(nominal);
+    const GpuSim idle_slow(scaled.gpu);
+    const double e_fast =
+        r_fast.energy.total() +
+        idle_fast.fixedInterval(period - r_fast.timeS, 0)
+            .energy.total();
+    const double e_slow =
+        r_slow.energy.total() +
+        idle_slow.fixedInterval(period - r_slow.timeS, 0)
+            .energy.total();
+    EXPECT_LT(e_slow, e_fast);
+}
+
+// ----------------------------------------------------- co-location
+
+GpuSpec
+toy8()
+{
+    GpuSpec g = jetsonTx1();
+    g.name = "Toy8";
+    g.numSMs = 8;
+    return g;
+}
+
+KernelDesc
+simpleKernel(const std::string &name, std::size_t grid)
+{
+    KernelDesc k;
+    k.name = name;
+    k.gridSize = grid;
+    k.ctaWorkFlops = 1e7;
+    k.blockSize = 256;
+    k.issueDensity = 0.6;
+    return k;
+}
+
+TEST(Partitioned, SingleKernelMatchesPsmRun)
+{
+    const GpuSim sim(toy8());
+    const KernelDesc k = simpleKernel("a", 8);
+
+    LaunchConfig psm;
+    psm.scheduler = SchedKind::PrioritySM;
+    psm.tlpLimit = 2;
+    psm.smsAllowed = 4;
+    psm.powerGateIdle = true;
+    const SimResult single = sim.runKernel(k, psm);
+
+    const PartitionedResult part =
+        sim.runPartitioned({{k, 0, 4, 2}}, true);
+    EXPECT_NEAR(part.timeS, single.timeS, single.timeS * 0.05);
+    EXPECT_EQ(part.smsPowered, 4u);
+}
+
+TEST(Partitioned, DisjointKernelsDontSlowEachOther)
+{
+    const GpuSim sim(toy8());
+    const KernelDesc a = simpleKernel("a", 8);
+    const KernelDesc b = simpleKernel("b", 8);
+
+    const PartitionedResult together = sim.runPartitioned(
+        {{a, 0, 4, 2}, {b, 4, 8, 2}}, true);
+    const PartitionedResult alone =
+        sim.runPartitioned({{a, 0, 4, 2}}, true);
+    // Same SM budget for kernel a either way.
+    EXPECT_NEAR(together.kernelTimeS[0], alone.kernelTimeS[0],
+                alone.kernelTimeS[0] * 0.05);
+    EXPECT_EQ(together.smsPowered, 8u);
+}
+
+TEST(Partitioned, ColocationBeatsSequentialThroughput)
+{
+    // The Fig. 7 promise: PSM frees SMs for other work. Running the
+    // co-runner on the freed SMs finishes earlier than running the
+    // two kernels back to back on the whole GPU.
+    const GpuSim sim(toy8());
+    const KernelDesc cnn = simpleKernel("cnn", 8);   // optSM 4 @ tlp 2
+    const KernelDesc other = simpleKernel("other", 8);
+
+    const PartitionedResult together = sim.runPartitioned(
+        {{cnn, 0, 4, 2}, {other, 4, 8, 2}}, true);
+
+    LaunchConfig whole;
+    whole.scheduler = SchedKind::RoundRobin;
+    whole.tlpLimit = 2;
+    const SimResult seq_a = sim.runKernel(cnn, whole);
+    const SimResult seq_b = sim.runKernel(other, whole);
+    EXPECT_LT(together.timeS, seq_a.timeS + seq_b.timeS);
+}
+
+TEST(PartitionedDeath, OverlappingRangesPanic)
+{
+    const GpuSim sim(toy8());
+    const KernelDesc a = simpleKernel("a", 4);
+    EXPECT_DEATH(
+        sim.runPartitioned({{a, 0, 4, 2}, {a, 3, 8, 2}}, true),
+        "claimed by two");
+}
+
+// --------------------------------------------- static SM allocation
+
+TEST(StaticSmAllocation, WastesEnergyVsPerLayerOptSm)
+{
+    // Section III.D.2: allocating the max-Util SM count to *all*
+    // layers leaves low-Util layers overprovisioned; per-layer optSM
+    // (P-CNN) uses less energy at similar latency.
+    const GpuSpec gpu = k20c();
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    const RuntimeKernelScheduler rt(gpu);
+
+    std::size_t max_opt_sm = 0;
+    for (const LayerSchedule &ls : plan.layers)
+        max_opt_sm = std::max(max_opt_sm, ls.kernel.optSM);
+
+    ExecPolicy spatial_static = pcnnPolicy();
+    spatial_static.fixedSmAllocation = max_opt_sm;
+
+    const SimResult per_layer = rt.execute(plan, pcnnPolicy());
+    const SimResult fixed = rt.execute(plan, spatial_static);
+    EXPECT_LT(per_layer.energy.total(), fixed.energy.total());
+    EXPECT_LT(per_layer.timeS, fixed.timeS * 1.5);
+}
+
+// ------------------------------------------------------------ plan IO
+
+TEST(PlanIo, RoundTrip)
+{
+    const OfflineCompiler compiler(jetsonTx1());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 4);
+    const auto bytes = serializePlan(plan);
+    const auto loaded = deserializePlan(bytes);
+    ASSERT_TRUE(loaded.has_value());
+
+    EXPECT_EQ(loaded->netName, plan.netName);
+    EXPECT_EQ(loaded->gpuName, plan.gpuName);
+    EXPECT_EQ(loaded->batch, plan.batch);
+    ASSERT_EQ(loaded->layers.size(), plan.layers.size());
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+        EXPECT_EQ(loaded->layers[i].kernel.config.str(),
+                  plan.layers[i].kernel.config.str());
+        EXPECT_EQ(loaded->layers[i].kernel.optSM,
+                  plan.layers[i].kernel.optSM);
+        EXPECT_EQ(loaded->layers[i].layer.name,
+                  plan.layers[i].layer.name);
+        EXPECT_NEAR(loaded->layers[i].timeS, plan.layers[i].timeS,
+                    1e-12);
+    }
+    EXPECT_NEAR(loaded->latencyS(), plan.latencyS(), 1e-12);
+}
+
+TEST(PlanIo, LoadedPlanExecutes)
+{
+    const GpuSpec gpu = k20c();
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 2);
+    const auto loaded = deserializePlan(serializePlan(plan));
+    ASSERT_TRUE(loaded.has_value());
+
+    const RuntimeKernelScheduler rt(gpu);
+    const SimResult a = rt.execute(plan, pcnnPolicy());
+    const SimResult b = rt.execute(*loaded, pcnnPolicy());
+    EXPECT_NEAR(a.timeS, b.timeS, 1e-12);
+    EXPECT_NEAR(a.energy.total(), b.energy.total(), 1e-12);
+}
+
+TEST(PlanIo, RejectsGarbage)
+{
+    EXPECT_FALSE(deserializePlan({}).has_value());
+    EXPECT_FALSE(
+        deserializePlan({1, 2, 3, 4, 5, 6, 7, 8, 9}).has_value());
+    const OfflineCompiler compiler(k20c());
+    auto bytes =
+        serializePlan(compiler.compileAtBatch(alexNet(), 1));
+    bytes.resize(bytes.size() - 7); // truncate
+    EXPECT_FALSE(deserializePlan(bytes).has_value());
+}
+
+TEST(PlanIo, FileRoundTrip)
+{
+    const OfflineCompiler compiler(gtx970m());
+    const CompiledPlan plan = compiler.compileAtBatch(vgg16(), 2);
+    const std::string path = "/tmp/pcnn_plan_test.bin";
+    ASSERT_TRUE(savePlan(plan, path));
+    const auto loaded = loadPlan(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->layers.size(), plan.layers.size());
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------- requirement learner
+
+TEST(RequirementLearner, ConvergesTowardTrueThreshold)
+{
+    // Hidden truth: this user's T_i is 0.4 s (they are patient).
+    const double true_ti = 0.4;
+    RequirementLearner learner(inferRequirement(ageDetectionApp()));
+    Rng rng(30);
+
+    for (int i = 0; i < 200; ++i) {
+        const double latency = rng.uniform(0.01, 1.0);
+        learner.observe(latency,
+                        latency <= true_ti
+                            ? UserFeedback::Satisfied
+                            : UserFeedback::Complained);
+    }
+    const double learned = learner.current().imperceptibleS;
+    EXPECT_NEAR(learned, true_ti, 0.12);
+    EXPECT_LT(learner.imperceptibleBracketS(), 0.2);
+}
+
+TEST(RequirementLearner, ImpatientUserTightensThreshold)
+{
+    RequirementLearner learner(inferRequirement(ageDetectionApp()));
+    const double start = learner.current().imperceptibleS;
+    // Complaints at latencies the table considered fine.
+    for (int i = 0; i < 20; ++i)
+        learner.observe(0.08, UserFeedback::Complained);
+    EXPECT_LT(learner.current().imperceptibleS, start);
+    EXPECT_LT(learner.current().imperceptibleS, 0.08);
+}
+
+TEST(RequirementLearner, AbandonmentLowersTolerable)
+{
+    RequirementLearner learner(inferRequirement(ageDetectionApp()));
+    for (int i = 0; i < 10; ++i)
+        learner.observe(1.5, UserFeedback::Abandoned);
+    EXPECT_LT(learner.current().tolerableS, 3.0);
+}
+
+TEST(RequirementLearner, SatisfactionNeverLoosensBeyondEvidence)
+{
+    RequirementLearner learner(inferRequirement(ageDetectionApp()));
+    for (int i = 0; i < 50; ++i)
+        learner.observe(0.05, UserFeedback::Satisfied);
+    // Satisfaction at 50 ms proves nothing beyond ~the bracket top.
+    EXPECT_LE(learner.current().imperceptibleS, 0.4 + 1e-9);
+    EXPECT_EQ(learner.observations(), 50u);
+}
+
+} // namespace
+} // namespace pcnn

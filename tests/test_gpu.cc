@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests for the gpu module: specs, tiles, occupancy and the
+ * analytical kernel model — validated against the paper's published
+ * numbers (Table II, Table IV, Table V, Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/kernel_model.hh"
+#include "gpu/memory_model.hh"
+#include "gpu/occupancy.hh"
+#include "gpu/tile_config.hh"
+#include "nn/model_zoo.hh"
+
+namespace pcnn {
+namespace {
+
+// ----------------------------------------------------------- GpuSpec
+
+TEST(GpuSpec, TableIICoreCounts)
+{
+    EXPECT_EQ(k20c().numSMs * k20c().coresPerSM, 2496u);
+    EXPECT_EQ(titanX().numSMs * titanX().coresPerSM, 3072u);
+    EXPECT_EQ(gtx970m().numSMs * gtx970m().coresPerSM, 1280u);
+    EXPECT_EQ(jetsonTx1().numSMs * jetsonTx1().coresPerSM, 256u);
+}
+
+TEST(GpuSpec, TableVIParameters)
+{
+    const GpuSpec k = k20c();
+    EXPECT_EQ(k.numSMs, 13u);
+    EXPECT_EQ(k.registersPerSM, 65536u); // 64K x 32 bit
+    EXPECT_EQ(k.maxThreadsPerSM, 2048u);
+    const GpuSpec t = jetsonTx1();
+    EXPECT_EQ(t.numSMs, 2u);
+    EXPECT_NEAR(t.coreClockMHz, 998.0, 1e-9);
+}
+
+TEST(GpuSpec, PeakFlops)
+{
+    // K20c: 2 * 706 MHz * 2496 cores = 3.52 TFLOP/s.
+    EXPECT_NEAR(k20c().peakFlops(), 3.52e12, 0.01e12);
+    // TX1: ~0.51 TFLOP/s.
+    EXPECT_NEAR(jetsonTx1().peakFlops(), 0.511e12, 0.01e12);
+}
+
+TEST(GpuSpec, LookupByName)
+{
+    EXPECT_EQ(gpuByName("TX1").platform, "Mobile");
+    EXPECT_EQ(allGpus().size(), 4u);
+}
+
+// -------------------------------------------------------- TileConfig
+
+TEST(TileConfig, CatalogueAccumulators)
+{
+    for (const TileConfig &t : tileCatalogue()) {
+        EXPECT_EQ(t.accumulatorsPerThread() * t.blockSize, t.m * t.n)
+            << t.str();
+        EXPECT_GE(t.naturalRegs, t.accumulatorsPerThread())
+            << t.str() << ": accumulators must fit in registers";
+    }
+}
+
+TEST(TileConfig, PaperCharacterizedValues)
+{
+    // Table IV rows.
+    const TileConfig t64 = tileByName(64, 64);
+    EXPECT_EQ(t64.naturalRegs, 79u);
+    EXPECT_EQ(t64.sharedMemBytes, 8468u);
+    EXPECT_EQ(t64.blockSize, 256u);
+    const TileConfig t128x64 = tileByName(128, 64);
+    EXPECT_EQ(t128x64.naturalRegs, 120u);
+    EXPECT_EQ(t128x64.sharedMemBytes, 12544u);
+    const TileConfig t32 = tileByName(32, 32);
+    EXPECT_EQ(t32.naturalRegs, 48u);
+    EXPECT_EQ(t32.sharedMemBytes, 2304u);
+    EXPECT_EQ(t32.blockSize, 64u);
+    // Fig. 9: 128x128's curReg is 127.
+    EXPECT_EQ(tileByName(128, 128).naturalRegs, 127u);
+}
+
+TEST(TileConfig, DensityGrowsWithTileSize)
+{
+    // Fig. 6: bigger sub-matrices have a higher FFMA share.
+    const double d32 = baseInstMix(tileByName(32, 32)).density();
+    const double d64 = baseInstMix(tileByName(64, 64)).density();
+    const double d128 = baseInstMix(tileByName(128, 64)).density();
+    EXPECT_LT(d32, d128);
+    EXPECT_LE(d64, d128 + 1e-12);
+}
+
+TEST(TileConfig, BytesPerFlopFallsWithTileSize)
+{
+    EXPECT_GT(bytesPerFlop(tileByName(32, 32)),
+              bytesPerFlop(tileByName(64, 64)));
+    EXPECT_GT(bytesPerFlop(tileByName(64, 64)),
+              bytesPerFlop(tileByName(128, 128)));
+}
+
+// --------------------------------------------------------- occupancy
+
+TEST(Occupancy, TableIVK20Cublas)
+{
+    // K20 + 64x64 @ 79 regs: 3 CTAs/SM by registers -> 39 blocks;
+    // 5 CTAs/SM by shared memory -> 65 blocks; min is 39.
+    const Occupancy o = occupancy(k20c(), tileByName(64, 64));
+    EXPECT_EQ(o.byRegisters, 3u);
+    EXPECT_EQ(o.bySharedMem, 5u);
+    EXPECT_EQ(o.ctasPerSm, 3u);
+    EXPECT_EQ(o.maxBlocks(k20c()), 39u);
+    EXPECT_EQ(o.byRegisters * 13, 39u);
+    EXPECT_EQ(o.bySharedMem * 13, 65u);
+    EXPECT_EQ(o.limit, OccLimit::Registers);
+}
+
+TEST(Occupancy, TableIVTx1Cublas)
+{
+    // TX1 + 128x64 @ 120 regs: 4/SM by registers -> 8 blocks;
+    // 7/SM by shared memory -> 14 blocks (Table IV's min(14,8)=8).
+    const Occupancy o = occupancy(jetsonTx1(), tileByName(128, 64));
+    EXPECT_EQ(o.byRegisters * 2, 8u);
+    EXPECT_EQ(o.bySharedMem * 2, 14u);
+    EXPECT_EQ(o.maxBlocks(jetsonTx1()), 8u);
+}
+
+TEST(Occupancy, TableIVTx1Cudnn)
+{
+    // TX1 + 32x32 @ 48 regs: register bound ~21/SM (paper: 40 total),
+    // shared-memory bound 42/SM (paper: 84 total).
+    const Occupancy o = occupancy(jetsonTx1(), tileByName(32, 32));
+    EXPECT_EQ(o.bySharedMem * 2, 84u);
+    EXPECT_NEAR(double(o.byRegisters * 2), 40.0, 2.0);
+    // The hardware CTA-slot limit (32/SM) also binds here.
+    EXPECT_LE(o.ctasPerSm, 32u);
+}
+
+TEST(Occupancy, ReducedRegistersRaiseTlp)
+{
+    // Fig. 9: cutting registers per thread increases TLP. The 64x64
+    // tile has shared-memory headroom on K20 (5 CTAs), so the
+    // register bound is what moves.
+    const GpuSpec k = k20c();
+    const TileConfig tile = tileByName(64, 64);
+    const Occupancy full = occupancy(k, tile, 79);  // 3 CTAs/SM
+    const Occupancy half = occupancy(k, tile, 64);  // 4 CTAs/SM
+    const Occupancy min_r = occupancy(k, tile, 51); // 5 CTAs/SM
+    EXPECT_LT(full.ctasPerSm, half.ctasPerSm);
+    EXPECT_LT(half.ctasPerSm, min_r.ctasPerSm);
+}
+
+TEST(Occupancy, ThreadsAndSlotsLimitsApply)
+{
+    // A tiny-register kernel is eventually bound by threads or slots.
+    const Occupancy o = occupancy(titanX(), tileByName(32, 32), 16);
+    EXPECT_LE(o.ctasPerSm, titanX().maxCtasPerSM);
+    EXPECT_LE(o.ctasPerSm * 64, titanX().maxThreadsPerSM);
+}
+
+// ------------------------------------------------------- SgemmModel
+
+TEST(SgemmModel, GridSizeEq4)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    // AlexNet CONV2 per-group GEMM on K20: ceil(128/64)*ceil(729/64)
+    // = 2 * 12 = 24 (Table IV).
+    EXPECT_EQ(m.gridSize({128, 729, 1200}), 24u);
+    // CONV5: 2 * 3 = 6.
+    EXPECT_EQ(m.gridSize({128, 169, 1728}), 6u);
+}
+
+TEST(SgemmModel, GridSizeTx1Cudnn)
+{
+    const SgemmModel m(jetsonTx1(), {tileByName(32, 32), 0});
+    // Table IV: CONV2 grid 92, CONV5 grid 24 on TX1/cuDNN.
+    EXPECT_EQ(m.gridSize({128, 729, 1200}), 92u);
+    EXPECT_EQ(m.gridSize({128, 169, 1728}), 24u);
+}
+
+TEST(SgemmModel, TableVUtilK20)
+{
+    // Table V row "K20": per-layer Util of AlexNet, batch 1, with the
+    // cuBLAS 64x64 kernel (maxBlocks 39).
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    const NetDescriptor net = alexNet();
+    const double expected[5] = {0.82, 0.62, 0.46, 0.23, 0.15};
+    for (int i = 0; i < 5; ++i) {
+        const double u = m.util(net.convs[i].gemmShape(1));
+        EXPECT_NEAR(u, expected[i], 0.02)
+            << net.convs[i].name << " Util mismatch";
+    }
+}
+
+TEST(SgemmModel, UtilIsOneWhenGridMultipleOfMaxBlocks)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    // grid = 39 exactly: 39/39 = 1.
+    EXPECT_NEAR(m.util({64 * 39, 64, 512}), 1.0, 1e-12);
+}
+
+TEST(SgemmModel, RecPenalizesPadding)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    EXPECT_NEAR(m.rEC({64, 64, 100}), 1.0, 1e-12);
+    EXPECT_NEAR(m.rEC({65, 64, 100}), 65.0 / 128.0, 1e-9);
+    EXPECT_NEAR(m.rEC({128, 169, 100}), 169.0 / 192.0, 1e-9);
+}
+
+TEST(SgemmModel, NInvocationsEq8)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    // grid 24, TLP 3, 13 SMs: one wave.
+    EXPECT_EQ(m.nInvocations({128, 729, 1200}), 1u);
+    // Large batched grid needs several waves.
+    EXPECT_GT(m.nInvocations({128, 729 * 128, 1200}), 1u);
+}
+
+TEST(SgemmModel, SpillingToSpareSharedMemoryFirst)
+{
+    // K20 + 64x64: shared-memory bound is 5 CTAs but register bound
+    // is 3, so there is spare shared memory for spilled registers.
+    const SgemmModel m(k20c(), {tileByName(64, 64), 64});
+    EXPECT_EQ(m.spill().spilledRegs, 79u - 64u);
+    EXPECT_GT(m.spill().toSharedMem, 0u);
+    EXPECT_EQ(m.spill().toSharedMem + m.spill().toGlobal,
+              m.spill().spilledRegs);
+}
+
+TEST(SgemmModel, SpillCostGrowsWithSpilledRegisters)
+{
+    const GpuSpec k = k20c();
+    const TileConfig tile = tileByName(128, 128);
+    const SgemmModel none(k, {tile, 127});
+    const SgemmModel some(k, {tile, 96});
+    const SgemmModel lots(k, {tile, 48});
+    EXPECT_DOUBLE_EQ(none.spill().cost(), 0.0);
+    EXPECT_LT(some.spill().cost(), lots.spill().cost());
+}
+
+TEST(SgemmModel, SpillLowersDensity)
+{
+    const GpuSpec k = k20c();
+    const TileConfig tile = tileByName(128, 128);
+    const SgemmModel none(k, {tile, 127});
+    const SgemmModel lots(k, {tile, 40});
+    EXPECT_GT(none.density(), lots.density());
+}
+
+TEST(SgemmModel, TimeScalesWithWork)
+{
+    const SgemmModel m(titanX(), {tileByName(128, 64), 0});
+    const double t1 = m.kernelTime({128, 729, 1200});
+    const double t128 = m.kernelTime({128, 729 * 128, 1200});
+    // Batched work grows the time, but sub-linearly: the small grid
+    // of the batch-1 GEMM underutilizes the GPU (this is exactly the
+    // Fig. 4 throughput gap between batching and non-batching).
+    EXPECT_GT(t128, t1 * 10);
+    EXPECT_LT(t128, t1 * 128);
+}
+
+TEST(SgemmModel, MoreSmsNeverSlower)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    const GemmShape g{384, 169 * 16, 2304};
+    EXPECT_LE(m.kernelTime(g, 13), m.kernelTime(g, 6) + 1e-12);
+}
+
+TEST(SgemmModel, OptSmTimeEqualsFullGpuTime)
+{
+    // The Eq. 11 promise: running on optSM SMs costs no extra
+    // invocations — "nearly the same performance with half the SM
+    // computing resources" (Fig. 7). Packing trades a little
+    // per-CTA concurrency for far fewer SMs, so the time stays
+    // within a small factor, not 6.5x as the SM ratio would suggest.
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    const GemmShape g{128, 169, 1728}; // grid 6
+    // 6 CTAs, TLP 3 -> optSM = 2.
+    EXPECT_EQ(m.nInvocations(g, 3, 2), m.nInvocations(g, 3, 13));
+    const double t_full = m.kernelTime(g, 13);
+    const double t_opt = m.kernelTime(g, 2);
+    EXPECT_LE(t_opt, t_full * 2.0);
+    EXPECT_GE(t_opt, t_full);
+}
+
+TEST(SgemmModel, SmallTileBandwidthBoundOnTx1)
+{
+    // cuDNN's 32x32 tile is traffic-heavy; on TX1's 25.6 GB/s a big
+    // batched GEMM must be bandwidth-bound: halving compute density
+    // would not change the time.
+    const GpuSpec tx1 = jetsonTx1();
+    const SgemmModel m(tx1, {tileByName(32, 32), 0});
+    const GemmShape g{128, 729 * 128, 1200};
+    const double t = m.kernelTime(g);
+    const double traffic = double(m.gridSize(g)) * m.ctaWorkFlops(g) *
+                           m.trafficBytesPerFlop();
+    EXPECT_NEAR(t, traffic / tx1.bandwidthBytes(),
+                t * 0.05 + SgemmModel::launchOverheadS);
+}
+
+TEST(SgemmModel, CpEDefinition)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    const GemmShape g{128, 729, 1200};
+    // At time = flops/peak, cpE == 1.
+    const double t = g.flops() / k20c().peakFlops();
+    EXPECT_NEAR(m.cpE(g, t), 1.0, 1e-9);
+}
+
+TEST(SgemmModel, KernelConfigStr)
+{
+    KernelConfig cfg{tileByName(64, 64), 0};
+    EXPECT_EQ(cfg.str(), "64x64@r79");
+    cfg.regsPerThread = 50;
+    EXPECT_EQ(cfg.str(), "64x64@r50");
+}
+
+// Property sweep: every (gpu, tile) pair yields a consistent model.
+class GpuTileSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GpuTileSweep, ModelInvariants)
+{
+    const auto [gi, ti] = GetParam();
+    const GpuSpec gpu = allGpus()[gi];
+    const TileConfig tile = tileCatalogue()[ti];
+    const SgemmModel m(gpu, {tile, 0});
+
+    EXPECT_GE(m.occ().ctasPerSm, 1u);
+    EXPECT_GT(m.density(), 0.0);
+    EXPECT_LE(m.density(), 1.0);
+    EXPECT_GT(m.timingDensity(), 0.0);
+    EXPECT_LE(m.timingDensity(), m.density() + 1e-12);
+
+    const GemmShape g{384, 13 * 13 * 8, 2304};
+    EXPECT_GE(m.util(g), 0.0);
+    EXPECT_LE(m.util(g), 1.0);
+    EXPECT_GT(m.rEC(g), 0.0);
+    EXPECT_LE(m.rEC(g), 1.0);
+    EXPECT_GT(m.kernelTime(g), 0.0);
+    EXPECT_GE(m.nInvocations(g), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GpuTileSweep,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 6)));
+
+// ------------------------------------------------------ memory model
+
+TEST(MemoryModel, WeightBytes)
+{
+    // AlexNet: ~61M params * 4 B = ~244 MB.
+    EXPECT_NEAR(weightBytes(alexNet()), 244e6, 10e6);
+}
+
+TEST(MemoryModel, ActivationsScaleWithBatch)
+{
+    const NetDescriptor net = vgg16();
+    EXPECT_NEAR(activationBytes(net, 32), 32 * activationBytes(net, 1),
+                1.0);
+    // VGG: ~55 MB of activations per image.
+    EXPECT_NEAR(activationBytes(net, 1), 55e6, 8e6);
+}
+
+TEST(MemoryModel, ColBufferSizes)
+{
+    const NetDescriptor net = vgg16();
+    // Largest single-image im2col: conv1_2, 576 x 224^2 floats.
+    EXPECT_NEAR(maxSingleImageColBytes(net), 576.0 * 224 * 224 * 4,
+                1e3);
+    EXPECT_NEAR(maxBatchedColBytes(net, 32),
+                32 * maxSingleImageColBytes(net), 1.0);
+}
+
+TEST(MemoryModel, CappedSumRespectsCap)
+{
+    const NetDescriptor net = googleNet();
+    const double cap = 40.0 * 1024 * 1024;
+    const double total = sumCappedBatchedColBytes(net, 64, cap);
+    EXPECT_LE(total, cap * double(net.convs.size()));
+    EXPECT_GT(total, cap); // several layers hit the cap
+}
+
+TEST(MemoryModel, FitsDetectsOverflow)
+{
+    const GpuSpec tx1 = jetsonTx1();
+    MemoryFootprint fp;
+    fp.weightBytes = usableBytes(tx1) + 1.0;
+    EXPECT_FALSE(fits(tx1, fp));
+    fp.weightBytes = usableBytes(tx1) * 0.5;
+    EXPECT_TRUE(fits(tx1, fp));
+}
+
+} // namespace
+} // namespace pcnn

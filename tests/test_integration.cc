@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Integration tests: full train -> compile -> tune -> execute ->
+ * calibrate pipelines, and cross-module consistency properties the
+ * paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hh"
+#include "libs/dl_library.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/pcnn.hh"
+#include "train/trainer.hh"
+
+namespace pcnn {
+namespace {
+
+TEST(Integration, TableIRelationship)
+{
+    // Table I analog: across increasing network capacity, accuracy
+    // rises and output entropy falls.
+    SyntheticTaskConfig cfg;
+    cfg.difficulty = 0.6;
+    cfg.seed = 90;
+    SyntheticTask task(cfg);
+    Dataset train_set = task.generate(1024);
+    Dataset test_set = task.generate(256);
+
+    std::vector<EvalResult> results;
+    for (MiniSize size :
+         {MiniSize::Small, MiniSize::Medium, MiniSize::Large}) {
+        Rng rng(91);
+        Network net = makeMiniNet(size, rng);
+        TrainConfig tc;
+        tc.epochs = 6;
+        Trainer trainer(net, tc);
+        trainer.fit(train_set);
+        results.push_back(trainer.evaluate(test_set));
+    }
+    // Larger nets: higher accuracy (allow small noise), lower entropy.
+    EXPECT_GT(results[2].accuracy + 0.03, results[0].accuracy);
+    EXPECT_LT(results[2].meanEntropy, results[0].meanEntropy + 0.05);
+    // The correlation the paper leans on: the lowest-entropy network
+    // is (within training noise) also the most accurate one.
+    std::size_t best_acc = 0, best_ent = 0;
+    for (std::size_t i = 1; i < 3; ++i) {
+        if (results[i].accuracy > results[best_acc].accuracy)
+            best_acc = i;
+        if (results[i].meanEntropy < results[best_ent].meanEntropy)
+            best_ent = i;
+    }
+    EXPECT_GE(results[best_ent].accuracy + 0.03,
+              results[best_acc].accuracy);
+}
+
+TEST(Integration, Fig16EntropyTracksAccuracy)
+{
+    // The Fig. 16 claim: along the entropy-guided tuning path,
+    // rising entropy corresponds to falling true accuracy, and a
+    // healthy speedup is reached within ~10% accuracy loss.
+    SyntheticTaskConfig cfg;
+    cfg.difficulty = 0.4;
+    cfg.seed = 92;
+    SyntheticTask task(cfg);
+    Dataset train_set = task.generate(1024);
+    Rng rng(93);
+    Network net = makeMiniNet(MiniSize::Medium, rng);
+    TrainConfig tc;
+    tc.epochs = 5;
+    Trainer trainer(net, tc);
+    trainer.fit(train_set);
+
+    const GpuSpec gpu = jetsonTx1();
+    const OfflineCompiler compiler(gpu);
+    // Batch 64 so the conv kernels dominate the simulated latency.
+    const CompiledPlan plan =
+        compiler.compileAtBatch(describe(net), 64);
+
+    TunerConfig tcfg;
+    tcfg.entropyThreshold = 2.0; // explore deep
+    tcfg.maxIterations = 10;
+    const AccuracyTuner tuner(gpu, tcfg);
+    Dataset labeled = task.generate(256);
+    const TuningTable table =
+        tuner.tuneNetworkByAccuracy(net, plan, labeled);
+
+    ASSERT_GE(table.levels(), 3u);
+    const TuningEntry &first = table.entry(0);
+    const TuningEntry &last = table.entry(table.levels() - 1);
+    // Deeper perforation: more entropy, less accuracy, more speed.
+    EXPECT_GE(last.entropy, first.entropy - 0.05);
+    EXPECT_LE(last.accuracy, first.accuracy + 1e-9);
+    EXPECT_GT(last.speedup, 1.2);
+}
+
+TEST(Integration, CompilerPlanExecutableOnSim)
+{
+    // Every plan the compiler emits must run on the simulator with
+    // matching work accounting.
+    for (const GpuSpec &gpu : allGpus()) {
+        const OfflineCompiler compiler(gpu);
+        const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 2);
+        const RuntimeKernelScheduler rt(gpu);
+        const SimResult r = rt.execute(plan, pcnnPolicy());
+        EXPECT_GT(r.timeS, 0.0) << gpu.name;
+        // Simulated FLOPs cover at least the useful conv FLOPs.
+        EXPECT_GE(r.flops, alexNet().convFlopsPerImage() * 2 * 0.99)
+            << gpu.name;
+    }
+}
+
+TEST(Integration, SimAndTimeModelAgreeOnPlans)
+{
+    // The analytical latency (what the compiler promises) and the
+    // simulated latency (what execution delivers) stay within 2x on
+    // every platform — the property that makes Eq. 13 planning safe.
+    for (const GpuSpec &gpu : allGpus()) {
+        const OfflineCompiler compiler(gpu);
+        const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 4);
+        const RuntimeKernelScheduler rt(gpu);
+        const SimResult r = rt.execute(plan, pcnnPolicy());
+        EXPECT_LT(r.timeS, plan.latencyS() * 2.0) << gpu.name;
+        EXPECT_GT(r.timeS, plan.latencyS() * 0.4) << gpu.name;
+    }
+}
+
+TEST(Integration, CalibrationRecoversFromHardData)
+{
+    // Tune on easy data, serve hard data: entropy spikes, the
+    // calibrator steps back toward the exact network, entropy drops.
+    SyntheticTaskConfig easy;
+    easy.difficulty = 0.3;
+    easy.seed = 94;
+    SyntheticTask easy_task(easy);
+    SyntheticTaskConfig hard = easy;
+    hard.difficulty = 1.6;
+    SyntheticTask hard_task(hard);
+
+    Dataset train_set = easy_task.generate(1024);
+    Rng rng(95);
+    Network net = makeMiniNet(MiniSize::Medium, rng);
+    TrainConfig tc;
+    tc.epochs = 5;
+    Trainer trainer(net, tc);
+    trainer.fit(train_set);
+
+    const GpuSpec gpu = jetsonTx1();
+    const OfflineCompiler compiler(gpu);
+    CompiledPlan plan = compiler.compileAtBatch(describe(net), 1);
+    TunerConfig tcfg;
+    tcfg.entropyThreshold = 1.1;
+    Executor exec(net, plan, gpu, tcfg);
+    Dataset tune_data = easy_task.generate(128);
+    exec.tune(tune_data.batch(0, 128));
+    const std::size_t tuned_level = exec.currentLevel();
+
+    // Feed hard batches; if entropy violates the threshold the
+    // executor must walk back toward level 0.
+    Dataset hard_data = hard_task.generate(64);
+    std::size_t last_level = tuned_level;
+    for (int i = 0; i < 6; ++i) {
+        const InferenceResult r = exec.infer(hard_data.batch(0, 64));
+        EXPECT_LE(exec.currentLevel(), last_level);
+        last_level = exec.currentLevel();
+        (void)r;
+    }
+    EXPECT_LE(exec.currentLevel(), tuned_level);
+}
+
+TEST(Integration, LibraryAndPcnnKernelsConsistent)
+{
+    // P-CNN's tuned kernel must never be slower than the stock
+    // library kernels on the same layer (it searches a superset).
+    const GpuSpec gpu = jetsonTx1();
+    const KernelTuner tuner(gpu);
+    const auto libs = allLibraries();
+    for (const ConvSpec &layer : alexNet().convs) {
+        const GemmShape g = layer.gemmShape(1);
+        const TunedKernel tuned =
+            tuner.tune(g, TuneObjective::TimeModel);
+        for (const auto &lib : libs) {
+            if (lib->perImageGemm() || lib->minBatch() > 1)
+                continue; // different execution semantics
+            const KernelConfig cfg = lib->selectKernel(gpu, layer, 1);
+            const SgemmModel model(gpu, cfg);
+            EXPECT_LE(tuned.predictedTimeS,
+                      model.kernelTime(g) * 1.01)
+                << layer.name << " vs " << lib->name();
+        }
+    }
+}
+
+TEST(Integration, BackgroundThroughputBeatsNonBatched)
+{
+    // The Fig. 8 story end to end: the compiler's background batch
+    // yields strictly better per-image time than batch 1.
+    const GpuSpec gpu = k20c();
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan batched =
+        compiler.compile(alexNet(), imageTaggingApp());
+    const CompiledPlan single = compiler.compileAtBatch(alexNet(), 1);
+    const double per_image_batched =
+        batched.latencyS() / double(batched.batch);
+    EXPECT_LT(per_image_batched, single.latencyS());
+}
+
+} // namespace
+} // namespace pcnn

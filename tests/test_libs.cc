@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the simulated vendor libraries: kernel selection per
+ * architecture (Table IV), batch semantics, memory/OOM behaviour
+ * (Table III), and latency orderings (Figs. 4-5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.hh"
+#include "libs/cublas_like.hh"
+#include "libs/cudnn_like.hh"
+#include "libs/dl_library.hh"
+#include "libs/nervana_like.hh"
+#include "nn/model_zoo.hh"
+
+namespace pcnn {
+namespace {
+
+TEST(Libraries, Registry)
+{
+    const auto libs = allLibraries();
+    ASSERT_EQ(libs.size(), 3u);
+    EXPECT_EQ(libs[0]->name(), "cuBLAS");
+    EXPECT_EQ(libs[1]->name(), "cuDNN");
+    EXPECT_EQ(libs[2]->name(), "Nervana");
+    EXPECT_EQ(libraryByName("cuDNN")->name(), "cuDNN");
+}
+
+TEST(Libraries, TableIVKernelSelection)
+{
+    const ConvSpec conv2 = alexNet().convs[1];
+    CublasLike cublas;
+    CudnnLike cudnn;
+    // Table IV: cuBLAS on TX1 uses 128x64; on K20 uses 64x64.
+    EXPECT_EQ(cublas.selectKernel(jetsonTx1(), conv2, 1).tile.str(),
+              "128x64");
+    EXPECT_EQ(cublas.selectKernel(k20c(), conv2, 1).tile.str(),
+              "64x64");
+    // cuDNN on TX1 uses 32x32; on K20 uses 64x64.
+    EXPECT_EQ(cudnn.selectKernel(jetsonTx1(), conv2, 1).tile.str(),
+              "32x32");
+    EXPECT_EQ(cudnn.selectKernel(k20c(), conv2, 1).tile.str(),
+              "64x64");
+}
+
+TEST(Libraries, NervanaMinBatch32)
+{
+    NervanaLike nervana;
+    EXPECT_EQ(nervana.minBatch(), 32u);
+    EXPECT_EQ(nervana.effectiveBatch(1), 32u);
+    EXPECT_EQ(nervana.effectiveBatch(32), 32u);
+    EXPECT_EQ(nervana.effectiveBatch(33), 64u);
+    CublasLike cublas;
+    EXPECT_EQ(cublas.effectiveBatch(1), 1u);
+}
+
+TEST(Libraries, NervanaPicksWideTilesWhenBatched)
+{
+    NervanaLike nervana;
+    const ConvSpec conv5 = alexNet().convs[4]; // N = 169 per image
+    const KernelConfig batched =
+        nervana.selectKernel(jetsonTx1(), conv5, 128);
+    EXPECT_EQ(batched.tile.m, 128u);
+    EXPECT_EQ(batched.tile.n, 128u);
+    // Assembly tuning markers.
+    EXPECT_LT(batched.tile.otherInstsPerKtile, 8.0);
+    EXPECT_LT(batched.tile.ldsFactor, 1.0);
+}
+
+TEST(Libraries, CaffeStylePerImageGemm)
+{
+    CublasLike cublas;
+    CudnnLike cudnn;
+    EXPECT_TRUE(cublas.perImageGemm());
+    EXPECT_FALSE(cudnn.perImageGemm());
+
+    const ConvSpec conv2 = alexNet().convs[1];
+    const LayerPlan p_cublas =
+        cublas.planLayer(jetsonTx1(), conv2, 128);
+    const LayerPlan p_cudnn = cudnn.planLayer(jetsonTx1(), conv2, 128);
+    // cuBLAS: 2 groups x 128 images = 256 launches, N = 729.
+    EXPECT_EQ(p_cublas.launches, 256u);
+    EXPECT_EQ(p_cublas.gemm.n, 729u);
+    // cuDNN: 2 launches, batched N.
+    EXPECT_EQ(p_cudnn.launches, 2u);
+    EXPECT_EQ(p_cudnn.gemm.n, 729u * 128u);
+}
+
+TEST(Libraries, FootprintComponents)
+{
+    CudnnLike cudnn;
+    const MemoryFootprint fp = cudnn.footprint(alexNet(), 128);
+    EXPECT_GT(fp.weightBytes, 2e8);
+    EXPECT_GT(fp.activationBytes, 1e8);
+    EXPECT_GT(fp.workspaceBytes, 0.0);
+}
+
+// --------------------------------------------- Table III OOM pattern
+
+TEST(TableIII, AlexNetFitsEverywhereBatched)
+{
+    const NetDescriptor net = alexNet();
+    for (const auto &lib : allLibraries()) {
+        for (const GpuSpec &gpu : allGpus()) {
+            const LatencyEstimate est =
+                lib->estimateLatency(gpu, net, net.paperBatch);
+            EXPECT_FALSE(est.oom)
+                << lib->name() << " AlexNet on " << gpu.name;
+        }
+    }
+}
+
+TEST(TableIII, CudnnAndNervanaOomVggOnTx1)
+{
+    const NetDescriptor vgg = vgg16();
+    const GpuSpec tx1 = jetsonTx1();
+    CudnnLike cudnn;
+    NervanaLike nervana;
+    CublasLike cublas;
+    EXPECT_TRUE(cudnn.estimateLatency(tx1, vgg, 32).oom);
+    EXPECT_TRUE(nervana.estimateLatency(tx1, vgg, 32).oom);
+    // Caffe's single shared column buffer squeaks through.
+    EXPECT_FALSE(cublas.estimateLatency(tx1, vgg, 32).oom);
+}
+
+TEST(TableIII, NervanaVggOomEvenNonBatchedOnTx1)
+{
+    // min batch 32 makes Nervana's "non-batched" run identical to its
+    // batched one — both are marked x in Table III.
+    NervanaLike nervana;
+    EXPECT_TRUE(
+        nervana.estimateLatency(jetsonTx1(), vgg16(), 1).oom);
+}
+
+TEST(TableIII, VggFitsOn970m)
+{
+    // Table III: all three libraries run VGG on the 970m (3 GB).
+    const NetDescriptor vgg = vgg16();
+    const GpuSpec nb = gtx970m();
+    for (const auto &lib : allLibraries()) {
+        EXPECT_FALSE(lib->estimateLatency(nb, vgg, 32).oom)
+            << lib->name();
+    }
+}
+
+TEST(TableIII, NonBatchedFitsOnTx1ForCublasAndCudnn)
+{
+    const GpuSpec tx1 = jetsonTx1();
+    CublasLike cublas;
+    CudnnLike cudnn;
+    for (const NetDescriptor &net : paperNetworks()) {
+        EXPECT_FALSE(cublas.estimateLatency(tx1, net, 1).oom)
+            << net.name;
+        EXPECT_FALSE(cudnn.estimateLatency(tx1, net, 1).oom)
+            << net.name;
+    }
+}
+
+// ------------------------------------------------- latency orderings
+
+TEST(Latency, NervanaFastestBatchedOnTitanX)
+{
+    // Table III batched AlexNet on TitanX: Nervana < cuDNN < cuBLAS.
+    const NetDescriptor net = alexNet();
+    const GpuSpec gpu = titanX();
+    CublasLike cublas;
+    CudnnLike cudnn;
+    NervanaLike nervana;
+    const double t_cublas =
+        cublas.estimateLatency(gpu, net, 128).totalS();
+    const double t_cudnn =
+        cudnn.estimateLatency(gpu, net, 128).totalS();
+    const double t_nervana =
+        nervana.estimateLatency(gpu, net, 128).totalS();
+    EXPECT_LT(t_nervana, t_cudnn);
+    EXPECT_LT(t_cudnn, t_cublas);
+}
+
+TEST(Latency, MobileMuchSlowerThanDesktop)
+{
+    // Table III: TX1 latencies are an order of magnitude above
+    // TitanX for the same workload.
+    CudnnLike cudnn;
+    const NetDescriptor net = alexNet();
+    const double t_titan =
+        cudnn.estimateLatency(titanX(), net, 128).totalS();
+    const double t_tx1 =
+        cudnn.estimateLatency(jetsonTx1(), net, 128).totalS();
+    EXPECT_GT(t_tx1, 8.0 * t_titan);
+}
+
+TEST(Latency, NonBatchingFasterResponseSlowerThroughput)
+{
+    // The core Section III.B observation, for cuDNN on TitanX.
+    CudnnLike cudnn;
+    const NetDescriptor net = alexNet();
+    const GpuSpec gpu = titanX();
+    const LatencyEstimate batched =
+        cudnn.estimateLatency(gpu, net, 128);
+    const LatencyEstimate single = cudnn.estimateLatency(gpu, net, 1);
+    // Response time: single wins by a lot.
+    EXPECT_LT(single.totalS(), batched.totalS() / 8.0);
+    // Throughput: batched wins (Fig. 4 ratio < 1).
+    EXPECT_LT(single.throughput(), batched.throughput());
+}
+
+TEST(Latency, CudnnBeatsCublasAtBatchOnTx1)
+{
+    // Batched cuDNN outperforms per-image cuBLAS (Table III TX1:
+    // 1183 vs 1269 ms).
+    CublasLike cublas;
+    CudnnLike cudnn;
+    const NetDescriptor net = alexNet();
+    EXPECT_LT(cudnn.estimateLatency(jetsonTx1(), net, 128).totalS(),
+              cublas.estimateLatency(jetsonTx1(), net, 128).totalS());
+}
+
+TEST(Latency, LayerTimePositiveForAllLayers)
+{
+    CudnnLike cudnn;
+    for (const ConvSpec &c : googleNet().convs)
+        EXPECT_GT(cudnn.layerTime(k20c(), c, 16), 0.0) << c.name;
+}
+
+// Property sweep: estimates stay sane across the full grid.
+class LibGpuNetSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(LibGpuNetSweep, EstimateInvariants)
+{
+    const auto [li, gi, ni] = GetParam();
+    const auto libs = allLibraries();
+    const DlLibrary *lib = libs[li].get();
+    const GpuSpec gpu = allGpus()[gi];
+    const NetDescriptor net = paperNetworks()[ni];
+    const LatencyEstimate est =
+        lib->estimateLatency(gpu, net, net.paperBatch);
+    if (est.oom)
+        return;
+    EXPECT_GT(est.totalS(), 0.0);
+    EXPECT_LT(est.totalS(), 60.0) << "absurd latency";
+    EXPECT_GT(est.throughput(), 0.1);
+    EXPECT_GE(est.convTimeS, 0.0);
+    EXPECT_GE(est.fcTimeS, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LibGpuNetSweep,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 4),
+                       ::testing::Range(0, 3)));
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for offline compilation: the Fig. 9 staircase, kernel
+ * tuning (Eq. 10), the resource model (Eq. 11), batch selection and
+ * the global decision loop (Eq. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/memory_model.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/batch_selector.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/offline/kernel_tuner.hh"
+#include "pcnn/offline/resource_model.hh"
+#include "pcnn/offline/time_model.hh"
+
+namespace pcnn {
+namespace {
+
+// ------------------------------------------------------- KernelTuner
+
+TEST(KernelTuner, MinRegFromRegisterFile)
+{
+    // 65536 regs / 2048 threads = 32 (the paper's minReg on K20).
+    EXPECT_EQ(KernelTuner(k20c()).minReg(), 32u);
+}
+
+TEST(KernelTuner, StaircaseOnePointPerTlp)
+{
+    const KernelTuner tuner(k20c());
+    const auto stair = tuner.staircase(tileByName(64, 64));
+    ASSERT_FALSE(stair.empty());
+    // TLP strictly increases along the staircase, registers fall.
+    std::size_t last_tlp = 0, last_regs = 256;
+    for (const KernelConfig &cfg : stair) {
+        const Occupancy o =
+            occupancy(k20c(), cfg.tile, cfg.regsPerThread);
+        EXPECT_GT(o.ctasPerSm, last_tlp);
+        EXPECT_LT(cfg.regsPerThread, last_regs);
+        last_tlp = o.ctasPerSm;
+        last_regs = cfg.regsPerThread;
+    }
+}
+
+TEST(KernelTuner, StaircaseKeepsRightmostPoint)
+{
+    // Within one stair the kept point has the most registers: adding
+    // one more register must change the TLP (or be the natural top).
+    const KernelTuner tuner(k20c());
+    for (const KernelConfig &cfg : tuner.staircase(tileByName(64, 64))) {
+        if (cfg.regsPerThread == cfg.tile.naturalRegs)
+            continue;
+        const Occupancy here =
+            occupancy(k20c(), cfg.tile, cfg.regsPerThread);
+        const Occupancy above =
+            occupancy(k20c(), cfg.tile, cfg.regsPerThread + 1);
+        EXPECT_NE(here.ctasPerSm, above.ctasPerSm)
+            << cfg.str() << " is not the rightmost point of its stair";
+    }
+}
+
+TEST(KernelTuner, CandidatesCoverCatalogue)
+{
+    const KernelTuner tuner(jetsonTx1());
+    const auto cands = tuner.candidates();
+    // At least one candidate per catalogue tile.
+    for (const TileConfig &tile : tileCatalogue()) {
+        const bool found =
+            std::any_of(cands.begin(), cands.end(),
+                        [&](const KernelConfig &c) {
+                            return c.tile.m == tile.m &&
+                                   c.tile.n == tile.n;
+                        });
+        EXPECT_TRUE(found) << tile.str();
+    }
+}
+
+TEST(KernelTuner, TunePicksReasonableKernel)
+{
+    const KernelTuner tuner(k20c());
+    // Batched AlexNet CONV3: plenty of parallelism.
+    const TunedKernel k = tuner.tune({384, 169 * 64, 2304});
+    EXPECT_GE(k.optTLP, 1u);
+    EXPECT_GT(k.predictedTimeS, 0.0);
+    EXPECT_GT(k.skernel, 0.0);
+}
+
+TEST(KernelTuner, TimeObjectiveNeverSlowerThanMetric)
+{
+    // The ablation claim: direct time minimization is the floor.
+    const KernelTuner tuner(jetsonTx1());
+    const GemmShape shapes[] = {
+        {128, 729, 1200}, {128, 729 * 32, 1200}, {96, 3025, 363},
+        {384, 169, 2304},
+    };
+    for (const GemmShape &g : shapes) {
+        const TunedKernel metric =
+            tuner.tune(g, TuneObjective::SkernelMetric);
+        const TunedKernel time = tuner.tune(g, TuneObjective::TimeModel);
+        EXPECT_LE(time.predictedTimeS, metric.predictedTimeS + 1e-12);
+    }
+}
+
+// ----------------------------------------------------- resource model
+
+TEST(ResourceModel, PaperExample)
+{
+    // Section IV.B.3: GridSize 40, optTLP 3, 10 SMs -> optSM 7
+    // (releasing 3 SMs).
+    EXPECT_EQ(optimalSms(40, 3, 10), 7u);
+}
+
+TEST(ResourceModel, FullGridNeedsAllSms)
+{
+    EXPECT_EQ(optimalSms(39, 3, 13), 13u);
+}
+
+TEST(ResourceModel, TinyGridNeedsFewSms)
+{
+    EXPECT_EQ(optimalSms(6, 3, 13), 2u);
+    EXPECT_EQ(optimalSms(1, 3, 13), 1u);
+}
+
+TEST(ResourceModel, InvariantHolds)
+{
+    // Property: nInvocations(optSM) == nInvocations(all SMs), and
+    // optSM-1 would increase it (minimality).
+    for (std::size_t grid : {1u, 5u, 12u, 39u, 40u, 100u, 1000u}) {
+        for (std::size_t tlp : {1u, 2u, 3u, 5u}) {
+            const std::size_t sms = 13;
+            const std::size_t opt = optimalSms(grid, tlp, sms);
+            auto inv = [&](std::size_t s) {
+                return (grid + tlp * s - 1) / (tlp * s);
+            };
+            EXPECT_EQ(inv(opt), inv(sms)) << grid << "/" << tlp;
+            if (opt > 1)
+                EXPECT_GT(inv(opt - 1), inv(sms)) << grid << "/" << tlp;
+        }
+    }
+}
+
+// -------------------------------------------------------- time model
+
+TEST(TimeModel, LayerTimePositiveAndMonotonicInBatch)
+{
+    const TimeModel tm(k20c());
+    const ConvSpec conv3 = alexNet().convs[2];
+    const KernelTuner tuner(k20c());
+    TunedKernel k = tuner.tune(conv3.gemmShape(1));
+    k.optSM = 13;
+    const double t1 = tm.layerTime(conv3, k, 1);
+    const double t32 = tm.layerTime(conv3, k, 32);
+    EXPECT_GT(t1, 0.0);
+    EXPECT_GT(t32, t1);
+}
+
+TEST(TimeModel, PerforationReducesTime)
+{
+    const TimeModel tm(jetsonTx1());
+    const ConvSpec conv2 = alexNet().convs[1];
+    const KernelTuner tuner(jetsonTx1());
+    TunedKernel k = tuner.tune(conv2.gemmShape(1));
+    const double full = tm.layerTime(conv2, k, 1);
+    const double half = tm.layerTime(conv2, k, 1, 364);
+    EXPECT_LT(half, full);
+}
+
+TEST(TimeModel, FcDominatedByWeightStreamingAtBatch1)
+{
+    // AlexNet's fc tail reads ~235 MB of weights; at batch 1 on TX1
+    // that is pure bandwidth.
+    const TimeModel tm(jetsonTx1());
+    const double t = tm.fcTime(alexNet(), 1);
+    const double stream = 4.0 * (9216.0 * 4096 + 4096.0 * 4096 +
+                                 4096.0 * 1000) /
+                          jetsonTx1().bandwidthBytes();
+    EXPECT_NEAR(t, stream, stream * 0.1);
+}
+
+// ---------------------------------------------------- batch selector
+
+TEST(BatchSelector, MemoryCapPositive)
+{
+    const BatchSelector bs(jetsonTx1());
+    EXPECT_GE(bs.memoryCap(alexNet()), 32u);
+    // VGG's activations are huge; the cap is far smaller.
+    EXPECT_LT(bs.memoryCap(vgg16()), bs.memoryCap(alexNet()));
+}
+
+TEST(BatchSelector, BackgroundBatchReachesFullUtil)
+{
+    const GpuSpec gpu = k20c();
+    const BatchSelector bs(gpu);
+    const NetDescriptor net = alexNet();
+    const std::size_t batch = bs.backgroundBatch(net);
+    EXPECT_GE(batch, 1u);
+
+    // Verify the claim: the last layer's Util at this batch is ~1.
+    const KernelTuner tuner(gpu);
+    const GemmShape g = net.convs.back().gemmShape(batch);
+    const TunedKernel k = tuner.tune(g);
+    const SgemmModel model(gpu, k.config);
+    EXPECT_GT(model.util(g), 0.93);
+}
+
+TEST(BatchSelector, OptimalBatchDiffersAcrossPlatforms)
+{
+    // Fig. 8: the batch at which the GPU saturates (last-layer Util
+    // hits 1) varies with the platform's maxBlocks.
+    const NetDescriptor net = alexNet();
+    const std::size_t b_k20 =
+        BatchSelector(k20c()).smallestFullUtilBatch(net);
+    const std::size_t b_tx1 =
+        BatchSelector(jetsonTx1()).smallestFullUtilBatch(net);
+    EXPECT_NE(b_k20, b_tx1);
+}
+
+TEST(BatchSelector, InitialBatchFromDataRate)
+{
+    const BatchSelector bs(k20c());
+    AppSpec app = imageTaggingApp();
+    app.taskClass = TaskClass::Interactive;
+    app.dataRateHz = 50.0;
+    const UserRequirement req = inferRequirement(app); // Ti = 0.1 s
+    EXPECT_EQ(bs.initialBatch(alexNet(), app, req), 5u);
+
+    app.dataRateHz = 1.0;
+    EXPECT_EQ(bs.initialBatch(alexNet(), app, inferRequirement(app)),
+              1u);
+}
+
+// ----------------------------------------------------------- compiler
+
+TEST(OfflineCompiler, PlanStructure)
+{
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 4);
+    ASSERT_EQ(plan.layers.size(), 5u);
+    EXPECT_EQ(plan.batch, 4u);
+    for (const LayerSchedule &ls : plan.layers) {
+        EXPECT_GE(ls.kernel.optTLP, 1u);
+        EXPECT_GE(ls.kernel.optSM, 1u);
+        EXPECT_LE(ls.kernel.optSM, 13u);
+        EXPECT_GT(ls.timeS, 0.0);
+        EXPECT_GT(ls.util, 0.0);
+        EXPECT_LE(ls.util, 1.0);
+    }
+    EXPECT_GT(plan.latencyS(), 0.0);
+    EXPECT_GT(plan.footprint.total(), 0.0);
+}
+
+TEST(OfflineCompiler, InteractiveMeetsRequirementOnK20)
+{
+    // Age detection on the server GPU: comfortably under 100 ms.
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan =
+        compiler.compile(alexNet(), ageDetectionApp());
+    EXPECT_FALSE(plan.timeRequirementMissed);
+    EXPECT_LE(plan.latencyS(), 0.1);
+}
+
+TEST(OfflineCompiler, BatchShrinksWhenTimeTight)
+{
+    // A fast data stream would allow a big batch, but the time
+    // requirement forces it down (Eq. 13 loop).
+    AppSpec app = ageDetectionApp();
+    app.dataRateHz = 5000.0; // 500 images available within Ti
+    const OfflineCompiler compiler(jetsonTx1());
+    const CompiledPlan plan = compiler.compile(alexNet(), app);
+    EXPECT_LT(plan.batch, 500u);
+}
+
+TEST(OfflineCompiler, BackgroundUsesBigBatch)
+{
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan =
+        compiler.compile(alexNet(), imageTaggingApp());
+    EXPECT_GT(plan.batch, 1u);
+}
+
+TEST(OfflineCompiler, RealTimeMissedOnTx1WithoutTuning)
+{
+    // The Fig. 15(b) setup: even non-batched execution misses the
+    // 60 FPS deadline on TX1, so only accuracy tuning can save it.
+    const OfflineCompiler compiler(jetsonTx1());
+    const CompiledPlan plan =
+        compiler.compile(googleNet(), videoSurveillanceApp());
+    EXPECT_EQ(plan.batch, 1u);
+    EXPECT_TRUE(plan.timeRequirementMissed);
+}
+
+TEST(OfflineCompiler, UnderutilizedLayersGetFewerSms)
+{
+    // Table V: AlexNet's later layers underutilize the GPU at batch
+    // 1, so optSM < numSMs for at least CONV5.
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    EXPECT_LT(plan.layers.back().kernel.optSM, 13u);
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Cross-cutting property tests: compiled-plan invariants over the
+ * whole (GPU x network) grid, simulator work conservation over
+ * randomized kernels, tuner/compiler determinism, and SoC metric
+ * properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "gpu/sim/gpu_sim.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/batch_selector.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/accuracy_tuner.hh"
+#include "pcnn/satisfaction.hh"
+#include "pcnn/schedulers/scheduler.hh"
+
+namespace pcnn {
+namespace {
+
+// ------------------------------------------- compiled plan invariants
+
+class PlanGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(PlanGrid, Invariants)
+{
+    const auto [gi, ni, batch_exp] = GetParam();
+    const GpuSpec gpu = allGpus()[gi];
+    const NetDescriptor net = paperNetworks()[ni];
+    const std::size_t batch = std::size_t(1) << batch_exp;
+
+    const OfflineCompiler compiler(gpu);
+    const CompiledPlan plan = compiler.compileAtBatch(net, batch);
+
+    ASSERT_EQ(plan.layers.size(), net.convs.size());
+    double conv_sum = 0.0;
+    for (const LayerSchedule &ls : plan.layers) {
+        // Resource model output stays within hardware bounds.
+        EXPECT_GE(ls.kernel.optSM, 1u);
+        EXPECT_LE(ls.kernel.optSM, gpu.numSMs);
+        EXPECT_GE(ls.kernel.optTLP, 1u);
+        const Occupancy occ = occupancy(gpu, ls.kernel.config.tile,
+                                        ls.kernel.config.regsPerThread);
+        EXPECT_EQ(ls.kernel.optTLP, occ.ctasPerSm);
+        // Eq. 11 invariant: no extra invocations vs the whole GPU.
+        const SgemmModel model(gpu, ls.kernel.config);
+        const std::size_t grid = model.gridSize(ls.gemm);
+        auto inv = [&](std::size_t sms) {
+            return (grid + ls.kernel.optTLP * sms - 1) /
+                   (ls.kernel.optTLP * sms);
+        };
+        EXPECT_EQ(inv(ls.kernel.optSM), inv(gpu.numSMs))
+            << ls.layer.name;
+        EXPECT_GT(ls.timeS, 0.0);
+        conv_sum += ls.timeS;
+    }
+    EXPECT_NEAR(plan.time.convS, conv_sum, conv_sum * 1e-9);
+    EXPECT_GT(plan.latencyS(), plan.time.convS);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlanGrid,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 3),
+                       ::testing::Values(0, 3, 6)));
+
+TEST(PlanDeterminism, SameInputsSamePlan)
+{
+    const OfflineCompiler a(jetsonTx1()), b(jetsonTx1());
+    const CompiledPlan pa = a.compileAtBatch(googleNet(), 4);
+    const CompiledPlan pb = b.compileAtBatch(googleNet(), 4);
+    ASSERT_EQ(pa.layers.size(), pb.layers.size());
+    for (std::size_t i = 0; i < pa.layers.size(); ++i) {
+        EXPECT_EQ(pa.layers[i].kernel.config.str(),
+                  pb.layers[i].kernel.config.str());
+        EXPECT_DOUBLE_EQ(pa.layers[i].timeS, pb.layers[i].timeS);
+    }
+}
+
+// --------------------------------------------- simulator conservation
+
+class SimRandomKernels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SimRandomKernels, WorkConservedAndBoundsHold)
+{
+    Rng rng(std::uint64_t(GetParam()) * 7919 + 13);
+    const GpuSpec gpu = allGpus()[rng.below(4)];
+    const GpuSim sim(gpu);
+
+    KernelDesc k;
+    k.name = "rand";
+    k.gridSize = 1 + rng.below(300);
+    k.ctaWorkFlops = rng.uniform(1e5, 5e7);
+    k.blockSize = std::size_t(64) << rng.below(3); // 64..256
+    k.issueDensity = rng.uniform(0.3, 0.9);
+    k.bytesPerFlop = rng.uniform(0.0, 0.2);
+
+    LaunchConfig cfg;
+    cfg.scheduler = rng.chance(0.5) ? SchedKind::RoundRobin
+                                    : SchedKind::PrioritySM;
+    cfg.tlpLimit = 1 + rng.below(8);
+    if (cfg.scheduler == SchedKind::PrioritySM)
+        cfg.smsAllowed = 1 + rng.below(gpu.numSMs);
+    cfg.powerGateIdle = rng.chance(0.5);
+
+    const SimResult r = sim.runKernel(k, cfg);
+    // All the work was executed.
+    EXPECT_NEAR(r.flops, double(k.gridSize) * k.ctaWorkFlops,
+                r.flops * 1e-9);
+    // Time is bounded below by the all-SM roofline and the bandwidth
+    // bound, and above by fully serial execution.
+    const double peak_rate = gpu.peakFlops() * k.issueDensity;
+    const double bw_time =
+        r.flops * k.bytesPerFlop / gpu.bandwidthBytes();
+    EXPECT_GE(r.timeS + 1e-12,
+              std::max(r.flops / peak_rate, bw_time));
+    const double serial = r.flops /
+                          (gpu.peakFlopsPerSM() * k.issueDensity *
+                           SgemmModel::latencyFloor);
+    EXPECT_LE(r.timeS, serial + 1.0);
+    // Busy time never exceeds wall time on any SM.
+    for (double b : r.smBusyS)
+        EXPECT_LE(b, r.timeS + 1e-9);
+    // Energy components are non-negative and consistent.
+    EXPECT_GE(r.energy.baseJ, 0.0);
+    EXPECT_GE(r.energy.staticJ, 0.0);
+    EXPECT_NEAR(r.energy.dynamicJ,
+                gpu.dynEnergyPerFlopJ * r.flops, 1e-9);
+    EXPECT_LE(r.smsUsed, gpu.numSMs);
+    EXPECT_LE(r.smsPowered, gpu.numSMs);
+    EXPECT_GE(r.smsPowered, r.smsUsed == 0 ? 0 : 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SimRandomKernels,
+                         ::testing::Range(0, 24));
+
+// --------------------------------------------------- tuner properties
+
+TEST(TunerProperties, MoreWorkNeverTunesSlower)
+{
+    // Growing the batch (more N) must not reduce predicted time.
+    const KernelTuner tuner(gtx970m());
+    const ConvSpec conv3 = alexNet().convs[2];
+    double last = 0.0;
+    for (std::size_t b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const TunedKernel k =
+            tuner.tune(conv3.gemmShape(b), TuneObjective::TimeModel);
+        EXPECT_GE(k.predictedTimeS, last * 0.999) << "batch " << b;
+        last = k.predictedTimeS;
+    }
+}
+
+TEST(TunerProperties, TuningPathSpeedupsMonotone)
+{
+    const OfflineCompiler compiler(jetsonTx1());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    TunerConfig cfg;
+    cfg.entropyThreshold = 10.0; // explore to exhaustion
+    cfg.maxIterations = 40;
+    const AccuracyTuner tuner(jetsonTx1(), cfg);
+    const TuningTable table =
+        tuner.tuneModeled(plan, EntropyProfile::representative());
+    for (std::size_t i = 1; i < table.levels(); ++i) {
+        EXPECT_GE(table.entry(i).speedup,
+                  table.entry(i - 1).speedup - 1e-9);
+        EXPECT_GE(table.entry(i).entropy,
+                  table.entry(i - 1).entropy - 0.05);
+    }
+}
+
+// -------------------------------------------------- failure injection
+
+TEST(FailureInjection, NetworkBiggerThanDeviceMemory)
+{
+    // A GPU whose DRAM cannot even hold VGG's weights: the batch
+    // selector must refuse loudly rather than emit a bogus plan.
+    GpuSpec tiny = jetsonTx1();
+    tiny.dramMB = 128.0; // < 552 MB of VGG weights
+    const BatchSelector selector(tiny);
+    EXPECT_EQ(selector.memoryCap(vgg16()), 0u);
+    EXPECT_DEATH((void)selector.backgroundBatch(vgg16()),
+                 "does not fit");
+}
+
+TEST(FailureInjection, KernelThatCannotLaunchPanics)
+{
+    // A register budget so large no CTA fits the register file.
+    GpuSpec gpu = k20c();
+    gpu.registersPerSM = 1024; // absurd
+    EXPECT_DEATH(SgemmModel(gpu, {tileByName(128, 128), 0}),
+                 "cannot fit");
+}
+
+TEST(FailureInjection, DegenerateGemmPanics)
+{
+    const SgemmModel m(k20c(), {tileByName(64, 64), 0});
+    EXPECT_DEATH((void)m.gridSize({0, 10, 10}), "degenerate");
+}
+
+TEST(FailureInjection, CompilerSurvivesMemoryTightNet)
+{
+    // VGG on the TX1: the cap is small but positive; the compiler
+    // must produce a valid (small-batch) background plan.
+    const OfflineCompiler compiler(jetsonTx1());
+    const CompiledPlan plan =
+        compiler.compile(vgg16(), imageTaggingApp());
+    EXPECT_GE(plan.batch, 1u);
+    const BatchSelector selector(jetsonTx1());
+    EXPECT_LE(plan.batch, selector.memoryCap(vgg16()));
+}
+
+// ------------------------------------------------------ SoC properties
+
+TEST(SocProperties, MonotoneInLatency)
+{
+    const UserRequirement req = inferRequirement(ageDetectionApp());
+    double last = 1.0;
+    for (double latency = 0.01; latency < 4.0; latency += 0.05) {
+        const double s = socTime(latency, req);
+        EXPECT_LE(s, last + 1e-12);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+        last = s;
+    }
+}
+
+TEST(SocProperties, MonotoneInEntropyAndEnergy)
+{
+    UserRequirement req;
+    req.entropyThreshold = 0.8;
+    double last = 10.0;
+    for (double entropy = 0.1; entropy < 3.0; entropy += 0.1) {
+        const double s = socAccuracy(entropy, req);
+        EXPECT_LE(s, last + 1e-12);
+        last = s;
+    }
+    // SoC falls as energy rises.
+    EXPECT_GT(soc(0.01, 0.5, 1.0, req), soc(0.01, 0.5, 2.0, req));
+}
+
+// ------------------------------------------------ scheduler properties
+
+TEST(SchedulerProperties, OutcomesDeterministic)
+{
+    const ScheduleContext ctx =
+        makeContext(ageDetectionApp(), alexNet(), jetsonTx1());
+    const auto zoo1 = allSchedulers();
+    const auto zoo2 = allSchedulers();
+    for (std::size_t i = 0; i < zoo1.size(); ++i) {
+        const ScheduleOutcome a = zoo1[i]->run(ctx);
+        const ScheduleOutcome b = zoo2[i]->run(ctx);
+        EXPECT_DOUBLE_EQ(a.socScore, b.socScore) << a.scheduler;
+        EXPECT_DOUBLE_EQ(a.latencyS, b.latencyS) << a.scheduler;
+        EXPECT_EQ(a.batch, b.batch) << a.scheduler;
+    }
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the task/satisfaction modules and the scheduler zoo:
+ * the SoC orderings behind Figs. 13-15.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "pcnn/satisfaction.hh"
+#include "pcnn/schedulers/scheduler.hh"
+#include "pcnn/task.hh"
+
+namespace pcnn {
+namespace {
+
+// ---------------------------------------------------------- task/req
+
+TEST(Task, ClassNames)
+{
+    EXPECT_EQ(taskClassName(TaskClass::Interactive), "interactive");
+    EXPECT_EQ(taskClassName(TaskClass::Background), "background");
+}
+
+TEST(Task, InteractiveRequirementIsHciThresholds)
+{
+    const UserRequirement req = inferRequirement(ageDetectionApp());
+    EXPECT_DOUBLE_EQ(req.imperceptibleS, 0.1);
+    EXPECT_DOUBLE_EQ(req.tolerableS, 3.0);
+    EXPECT_FALSE(req.timeInsensitive);
+}
+
+TEST(Task, RealTimeDeadlineIsFramePeriod)
+{
+    const UserRequirement req =
+        inferRequirement(videoSurveillanceApp());
+    EXPECT_NEAR(req.imperceptibleS, 1.0 / 60.0, 1e-12);
+    EXPECT_DOUBLE_EQ(req.tolerableS, req.imperceptibleS);
+}
+
+TEST(Task, BackgroundIsTimeInsensitive)
+{
+    const UserRequirement req = inferRequirement(imageTaggingApp());
+    EXPECT_TRUE(req.timeInsensitive);
+}
+
+TEST(Task, AccuracySensitivityTightensEntropy)
+{
+    const UserRequirement strict =
+        inferRequirement(videoSurveillanceApp());
+    const UserRequirement loose = inferRequirement(ageDetectionApp());
+    EXPECT_LT(strict.entropyThreshold, loose.entropyThreshold);
+}
+
+// ------------------------------------------------------ satisfaction
+
+TEST(Satisfaction, SocTimeRegions)
+{
+    UserRequirement req;
+    req.imperceptibleS = 0.1;
+    req.tolerableS = 3.0;
+    EXPECT_DOUBLE_EQ(socTime(0.05, req), 1.0);  // imperceptible
+    EXPECT_DOUBLE_EQ(socTime(0.1, req), 1.0);   // boundary
+    EXPECT_NEAR(socTime(1.55, req), 0.5, 1e-9); // halfway tolerable
+    EXPECT_DOUBLE_EQ(socTime(3.0, req), 0.0);   // unusable
+    EXPECT_DOUBLE_EQ(socTime(100.0, req), 0.0);
+}
+
+TEST(Satisfaction, RealTimeHasNoTolerableRegion)
+{
+    const UserRequirement req =
+        inferRequirement(videoSurveillanceApp());
+    EXPECT_DOUBLE_EQ(socTime(req.imperceptibleS * 0.9, req), 1.0);
+    EXPECT_DOUBLE_EQ(socTime(req.imperceptibleS * 1.01, req), 0.0);
+}
+
+TEST(Satisfaction, BackgroundAlwaysSatisfied)
+{
+    const UserRequirement req = inferRequirement(imageTaggingApp());
+    EXPECT_DOUBLE_EQ(socTime(1e6, req), 1.0);
+}
+
+TEST(Satisfaction, SocAccuracyThreshold)
+{
+    UserRequirement req;
+    req.entropyThreshold = 1.0;
+    EXPECT_DOUBLE_EQ(socAccuracy(0.5, req), 1.0);
+    EXPECT_DOUBLE_EQ(socAccuracy(1.0, req), 1.0);
+    EXPECT_NEAR(socAccuracy(2.0, req), 0.5, 1e-12);
+}
+
+TEST(Satisfaction, SocComposition)
+{
+    UserRequirement req;
+    req.imperceptibleS = 0.1;
+    req.tolerableS = 3.0;
+    req.entropyThreshold = 1.0;
+    // Eq. 15: SoC = SoC_time * SoC_accuracy / E.
+    EXPECT_NEAR(soc(0.05, 2.0, 4.0, req), 1.0 * 0.5 / 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(soc(10.0, 0.5, 4.0, req), 0.0);
+}
+
+// --------------------------------------------------------- schedulers
+
+TEST(Schedulers, ZooOrder)
+{
+    const auto zoo = allSchedulers();
+    ASSERT_EQ(zoo.size(), 6u);
+    EXPECT_EQ(zoo[0]->name(), "Perf-preferred");
+    EXPECT_EQ(zoo[1]->name(), "Energy-efficient");
+    EXPECT_EQ(zoo[2]->name(), "QPE");
+    EXPECT_EQ(zoo[3]->name(), "QPE+");
+    EXPECT_EQ(zoo[4]->name(), "P-CNN");
+    EXPECT_EQ(zoo[5]->name(), "Ideal");
+}
+
+class SchedFixture : public ::testing::Test
+{
+  protected:
+    /** Run every scheduler on one (app, net, gpu) triple. */
+    std::vector<ScheduleOutcome>
+    runAll(const AppSpec &app, const NetDescriptor &net,
+           const GpuSpec &gpu)
+    {
+        const ScheduleContext ctx = makeContext(app, net, gpu);
+        std::vector<ScheduleOutcome> outs;
+        for (const auto &s : allSchedulers())
+            outs.push_back(s->run(ctx));
+        return outs;
+    }
+
+    static const ScheduleOutcome &
+    byName(const std::vector<ScheduleOutcome> &outs,
+           const std::string &name)
+    {
+        for (const auto &o : outs)
+            if (o.scheduler == name)
+                return o;
+        throw std::runtime_error("missing scheduler " + name);
+    }
+};
+
+TEST_F(SchedFixture, InteractiveOnK20Orderings)
+{
+    const auto outs = runAll(ageDetectionApp(), alexNet(), k20c());
+
+    const auto &perf = byName(outs, "Perf-preferred");
+    const auto &qpe = byName(outs, "QPE");
+    const auto &qpe_plus = byName(outs, "QPE+");
+    const auto &pcnn_s = byName(outs, "P-CNN");
+    const auto &ideal = byName(outs, "Ideal");
+
+    // Everyone with a time model stays imperceptible on the server
+    // GPU (Fig. 13a).
+    EXPECT_DOUBLE_EQ(perf.socTimeScore, 1.0);
+    EXPECT_DOUBLE_EQ(qpe.socTimeScore, 1.0);
+    EXPECT_DOUBLE_EQ(pcnn_s.socTimeScore, 1.0);
+
+    // QPE+ saves energy over QPE by gating idle SMs (Fig. 14a).
+    EXPECT_LT(qpe_plus.energyPerImageJ, qpe.energyPerImageJ);
+    // P-CNN saves further energy via accuracy tuning.
+    EXPECT_LT(pcnn_s.energyPerImageJ, qpe_plus.energyPerImageJ);
+    EXPECT_GT(pcnn_s.tuningSpeedup, 1.0);
+
+    // SoC ordering (Fig. 15a): P-CNN beats every baseline; only the
+    // oracle may beat P-CNN.
+    EXPECT_GT(pcnn_s.socScore, qpe_plus.socScore);
+    EXPECT_GT(qpe_plus.socScore, qpe.socScore);
+    EXPECT_GE(ideal.socScore, pcnn_s.socScore);
+}
+
+TEST_F(SchedFixture, EnergyEfficientMissesRealTimeDeadline)
+{
+    const auto outs =
+        runAll(videoSurveillanceApp(), googleNet(), k20c());
+    const auto &ee = byName(outs, "Energy-efficient");
+    EXPECT_FALSE(ee.deadlineMet);
+    EXPECT_DOUBLE_EQ(ee.socScore, 0.0); // the 'x' of Fig. 15
+    // P-CNN meets it.
+    EXPECT_TRUE(byName(outs, "P-CNN").deadlineMet);
+}
+
+TEST_F(SchedFixture, OnlyApproximationMeetsTx1RealTime)
+{
+    // Fig. 15(b): on TX1 every scheduler misses the 60 FPS deadline
+    // except P-CNN and Ideal, which shed work via perforation.
+    const auto outs =
+        runAll(videoSurveillanceApp(), googleNet(), jetsonTx1());
+    EXPECT_FALSE(byName(outs, "Perf-preferred").deadlineMet);
+    EXPECT_FALSE(byName(outs, "Energy-efficient").deadlineMet);
+    EXPECT_FALSE(byName(outs, "QPE").deadlineMet);
+    EXPECT_FALSE(byName(outs, "QPE+").deadlineMet);
+    EXPECT_TRUE(byName(outs, "P-CNN").deadlineMet);
+    EXPECT_TRUE(byName(outs, "Ideal").deadlineMet);
+}
+
+TEST_F(SchedFixture, BackgroundTaskEnergyOrdering)
+{
+    const auto outs = runAll(imageTaggingApp(), alexNet(), k20c());
+    const auto &perf = byName(outs, "Perf-preferred");
+    const auto &ee = byName(outs, "Energy-efficient");
+    const auto &pcnn_s = byName(outs, "P-CNN");
+    // Batching amortizes weight traffic: per-image energy of the
+    // batched schedulers beats non-batched execution.
+    EXPECT_LT(ee.energyPerImageJ, perf.energyPerImageJ);
+    EXPECT_LE(pcnn_s.energyPerImageJ, ee.energyPerImageJ * 1.05);
+    // Background SoC_time is always 1 — nobody gets an 'x'.
+    for (const auto &o : outs)
+        EXPECT_DOUBLE_EQ(o.socTimeScore, 1.0) << o.scheduler;
+}
+
+TEST_F(SchedFixture, SurveillanceKeepsAccuracy)
+{
+    // Accuracy-sensitive task: P-CNN must not perforate much; its
+    // entropy stays under the strict threshold.
+    const auto outs =
+        runAll(videoSurveillanceApp(), googleNet(), k20c());
+    const auto &pcnn_s = byName(outs, "P-CNN");
+    const ScheduleContext ctx =
+        makeContext(videoSurveillanceApp(), googleNet(), k20c());
+    EXPECT_LE(pcnn_s.entropy,
+              ctx.requirement.entropyThreshold + 1e-9);
+    EXPECT_DOUBLE_EQ(pcnn_s.socAccuracyScore, 1.0);
+}
+
+TEST_F(SchedFixture, IdealAtLeastAsGoodEverywhere)
+{
+    const AppSpec apps[] = {ageDetectionApp(), videoSurveillanceApp(),
+                            imageTaggingApp()};
+    const GpuSpec gpus[] = {k20c(), jetsonTx1()};
+    for (const auto &app : apps) {
+        for (const auto &gpu : gpus) {
+            const NetDescriptor net =
+                app.taskClass == TaskClass::RealTime ? googleNet()
+                                                     : alexNet();
+            const auto outs = runAll(app, net, gpu);
+            const double ideal = byName(outs, "Ideal").socScore;
+            for (const auto &o : outs)
+                EXPECT_GE(ideal + 1e-12, o.socScore)
+                    << o.scheduler << " beats Ideal on " << app.name
+                    << "/" << gpu.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the request-stream serving simulator: conservation,
+ * determinism, batching trade-offs, and load behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "pcnn/runtime/serving_sim.hh"
+
+namespace pcnn {
+namespace {
+
+class ServingFixture : public ::testing::Test
+{
+  protected:
+    ServingFixture() : sim(k20c(), alexNet())
+    {
+        req = inferRequirement(ageDetectionApp());
+    }
+
+    ServingConfig
+    base() const
+    {
+        ServingConfig cfg;
+        cfg.arrivalRateHz = 20.0;
+        cfg.durationS = 10.0;
+        cfg.seed = 5;
+        return cfg;
+    }
+
+    ServingSimulator sim;
+    UserRequirement req;
+};
+
+TEST_F(ServingFixture, ServesEveryRequest)
+{
+    const ServingStats s = sim.run(base(), req);
+    EXPECT_GT(s.requests, 100u); // ~200 expected at 20 Hz x 10 s
+    EXPECT_GE(s.batches, 1u);
+    EXPECT_GT(s.meanLatencyS, 0.0);
+    EXPECT_LE(s.p50LatencyS, s.p95LatencyS);
+    EXPECT_LE(s.p95LatencyS, s.p99LatencyS);
+    EXPECT_GT(s.busyFraction, 0.0);
+    EXPECT_LE(s.busyFraction, 1.0);
+}
+
+TEST_F(ServingFixture, Deterministic)
+{
+    const ServingStats a = sim.run(base(), req);
+    const ServingStats b = sim.run(base(), req);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.meanLatencyS, b.meanLatencyS);
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+}
+
+TEST_F(ServingFixture, SeedChangesStream)
+{
+    ServingConfig cfg = base();
+    cfg.seed = 6;
+    const ServingStats a = sim.run(base(), req);
+    const ServingStats b = sim.run(cfg, req);
+    EXPECT_NE(a.requests, b.requests);
+}
+
+TEST_F(ServingFixture, LatencyAtLeastServiceTime)
+{
+    const ServingStats s = sim.run(base(), req);
+    // Even the median includes at least one batch execution.
+    EXPECT_GT(s.p50LatencyS, 0.001);
+}
+
+TEST_F(ServingFixture, BatchingRaisesLatencyAtLowLoad)
+{
+    ServingConfig single = base();
+    single.arrivalRateHz = 2.0; // sparse stream
+    ServingConfig batched = single;
+    batched.maxBatch = 16;
+    batched.maxWaitS = 0.5; // wait up to half a second to fill
+
+    const ServingStats s1 = sim.run(single, req);
+    const ServingStats s16 = sim.run(batched, req);
+    // Waiting for companions that rarely come inflates latency...
+    EXPECT_GT(s16.p95LatencyS, s1.p95LatencyS * 2.0);
+    // ...and mean SoC_time suffers accordingly.
+    EXPECT_LE(s16.meanSocTime, s1.meanSocTime + 1e-12);
+}
+
+TEST_F(ServingFixture, BatchingSavesEnergyAtHighLoad)
+{
+    ServingConfig single = base();
+    single.arrivalRateHz = 150.0;
+    single.durationS = 4.0;
+    ServingConfig batched = single;
+    batched.maxBatch = 32;
+    batched.maxWaitS = 0.05;
+
+    const ServingStats s1 = sim.run(single, req);
+    const ServingStats s32 = sim.run(batched, req);
+    EXPECT_LT(s32.energyPerImageJ, s1.energyPerImageJ);
+    EXPECT_GT(s32.meanBatch, 4.0);
+    EXPECT_LT(s32.busyFraction, s1.busyFraction);
+}
+
+TEST_F(ServingFixture, OverloadShowsQueueing)
+{
+    // Single-request serving at a rate beyond the service rate: the
+    // queue builds and tail latency explodes relative to light load.
+    ServingConfig light = base();
+    light.arrivalRateHz = 5.0;
+    ServingConfig heavy = base();
+    heavy.arrivalRateHz = 400.0;
+    heavy.durationS = 3.0;
+
+    const ServingStats l = sim.run(light, req);
+    const ServingStats h = sim.run(heavy, req);
+    EXPECT_GT(h.p99LatencyS, l.p99LatencyS * 3.0);
+    EXPECT_GT(h.busyFraction, 0.9);
+}
+
+TEST_F(ServingFixture, RealTimeRequirementCountsViolations)
+{
+    const UserRequirement rt =
+        inferRequirement(videoSurveillanceApp());
+    ServingConfig cfg = base();
+    cfg.maxBatch = 64;
+    cfg.maxWaitS = 1.0; // absurd batching for a real-time stream
+    const ServingStats s = sim.run(cfg, rt);
+    EXPECT_GT(s.satisfactionViolations, s.requests / 2);
+}
+
+} // namespace
+} // namespace pcnn

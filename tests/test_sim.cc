@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the CTA-level simulator: schedulers (RR vs PSM,
+ * Fig. 7), work conservation, energy accounting, and power gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/kernel_model.hh"
+#include "gpu/sim/cta_scheduler.hh"
+#include "gpu/sim/energy_model.hh"
+#include "gpu/sim/gpu_sim.hh"
+
+namespace pcnn {
+namespace {
+
+/** A simple compute-bound kernel for scheduler experiments. */
+KernelDesc
+kernel(std::size_t grid, double cta_flops = 1e7,
+       std::size_t block = 256)
+{
+    KernelDesc k;
+    k.name = "test";
+    k.gridSize = grid;
+    k.ctaWorkFlops = cta_flops;
+    k.blockSize = block;
+    k.issueDensity = 0.6;
+    k.bytesPerFlop = 0.0;
+    return k;
+}
+
+/** A 4-SM toy GPU matching the Fig. 7 illustration. */
+GpuSpec
+toyGpu()
+{
+    GpuSpec g = jetsonTx1();
+    g.name = "Toy4";
+    g.numSMs = 4;
+    return g;
+}
+
+// ------------------------------------------------------ CtaScheduler
+
+TEST(CtaScheduler, RoundRobinDealsAcrossSms)
+{
+    RoundRobinScheduler rr;
+    std::vector<std::size_t> resident(4, 0);
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t sm = rr.place(resident, 2);
+        ASSERT_LT(sm, 4u);
+        resident[sm]++;
+    }
+    // Fig. 7 RR: four CTAs on four different SMs.
+    EXPECT_EQ(resident, (std::vector<std::size_t>{1, 1, 1, 1}));
+}
+
+TEST(CtaScheduler, PsmPacksLowSmsFirst)
+{
+    PrioritySmScheduler psm(4);
+    std::vector<std::size_t> resident(4, 0);
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t sm = psm.place(resident, 2);
+        ASSERT_LT(sm, 4u);
+        resident[sm]++;
+    }
+    // Fig. 7 PSM: two CTAs each on SM0 and SM1, SM2/SM3 untouched.
+    EXPECT_EQ(resident, (std::vector<std::size_t>{2, 2, 0, 0}));
+}
+
+TEST(CtaScheduler, PsmRespectsSmBudget)
+{
+    PrioritySmScheduler psm(2);
+    std::vector<std::size_t> resident(4, 0);
+    resident[0] = resident[1] = 3;
+    EXPECT_EQ(psm.place(resident, 3), CtaScheduler::noSm);
+}
+
+TEST(CtaScheduler, RrReportsFullWhenAllAtLimit)
+{
+    RoundRobinScheduler rr;
+    std::vector<std::size_t> resident(3, 2);
+    EXPECT_EQ(rr.place(resident, 2), CtaScheduler::noSm);
+}
+
+TEST(CtaScheduler, FactoryNames)
+{
+    EXPECT_EQ(makeScheduler(SchedKind::RoundRobin, 4)->name(), "RR");
+    EXPECT_EQ(makeScheduler(SchedKind::PrioritySM, 4, 2)->name(),
+              "PSM");
+    EXPECT_EQ(schedKindName(SchedKind::PrioritySM), "PSM");
+}
+
+// ------------------------------------------------------- EnergyModel
+
+TEST(EnergyModel, IntervalDecomposition)
+{
+    const GpuSpec g = k20c();
+    const EnergyModel em(g);
+    const EnergyBreakdown e = em.interval(2.0, 13, 1e12);
+    EXPECT_NEAR(e.baseJ, g.basePowerW * 2.0, 1e-9);
+    EXPECT_NEAR(e.staticJ, g.smStaticPowerW * 13 * 2.0, 1e-9);
+    EXPECT_NEAR(e.dynamicJ, g.dynEnergyPerFlopJ * 1e12, 1e-9);
+    EXPECT_NEAR(e.total(), e.baseJ + e.staticJ + e.dynamicJ, 1e-12);
+}
+
+TEST(EnergyModel, GatingRemovesStaticPower)
+{
+    const EnergyModel em(k20c());
+    const EnergyBreakdown all = em.interval(1.0, 13, 0.0);
+    const EnergyBreakdown two = em.interval(1.0, 2, 0.0);
+    EXPECT_GT(all.total(), two.total());
+    EXPECT_NEAR(all.staticJ / 13.0, two.staticJ / 2.0, 1e-9);
+}
+
+TEST(EnergyModel, AveragePower)
+{
+    const EnergyModel em(jetsonTx1());
+    const EnergyBreakdown e = em.interval(0.5, 2, 0.0);
+    EXPECT_NEAR(em.averagePowerW(e, 0.5), e.total() / 0.5, 1e-12);
+}
+
+// ------------------------------------------------------------ GpuSim
+
+TEST(GpuSim, ExecutesAllWork)
+{
+    const GpuSim sim(toyGpu());
+    const KernelDesc k = kernel(10);
+    LaunchConfig cfg;
+    cfg.tlpLimit = 2;
+    const SimResult r = sim.runKernel(k, cfg);
+    EXPECT_NEAR(r.flops, 10 * 1e7, 1.0);
+    EXPECT_GT(r.timeS, 0.0);
+}
+
+TEST(GpuSim, TimeShrinksWithMoreParallelism)
+{
+    const GpuSim sim(toyGpu());
+    LaunchConfig one;
+    one.tlpLimit = 1;
+    LaunchConfig four;
+    four.tlpLimit = 4;
+    const KernelDesc k = kernel(32);
+    EXPECT_GT(sim.runKernel(k, one).timeS,
+              sim.runKernel(k, four).timeS);
+}
+
+TEST(GpuSim, Fig7PsmMatchesRrWithHalfTheSms)
+{
+    // The Fig. 7 experiment: 4 CTAs, optTLP 2, 4 SMs. PSM uses two
+    // SMs; RR spreads over four. Performance is nearly equal; PSM
+    // powers half the SMs.
+    const GpuSim sim(toyGpu());
+    const KernelDesc k = kernel(4);
+
+    LaunchConfig rr;
+    rr.scheduler = SchedKind::RoundRobin;
+    rr.tlpLimit = 2;
+    const SimResult r_rr = sim.runKernel(k, rr);
+    EXPECT_EQ(r_rr.smsUsed, 4u);
+    EXPECT_EQ(r_rr.smsPowered, 4u);
+
+    LaunchConfig psm;
+    psm.scheduler = SchedKind::PrioritySM;
+    psm.tlpLimit = 2;
+    psm.smsAllowed = 2;
+    psm.powerGateIdle = true;
+    const SimResult r_psm = sim.runKernel(k, psm);
+    EXPECT_EQ(r_psm.smsUsed, 2u);
+    EXPECT_EQ(r_psm.smsPowered, 2u);
+
+    // "Nearly the same performance with half the SM resources".
+    EXPECT_LT(r_psm.timeS, r_rr.timeS * 2.0);
+    // And less energy, since two SMs are gated.
+    EXPECT_LT(r_psm.energy.staticJ / r_psm.timeS,
+              r_rr.energy.staticJ / r_rr.timeS);
+}
+
+TEST(GpuSim, PsmBusyTimeConcentrated)
+{
+    const GpuSim sim(toyGpu());
+    const KernelDesc k = kernel(8);
+    LaunchConfig psm;
+    psm.scheduler = SchedKind::PrioritySM;
+    psm.tlpLimit = 4;
+    psm.smsAllowed = 2;
+    const SimResult r = sim.runKernel(k, psm);
+    EXPECT_GT(r.smBusyS[0], 0.0);
+    EXPECT_GT(r.smBusyS[1], 0.0);
+    EXPECT_DOUBLE_EQ(r.smBusyS[2], 0.0);
+    EXPECT_DOUBLE_EQ(r.smBusyS[3], 0.0);
+}
+
+TEST(GpuSim, BandwidthBoundKernelStretches)
+{
+    const GpuSpec tx1 = jetsonTx1();
+    const GpuSim sim(tx1);
+    KernelDesc k = kernel(16, 1e8, 256);
+    k.bytesPerFlop = 1.0; // absurdly traffic-heavy
+    LaunchConfig cfg;
+    cfg.tlpLimit = 4;
+    const SimResult r = sim.runKernel(k, cfg);
+    const double bw_time = 16 * 1e8 * 1.0 / tx1.bandwidthBytes();
+    EXPECT_GE(r.timeS, bw_time);
+}
+
+TEST(GpuSim, LaunchesScaleLinearly)
+{
+    const GpuSim sim(toyGpu());
+    KernelDesc k1 = kernel(6);
+    KernelDesc k3 = k1;
+    k3.launches = 3;
+    LaunchConfig cfg;
+    cfg.tlpLimit = 2;
+    const SimResult r1 = sim.runKernel(k1, cfg);
+    const SimResult r3 = sim.runKernel(k3, cfg);
+    EXPECT_NEAR(r3.timeS, 3.0 * r1.timeS, 1e-9);
+    EXPECT_NEAR(r3.flops, 3.0 * r1.flops, 1.0);
+    EXPECT_NEAR(r3.energy.total(), 3.0 * r1.energy.total(), 1e-9);
+}
+
+TEST(GpuSim, SequenceAccumulates)
+{
+    const GpuSim sim(toyGpu());
+    LaunchConfig cfg;
+    cfg.tlpLimit = 2;
+    const SimResult a = sim.runKernel(kernel(4), cfg);
+    const SimResult b = sim.runKernel(kernel(8), cfg);
+    const SimResult seq =
+        sim.runSequence({{kernel(4), cfg}, {kernel(8), cfg}});
+    EXPECT_NEAR(seq.timeS, a.timeS + b.timeS, 1e-12);
+    EXPECT_NEAR(seq.flops, a.flops + b.flops, 1.0);
+}
+
+TEST(GpuSim, FixedIntervalEnergy)
+{
+    const GpuSpec g = toyGpu();
+    const GpuSim sim(g);
+    const SimResult r = sim.fixedInterval(1.0, 2, 1e9);
+    EXPECT_DOUBLE_EQ(r.timeS, 1.0);
+    EXPECT_NEAR(r.energy.staticJ, 2 * g.smStaticPowerW, 1e-9);
+    EXPECT_NEAR(r.energy.dynamicJ, g.dynEnergyPerFlopJ * 1e9, 1e-12);
+}
+
+TEST(GpuSim, SimMatchesAnalyticalModelRoughly)
+{
+    // The event-driven simulator and the closed-form kernel time
+    // should agree within a modest factor on a uniform kernel.
+    const GpuSpec gpu = k20c();
+    const SgemmModel model(gpu, {tileByName(64, 64), 0});
+    const GemmShape g{384, 169 * 32, 2304};
+
+    KernelDesc k;
+    k.name = "conv3";
+    k.gridSize = model.gridSize(g);
+    k.ctaWorkFlops = model.ctaWorkFlops(g);
+    k.blockSize = 256;
+    k.issueDensity = model.timingDensity();
+    k.bytesPerFlop = model.trafficBytesPerFlop();
+
+    LaunchConfig cfg;
+    cfg.tlpLimit = model.occ().ctasPerSm;
+    const GpuSim sim(gpu);
+    const double t_sim = sim.runKernel(k, cfg).timeS;
+    const double t_model = model.kernelTime(g);
+    EXPECT_LT(t_sim, t_model * 1.5);
+    EXPECT_GT(t_sim, t_model * 0.5);
+}
+
+TEST(GpuSim, NoGatingPowersWholeGpu)
+{
+    const GpuSim sim(toyGpu());
+    const KernelDesc k = kernel(2);
+    LaunchConfig cfg;
+    cfg.tlpLimit = 2;
+    cfg.powerGateIdle = false;
+    EXPECT_EQ(sim.runKernel(k, cfg).smsPowered, 4u);
+    cfg.powerGateIdle = true;
+    EXPECT_LE(sim.runKernel(k, cfg).smsPowered, 2u);
+}
+
+} // namespace
+} // namespace pcnn

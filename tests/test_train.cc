@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the train module: loss, SGD, and end-to-end
+ * convergence of MiniNets on the synthetic task.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hh"
+#include "nn/model_zoo.hh"
+#include "train/loss.hh"
+#include "train/sgd.hh"
+#include "train/trainer.hh"
+
+namespace pcnn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogK)
+{
+    Tensor logits(2, 4, 1, 1); // all zero -> uniform softmax
+    const double loss = softmaxCrossEntropy(logits, {0, 3});
+    EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectIsSmall)
+{
+    Tensor logits(1, 3, 1, 1);
+    logits[0] = 10.0f;
+    EXPECT_LT(softmaxCrossEntropy(logits, {0}), 0.01);
+    EXPECT_GT(softmaxCrossEntropy(logits, {1}), 5.0);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow)
+{
+    Tensor logits(2, 5, 1, 1);
+    Rng rng(1);
+    logits.fillGaussian(rng, 0, 2);
+    Tensor d;
+    softmaxCrossEntropy(logits, {1, 4}, &d);
+    for (std::size_t i = 0; i < 2; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < 5; ++j)
+            s += d.data()[i * 5 + j];
+        EXPECT_NEAR(s, 0.0, 1e-6);
+    }
+}
+
+TEST(Loss, GradientMatchesNumeric)
+{
+    Tensor logits(1, 4, 1, 1);
+    Rng rng(2);
+    logits.fillGaussian(rng, 0, 1);
+    Tensor d;
+    softmaxCrossEntropy(logits, {2}, &d);
+    const float eps = 1e-3f;
+    for (std::size_t j = 0; j < 4; ++j) {
+        const float orig = logits[j];
+        logits[j] = orig + eps;
+        const double up = softmaxCrossEntropy(logits, {2});
+        logits[j] = orig - eps;
+        const double dn = softmaxCrossEntropy(logits, {2});
+        logits[j] = orig;
+        EXPECT_NEAR(d[j], (up - dn) / (2 * eps), 1e-4);
+    }
+}
+
+TEST(Loss, AccuracyCounting)
+{
+    Tensor logits(3, 2, 1, 1);
+    logits[0] = 1;
+    logits[1] = 0; // pred 0
+    logits[2] = 0;
+    logits[3] = 1; // pred 1
+    logits[4] = 1;
+    logits[5] = 0; // pred 0
+    EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Sgd, MovesAgainstGradient)
+{
+    Param p;
+    p.value.resize(Shape{1, 1, 1, 2});
+    p.grad.resize(p.value.shape());
+    p.value[0] = 1.0f;
+    p.grad[0] = 1.0f; // positive gradient -> value must decrease
+    SgdConfig cfg;
+    cfg.momentum = 0.0;
+    cfg.weightDecay = 0.0;
+    cfg.learningRate = 0.1;
+    SgdOptimizer opt(cfg);
+    opt.step({&p});
+    EXPECT_NEAR(p.value[0], 0.9f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Param p;
+    p.value.resize(Shape{1, 1, 1, 1});
+    p.grad.resize(p.value.shape());
+    SgdConfig cfg;
+    cfg.momentum = 0.9;
+    cfg.weightDecay = 0.0;
+    cfg.learningRate = 0.1;
+    SgdOptimizer opt(cfg);
+    p.grad[0] = 1.0f;
+    opt.step({&p}); // v = -0.1
+    const float after_one = p.value[0];
+    p.grad[0] = 1.0f;
+    opt.step({&p}); // v = -0.19
+    EXPECT_LT(p.value[0] - after_one, after_one - 0.0f);
+    EXPECT_NEAR(p.value[0], -0.29f, 1e-5);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights)
+{
+    Param p;
+    p.value.resize(Shape{1, 1, 1, 1});
+    p.grad.resize(p.value.shape());
+    p.value[0] = 1.0f;
+    SgdConfig cfg;
+    cfg.momentum = 0.0;
+    cfg.weightDecay = 0.1;
+    cfg.learningRate = 1.0;
+    SgdOptimizer opt(cfg);
+    opt.step({&p}); // grad 0, decay pulls toward zero
+    EXPECT_NEAR(p.value[0], 0.9f, 1e-6);
+}
+
+TEST(Sgd, LearningRateDecay)
+{
+    SgdOptimizer opt(SgdConfig{});
+    const double lr0 = opt.learningRate();
+    opt.scaleLearningRate(0.5);
+    EXPECT_NEAR(opt.learningRate(), lr0 * 0.5, 1e-12);
+}
+
+// ------------------------------------------------------- convergence
+
+TEST(Trainer, LearnsEasySyntheticTask)
+{
+    SyntheticTaskConfig cfg;
+    cfg.difficulty = 0.3;
+    cfg.seed = 11;
+    SyntheticTask task(cfg);
+    Dataset train_set = task.generate(1024);
+    Dataset test_set = task.generate(256);
+
+    Rng rng(12);
+    Network net = makeMiniNet(MiniSize::Medium, rng);
+    TrainConfig tc;
+    tc.epochs = 5;
+    Trainer trainer(net, tc);
+    const auto history = trainer.fit(train_set);
+
+    // Loss falls across training.
+    EXPECT_LT(history.back().trainLoss, history.front().trainLoss);
+
+    const EvalResult r = trainer.evaluate(test_set);
+    EXPECT_GT(r.accuracy, 0.8) << "failed to learn the easy task";
+    // Entropy of a confident classifier is well under uniform log(8).
+    EXPECT_LT(r.meanEntropy, 1.2);
+}
+
+TEST(Trainer, UntrainedIsChanceLevel)
+{
+    SyntheticTaskConfig cfg;
+    cfg.seed = 13;
+    SyntheticTask task(cfg);
+    Dataset test_set = task.generate(256);
+    Rng rng(14);
+    Network net = makeMiniNet(MiniSize::Small, rng);
+    Trainer trainer(net, TrainConfig{});
+    const EvalResult r = trainer.evaluate(test_set);
+    EXPECT_LT(r.accuracy, 0.35); // 8 classes -> chance is 0.125
+}
+
+TEST(Trainer, HarderTaskLowerAccuracy)
+{
+    auto run = [](double difficulty) {
+        SyntheticTaskConfig cfg;
+        cfg.difficulty = difficulty;
+        cfg.seed = 15;
+        SyntheticTask task(cfg);
+        Dataset train_set = task.generate(768);
+        Dataset test_set = task.generate(256);
+        Rng rng(16);
+        Network net = makeMiniNet(MiniSize::Small, rng);
+        TrainConfig tc;
+        tc.epochs = 4;
+        Trainer trainer(net, tc);
+        trainer.fit(train_set);
+        return trainer.evaluate(test_set).accuracy;
+    };
+    EXPECT_GT(run(0.2), run(4.0) + 0.1);
+}
+
+} // namespace
+} // namespace pcnn

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * pcnn_cli — command-line front end to the P-CNN library.
+ *
+ * Subcommands:
+ *   gpus                              list GPU presets
+ *   nets                              list model-zoo networks
+ *   compile  --net N --gpu G [--task T] [--batch B] [--out FILE]
+ *                                     offline-compile and show the plan
+ *   inspect  FILE                     print a saved plan
+ *   estimate --net N --gpu G --lib L [--batch B]
+ *                                     vendor-library latency estimate
+ *   schedulers --net N --gpu G --task T
+ *                                     compare the six schedulers
+ *
+ * Examples:
+ *   pcnn_cli compile --net AlexNet --gpu TX1 --task interactive
+ *   pcnn_cli estimate --net VGGNet --gpu 970m --lib cuDNN --batch 32
+ *   pcnn_cli schedulers --net GoogLeNet --gpu TX1 --task real-time
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "libs/dl_library.hh"
+#include "pcnn/offline/plan_io.hh"
+#include "pcnn/pcnn.hh"
+
+using namespace pcnn;
+
+namespace {
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+                values[arg.substr(2)] = argv[++i];
+            } else {
+                positional.push_back(arg);
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    bool has(const std::string &key) const { return values.count(key); }
+
+    const std::vector<std::string> &pos() const { return positional; }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positional;
+};
+
+NetDescriptor
+netByName(const std::string &name)
+{
+    for (const NetDescriptor &net : paperNetworks())
+        if (net.name == name)
+            return net;
+    pcnn_fatal("unknown network '", name,
+               "' (try: AlexNet, GoogLeNet, VGGNet)");
+}
+
+AppSpec
+appByTask(const std::string &task)
+{
+    if (task == "interactive")
+        return ageDetectionApp();
+    if (task == "real-time")
+        return videoSurveillanceApp();
+    if (task == "background")
+        return imageTaggingApp();
+    pcnn_fatal("unknown task '", task,
+               "' (try: interactive, real-time, background)");
+}
+
+void
+printPlan(const CompiledPlan &plan)
+{
+    std::printf("plan: %s on %s, batch %zu, predicted %.3f ms "
+                "(conv %.3f, fc %.3f, aux %.3f)%s\n",
+                plan.netName.c_str(), plan.gpuName.c_str(), plan.batch,
+                plan.latencyS() * 1e3, plan.time.convS * 1e3,
+                plan.time.fcS * 1e3, plan.time.auxS * 1e3,
+                plan.timeRequirementMissed
+                    ? "  [time requirement missed]"
+                    : "");
+    TextTable t({"Layer", "GEMM (MxNxK)", "Kernel", "optTLP", "optSM",
+                 "Util", "Time (ms)"});
+    for (const LayerSchedule &ls : plan.layers) {
+        t.addRow({ls.layer.name,
+                  std::to_string(ls.gemm.m) + "x" +
+                      std::to_string(ls.gemm.n) + "x" +
+                      std::to_string(ls.gemm.k),
+                  ls.kernel.config.str(),
+                  TextTable::num(ls.kernel.optTLP),
+                  TextTable::num(ls.kernel.optSM),
+                  TextTable::num(ls.util, 2),
+                  TextTable::num(ls.timeS * 1e3, 3)});
+    }
+    std::printf("%s", t.render().c_str());
+}
+
+int
+cmdGpus()
+{
+    TextTable t({"Name", "Platform", "SMs", "Cores", "Clock (MHz)",
+                 "Peak (TFLOP/s)", "Mem (MB)", "BW (GB/s)"});
+    for (const GpuSpec &g : allGpus()) {
+        t.addRow({g.name, g.platform, TextTable::num(g.numSMs),
+                  TextTable::num(g.numSMs * g.coresPerSM),
+                  TextTable::num(g.coreClockMHz, 0),
+                  TextTable::num(g.peakFlops() / 1e12, 2),
+                  TextTable::num(g.dramMB, 0),
+                  TextTable::num(g.memBandwidthGBs, 1)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdNets()
+{
+    TextTable t({"Name", "Conv layers", "GFLOP/img", "Params (M)",
+                 "Paper batch"});
+    for (const NetDescriptor &net : paperNetworks()) {
+        t.addRow({net.name, TextTable::num(net.convs.size()),
+                  TextTable::num(net.totalFlopsPerImage() / 1e9, 2),
+                  TextTable::num(double(net.weightCount()) / 1e6, 1),
+                  TextTable::num(net.paperBatch)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdCompile(const Args &args)
+{
+    const NetDescriptor net = netByName(args.get("net", "AlexNet"));
+    const GpuSpec gpu = gpuByName(args.get("gpu", "TX1"));
+    const OfflineCompiler compiler(gpu);
+
+    CompiledPlan plan;
+    if (args.has("batch")) {
+        plan = compiler.compileAtBatch(
+            net, std::size_t(std::stoul(args.get("batch"))));
+    } else {
+        plan = compiler.compile(
+            net, appByTask(args.get("task", "interactive")));
+    }
+    printPlan(plan);
+
+    const std::string out = args.get("out");
+    if (!out.empty()) {
+        if (!savePlan(plan, out)) {
+            std::fprintf(stderr, "cannot write %s\n", out.c_str());
+            return 1;
+        }
+        std::printf("saved -> %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInspect(const Args &args)
+{
+    if (args.pos().empty()) {
+        std::fprintf(stderr, "usage: pcnn_cli inspect FILE\n");
+        return 2;
+    }
+    const auto plan = loadPlan(args.pos()[0]);
+    if (!plan) {
+        std::fprintf(stderr, "cannot load plan from %s\n",
+                     args.pos()[0].c_str());
+        return 1;
+    }
+    printPlan(*plan);
+    return 0;
+}
+
+int
+cmdEstimate(const Args &args)
+{
+    const NetDescriptor net = netByName(args.get("net", "AlexNet"));
+    const GpuSpec gpu = gpuByName(args.get("gpu", "TX1"));
+    const auto lib = libraryByName(args.get("lib", "cuDNN"));
+    const std::size_t batch =
+        args.has("batch") ? std::size_t(std::stoul(args.get("batch")))
+                          : net.paperBatch;
+
+    const LatencyEstimate est = lib->estimateLatency(gpu, net, batch);
+    if (est.oom) {
+        std::printf("%s + %s batch %zu on %s: OUT OF MEMORY "
+                    "(needs %.0f MB, usable %.0f MB)\n",
+                    lib->name().c_str(), net.name.c_str(), est.batch,
+                    gpu.name.c_str(), est.footprint.total() / 1e6,
+                    usableBytes(gpu) / 1e6);
+        return 0;
+    }
+    std::printf("%s + %s batch %zu on %s:\n", lib->name().c_str(),
+                net.name.c_str(), est.batch, gpu.name.c_str());
+    std::printf("  latency     %.1f ms (conv %.1f, fc %.1f, aux "
+                "%.1f)\n",
+                est.totalS() * 1e3, est.convTimeS * 1e3,
+                est.fcTimeS * 1e3, est.auxTimeS * 1e3);
+    std::printf("  throughput  %.0f img/s\n", est.throughput());
+    std::printf("  memory      %.0f MB (weights %.0f, activations "
+                "%.0f, workspace %.0f)\n",
+                est.footprint.total() / 1e6,
+                est.footprint.weightBytes / 1e6,
+                est.footprint.activationBytes / 1e6,
+                est.footprint.workspaceBytes / 1e6);
+    return 0;
+}
+
+int
+cmdSchedulers(const Args &args)
+{
+    const NetDescriptor net = netByName(args.get("net", "AlexNet"));
+    const GpuSpec gpu = gpuByName(args.get("gpu", "K20c"));
+    const AppSpec app = appByTask(args.get("task", "interactive"));
+    const ScheduleContext ctx = makeContext(app, net, gpu);
+
+    TextTable t({"Scheduler", "Batch", "Latency (ms)", "E/img (J)",
+                 "SoC_time", "SoC"});
+    for (const auto &s : allSchedulers()) {
+        const ScheduleOutcome o = s->run(ctx);
+        t.addRow({o.scheduler, TextTable::num(o.batch),
+                  TextTable::num(o.latencyS * 1e3, 2),
+                  TextTable::num(o.energyPerImageJ, 4),
+                  o.deadlineMet ? TextTable::num(o.socTimeScore, 2)
+                                : "x",
+                  o.socScore > 0 ? TextTable::num(o.socScore, 2)
+                                 : "x"});
+    }
+    std::printf("%s (%s) on %s:\n%s", app.name.c_str(),
+                taskClassName(app.taskClass).c_str(),
+                gpu.name.c_str(), t.render().c_str());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pcnn_cli <command> [options]\n"
+        "  gpus | nets\n"
+        "  compile  --net N --gpu G [--task T | --batch B] "
+        "[--out FILE]\n"
+        "  inspect  FILE\n"
+        "  estimate --net N --gpu G --lib L [--batch B]\n"
+        "  schedulers --net N --gpu G --task T\n"
+        "tasks: interactive, real-time, background; "
+        "libs: cuBLAS, cuDNN, Nervana\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+
+    if (cmd == "gpus")
+        return cmdGpus();
+    if (cmd == "nets")
+        return cmdNets();
+    if (cmd == "compile")
+        return cmdCompile(args);
+    if (cmd == "inspect")
+        return cmdInspect(args);
+    if (cmd == "estimate")
+        return cmdEstimate(args);
+    if (cmd == "schedulers")
+        return cmdSchedulers(args);
+    return usage();
+}
