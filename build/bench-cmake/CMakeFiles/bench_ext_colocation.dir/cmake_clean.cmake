@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_colocation"
+  "../bench/bench_ext_colocation.pdb"
+  "CMakeFiles/bench_ext_colocation.dir/bench_ext_colocation.cc.o"
+  "CMakeFiles/bench_ext_colocation.dir/bench_ext_colocation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

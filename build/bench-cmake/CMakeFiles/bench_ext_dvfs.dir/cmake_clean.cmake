@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dvfs"
+  "../bench/bench_ext_dvfs.pdb"
+  "CMakeFiles/bench_ext_dvfs.dir/bench_ext_dvfs.cc.o"
+  "CMakeFiles/bench_ext_dvfs.dir/bench_ext_dvfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

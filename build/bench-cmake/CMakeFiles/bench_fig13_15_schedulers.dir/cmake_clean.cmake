@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_15_schedulers"
+  "../bench/bench_fig13_15_schedulers.pdb"
+  "CMakeFiles/bench_fig13_15_schedulers.dir/bench_fig13_15_schedulers.cc.o"
+  "CMakeFiles/bench_fig13_15_schedulers.dir/bench_fig13_15_schedulers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_15_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

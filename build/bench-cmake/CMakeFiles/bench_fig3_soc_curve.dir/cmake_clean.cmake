@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_soc_curve"
+  "../bench/bench_fig3_soc_curve.pdb"
+  "CMakeFiles/bench_fig3_soc_curve.dir/bench_fig3_soc_curve.cc.o"
+  "CMakeFiles/bench_fig3_soc_curve.dir/bench_fig3_soc_curve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_soc_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_throughput_ratio.cc" "bench-cmake/CMakeFiles/bench_fig4_throughput_ratio.dir/bench_fig4_throughput_ratio.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_fig4_throughput_ratio.dir/bench_fig4_throughput_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcnn/CMakeFiles/pcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/libs/CMakeFiles/pcnn_libs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pcnn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/pcnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

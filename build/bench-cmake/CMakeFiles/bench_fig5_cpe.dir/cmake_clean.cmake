@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cpe"
+  "../bench/bench_fig5_cpe.pdb"
+  "CMakeFiles/bench_fig5_cpe.dir/bench_fig5_cpe.cc.o"
+  "CMakeFiles/bench_fig5_cpe.dir/bench_fig5_cpe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_rr_vs_psm"
+  "../bench/bench_fig7_rr_vs_psm.pdb"
+  "CMakeFiles/bench_fig7_rr_vs_psm.dir/bench_fig7_rr_vs_psm.cc.o"
+  "CMakeFiles/bench_fig7_rr_vs_psm.dir/bench_fig7_rr_vs_psm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rr_vs_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_tlp_registers"
+  "../bench/bench_fig9_tlp_registers.pdb"
+  "CMakeFiles/bench_fig9_tlp_registers.dir/bench_fig9_tlp_registers.cc.o"
+  "CMakeFiles/bench_fig9_tlp_registers.dir/bench_fig9_tlp_registers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tlp_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

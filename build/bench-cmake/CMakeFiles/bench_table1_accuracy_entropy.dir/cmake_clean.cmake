@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_accuracy_entropy"
+  "../bench/bench_table1_accuracy_entropy.pdb"
+  "CMakeFiles/bench_table1_accuracy_entropy.dir/bench_table1_accuracy_entropy.cc.o"
+  "CMakeFiles/bench_table1_accuracy_entropy.dir/bench_table1_accuracy_entropy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_accuracy_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

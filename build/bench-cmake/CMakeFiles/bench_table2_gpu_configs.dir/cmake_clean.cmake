@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_gpu_configs"
+  "../bench/bench_table2_gpu_configs.pdb"
+  "CMakeFiles/bench_table2_gpu_configs.dir/bench_table2_gpu_configs.cc.o"
+  "CMakeFiles/bench_table2_gpu_configs.dir/bench_table2_gpu_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gpu_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

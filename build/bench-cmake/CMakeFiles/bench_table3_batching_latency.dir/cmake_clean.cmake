@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_batching_latency"
+  "../bench/bench_table3_batching_latency.pdb"
+  "CMakeFiles/bench_table3_batching_latency.dir/bench_table3_batching_latency.cc.o"
+  "CMakeFiles/bench_table3_batching_latency.dir/bench_table3_batching_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_batching_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_kernel_details"
+  "../bench/bench_table4_kernel_details.pdb"
+  "CMakeFiles/bench_table4_kernel_details.dir/bench_table4_kernel_details.cc.o"
+  "CMakeFiles/bench_table4_kernel_details.dir/bench_table4_kernel_details.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_kernel_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_kernel_details.
+# This may be replaced when dependencies are built.

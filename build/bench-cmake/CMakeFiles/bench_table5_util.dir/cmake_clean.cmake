@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_util"
+  "../bench/bench_table5_util.pdb"
+  "CMakeFiles/bench_table5_util.dir/bench_table5_util.cc.o"
+  "CMakeFiles/bench_table5_util.dir/bench_table5_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

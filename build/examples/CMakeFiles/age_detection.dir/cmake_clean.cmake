@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/age_detection.dir/age_detection.cc.o"
+  "CMakeFiles/age_detection.dir/age_detection.cc.o.d"
+  "age_detection"
+  "age_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/age_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_pipeline.dir/deploy_pipeline.cc.o"
+  "CMakeFiles/deploy_pipeline.dir/deploy_pipeline.cc.o.d"
+  "deploy_pipeline"
+  "deploy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

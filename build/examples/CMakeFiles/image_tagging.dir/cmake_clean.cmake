@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_tagging.dir/image_tagging.cc.o"
+  "CMakeFiles/image_tagging.dir/image_tagging.cc.o.d"
+  "image_tagging"
+  "image_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_common.dir/csv.cc.o"
+  "CMakeFiles/pcnn_common.dir/csv.cc.o.d"
+  "CMakeFiles/pcnn_common.dir/logging.cc.o"
+  "CMakeFiles/pcnn_common.dir/logging.cc.o.d"
+  "CMakeFiles/pcnn_common.dir/random.cc.o"
+  "CMakeFiles/pcnn_common.dir/random.cc.o.d"
+  "CMakeFiles/pcnn_common.dir/stats.cc.o"
+  "CMakeFiles/pcnn_common.dir/stats.cc.o.d"
+  "CMakeFiles/pcnn_common.dir/table.cc.o"
+  "CMakeFiles/pcnn_common.dir/table.cc.o.d"
+  "libpcnn_common.a"
+  "libpcnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_data.dir/dataset.cc.o"
+  "CMakeFiles/pcnn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pcnn_data.dir/synthetic.cc.o"
+  "CMakeFiles/pcnn_data.dir/synthetic.cc.o.d"
+  "libpcnn_data.a"
+  "libpcnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/dvfs.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/dvfs.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/dvfs.cc.o.d"
+  "/root/repo/src/gpu/gpu_spec.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/gpu_spec.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/gpu/kernel_model.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/kernel_model.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/kernel_model.cc.o.d"
+  "/root/repo/src/gpu/memory_model.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/memory_model.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/memory_model.cc.o.d"
+  "/root/repo/src/gpu/occupancy.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/occupancy.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/occupancy.cc.o.d"
+  "/root/repo/src/gpu/sim/cta_scheduler.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/sim/cta_scheduler.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/sim/cta_scheduler.cc.o.d"
+  "/root/repo/src/gpu/sim/energy_model.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/sim/energy_model.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/sim/energy_model.cc.o.d"
+  "/root/repo/src/gpu/sim/gpu_sim.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/sim/gpu_sim.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/sim/gpu_sim.cc.o.d"
+  "/root/repo/src/gpu/tile_config.cc" "src/gpu/CMakeFiles/pcnn_gpu.dir/tile_config.cc.o" "gcc" "src/gpu/CMakeFiles/pcnn_gpu.dir/tile_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_gpu.dir/dvfs.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/dvfs.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/gpu_spec.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/kernel_model.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/kernel_model.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/memory_model.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/memory_model.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/occupancy.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/occupancy.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/sim/cta_scheduler.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/sim/cta_scheduler.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/sim/energy_model.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/sim/energy_model.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/sim/gpu_sim.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/sim/gpu_sim.cc.o.d"
+  "CMakeFiles/pcnn_gpu.dir/tile_config.cc.o"
+  "CMakeFiles/pcnn_gpu.dir/tile_config.cc.o.d"
+  "libpcnn_gpu.a"
+  "libpcnn_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libs/cublas_like.cc" "src/libs/CMakeFiles/pcnn_libs.dir/cublas_like.cc.o" "gcc" "src/libs/CMakeFiles/pcnn_libs.dir/cublas_like.cc.o.d"
+  "/root/repo/src/libs/cudnn_like.cc" "src/libs/CMakeFiles/pcnn_libs.dir/cudnn_like.cc.o" "gcc" "src/libs/CMakeFiles/pcnn_libs.dir/cudnn_like.cc.o.d"
+  "/root/repo/src/libs/dl_library.cc" "src/libs/CMakeFiles/pcnn_libs.dir/dl_library.cc.o" "gcc" "src/libs/CMakeFiles/pcnn_libs.dir/dl_library.cc.o.d"
+  "/root/repo/src/libs/nervana_like.cc" "src/libs/CMakeFiles/pcnn_libs.dir/nervana_like.cc.o" "gcc" "src/libs/CMakeFiles/pcnn_libs.dir/nervana_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/pcnn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_libs.dir/cublas_like.cc.o"
+  "CMakeFiles/pcnn_libs.dir/cublas_like.cc.o.d"
+  "CMakeFiles/pcnn_libs.dir/cudnn_like.cc.o"
+  "CMakeFiles/pcnn_libs.dir/cudnn_like.cc.o.d"
+  "CMakeFiles/pcnn_libs.dir/dl_library.cc.o"
+  "CMakeFiles/pcnn_libs.dir/dl_library.cc.o.d"
+  "CMakeFiles/pcnn_libs.dir/nervana_like.cc.o"
+  "CMakeFiles/pcnn_libs.dir/nervana_like.cc.o.d"
+  "libpcnn_libs.a"
+  "libpcnn_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

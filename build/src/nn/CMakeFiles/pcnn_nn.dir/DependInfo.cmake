@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/avgpool_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/avgpool_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/avgpool_layer.cc.o.d"
+  "/root/repo/src/nn/conv_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/conv_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/conv_layer.cc.o.d"
+  "/root/repo/src/nn/conv_spec.cc" "src/nn/CMakeFiles/pcnn_nn.dir/conv_spec.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/conv_spec.cc.o.d"
+  "/root/repo/src/nn/dropout_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/dropout_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/dropout_layer.cc.o.d"
+  "/root/repo/src/nn/fc_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/fc_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/fc_layer.cc.o.d"
+  "/root/repo/src/nn/inception_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/inception_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/inception_layer.cc.o.d"
+  "/root/repo/src/nn/lrn_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/lrn_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/lrn_layer.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/pcnn_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/pcnn_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/pool_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/pool_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/pool_layer.cc.o.d"
+  "/root/repo/src/nn/relu_layer.cc" "src/nn/CMakeFiles/pcnn_nn.dir/relu_layer.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/relu_layer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/pcnn_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

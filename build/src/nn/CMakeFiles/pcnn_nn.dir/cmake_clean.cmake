@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_nn.dir/avgpool_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/avgpool_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/conv_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/conv_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/conv_spec.cc.o"
+  "CMakeFiles/pcnn_nn.dir/conv_spec.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/dropout_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/dropout_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/fc_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/fc_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/inception_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/inception_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/lrn_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/lrn_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/pcnn_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/network.cc.o"
+  "CMakeFiles/pcnn_nn.dir/network.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/pool_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/pool_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/relu_layer.cc.o"
+  "CMakeFiles/pcnn_nn.dir/relu_layer.cc.o.d"
+  "CMakeFiles/pcnn_nn.dir/serialize.cc.o"
+  "CMakeFiles/pcnn_nn.dir/serialize.cc.o.d"
+  "libpcnn_nn.a"
+  "libpcnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcnn_nn.a"
+)

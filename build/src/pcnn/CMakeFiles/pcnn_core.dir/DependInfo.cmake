@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcnn/offline/batch_selector.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/batch_selector.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/batch_selector.cc.o.d"
+  "/root/repo/src/pcnn/offline/compiler.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/compiler.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/compiler.cc.o.d"
+  "/root/repo/src/pcnn/offline/dvfs_planner.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/dvfs_planner.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/dvfs_planner.cc.o.d"
+  "/root/repo/src/pcnn/offline/kernel_tuner.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/kernel_tuner.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/kernel_tuner.cc.o.d"
+  "/root/repo/src/pcnn/offline/plan_io.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/plan_io.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/plan_io.cc.o.d"
+  "/root/repo/src/pcnn/offline/resource_model.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/resource_model.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/resource_model.cc.o.d"
+  "/root/repo/src/pcnn/offline/time_model.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/time_model.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/offline/time_model.cc.o.d"
+  "/root/repo/src/pcnn/runtime/accuracy_tuner.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/accuracy_tuner.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/accuracy_tuner.cc.o.d"
+  "/root/repo/src/pcnn/runtime/calibration.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/calibration.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/calibration.cc.o.d"
+  "/root/repo/src/pcnn/runtime/entropy_profile.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/entropy_profile.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/entropy_profile.cc.o.d"
+  "/root/repo/src/pcnn/runtime/executor.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/executor.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/pcnn/runtime/kernel_scheduler.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/kernel_scheduler.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/kernel_scheduler.cc.o.d"
+  "/root/repo/src/pcnn/runtime/requirement_learner.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/requirement_learner.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/requirement_learner.cc.o.d"
+  "/root/repo/src/pcnn/runtime/serving_sim.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/serving_sim.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/serving_sim.cc.o.d"
+  "/root/repo/src/pcnn/runtime/tuning_table.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/tuning_table.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/runtime/tuning_table.cc.o.d"
+  "/root/repo/src/pcnn/satisfaction.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/satisfaction.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/satisfaction.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/energy_efficient.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/energy_efficient.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/energy_efficient.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/ideal.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/ideal.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/ideal.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/pcnn_scheduler.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/pcnn_scheduler.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/pcnn_scheduler.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/perf_preferred.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/perf_preferred.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/perf_preferred.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/qpe.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/qpe.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/qpe.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/qpe_plus.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/qpe_plus.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/qpe_plus.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/sched_common.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/sched_common.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/sched_common.cc.o.d"
+  "/root/repo/src/pcnn/schedulers/scheduler.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/scheduler.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/schedulers/scheduler.cc.o.d"
+  "/root/repo/src/pcnn/task.cc" "src/pcnn/CMakeFiles/pcnn_core.dir/task.cc.o" "gcc" "src/pcnn/CMakeFiles/pcnn_core.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/pcnn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/libs/CMakeFiles/pcnn_libs.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/pcnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pcnn_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/pcnn_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/pcnn_tensor.dir/tensor_ops.cc.o.d"
+  "libpcnn_tensor.a"
+  "libpcnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

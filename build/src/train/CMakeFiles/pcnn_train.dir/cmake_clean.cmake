@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_train.dir/loss.cc.o"
+  "CMakeFiles/pcnn_train.dir/loss.cc.o.d"
+  "CMakeFiles/pcnn_train.dir/sgd.cc.o"
+  "CMakeFiles/pcnn_train.dir/sgd.cc.o.d"
+  "CMakeFiles/pcnn_train.dir/trainer.cc.o"
+  "CMakeFiles/pcnn_train.dir/trainer.cc.o.d"
+  "libpcnn_train.a"
+  "libpcnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_libs.dir/test_libs.cc.o"
+  "CMakeFiles/test_libs.dir/test_libs.cc.o.d"
+  "test_libs"
+  "test_libs.pdb"
+  "test_libs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_extended.dir/test_nn_extended.cc.o"
+  "CMakeFiles/test_nn_extended.dir/test_nn_extended.cc.o.d"
+  "test_nn_extended"
+  "test_nn_extended.pdb"
+  "test_nn_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

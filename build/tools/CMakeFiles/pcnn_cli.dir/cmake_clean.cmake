@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_cli.dir/pcnn_cli.cc.o"
+  "CMakeFiles/pcnn_cli.dir/pcnn_cli.cc.o.d"
+  "pcnn_cli"
+  "pcnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
