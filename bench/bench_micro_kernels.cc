@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hh"
 #include "common/random.hh"
 #include "gpu/kernel_model.hh"
 #include "nn/conv_layer.hh"
@@ -77,6 +78,88 @@ BM_ConvForward(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ConvForward)->Arg(100)->Arg(50)->Arg(25);
+
+/**
+ * SGEMM thread scaling: range(0) = matrix size, range(1) = pool
+ * lanes. The GFLOPS counter makes speedups directly comparable in
+ * the JSON snapshot (tools/run_bench.sh).
+ */
+void
+BM_SgemmThreads(benchmark::State &state)
+{
+    const auto n = std::size_t(state.range(0));
+    setThreadCount(std::size_t(state.range(1)));
+    Rng rng(1);
+    std::vector<float> a(n * n), b(n * n), c(n * n);
+    for (auto &x : a)
+        x = float(rng.uniform(-1, 1));
+    for (auto &x : b)
+        x = float(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        sgemm(false, false, n, n, n, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        2.0 * double(n) * double(n) * double(n) *
+            double(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate);
+    setThreadCount(0);
+}
+BENCHMARK(BM_SgemmThreads)
+    ->UseRealTime()
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
+
+/** im2col thread scaling on the stock 16x32x32 / 3x3 geometry. */
+void
+BM_Im2colThreads(benchmark::State &state)
+{
+    setThreadCount(std::size_t(state.range(0)));
+    Rng rng(2);
+    Tensor x(1, 16, 32, 32);
+    x.fillGaussian(rng, 0, 1);
+    const ConvGeom g{16, 32, 32, 3, 1, 1};
+    std::vector<float> cols;
+    for (auto _ : state) {
+        im2col(x, 0, g, cols);
+        benchmark::DoNotOptimize(cols.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(g.colRows() * 32 * 32 *
+                                    sizeof(float)));
+    setThreadCount(0);
+}
+BENCHMARK(BM_Im2colThreads)->UseRealTime()->Arg(1)->Arg(2)->Arg(4);
+
+/**
+ * Convolution forward on the paper's AlexNet CONV2 layer (the Fig. 2
+ * exemplar: 5x5 over 96 -> 256 channels, 2 groups, 27x27 output),
+ * batch 1, at range(0) pool lanes. This is the PR's headline
+ * acceptance shape.
+ */
+void
+BM_ConvForwardAlexNetConv2(benchmark::State &state)
+{
+    setThreadCount(std::size_t(state.range(0)));
+    Rng rng(5);
+    const ConvSpec spec = alexNet().convs[1];
+    ConvLayer layer(spec, rng);
+    Tensor x(1, spec.inC, spec.inH, spec.inW);
+    x.fillGaussian(rng, 0, 1);
+    for (auto _ : state) {
+        Tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        spec.flopsPerImage() * double(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate);
+    setThreadCount(0);
+}
+BENCHMARK(BM_ConvForwardAlexNetConv2)->UseRealTime()->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_SoftmaxEntropy(benchmark::State &state)

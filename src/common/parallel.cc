@@ -1,0 +1,263 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+thread_local std::size_t tls_lane = 0;
+thread_local bool tls_in_region = false;
+
+std::size_t
+defaultThreads()
+{
+    if (const char *env = std::getenv("PCNN_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return std::min<std::size_t>(v, 256);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * Lazily-started worker pool. Lane 0 is the dispatching thread; lanes
+ * 1..T-1 are persistent workers woken per dispatch by a generation
+ * counter. One dispatch is in flight at a time (dispatchMutex).
+ */
+class Pool
+{
+  public:
+    static Pool &
+    instance()
+    {
+        static Pool pool;
+        return pool;
+    }
+
+    std::size_t
+    lanes()
+    {
+        std::lock_guard lk(configMutex);
+        return nLanes;
+    }
+
+    void
+    resize(std::size_t n)
+    {
+        pcnn_assert(!tls_in_region,
+                    "setThreadCount inside a parallel region");
+        std::lock_guard dlk(dispatchMutex);
+        std::lock_guard lk(configMutex);
+        if (n == 0)
+            n = defaultThreads();
+        if (n == nLanes)
+            return;
+        stopWorkersLocked();
+        nLanes = n;
+    }
+
+    void
+    run(std::size_t n, const ParallelBody &fn)
+    {
+        std::size_t lanes_now;
+        {
+            std::lock_guard lk(configMutex);
+            lanes_now = nLanes;
+        }
+        if (tls_in_region || lanes_now == 1 || n <= 1) {
+            // Inline (possibly nested) execution on the calling lane.
+            const bool outer = !tls_in_region;
+            tls_in_region = true;
+            try {
+                fn(0, n, tls_lane);
+            } catch (...) {
+                tls_in_region = !outer;
+                throw;
+            }
+            tls_in_region = !outer;
+            return;
+        }
+
+        std::lock_guard dlk(dispatchMutex);
+        std::size_t lanes;
+        {
+            std::unique_lock lk(stateMutex);
+            lanes = nLanes;
+            ensureWorkersLocked(lanes);
+            job = &fn;
+            jobSize = n;
+            jobLanes = lanes;
+            pendingLanes = lanes - 1;
+            firstError = nullptr;
+            ++generation;
+        }
+        wake.notify_all();
+
+        // Lane 0 executes its own chunk while the workers run theirs.
+        std::exception_ptr mainError;
+        try {
+            runChunk(fn, n, lanes, 0);
+        } catch (...) {
+            mainError = std::current_exception();
+            tls_in_region = false;
+        }
+
+        std::unique_lock lk(stateMutex);
+        done.wait(lk, [&] { return pendingLanes == 0; });
+        job = nullptr;
+        if (mainError)
+            std::rethrow_exception(mainError);
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+
+  private:
+    Pool() = default;
+
+    ~Pool()
+    {
+        std::lock_guard dlk(dispatchMutex);
+        std::lock_guard lk(configMutex);
+        stopWorkersLocked();
+    }
+
+    static void
+    runChunk(const ParallelBody &fn, std::size_t n, std::size_t lanes,
+             std::size_t lane)
+    {
+        const std::size_t begin = n * lane / lanes;
+        const std::size_t end = n * (lane + 1) / lanes;
+        if (begin >= end)
+            return;
+        tls_in_region = true;
+        fn(begin, end, lane);
+        tls_in_region = false;
+    }
+
+    void
+    ensureWorkersLocked(std::size_t lanes_now)
+    {
+        if (workers.size() + 1 == lanes_now)
+            return;
+        for (std::size_t lane = workers.size() + 1; lane < lanes_now;
+             ++lane) {
+            workers.emplace_back([this, lane] { workerLoop(lane); });
+        }
+    }
+
+    void
+    stopWorkersLocked()
+    {
+        {
+            std::lock_guard lk(stateMutex);
+            stopping = true;
+            ++generation;
+        }
+        wake.notify_all();
+        for (auto &w : workers)
+            w.join();
+        workers.clear();
+        std::lock_guard lk(stateMutex);
+        stopping = false;
+    }
+
+    void
+    workerLoop(std::size_t lane)
+    {
+        tls_lane = lane;
+        std::uint64_t seen = 0;
+        std::unique_lock lk(stateMutex);
+        for (;;) {
+            wake.wait(lk, [&] {
+                return stopping || generation != seen;
+            });
+            seen = generation;
+            if (stopping)
+                return;
+            const ParallelBody *fn = job;
+            const std::size_t n = jobSize;
+            const std::size_t lanes = jobLanes;
+            if (fn == nullptr || lane >= lanes)
+                continue;
+            lk.unlock();
+            std::exception_ptr err;
+            try {
+                runChunk(*fn, n, lanes, lane);
+            } catch (...) {
+                err = std::current_exception();
+                tls_in_region = false;
+            }
+            lk.lock();
+            if (err && !firstError)
+                firstError = err;
+            if (--pendingLanes == 0)
+                done.notify_one();
+        }
+    }
+
+    // Serializes top-level dispatches from user threads.
+    std::mutex dispatchMutex;
+    // Guards nLanes and the worker vector.
+    std::mutex configMutex;
+    std::size_t nLanes = defaultThreads();
+    std::vector<std::thread> workers;
+
+    // Dispatch state, guarded by stateMutex.
+    std::mutex stateMutex;
+    std::condition_variable wake, done;
+    std::uint64_t generation = 0;
+    bool stopping = false;
+    const ParallelBody *job = nullptr;
+    std::size_t jobSize = 0;
+    std::size_t jobLanes = 0;
+    std::size_t pendingLanes = 0;
+    std::exception_ptr firstError;
+};
+
+} // namespace
+
+std::size_t
+threadCount()
+{
+    return Pool::instance().lanes();
+}
+
+void
+setThreadCount(std::size_t n)
+{
+    Pool::instance().resize(n);
+}
+
+bool
+inParallelRegion()
+{
+    return tls_in_region;
+}
+
+std::size_t
+currentLane()
+{
+    return tls_lane;
+}
+
+void
+parallelFor(std::size_t n, const ParallelBody &fn)
+{
+    if (n == 0)
+        return;
+    Pool::instance().run(n, fn);
+}
+
+} // namespace pcnn

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic CPU thread pool for the functional substrate.
+ *
+ * Every CPU hot path (SGEMM, im2col, layer batch loops, the offline
+ * compiler's candidate sweeps) fans work out through parallelFor().
+ * The partition is *static*: [0, n) is split into threadCount()
+ * contiguous chunks whose boundaries depend only on n and the
+ * configured thread count — never on timing — and every output cell
+ * is written by exactly one chunk with an unchanged per-cell
+ * accumulation order. Results are therefore bitwise identical across
+ * thread counts, which keeps every bench reproducible (DESIGN.md §5).
+ *
+ * The pool is sized by the PCNN_THREADS environment variable
+ * (default: std::thread::hardware_concurrency). Nested parallelFor
+ * calls execute inline on the calling worker, so composed parallel
+ * code (e.g. a batch-parallel conv layer whose SGEMM is itself
+ * parallel) cannot deadlock or oversubscribe.
+ */
+
+#ifndef PCNN_COMMON_PARALLEL_HH
+#define PCNN_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace pcnn {
+
+/** Chunk body: half-open index range plus the executing lane id. */
+using ParallelBody =
+    std::function<void(std::size_t begin, std::size_t end,
+                       std::size_t tid)>;
+
+/**
+ * Configured worker-lane count (>= 1). First call reads PCNN_THREADS
+ * (clamped to [1, 256]); an unset or unparsable value falls back to
+ * hardware_concurrency.
+ */
+std::size_t threadCount();
+
+/**
+ * Override the lane count at run time (used by tests and benches to
+ * compare thread counts inside one process). n == 0 restores the
+ * PCNN_THREADS / hardware default. Must not be called from inside a
+ * parallelFor body.
+ */
+void setThreadCount(std::size_t n);
+
+/**
+ * True while the calling thread is executing a parallelFor body;
+ * further parallelFor calls from it run inline (serial).
+ */
+bool inParallelRegion();
+
+/**
+ * Lane id of the calling thread: 0 on the main thread, the worker's
+ * lane otherwise. Always < threadCount(). Useful for indexing
+ * per-lane scratch from code that may run inside a region.
+ */
+std::size_t currentLane();
+
+/**
+ * Run fn over the static partition of [0, n): lane t receives
+ * [n*t/T, n*(t+1)/T) where T = threadCount(). Blocks until every
+ * chunk has finished; rethrows the first chunk exception. Runs inline
+ * when n <= 1, T == 1, or the caller is already inside a region.
+ */
+void parallelFor(std::size_t n, const ParallelBody &fn);
+
+} // namespace pcnn
+
+#endif // PCNN_COMMON_PARALLEL_HH

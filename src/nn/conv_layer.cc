@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pcnn {
 
@@ -176,7 +177,7 @@ ConvLayer::rebuildSampling()
 
 void
 ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
-                            std::size_t group)
+                            std::size_t group, Scratch &scr)
 {
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
@@ -185,31 +186,28 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     const bool perf = perforated();
     const std::size_t n_pos = perf ? computed : full;
 
-    // Slice this group's input channels into a standalone item.
-    Tensor xg(Shape{1, in_cg, spc.inH, spc.inW});
-    const std::size_t plane = spc.inH * spc.inW;
-    const float *src = x.data() + (item * spc.inC + group * in_cg) * plane;
-    std::copy(src, src + in_cg * plane, xg.data());
-
+    // im2col reads this group's channel window in place — no slicing
+    // copy of the input.
     ConvGeom g = spc.geom();
     g.inC = in_cg;
     if (perf)
-        im2colAt(xg, 0, g, sample, colsBuf);
+        im2colAt(x, item, g, sample, scr.cols, group * in_cg);
     else
-        im2col(xg, 0, g, colsBuf);
+        im2col(x, item, g, scr.cols, group * in_cg);
 
     const std::size_t k = g.colRows();
-    gemmOut.assign(out_cg * n_pos, 0.0f);
+    if (scr.gemmOut.size() != out_cg * n_pos)
+        scr.gemmOut.resize(out_cg * n_pos);
     const float *wg = weight.value.data() +
                       group * out_cg * in_cg * spc.kernel * spc.kernel;
-    sgemm(false, false, out_cg, n_pos, k, wg, colsBuf.data(),
-          gemmOut.data());
+    sgemm(false, false, out_cg, n_pos, k, wg, scr.cols.data(),
+          scr.gemmOut.data());
 
     float *ybase = y.data() + (item * spc.outC + group * out_cg) * full;
     const float *bvals = bias.value.data() + group * out_cg;
     for (std::size_t f = 0; f < out_cg; ++f) {
         float *yplane = ybase + f * full;
-        const float *orow = gemmOut.data() + f * n_pos;
+        const float *orow = scr.gemmOut.data() + f * n_pos;
         const float b = bvals[f];
         if (!perf) {
             for (std::size_t p = 0; p < full; ++p)
@@ -236,9 +234,28 @@ ConvLayer::forward(const Tensor &x, bool train)
 {
     const Shape out_shape = outputShape(x.shape());
     Tensor y(out_shape);
-    for (std::size_t i = 0; i < x.shape().n; ++i)
-        for (std::size_t gp = 0; gp < spc.groups; ++gp)
-            forwardItemGroup(x, y, i, gp);
+    if (scratch.size() < threadCount())
+        scratch.resize(threadCount());
+
+    // One job per (item, group) pair; each job writes a disjoint
+    // output slab, so any static partition yields identical results.
+    // When there are fewer jobs than lanes, run the job loop serially
+    // and let the inner im2col/SGEMM parallelize instead.
+    const std::size_t jobs = x.shape().n * spc.groups;
+    auto run_job = [&](std::size_t job, std::size_t lane) {
+        forwardItemGroup(x, y, job / spc.groups, job % spc.groups,
+                         scratch[lane]);
+    };
+    if (jobs >= threadCount() && !inParallelRegion()) {
+        parallelFor(jobs, [&](std::size_t j0, std::size_t j1,
+                              std::size_t lane) {
+            for (std::size_t j = j0; j < j1; ++j)
+                run_job(j, lane);
+        });
+    } else {
+        for (std::size_t j = 0; j < jobs; ++j)
+            run_job(j, currentLane());
+    }
 
     if (train) {
         pcnn_assert(!perforated(), "layer ", spc.name,
@@ -267,18 +284,17 @@ ConvLayer::backward(const Tensor &dy)
     g.inC = in_cg;
     const std::size_t k = g.colRows();
 
+    // The item/group loop stays serial — weight gradients accumulate
+    // across it — while the inner im2col/SGEMM/col2im parallelize.
+    if (scratch.empty())
+        scratch.resize(threadCount());
+    std::vector<float> &cols = scratch[0].cols;
     std::vector<float> dcols(k * full);
-    Tensor dxg(Shape{1, in_cg, spc.inH, spc.inW});
-    const std::size_t plane = spc.inH * spc.inW;
 
     for (std::size_t i = 0; i < in_shape.n; ++i) {
         for (std::size_t gp = 0; gp < spc.groups; ++gp) {
             // Recompute this item/group's im2col from the cached input.
-            Tensor xg(Shape{1, in_cg, spc.inH, spc.inW});
-            const float *src =
-                lastInput.data() + (i * spc.inC + gp * in_cg) * plane;
-            std::copy(src, src + in_cg * plane, xg.data());
-            im2col(xg, 0, g, colsBuf);
+            im2col(lastInput, i, g, cols, gp * in_cg);
 
             const float *dyg =
                 dy.data() + (i * spc.outC + gp * out_cg) * full;
@@ -289,18 +305,14 @@ ConvLayer::backward(const Tensor &dy)
                                     spc.kernel;
 
             // dW += dY * cols^T  (out_cg x full) * (full x k)
-            sgemm(false, true, out_cg, k, full, dyg, colsBuf.data(),
+            sgemm(false, true, out_cg, k, full, dyg, cols.data(),
                   wgrad, 1.0f);
 
             // dcols = W^T * dY  (k x out_cg) * (out_cg x full)
-            std::fill(dcols.begin(), dcols.end(), 0.0f);
             sgemm(true, false, k, full, out_cg, wval, dyg, dcols.data());
 
-            dxg.fill(0.0f);
-            col2im(dcols, 0, g, dxg);
-            float *dst = dx.data() + (i * spc.inC + gp * in_cg) * plane;
-            for (std::size_t e = 0; e < in_cg * plane; ++e)
-                dst[e] += dxg[e];
+            // Scatter-add straight into this group's channel window.
+            col2im(dcols, i, g, dx, gp * in_cg);
 
             // db += column sums of dY.
             float *bgrad = bias.grad.data() + gp * out_cg;

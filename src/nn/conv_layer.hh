@@ -83,13 +83,23 @@ class ConvLayer : public Layer
     /** Current interpolation mode. */
     InterpolationMode interpolationMode() const { return interpMode; }
 
+    /**
+     * Per-lane scratch (im2col panel + SGEMM output), pooled so the
+     * hot path performs no per-forward allocations once warm.
+     */
+    struct Scratch
+    {
+        std::vector<float> cols;
+        std::vector<float> gemmOut;
+    };
+
   private:
     /** Lazily build the sampled-position set and interpolation map. */
     void rebuildSampling();
 
     /** Forward for one batch item and one group. */
     void forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
-                          std::size_t group);
+                          std::size_t group, Scratch &scr);
 
     ConvSpec spc;
     Param weight; ///< [outC, inC/groups, k, k]
@@ -110,10 +120,8 @@ class ConvLayer : public Layer
     Tensor lastInput;
     bool haveCache = false;
 
-    // Scratch reused across calls to avoid reallocation.
-    std::vector<float> colsBuf;
-    std::vector<float> groupIn;
-    std::vector<float> gemmOut;
+    // Per-lane scratch pool, sized to the thread count on demand.
+    std::vector<Scratch> scratch;
 };
 
 } // namespace pcnn

@@ -1,5 +1,6 @@
 #include "nn/fc_layer.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -49,12 +50,14 @@ FcLayer::forward(const Tensor &x, bool train)
     const std::size_t batch = x.shape().n;
     Tensor y(out);
 
-    // y[batch x nOut] = x[batch x nIn] * W^T[nIn x nOut]
-    sgemm(false, true, batch, nOut, nIn, x.data(), weight.value.data(),
-          y.data());
+    // Seed every output row with the bias, then accumulate the
+    // product on top (beta = 1) so y is streamed through only once:
+    // y[batch x nOut] = bias + x[batch x nIn] * W^T[nIn x nOut].
     for (std::size_t i = 0; i < batch; ++i)
-        for (std::size_t f = 0; f < nOut; ++f)
-            y.data()[i * nOut + f] += bias.value[f];
+        std::copy(bias.value.data(), bias.value.data() + nOut,
+                  y.data() + i * nOut);
+    sgemm(false, true, batch, nOut, nIn, x.data(), weight.value.data(),
+          y.data(), 1.0f);
 
     if (train) {
         lastInput = x;

@@ -1,6 +1,7 @@
 #include "nn/pool_layer.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pcnn {
 
@@ -36,8 +37,13 @@ MaxPoolLayer::forward(const Tensor &x, bool train)
     }
 
     const Shape &in = x.shape();
-    for (std::size_t n = 0; n < in.n; ++n) {
-        for (std::size_t c = 0; c < in.c; ++c) {
+    // Each (n, c) plane pools independently — fan out over the pool.
+    parallelFor(in.n * in.c, [&](std::size_t p0, std::size_t p1,
+                                 std::size_t) {
+        for (std::size_t plane = p0; plane < p1; ++plane) {
+            const std::size_t n = plane / in.c;
+            const std::size_t c = plane % in.c;
+            const float *src = x.data() + plane * in.h * in.w;
             for (std::size_t oy = 0; oy < out.h; ++oy) {
                 for (std::size_t ox = 0; ox < out.w; ++ox) {
                     float best = -1e30f;
@@ -53,8 +59,8 @@ MaxPoolLayer::forward(const Tensor &x, bool train)
                                 continue; // padding never wins
                             }
                             const float v =
-                                x.at(n, c, std::size_t(iy),
-                                     std::size_t(ix));
+                                src[std::size_t(iy) * in.w +
+                                    std::size_t(ix)];
                             if (v > best) {
                                 best = v;
                                 best_idx = ((n * in.c + c) * in.h +
@@ -64,7 +70,8 @@ MaxPoolLayer::forward(const Tensor &x, bool train)
                             }
                         }
                     }
-                    y.at(n, c, oy, ox) = best;
+                    y.data()[((n * out.c + c) * out.h + oy) * out.w +
+                             ox] = best;
                     if (train) {
                         argmaxIdx[((n * out.c + c) * out.h + oy) * out.w +
                                   ox] = best_idx;
@@ -72,7 +79,7 @@ MaxPoolLayer::forward(const Tensor &x, bool train)
                 }
             }
         }
-    }
+    });
     haveCache = train;
     return y;
 }

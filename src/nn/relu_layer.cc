@@ -1,6 +1,7 @@
 #include "nn/relu_layer.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pcnn {
 
@@ -12,12 +13,15 @@ ReluLayer::forward(const Tensor &x, bool train)
     Tensor y(x.shape());
     if (train)
         mask.resize(x.shape());
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        const bool pos = x[i] > 0.0f;
-        y[i] = pos ? x[i] : 0.0f;
-        if (train)
-            mask[i] = pos ? 1.0f : 0.0f;
-    }
+    parallelFor(x.size(), [&](std::size_t i0, std::size_t i1,
+                              std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const bool pos = x[i] > 0.0f;
+            y[i] = pos ? x[i] : 0.0f;
+            if (train)
+                mask[i] = pos ? 1.0f : 0.0f;
+        }
+    });
     haveCache = train;
     return y;
 }
@@ -30,8 +34,11 @@ ReluLayer::backward(const Tensor &dy)
     pcnn_assert(dy.shape() == mask.shape(), "relu ", layerName,
                 ": gradient shape mismatch");
     Tensor dx(dy.shape());
-    for (std::size_t i = 0; i < dy.size(); ++i)
-        dx[i] = dy[i] * mask[i];
+    parallelFor(dy.size(), [&](std::size_t i0, std::size_t i1,
+                               std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i)
+            dx[i] = dy[i] * mask[i];
+    });
     return dx;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "gpu/memory_model.hh"
 
 namespace pcnn {
@@ -39,14 +40,15 @@ BatchSelector::backgroundBatch(const NetDescriptor &net) const
     // ("throughput cannot be further improved"). Our energy model
     // also accounts for board base power, which keeps amortizing
     // with batch size, so among the full-Util batches we keep the
-    // largest one under the memory cap (see DESIGN.md).
+    // largest one under the memory cap (see DESIGN.md). Every batch
+    // size tunes independently, so the sweep fans out over the
+    // thread pool; the selection scan stays sequential in batch
+    // order and matches the serial sweep exactly.
+    const std::vector<double> utils = lastLayerUtils(last, cap);
     std::size_t best_batch = 1;
     double best_util = 0.0;
     for (std::size_t b = 1; b <= cap; ++b) {
-        const GemmShape gemm = last.gemmShape(b);
-        const TunedKernel k = tuner.tune(gemm);
-        const SgemmModel model(gpuSpec, k.config);
-        const double u = model.util(gemm);
+        const double u = utils[b - 1];
         if (u >= best_util - 1e-9) {
             best_util = std::max(best_util, u);
             best_batch = b;
@@ -55,19 +57,32 @@ BatchSelector::backgroundBatch(const NetDescriptor &net) const
     return best_batch;
 }
 
+std::vector<double>
+BatchSelector::lastLayerUtils(const ConvSpec &last, std::size_t cap) const
+{
+    tuner.candidates(); // warm the shared cache outside the fan-out
+    std::vector<double> utils(cap, 0.0);
+    parallelFor(cap, [&](std::size_t b0, std::size_t b1, std::size_t) {
+        for (std::size_t bi = b0; bi < b1; ++bi) {
+            const GemmShape gemm = last.gemmShape(bi + 1);
+            const TunedKernel k = tuner.tune(gemm);
+            const SgemmModel model(gpuSpec, k.config);
+            utils[bi] = model.util(gemm);
+        }
+    });
+    return utils;
+}
+
 std::size_t
 BatchSelector::smallestFullUtilBatch(const NetDescriptor &net) const
 {
     pcnn_assert(!net.convs.empty(), "network without conv layers");
     const ConvSpec &last = net.convs.back();
     const std::size_t cap = memoryCap(net);
-    for (std::size_t b = 1; b <= cap; ++b) {
-        const GemmShape gemm = last.gemmShape(b);
-        const TunedKernel k = tuner.tune(gemm);
-        const SgemmModel model(gpuSpec, k.config);
-        if (model.util(gemm) >= 1.0 - 1e-9)
+    const std::vector<double> utils = lastLayerUtils(last, cap);
+    for (std::size_t b = 1; b <= cap; ++b)
+        if (utils[b - 1] >= 1.0 - 1e-9)
             return b;
-    }
     return 0;
 }
 

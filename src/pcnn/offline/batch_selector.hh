@@ -12,6 +12,7 @@
 #define PCNN_PCNN_OFFLINE_BATCH_SELECTOR_HH
 
 #include <cstddef>
+#include <vector>
 
 #include "nn/model_zoo.hh"
 #include "pcnn/offline/kernel_tuner.hh"
@@ -59,6 +60,14 @@ class BatchSelector
     static constexpr std::size_t maxBatch = 512;
 
   private:
+    /**
+     * Last-layer Util for every batch in [1, cap], tuned per batch.
+     * The batch sweep is embarrassingly parallel and fans out over
+     * the thread pool; utils[b - 1] is the Util of batch b.
+     */
+    std::vector<double> lastLayerUtils(const ConvSpec &last,
+                                       std::size_t cap) const;
+
     GpuSpec gpuSpec;
     KernelTuner tuner;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "pcnn/offline/resource_model.hh"
 #include "pcnn/satisfaction.hh"
 
@@ -25,17 +26,29 @@ OfflineCompiler::compileAtBatch(const NetDescriptor &net,
     plan.gpuName = gpuSpec.name;
     plan.batch = batch;
 
-    for (const ConvSpec &layer : net.convs) {
-        LayerSchedule ls;
-        ls.layer = layer;
-        ls.gemm = layer.gemmShape(batch);
-        ls.kernel = tuner.tune(ls.gemm, objective);
+    // Each conv layer tunes independently; fan the per-layer tuning
+    // out over the thread pool and assemble the plan in layer order.
+    tuner.candidates(); // warm the shared cache outside the fan-out
+    std::vector<LayerSchedule> schedules(net.convs.size());
+    parallelFor(net.convs.size(), [&](std::size_t l0, std::size_t l1,
+                                      std::size_t) {
+        for (std::size_t li = l0; li < l1; ++li) {
+            const ConvSpec &layer = net.convs[li];
+            LayerSchedule ls;
+            ls.layer = layer;
+            ls.gemm = layer.gemmShape(batch);
+            ls.kernel = tuner.tune(ls.gemm, objective);
 
-        const SgemmModel model(gpuSpec, ls.kernel.config);
-        ls.kernel.optSM = optimalSms(model.gridSize(ls.gemm),
-                                     ls.kernel.optTLP, gpuSpec.numSMs);
-        ls.util = model.util(ls.gemm);
-        ls.timeS = timeModel.layerTime(layer, ls.kernel, batch);
+            const SgemmModel model(gpuSpec, ls.kernel.config);
+            ls.kernel.optSM =
+                optimalSms(model.gridSize(ls.gemm), ls.kernel.optTLP,
+                           gpuSpec.numSMs);
+            ls.util = model.util(ls.gemm);
+            ls.timeS = timeModel.layerTime(layer, ls.kernel, batch);
+            schedules[li] = std::move(ls);
+        }
+    });
+    for (LayerSchedule &ls : schedules) {
         plan.time.convS += ls.timeS;
         plan.layers.push_back(std::move(ls));
     }

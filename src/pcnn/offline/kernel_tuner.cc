@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pcnn {
 
@@ -42,9 +43,10 @@ KernelTuner::staircase(const TileConfig &tile) const
     return out;
 }
 
-std::vector<KernelConfig>
+const std::vector<KernelConfig> &
 KernelTuner::candidates() const
 {
+    std::lock_guard lk(cacheMutex);
     if (!candidateCache.empty())
         return candidateCache;
     std::vector<KernelConfig> out;
@@ -54,36 +56,56 @@ KernelTuner::candidates() const
     }
     pcnn_assert(!out.empty(), "no viable kernel candidates on ",
                 gpuSpec.name);
-    candidateCache = out;
-    return out;
+    candidateCache = std::move(out);
+    return candidateCache;
 }
 
 TunedKernel
 KernelTuner::tune(const GemmShape &gemm, TuneObjective objective) const
 {
+    const std::vector<KernelConfig> &cands = candidates();
+
+    // Score every candidate independently (the tile x register sweep
+    // is embarrassingly parallel), then reduce sequentially in
+    // catalogue order so tie-breaking matches the serial sweep.
+    struct Scored
+    {
+        std::size_t tlp = 0;
+        double time = 0.0;
+        double sk = 0.0;
+        double score = 0.0;
+    };
+    std::vector<Scored> scored(cands.size());
+    parallelFor(cands.size(), [&](std::size_t c0, std::size_t c1,
+                                  std::size_t) {
+        for (std::size_t idx = c0; idx < c1; ++idx) {
+            const SgemmModel model(gpuSpec, cands[idx]);
+            Scored &s = scored[idx];
+            s.tlp = model.occ().ctasPerSm;
+            s.time = model.kernelTime(gemm);
+            s.sk = model.skernel(gemm, s.tlp);
+            s.score = objective == TuneObjective::SkernelMetric
+                          ? s.sk
+                          : s.time;
+        }
+    });
+
     TunedKernel best;
     bool have_best = false;
     double best_score = 0.0;
-
-    for (const KernelConfig &cfg : candidates()) {
-        const SgemmModel model(gpuSpec, cfg);
-        const std::size_t tlp = model.occ().ctasPerSm;
-        const double time = model.kernelTime(gemm);
-        const double sk = model.skernel(gemm, tlp);
-        const double score =
-            objective == TuneObjective::SkernelMetric ? sk : time;
-
+    for (std::size_t idx = 0; idx < cands.size(); ++idx) {
+        const Scored &s = scored[idx];
         // Smaller is better; break ties toward the faster kernel so
         // the Eq. 10 metric stays deterministic across equal scores.
         const bool better =
-            !have_best || score < best_score ||
-            (score == best_score && time < best.predictedTimeS);
+            !have_best || s.score < best_score ||
+            (s.score == best_score && s.time < best.predictedTimeS);
         if (better) {
-            best.config = cfg;
-            best.optTLP = tlp;
-            best.skernel = sk;
-            best.predictedTimeS = time;
-            best_score = score;
+            best.config = cands[idx];
+            best.optTLP = s.tlp;
+            best.skernel = s.sk;
+            best.predictedTimeS = s.time;
+            best_score = s.score;
             have_best = true;
         }
     }

@@ -15,6 +15,7 @@
 #ifndef PCNN_PCNN_OFFLINE_KERNEL_TUNER_HH
 #define PCNN_PCNN_OFFLINE_KERNEL_TUNER_HH
 
+#include <mutex>
 #include <vector>
 
 #include "gpu/kernel_model.hh"
@@ -62,13 +63,18 @@ class KernelTuner
 
     /**
      * All candidate kernels for a layer: the staircases of every
-     * catalogue tile.
+     * catalogue tile. The set depends only on the GPU, so it is
+     * computed once and cached; the accessor is thread-safe and may
+     * be called from parallel batch/layer sweeps.
      */
-    std::vector<KernelConfig> candidates() const;
+    const std::vector<KernelConfig> &candidates() const;
 
     /**
      * Tune one layer's GEMM: pick the candidate with the smallest
-     * objective. TLP is the candidate's occupancy.
+     * objective. TLP is the candidate's occupancy. Candidates are
+     * scored in parallel; the winner is chosen by a sequential scan
+     * in catalogue order, so the result (including tie-breaks) is
+     * identical to the serial sweep at any thread count.
      */
     TunedKernel tune(const GemmShape &gemm,
                      TuneObjective objective =
@@ -78,6 +84,7 @@ class KernelTuner
     GpuSpec gpuSpec;
     /// lazy cache: the candidate set depends only on the GPU
     mutable std::vector<KernelConfig> candidateCache;
+    mutable std::mutex cacheMutex;
 };
 
 } // namespace pcnn

@@ -2,34 +2,157 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pcnn {
 
 namespace {
 
-/** Inner kernel for the no-transpose case, blocked for locality. */
-void
-sgemmNN(std::size_t m, std::size_t n, std::size_t k, const float *a,
-        const float *b, float *c)
+// Register-blocking factors of the SGEMM micro-kernel. An 8x8 tile of
+// C accumulators (64 floats) fits the architectural vector register
+// file on every target we build for, and every cell accumulates in
+// pure k-order, so results do not depend on how row blocks are
+// distributed across threads.
+constexpr std::size_t kMR = 8;
+constexpr std::size_t kNR = 8;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PCNN_HAVE_VEC_EXT 1
+// One C-tile row of the micro-kernel: 8 lanes, no alignment demand
+// beyond float so rows of C / packed B can be loaded directly. The
+// explicit vector type pins the compiler to lane-wise (j-direction)
+// vectorization; auto-vectorizers otherwise tend to pick the k loop,
+// which needs gathers and spills the accumulator tile.
+typedef float Vec8
+    __attribute__((vector_size(kNR * sizeof(float)), aligned(4),
+                   may_alias));
+#endif
+
+/**
+ * Full 8x8 micro-tile: C[0..8)x[0..8) += A(8 rows, lda) * B(k x ldb).
+ * The accumulator tile lives in registers; the k-loop issues one
+ * contiguous 8-wide load of B and eight broadcast loads of A.
+ */
+inline void
+microFull(std::size_t k, const float *a, std::size_t lda,
+          const float *b, std::size_t ldb, float *c, std::size_t ldc)
 {
-    constexpr std::size_t kBlock = 64;
-    for (std::size_t kk = 0; kk < k; kk += kBlock) {
-        const std::size_t k_end = std::min(k, kk + kBlock);
-        for (std::size_t i = 0; i < m; ++i) {
-            for (std::size_t p = kk; p < k_end; ++p) {
-                const float aval = a[i * k + p];
-                if (aval == 0.0f)
-                    continue;
-                const float *brow = b + p * n;
-                float *crow = c + i * n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += aval * brow[j];
-            }
+#ifdef PCNN_HAVE_VEC_EXT
+    Vec8 acc[kMR] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const Vec8 bv = *reinterpret_cast<const Vec8 *>(b + p * ldb);
+        for (std::size_t i = 0; i < kMR; ++i)
+            acc[i] += a[i * lda + p] * bv;
+    }
+    for (std::size_t i = 0; i < kMR; ++i)
+        *reinterpret_cast<Vec8 *>(c + i * ldc) += acc[i];
+#else
+    float acc[kMR][kNR] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * ldb;
+        for (std::size_t i = 0; i < kMR; ++i) {
+            const float av = a[i * lda + p];
+            for (std::size_t j = 0; j < kNR; ++j)
+                acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < kMR; ++i)
+        for (std::size_t j = 0; j < kNR; ++j)
+            c[i * ldc + j] += acc[i][j];
+#endif
+}
+
+/**
+ * Edge micro-tile for mr x nr remainders (mr <= kMR, nr <= kNR).
+ * Accumulation per cell is the same pure k-order as microFull, so a
+ * cell's value never depends on which kernel handled it.
+ */
+inline void
+microEdge(std::size_t k, std::size_t mr, std::size_t nr, const float *a,
+          std::size_t lda, const float *b, std::size_t ldb, float *c,
+          std::size_t ldc)
+{
+    float acc[kMR][kNR] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *brow = b + p * ldb;
+        for (std::size_t i = 0; i < mr; ++i) {
+            const float av = a[i * lda + p];
+            for (std::size_t j = 0; j < nr; ++j)
+                acc[i][j] += av * brow[j];
+        }
+    }
+    for (std::size_t i = 0; i < mr; ++i)
+        for (std::size_t j = 0; j < nr; ++j)
+            c[i * ldc + j] += acc[i][j];
+}
+
+/**
+ * C rows [i0, i1) x cols [j0, j1) += A * B with A row-major m x k
+ * (lda = k) and B row-major k x n (ldb = n). i0 is kMR-aligned and j0
+ * is kNR-aligned by construction of the partitions below, so the
+ * full/edge kernel split depends only on (m, n), not on the thread
+ * count.
+ */
+void
+gemmBlock(std::size_t i0, std::size_t i1, std::size_t j0,
+          std::size_t j1, std::size_t k, const float *a,
+          const float *b, std::size_t ldb, float *c, std::size_t ldc)
+{
+    for (std::size_t i = i0; i < i1; i += kMR) {
+        const std::size_t mr = std::min(kMR, i1 - i);
+        for (std::size_t j = j0; j < j1; j += kNR) {
+            const std::size_t nr = std::min(kNR, j1 - j);
+            if (mr == kMR && nr == kNR)
+                microFull(k, a + i * k, k, b + j, ldb, c + i * ldc + j,
+                          ldc);
+            else
+                microEdge(k, mr, nr, a + i * k, k, b + j, ldb,
+                          c + i * ldc + j, ldc);
         }
     }
 }
+
+/** Pack op(B) into a row-major k x n panel (cache-blocked transpose). */
+void
+packB(std::size_t n, std::size_t k, const float *b, float *bp)
+{
+    // b is stored n x k (trans_b); bp[p * n + j] = b[j * k + p].
+    constexpr std::size_t kTile = 32;
+    parallelFor((k + kTile - 1) / kTile,
+                [&](std::size_t t0, std::size_t t1, std::size_t) {
+                    for (std::size_t t = t0; t < t1; ++t) {
+                        const std::size_t p0 = t * kTile;
+                        const std::size_t p1 = std::min(k, p0 + kTile);
+                        for (std::size_t jj = 0; jj < n; jj += kTile) {
+                            const std::size_t j1 =
+                                std::min(n, jj + kTile);
+                            for (std::size_t j = jj; j < j1; ++j)
+                                for (std::size_t p = p0; p < p1; ++p)
+                                    bp[p * n + j] = b[j * k + p];
+                        }
+                    }
+                });
+}
+
+/** Pack op(A) rows [r0, r1) into a row-major (r1-r0) x k panel. */
+void
+packA(std::size_t r0, std::size_t r1, std::size_t m, std::size_t k,
+      const float *a, float *ap)
+{
+    // a is stored k x m (trans_a); ap[(i - r0) * k + p] = a[p * m + i].
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a + p * m;
+        for (std::size_t i = r0; i < r1; ++i)
+            ap[(i - r0) * k + p] = arow[i];
+    }
+}
+
+/** Per-thread packing scratch, reused across sgemm calls. */
+thread_local std::vector<float> tlPackA;
+thread_local std::vector<float> tlPackB;
 
 } // namespace
 
@@ -44,27 +167,51 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
         for (std::size_t i = 0; i < m * n; ++i)
             c[i] *= beta;
     }
-
-    if (!trans_a && !trans_b) {
-        sgemmNN(m, n, k, a, b, c);
+    if (k == 0)
         return;
+
+    // Operand packing normalizes all four transpose cases to the one
+    // row-major kernel above.
+    const float *bmat = b;
+    if (trans_b) {
+        std::vector<float> &bp = tlPackB;
+        if (bp.size() < k * n)
+            bp.resize(k * n);
+        packB(n, k, b, bp.data());
+        bmat = bp.data();
     }
 
-    // Generic fallback for transposed operands (used in backward
-    // passes, which are not performance critical).
-    auto at = [&](std::size_t i, std::size_t p) {
-        return trans_a ? a[p * m + i] : a[i * k + p];
-    };
-    auto bt = [&](std::size_t p, std::size_t j) {
-        return trans_b ? b[j * k + p] : b[p * n + j];
-    };
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += at(i, p) * bt(p, j);
-            c[i * n + j] += acc;
-        }
+    const std::size_t row_blocks = (m + kMR - 1) / kMR;
+    const std::size_t col_blocks = (n + kNR - 1) / kNR;
+
+    // Row-band parallelism over M; when M is a single block-row,
+    // partition the N dimension instead (both partitions are aligned
+    // to the register blocking, so per-cell results are identical for
+    // every thread count).
+    if (row_blocks >= col_blocks || trans_a) {
+        parallelFor(
+            row_blocks,
+            [&](std::size_t b0, std::size_t b1, std::size_t) {
+                const std::size_t r0 = b0 * kMR;
+                const std::size_t r1 = std::min(m, b1 * kMR);
+                const float *amat = a + r0 * k;
+                if (trans_a) {
+                    std::vector<float> &ap = tlPackA;
+                    if (ap.size() < (r1 - r0) * k)
+                        ap.resize((r1 - r0) * k);
+                    packA(r0, r1, m, k, a, ap.data());
+                    amat = ap.data();
+                }
+                gemmBlock(0, r1 - r0, 0, n, k, amat, bmat, n, c + r0 * n,
+                          n);
+            });
+    } else {
+        parallelFor(col_blocks,
+                    [&](std::size_t b0, std::size_t b1, std::size_t) {
+                        const std::size_t j0 = b0 * kNR;
+                        const std::size_t j1 = std::min(n, b1 * kNR);
+                        gemmBlock(0, m, j0, j1, k, a, bmat, n, c, n);
+                    });
     }
 }
 
@@ -87,95 +234,178 @@ ConvGeom::outW() const
 namespace {
 
 /**
- * Shared expansion core: fills column `col` of the cols matrix with
- * the receptive field of output position (oy, ox).
+ * The output columns [lo, hi) whose input tap ix = ox*stride + kx - pad
+ * lands inside [0, inW); everything outside is padding.
  */
-void
-expandPosition(const Tensor &x, std::size_t item, const ConvGeom &g,
-               std::size_t oy, std::size_t ox, std::size_t col,
-               std::size_t n_cols, std::vector<float> &cols)
+inline void
+validColRange(std::size_t ow, std::size_t stride, std::size_t kx,
+              std::size_t pad, std::size_t in_w, std::size_t &lo,
+              std::size_t &hi)
 {
-    const std::size_t rows = g.colRows();
-    (void)rows;
-    std::size_t row = 0;
-    for (std::size_t c = 0; c < g.inC; ++c) {
-        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-            const long iy = long(oy * g.stride + ky) - long(g.pad);
-            for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-                const long ix = long(ox * g.stride + kx) - long(g.pad);
-                float v = 0.0f;
-                if (iy >= 0 && iy < long(g.inH) && ix >= 0 &&
-                    ix < long(g.inW)) {
-                    v = x.at(item, c, std::size_t(iy), std::size_t(ix));
-                }
-                cols[row * n_cols + col] = v;
-            }
-        }
-    }
+    lo = (pad > kx) ? (pad - kx + stride - 1) / stride : 0;
+    const long last = long(in_w) - 1 - long(kx) + long(pad);
+    hi = last < 0 ? 0 : std::min<std::size_t>(ow, std::size_t(last) /
+                                                      stride + 1);
+    lo = std::min(lo, hi);
 }
 
 } // namespace
 
 void
 im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
-       std::vector<float> &cols)
+       std::vector<float> &cols, std::size_t chan_off)
 {
-    pcnn_assert(x.shape().c == g.inC && x.shape().h == g.inH &&
-                    x.shape().w == g.inW,
-                "im2col input ", x.shape().str(), " mismatches geometry");
+    pcnn_assert(x.shape().c >= chan_off + g.inC &&
+                    x.shape().h == g.inH && x.shape().w == g.inW,
+                "im2col input ", x.shape().str(),
+                " mismatches geometry at channel offset ", chan_off);
     const std::size_t oh = g.outH(), ow = g.outW();
     const std::size_t n_cols = oh * ow;
-    cols.assign(g.colRows() * n_cols, 0.0f);
-    for (std::size_t oy = 0; oy < oh; ++oy)
-        for (std::size_t ox = 0; ox < ow; ++ox)
-            expandPosition(x, item, g, oy, ox, oy * ow + ox, n_cols, cols);
+    const std::size_t rows = g.colRows();
+    if (cols.size() != rows * n_cols)
+        cols.resize(rows * n_cols);
+
+    const std::size_t plane = g.inH * g.inW;
+    const float *xbase =
+        x.data() + (item * x.shape().c + chan_off) * plane;
+    const std::size_t taps = g.kernel * g.kernel;
+
+    // One thread per band of cols-matrix rows: each row (c, ky, kx)
+    // is a shifted copy of one input plane, written contiguously.
+    parallelFor(rows, [&](std::size_t r0, std::size_t r1,
+                          std::size_t) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const std::size_t c = r / taps;
+            const std::size_t ky = (r % taps) / g.kernel;
+            const std::size_t kx = r % g.kernel;
+            const float *src_plane = xbase + c * plane;
+            float *out = cols.data() + r * n_cols;
+            std::size_t lo, hi;
+            validColRange(ow, g.stride, kx, g.pad, g.inW, lo, hi);
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                float *orow = out + oy * ow;
+                const long iy =
+                    long(oy * g.stride + ky) - long(g.pad);
+                if (iy < 0 || iy >= long(g.inH)) {
+                    std::memset(orow, 0, ow * sizeof(float));
+                    continue;
+                }
+                const float *src = src_plane + std::size_t(iy) * g.inW;
+                if (lo > 0)
+                    std::memset(orow, 0, lo * sizeof(float));
+                if (g.stride == 1) {
+                    std::memcpy(orow + lo, src + lo + kx - g.pad,
+                                (hi - lo) * sizeof(float));
+                } else {
+                    for (std::size_t ox = lo; ox < hi; ++ox)
+                        orow[ox] =
+                            src[ox * g.stride + kx - g.pad];
+                }
+                if (hi < ow)
+                    std::memset(orow + hi, 0,
+                                (ow - hi) * sizeof(float));
+            }
+        }
+    });
 }
 
 void
 im2colAt(const Tensor &x, std::size_t item, const ConvGeom &g,
          const std::vector<std::size_t> &positions,
-         std::vector<float> &cols)
+         std::vector<float> &cols, std::size_t chan_off)
 {
+    pcnn_assert(x.shape().c >= chan_off + g.inC &&
+                    x.shape().h == g.inH && x.shape().w == g.inW,
+                "im2colAt input ", x.shape().str(),
+                " mismatches geometry at channel offset ", chan_off);
     const std::size_t ow = g.outW();
-    const std::size_t n_cols = positions.size();
-    cols.assign(g.colRows() * n_cols, 0.0f);
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-        const std::size_t pos = positions[i];
-        pcnn_assert(pos < g.outH() * ow, "perforation position ", pos,
+    const std::size_t full = g.outH() * ow;
+    for (std::size_t pos : positions)
+        pcnn_assert(pos < full, "perforation position ", pos,
                     " outside output grid");
-        expandPosition(x, item, g, pos / ow, pos % ow, i, n_cols, cols);
-    }
-}
+    const std::size_t n_cols = positions.size();
+    const std::size_t rows = g.colRows();
+    if (cols.size() != rows * n_cols)
+        cols.resize(rows * n_cols);
 
-void
-col2im(const std::vector<float> &cols, std::size_t item,
-       const ConvGeom &g, Tensor &dx)
-{
-    const std::size_t oh = g.outH(), ow = g.outW();
-    const std::size_t n_cols = oh * ow;
-    pcnn_assert(cols.size() == g.colRows() * n_cols,
-                "col2im buffer size mismatch");
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-            const std::size_t col = oy * ow + ox;
+    const std::size_t plane = g.inH * g.inW;
+    const float *xbase =
+        x.data() + (item * x.shape().c + chan_off) * plane;
+
+    parallelFor(n_cols, [&](std::size_t i0, std::size_t i1,
+                            std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t oy = positions[i] / ow;
+            const std::size_t ox = positions[i] % ow;
             std::size_t row = 0;
             for (std::size_t c = 0; c < g.inC; ++c) {
+                const float *src_plane = xbase + c * plane;
                 for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-                    const long iy = long(oy * g.stride + ky) - long(g.pad);
-                    for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                    const long iy =
+                        long(oy * g.stride + ky) - long(g.pad);
+                    const bool y_in = iy >= 0 && iy < long(g.inH);
+                    const float *src =
+                        y_in ? src_plane + std::size_t(iy) * g.inW
+                             : nullptr;
+                    for (std::size_t kx = 0; kx < g.kernel;
+                         ++kx, ++row) {
                         const long ix =
                             long(ox * g.stride + kx) - long(g.pad);
-                        if (iy < 0 || iy >= long(g.inH) || ix < 0 ||
-                            ix >= long(g.inW)) {
-                            continue;
-                        }
-                        dx.at(item, c, std::size_t(iy), std::size_t(ix)) +=
-                            cols[row * n_cols + col];
+                        const bool in =
+                            y_in && ix >= 0 && ix < long(g.inW);
+                        cols[row * n_cols + i] =
+                            in ? src[std::size_t(ix)] : 0.0f;
                     }
                 }
             }
         }
-    }
+    });
+}
+
+void
+col2im(const std::vector<float> &cols, std::size_t item,
+       const ConvGeom &g, Tensor &dx, std::size_t chan_off)
+{
+    pcnn_assert(dx.shape().c >= chan_off + g.inC &&
+                    dx.shape().h == g.inH && dx.shape().w == g.inW,
+                "col2im output ", dx.shape().str(),
+                " mismatches geometry at channel offset ", chan_off);
+    const std::size_t oh = g.outH(), ow = g.outW();
+    const std::size_t n_cols = oh * ow;
+    pcnn_assert(cols.size() == g.colRows() * n_cols,
+                "col2im buffer size mismatch");
+
+    const std::size_t plane = g.inH * g.inW;
+    float *dbase = dx.data() + (item * dx.shape().c + chan_off) * plane;
+    const std::size_t taps = g.kernel * g.kernel;
+
+    // Channels scatter into disjoint input planes, so the channel
+    // dimension parallelizes; within a channel the (ky, kx, oy, ox)
+    // accumulation order is fixed regardless of the partition.
+    parallelFor(g.inC, [&](std::size_t c0, std::size_t c1,
+                           std::size_t) {
+        for (std::size_t c = c0; c < c1; ++c) {
+            float *dst_plane = dbase + c * plane;
+            for (std::size_t t = 0; t < taps; ++t) {
+                const std::size_t ky = t / g.kernel;
+                const std::size_t kx = t % g.kernel;
+                const float *srow =
+                    cols.data() + (c * taps + t) * n_cols;
+                std::size_t lo, hi;
+                validColRange(ow, g.stride, kx, g.pad, g.inW, lo, hi);
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const long iy =
+                        long(oy * g.stride + ky) - long(g.pad);
+                    if (iy < 0 || iy >= long(g.inH))
+                        continue;
+                    float *drow = dst_plane + std::size_t(iy) * g.inW;
+                    const float *sr = srow + oy * ow;
+                    for (std::size_t ox = lo; ox < hi; ++ox)
+                        drow[ox * g.stride + kx - g.pad] += sr[ox];
+                }
+            }
+        }
+    });
 }
 
 Tensor
@@ -186,18 +416,20 @@ softmax(const Tensor &logits)
                 s.str());
     Tensor out(s);
     const std::size_t k = s.c;
-    for (std::size_t i = 0; i < s.n; ++i) {
-        const float *row = logits.data() + i * k;
-        float *orow = out.data() + i * k;
-        const float mx = *std::max_element(row, row + k);
-        double denom = 0.0;
-        for (std::size_t j = 0; j < k; ++j) {
-            orow[j] = std::exp(row[j] - mx);
-            denom += orow[j];
+    parallelFor(s.n, [&](std::size_t i0, std::size_t i1, std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const float *row = logits.data() + i * k;
+            float *orow = out.data() + i * k;
+            const float mx = *std::max_element(row, row + k);
+            double denom = 0.0;
+            for (std::size_t j = 0; j < k; ++j) {
+                orow[j] = std::exp(row[j] - mx);
+                denom += orow[j];
+            }
+            for (std::size_t j = 0; j < k; ++j)
+                orow[j] = float(orow[j] / denom);
         }
-        for (std::size_t j = 0; j < k; ++j)
-            orow[j] = float(orow[j] / denom);
-    }
+    });
     return out;
 }
 

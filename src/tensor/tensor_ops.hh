@@ -34,6 +34,11 @@ struct GemmShape
  * Single-precision GEMM: C = op(A) * op(B) + beta * C.
  *
  * All matrices are dense row-major. op(A) is m x k, op(B) is k x n.
+ * Transposed operands are packed into contiguous panels and fed to a
+ * register-blocked 8x8 micro-kernel; the M (or, for single-block-row
+ * shapes, N) dimension is parallelized over the pcnn thread pool in
+ * register-block-aligned bands, so results are bitwise identical for
+ * every PCNN_THREADS value.
  * @param trans_a interpret A as transposed (A stored k x m)
  * @param trans_b interpret B as transposed (B stored n x k)
  */
@@ -70,9 +75,11 @@ struct ConvGeom
  * @param item which batch item to expand
  * @param g convolution geometry
  * @param cols output buffer, resized to colRows() x (outH*outW)
+ * @param chan_off first input channel to read (grouped convolution
+ *        reads a g.inC-wide channel window of a wider tensor)
  */
 void im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
-            std::vector<float> &cols);
+            std::vector<float> &cols, std::size_t chan_off = 0);
 
 /**
  * Partial im2col used by perforated convolution: only the given
@@ -81,15 +88,15 @@ void im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
  */
 void im2colAt(const Tensor &x, std::size_t item, const ConvGeom &g,
               const std::vector<std::size_t> &positions,
-              std::vector<float> &cols);
+              std::vector<float> &cols, std::size_t chan_off = 0);
 
 /**
  * col2im scatter-add: inverse of im2col, used by the conv backward
  * pass. Accumulates into dx (which must be pre-sized and may hold
- * other items' gradients).
+ * other items' gradients), starting at channel chan_off.
  */
 void col2im(const std::vector<float> &cols, std::size_t item,
-            const ConvGeom &g, Tensor &dx);
+            const ConvGeom &g, Tensor &dx, std::size_t chan_off = 0);
 
 /**
  * Row-wise softmax over a logits tensor shaped [n, k, 1, 1].

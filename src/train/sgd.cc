@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pcnn {
 
@@ -33,11 +34,16 @@ SgdOptimizer::step(const std::vector<Param *> &params)
         const float lr = float(cfg.learningRate);
         const float mu = float(cfg.momentum);
         const float wd = float(cfg.weightDecay);
-        for (std::size_t i = 0; i < vel.size(); ++i) {
-            const float g = p->grad[i] + wd * p->value[i];
-            vel[i] = mu * vel[i] - lr * g;
-            p->value[i] += vel[i];
-        }
+        // Elementwise and pure per index: any static partition of the
+        // update is bitwise identical to the serial loop.
+        parallelFor(vel.size(), [&](std::size_t i0, std::size_t i1,
+                                    std::size_t) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float g = p->grad[i] + wd * p->value[i];
+                vel[i] = mu * vel[i] - lr * g;
+                p->value[i] += vel[i];
+            }
+        });
     }
 }
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the CPU-substrate microbenches and snapshot the results as JSON.
+#
+# Usage: tools/run_bench.sh [build-dir] [output.json]
+#
+# Defaults: build directory ./build, output BENCH_pr1.json in the
+# repository root. The snapshot records SGEMM / im2col / conv-forward
+# throughput (including the AlexNet CONV2 acceptance shape) at 1..4
+# pool lanes; thread counts above the host core count are expected to
+# be flat, not faster — the guarantee under test is that they stay
+# bitwise identical, which tests/test_parallel.cc asserts.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_pr1.json}"
+
+bench_bin="$build_dir/bench/bench_micro_kernels"
+if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not built; run:" >&2
+    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+fi
+
+# Old google-benchmark: --benchmark_min_time takes a bare double (s).
+"$bench_bin" \
+    --benchmark_min_time=0.25 \
+    --benchmark_format=json \
+    --benchmark_out="$out_json" \
+    --benchmark_out_format=json
+
+echo "wrote $out_json"
