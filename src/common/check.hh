@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Contract and invariant macros.
+ *
+ * Two families, both printing a formatted message through the
+ * logging layer and aborting via panic (so sanitizer builds, death
+ * tests and core dumps all see the failure point):
+ *
+ *  - PCNN_CHECK / PCNN_CHECK_EQ|NE|LT|LE|GT|GE — always-on
+ *    contracts. Use for preconditions on API boundaries, resource
+ *    and accounting invariants, and anything whose cost is dwarfed
+ *    by the work it guards.
+ *
+ *  - PCNN_DCHECK / PCNN_DCHECK_EQ|NE|LT|LE|GT|GE — debug contracts
+ *    for per-element hot paths (Tensor::at bounds, inner-loop
+ *    invariants). Compiled out unless PCNN_ENABLE_DCHECKS is
+ *    defined; the CMake option PCNN_DCHECKS (default ON) controls
+ *    it, so only an explicit -DPCNN_DCHECKS=OFF release build drops
+ *    them. Disabled checks still parse their arguments, so code
+ *    referenced only from a DCHECK cannot rot.
+ *
+ * The comparison forms evaluate each operand exactly once and print
+ * both values on failure, e.g.
+ *
+ *     PCNN_CHECK_LT(level, entries.size(), "tuning level");
+ *       -> "check failed: level < entries.size() (7 vs 4) — tuning level"
+ *
+ * Operands of the comparison forms must be ostream-streamable; use
+ * plain PCNN_CHECK for types that are not.
+ */
+
+#ifndef PCNN_COMMON_CHECK_HH
+#define PCNN_COMMON_CHECK_HH
+
+#include "common/logging.hh"
+
+/** Always-on contract with a formatted message. */
+#define PCNN_CHECK(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::pcnn::detail::panicImpl( \
+                __FILE__, __LINE__, \
+                ::pcnn::detail::fmt("check failed: " #cond \
+                                    __VA_OPT__(" — ", ) __VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Shared implementation of the binary comparison contracts. */
+#define PCNN_CHECK_OP_(op, a, b, ...) \
+    do { \
+        const auto &pcnn_chk_a_ = (a); \
+        const auto &pcnn_chk_b_ = (b); \
+        if (!(pcnn_chk_a_ op pcnn_chk_b_)) { \
+            ::pcnn::detail::panicImpl( \
+                __FILE__, __LINE__, \
+                ::pcnn::detail::fmt( \
+                    "check failed: " #a " " #op " " #b " (", \
+                    pcnn_chk_a_, " vs ", pcnn_chk_b_, ")" \
+                    __VA_OPT__(" — ", ) __VA_ARGS__)); \
+        } \
+    } while (0)
+
+#define PCNN_CHECK_EQ(a, b, ...) PCNN_CHECK_OP_(==, a, b, __VA_ARGS__)
+#define PCNN_CHECK_NE(a, b, ...) PCNN_CHECK_OP_(!=, a, b, __VA_ARGS__)
+#define PCNN_CHECK_LT(a, b, ...) PCNN_CHECK_OP_(<, a, b, __VA_ARGS__)
+#define PCNN_CHECK_LE(a, b, ...) PCNN_CHECK_OP_(<=, a, b, __VA_ARGS__)
+#define PCNN_CHECK_GT(a, b, ...) PCNN_CHECK_OP_(>, a, b, __VA_ARGS__)
+#define PCNN_CHECK_GE(a, b, ...) PCNN_CHECK_OP_(>=, a, b, __VA_ARGS__)
+
+#ifdef PCNN_ENABLE_DCHECKS
+
+#define PCNN_DCHECK(cond, ...) PCNN_CHECK(cond, __VA_ARGS__)
+#define PCNN_DCHECK_EQ(a, b, ...) PCNN_CHECK_EQ(a, b, __VA_ARGS__)
+#define PCNN_DCHECK_NE(a, b, ...) PCNN_CHECK_NE(a, b, __VA_ARGS__)
+#define PCNN_DCHECK_LT(a, b, ...) PCNN_CHECK_LT(a, b, __VA_ARGS__)
+#define PCNN_DCHECK_LE(a, b, ...) PCNN_CHECK_LE(a, b, __VA_ARGS__)
+#define PCNN_DCHECK_GT(a, b, ...) PCNN_CHECK_GT(a, b, __VA_ARGS__)
+#define PCNN_DCHECK_GE(a, b, ...) PCNN_CHECK_GE(a, b, __VA_ARGS__)
+
+#else // !PCNN_ENABLE_DCHECKS
+
+/** Disabled form: never evaluates, but keeps the operands compiling. */
+#define PCNN_DCHECK_NOP_(cond) \
+    do { \
+        if (false) { \
+            (void)(cond); \
+        } \
+    } while (0)
+
+#define PCNN_DCHECK(cond, ...) PCNN_DCHECK_NOP_(cond)
+#define PCNN_DCHECK_EQ(a, b, ...) PCNN_DCHECK_NOP_((a) == (b))
+#define PCNN_DCHECK_NE(a, b, ...) PCNN_DCHECK_NOP_((a) != (b))
+#define PCNN_DCHECK_LT(a, b, ...) PCNN_DCHECK_NOP_((a) < (b))
+#define PCNN_DCHECK_LE(a, b, ...) PCNN_DCHECK_NOP_((a) <= (b))
+#define PCNN_DCHECK_GT(a, b, ...) PCNN_DCHECK_NOP_((a) > (b))
+#define PCNN_DCHECK_GE(a, b, ...) PCNN_DCHECK_NOP_((a) >= (b))
+
+#endif // PCNN_ENABLE_DCHECKS
+
+#endif // PCNN_COMMON_CHECK_HH

@@ -1,5 +1,6 @@
 #include "gpu/sim/cta_scheduler.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace pcnn {
@@ -34,7 +35,7 @@ RoundRobinScheduler::place(const std::vector<std::size_t> &resident,
 PrioritySmScheduler::PrioritySmScheduler(std::size_t sms_allowed)
     : allowed(sms_allowed)
 {
-    pcnn_assert(allowed >= 1, "PSM needs at least one SM");
+    PCNN_CHECK_GE(allowed, 1u, "PSM needs at least one SM");
 }
 
 std::size_t

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "gpu/kernel_model.hh"
 
@@ -50,12 +51,16 @@ GpuSim::runOneLaunch(const KernelDesc &kernel,
 
     std::size_t pending = kernel.gridSize;
     std::size_t in_flight = 0;
+    std::size_t retired = 0;
 
     auto refill = [&]() {
         while (pending > 0) {
             const std::size_t sm = sched->place(counts, cfg.tlpLimit);
             if (sm == CtaScheduler::noSm)
                 break;
+            PCNN_DCHECK_LT(sm, n_sms, "scheduler placed CTA off-chip");
+            PCNN_DCHECK_LT(counts[sm], cfg.tlpLimit,
+                           "scheduler overfilled an SM");
             resident[sm].push_back(kernel.ctaWorkFlops);
             ++counts[sm];
             touched[sm] = true;
@@ -110,12 +115,21 @@ GpuSim::runOneLaunch(const KernelDesc &kernel,
                 [](double w) { return w <= 1e-6; });
             const std::size_t done = std::size_t(list.end() - it);
             list.erase(it, list.end());
+            PCNN_DCHECK_GE(counts[sm], done, "SM retired ghost CTAs");
             counts[sm] -= done;
             in_flight -= done;
+            retired += done;
+            PCNN_DCHECK_EQ(counts[sm], list.size(),
+                           "per-SM CTA count out of sync");
         }
         now += dt;
+        // Every CTA is exactly one of pending / resident / retired.
+        PCNN_DCHECK_EQ(retired + in_flight + pending, kernel.gridSize,
+                       "CTA accounting broke for kernel ", kernel.name);
         refill();
     }
+    PCNN_CHECK_EQ(retired, kernel.gridSize, "kernel ", kernel.name,
+                  ": simulator lost CTAs");
 
     SimResult r;
     r.flops = double(kernel.gridSize) * kernel.ctaWorkFlops;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -31,9 +32,10 @@ ConvLayer::ConvLayer(ConvSpec spec, Rng &rng)
 Shape
 ConvLayer::outputShape(const Shape &in) const
 {
-    pcnn_assert(in.c == spc.inC && in.h == spc.inH && in.w == spc.inW,
-                "layer ", spc.name, ": input ", in.str(),
-                " mismatches spec");
+    PCNN_CHECK(in.c == spc.inC && in.h == spc.inH && in.w == spc.inW,
+               "layer ", spc.name, ": input ", in.str(),
+               " mismatches spec [", spc.inC, ",", spc.inH, ",",
+               spc.inW, "]");
     return Shape{in.n, spc.outC, spc.outH(), spc.outW()};
 }
 
@@ -273,6 +275,9 @@ ConvLayer::backward(const Tensor &dy)
                 ": backward without forward(train)");
     pcnn_assert(!perforated(), "layer ", spc.name,
                 ": backward with perforation active");
+    PCNN_CHECK(dy.shape() == outputShape(lastInput.shape()),
+               "layer ", spc.name, ": gradient ", dy.shape().str(),
+               " mismatches forward output");
 
     const Shape &in_shape = lastInput.shape();
     Tensor dx(in_shape);

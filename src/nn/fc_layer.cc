@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "tensor/tensor_ops.hh"
 
@@ -25,8 +26,8 @@ FcLayer::FcLayer(std::string name, std::size_t in_features,
 Shape
 FcLayer::outputShape(const Shape &in) const
 {
-    pcnn_assert(in.itemSize() == nIn, "fc ", layerName, ": input ",
-                in.str(), " does not flatten to ", nIn);
+    PCNN_CHECK_EQ(in.itemSize(), nIn, "fc ", layerName, ": input ",
+                  in.str(), " does not flatten to the weight matrix");
     return Shape{in.n, nOut, 1, 1};
 }
 
@@ -73,8 +74,10 @@ FcLayer::backward(const Tensor &dy)
     pcnn_assert(haveCache, "fc ", layerName,
                 ": backward without forward(train)");
     const std::size_t batch = dy.shape().n;
-    pcnn_assert(dy.shape().itemSize() == nOut, "fc ", layerName,
-                ": gradient shape mismatch");
+    PCNN_CHECK_EQ(dy.shape().itemSize(), nOut, "fc ", layerName,
+                  ": gradient ", dy.shape().str(), " mismatch");
+    PCNN_CHECK_EQ(batch, lastInput.shape().n, "fc ", layerName,
+                  ": gradient batch mismatches cached activation");
 
     // dW += dY^T * X  (nOut x batch) * (batch x nIn)
     sgemm(true, false, nOut, nIn, batch, dy.data(), lastInput.data(),

@@ -1,5 +1,6 @@
 #include "nn/network.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "tensor/tensor_ops.hh"
 
@@ -14,11 +15,11 @@ Network::Network(std::string name, Shape input_shape)
 Tensor
 Network::forward(const Tensor &x, bool train)
 {
-    pcnn_assert(x.shape().c == inShape.c && x.shape().h == inShape.h &&
-                    x.shape().w == inShape.w,
-                netName, ": input ", x.shape().str(),
-                " mismatches expected ", inShape.str());
-    pcnn_assert(!layers.empty(), netName, ": empty network");
+    PCNN_CHECK(x.shape().c == inShape.c && x.shape().h == inShape.h &&
+                   x.shape().w == inShape.w,
+               netName, ": input ", x.shape().str(),
+               " mismatches expected ", inShape.str());
+    PCNN_CHECK(!layers.empty(), netName, ": empty network");
     Tensor a = x;
     for (auto &l : layers)
         a = l->forward(a, train);
@@ -34,6 +35,7 @@ Network::predict(const Tensor &x)
 Tensor
 Network::backward(const Tensor &dlogits)
 {
+    PCNN_CHECK(!layers.empty(), netName, ": empty network");
     Tensor g = dlogits;
     for (auto it = layers.rbegin(); it != layers.rend(); ++it)
         g = (*it)->backward(g);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace pcnn {
@@ -38,7 +39,11 @@ serializeWeights(Network &net)
 {
     const auto params = net.params();
     std::vector<std::uint8_t> out;
-    out.insert(out.end(), kMagic, kMagic + 8);
+    // Byte-wise append: vector::insert over a raw range trips a
+    // GCC 12 -Wstringop-overflow false positive under sanitizer
+    // instrumentation.
+    for (char ch : kMagic)
+        out.push_back(std::uint8_t(ch));
     putU64(out, params.size());
     for (const Param *p : params) {
         const Shape &s = p->value.shape();
@@ -88,8 +93,11 @@ deserializeWeights(Network &net,
         const Shape &s = p->value.shape();
         if (s.n != n || s.c != c || s.h != h || s.w != w)
             return false;
+        // Overflow-safe remaining-bytes check: `pos + elems * 4` can
+        // wrap for a hostile header, `elems > remaining / 4` cannot.
         const std::size_t elems = p->value.size();
-        if (pos + elems * 4 > bytes.size())
+        PCNN_DCHECK_LE(pos, bytes.size(), "reader ran past the buffer");
+        if (elems > (bytes.size() - pos) / 4)
             return false;
         pending.push_back({p, pos, elems});
         pos += elems * 4;
@@ -122,7 +130,10 @@ loadWeights(Network &net, const std::string &path)
     std::ifstream f(path, std::ios::binary | std::ios::ate);
     if (!f)
         return false;
-    const auto size = std::size_t(f.tellg());
+    const std::streamoff end = f.tellg();
+    if (end < 0)
+        return false;
+    const auto size = std::size_t(end);
     f.seekg(0);
     std::vector<std::uint8_t> bytes(size);
     f.read(reinterpret_cast<char *>(bytes.data()),

@@ -1,5 +1,6 @@
 #include "pcnn/offline/plan_io.hh"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -66,8 +67,10 @@ class Reader
     bool
     str(std::string &s)
     {
+        // `pos + len` can wrap for a hostile 64-bit length, so the
+        // bound is phrased against the bytes actually remaining.
         std::uint64_t len;
-        if (!u64(len) || pos + len > data.size())
+        if (!u64(len) || len > data.size() - pos)
             return fail();
         s.assign(data.begin() + std::ptrdiff_t(pos),
                  data.begin() + std::ptrdiff_t(pos + len));
@@ -95,7 +98,11 @@ std::vector<std::uint8_t>
 serializePlan(const CompiledPlan &plan)
 {
     std::vector<std::uint8_t> out;
-    out.insert(out.end(), kMagic, kMagic + 8);
+    // Byte-wise append: vector::insert over a raw range trips a
+    // GCC 12 -Wstringop-overflow false positive under sanitizer
+    // instrumentation.
+    for (char ch : kMagic)
+        out.push_back(std::uint8_t(ch));
     putStr(out, plan.netName);
     putStr(out, plan.gpuName);
     putU64(out, plan.batch);
@@ -154,6 +161,23 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         !r.f64(plan.footprint.workspaceBytes) || !r.u64(n_layers)) {
         return std::nullopt;
     }
+    // Sanity bounds on everything the rest of the system treats as
+    // an invariant: a truncated or hostile plan file must surface as
+    // a clean nullopt here, never as an assertion or UB downstream.
+    constexpr std::uint64_t kDimCap = 1u << 20;
+    const auto finite_nonneg = [](double v) {
+        return std::isfinite(v) && v >= 0.0;
+    };
+    if (batch == 0 || batch > kDimCap)
+        return std::nullopt;
+    if (!finite_nonneg(plan.time.convS) ||
+        !finite_nonneg(plan.time.fcS) ||
+        !finite_nonneg(plan.time.auxS) ||
+        !finite_nonneg(plan.footprint.weightBytes) ||
+        !finite_nonneg(plan.footprint.activationBytes) ||
+        !finite_nonneg(plan.footprint.workspaceBytes)) {
+        return std::nullopt;
+    }
     plan.batch = batch;
     plan.timeRequirementMissed = missed != 0;
     if (n_layers > 4096)
@@ -173,6 +197,20 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
             !r.f64(ls.util)) {
             return std::nullopt;
         }
+        // Geometry must satisfy every ConvSpec/ConvGeom contract the
+        // models assert on (divisible groups, kernel fitting in the
+        // padded input) before any of them runs.
+        if (in_c == 0 || in_c > kDimCap || out_c == 0 ||
+            out_c > kDimCap || kernel == 0 || kernel > kDimCap ||
+            stride == 0 || stride > kDimCap || pad > kDimCap ||
+            in_h == 0 || in_h > kDimCap || in_w == 0 ||
+            in_w > kDimCap || groups == 0 || groups > kDimCap) {
+            return std::nullopt;
+        }
+        if (in_c % groups != 0 || out_c % groups != 0)
+            return std::nullopt;
+        if (in_h + 2 * pad < kernel || in_w + 2 * pad < kernel)
+            return std::nullopt;
         c.inC = in_c;
         c.outC = out_c;
         c.kernel = kernel;
@@ -181,8 +219,6 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         c.inH = in_h;
         c.inW = in_w;
         c.groups = groups;
-        if (groups == 0 || kernel == 0 || stride == 0)
-            return std::nullopt;
 
         // The tile must exist in this build's catalogue.
         bool found = false;
@@ -195,6 +231,18 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         }
         if (!found)
             return std::nullopt;
+        // Resource-model outputs: the runtime scheduler checks optSM
+        // against the target GPU's SM count; here we reject the
+        // values no GPU could produce.
+        if (regs == 0 || regs > kDimCap || tlp == 0 ||
+            tlp > kDimCap || sm == 0 || sm > kDimCap) {
+            return std::nullopt;
+        }
+        if (!std::isfinite(ls.kernel.skernel) ||
+            !std::isfinite(ls.kernel.predictedTimeS) ||
+            !std::isfinite(ls.timeS) || !std::isfinite(ls.util)) {
+            return std::nullopt;
+        }
         ls.kernel.config.regsPerThread = regs;
         ls.kernel.optTLP = tlp;
         ls.kernel.optSM = sm;
@@ -224,7 +272,10 @@ loadPlan(const std::string &path)
     std::ifstream f(path, std::ios::binary | std::ios::ate);
     if (!f)
         return std::nullopt;
-    const auto size = std::size_t(f.tellg());
+    const std::streamoff end = f.tellg();
+    if (end < 0)
+        return std::nullopt;
+    const auto size = std::size_t(end);
     f.seekg(0);
     std::vector<std::uint8_t> bytes(size);
     f.read(reinterpret_cast<char *>(bytes.data()),

@@ -1,14 +1,15 @@
 #include "pcnn/offline/resource_model.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace pcnn {
 
 std::size_t
 optimalSms(std::size_t grid_size, std::size_t tlp, std::size_t num_sms)
 {
-    pcnn_assert(grid_size >= 1 && tlp >= 1 && num_sms >= 1,
-                "optimalSms needs positive arguments");
+    PCNN_CHECK_GE(grid_size, 1u, "optimalSms: empty grid");
+    PCNN_CHECK_GE(tlp, 1u, "optimalSms: TLP must be positive");
+    PCNN_CHECK_GE(num_sms, 1u, "optimalSms: no SMs");
     const std::size_t per_wave = tlp * num_sms;
     const std::size_t invocations =
         (grid_size + per_wave - 1) / per_wave;
@@ -16,7 +17,9 @@ optimalSms(std::size_t grid_size, std::size_t tlp, std::size_t num_sms)
     // tlp * s * invocations >= grid.
     const std::size_t s =
         (grid_size + tlp * invocations - 1) / (tlp * invocations);
-    pcnn_assert(s >= 1 && s <= num_sms, "Eq. 11 solution out of range");
+    PCNN_CHECK(s >= 1 && s <= num_sms,
+               "Eq. 11 solution out of range: optSM ", s, " for grid ",
+               grid_size, " TLP ", tlp, " on ", num_sms, " SMs");
     return s;
 }
 

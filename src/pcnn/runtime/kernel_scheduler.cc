@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "pcnn/offline/resource_model.hh"
 
@@ -29,13 +30,23 @@ RuntimeKernelScheduler::execute(
     const CompiledPlan &plan, const ExecPolicy &policy,
     const std::vector<std::size_t> *positions) const
 {
-    pcnn_assert(!positions || positions->size() == plan.layers.size(),
-                "perforation vector mismatches plan layers");
+    PCNN_CHECK(!positions || positions->size() == plan.layers.size(),
+               "perforation vector mismatches plan layers");
 
     std::vector<std::pair<KernelDesc, LaunchConfig>> seq;
 
     for (std::size_t i = 0; i < plan.layers.size(); ++i) {
         const LayerSchedule &ls = plan.layers[i];
+        // Resource-model outputs must be in range for this GPU; a
+        // stale or corrupt plan fails loudly instead of driving the
+        // CTA simulator into nonsense placements.
+        PCNN_CHECK_GE(ls.kernel.optTLP, 1u, "plan layer ",
+                      ls.layer.name, ": optTLP out of range");
+        PCNN_CHECK(ls.kernel.optSM >= 1 &&
+                       ls.kernel.optSM <= gpuSpec.numSMs,
+                   "plan layer ", ls.layer.name, ": optSM ",
+                   ls.kernel.optSM, " outside [1, ", gpuSpec.numSMs,
+                   "] on ", gpuSpec.name);
         const std::size_t pos = positions ? (*positions)[i] : 0;
         const GemmShape gemm = ls.layer.gemmShape(plan.batch, pos);
         const SgemmModel model(gpuSpec, ls.kernel.config);

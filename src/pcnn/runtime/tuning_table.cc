@@ -1,5 +1,8 @@
 #include "pcnn/runtime/tuning_table.hh"
 
+#include <cmath>
+
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace pcnn {
@@ -7,10 +10,30 @@ namespace pcnn {
 void
 TuningTable::push(TuningEntry entry)
 {
+    PCNN_CHECK(std::isfinite(entry.predictedTimeS) &&
+                   entry.predictedTimeS > 0.0,
+               "tuning entry with non-positive predicted time ",
+               entry.predictedTimeS);
+    PCNN_CHECK_GE(entry.speedup, 1.0,
+                  "tuning entry slower than the exact level");
     if (!entries.empty()) {
-        pcnn_assert(entry.positions.size() ==
-                        entries.front().positions.size(),
-                    "tuning entry layer count changed mid-path");
+        PCNN_CHECK_EQ(entry.positions.size(),
+                      entries.front().positions.size(),
+                      "tuning entry layer count changed mid-path");
+        // The greedy loop only commits strictly faster assignments,
+        // so the path walks monotonically down in predicted time;
+        // calibration backtracking relies on this ordering.
+        PCNN_CHECK(entry.predictedTimeS <=
+                       entries.back().predictedTimeS * (1.0 + 1e-9),
+                   "tuning path time must be non-increasing: level ",
+                   entries.size(), " has ", entry.predictedTimeS,
+                   " after ", entries.back().predictedTimeS);
+        for (std::size_t i = 0; i < entry.positions.size(); ++i) {
+            PCNN_CHECK_LE(entry.positions[i],
+                          entries.back().positions[i],
+                          "tuning path un-perforated layer ", i,
+                          " at level ", entries.size());
+        }
     }
     entries.push_back(std::move(entry));
 }
@@ -18,8 +41,7 @@ TuningTable::push(TuningEntry entry)
 const TuningEntry &
 TuningTable::entry(std::size_t level) const
 {
-    pcnn_assert(level < entries.size(), "tuning level ", level,
-                " out of ", entries.size());
+    PCNN_CHECK_LT(level, entries.size(), "tuning level out of range");
     return entries[level];
 }
 

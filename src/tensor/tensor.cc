@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace pcnn {
@@ -31,7 +32,9 @@ Tensor::Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
 float &
 Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
 {
-    pcnn_assert(n < shp.n && c < shp.c && h < shp.h && w < shp.w,
+    // Per-element hot path: bounds contract compiles out only in an
+    // explicit -DPCNN_DCHECKS=OFF release build.
+    PCNN_DCHECK(n < shp.n && c < shp.c && h < shp.h && w < shp.w,
                 "index (", n, ",", c, ",", h, ",", w, ") out of ",
                 shp.str());
     return buf[((n * shp.c + c) * shp.h + h) * shp.w + w];

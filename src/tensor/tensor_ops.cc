@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -21,14 +22,30 @@ constexpr std::size_t kNR = 8;
 
 #if defined(__GNUC__) || defined(__clang__)
 #define PCNN_HAVE_VEC_EXT 1
-// One C-tile row of the micro-kernel: 8 lanes, no alignment demand
-// beyond float so rows of C / packed B can be loaded directly. The
-// explicit vector type pins the compiler to lane-wise (j-direction)
-// vectorization; auto-vectorizers otherwise tend to pick the k loop,
-// which needs gathers and spills the accumulator tile.
-typedef float Vec8
-    __attribute__((vector_size(kNR * sizeof(float)), aligned(4),
-                   may_alias));
+// One C-tile row of the micro-kernel: 8 lanes. The explicit vector
+// type pins the compiler to lane-wise (j-direction) vectorization;
+// auto-vectorizers otherwise tend to pick the k loop, which needs
+// gathers and spills the accumulator tile.
+typedef float Vec8 __attribute__((vector_size(kNR * sizeof(float))));
+
+// Rows of C / packed B are only float-aligned and alias the scalar
+// buffers, so all vector traffic goes through memcpy: GCC and Clang
+// lower a fixed 32-byte memcpy to the same single unaligned vector
+// move a pointer cast would produce, without the strict-aliasing UB
+// of reinterpret_cast<Vec8 *>.
+inline Vec8
+loadVec8(const float *p)
+{
+    Vec8 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storeVec8(float *p, const Vec8 &v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
 #endif
 
 /**
@@ -43,12 +60,12 @@ microFull(std::size_t k, const float *a, std::size_t lda,
 #ifdef PCNN_HAVE_VEC_EXT
     Vec8 acc[kMR] = {};
     for (std::size_t p = 0; p < k; ++p) {
-        const Vec8 bv = *reinterpret_cast<const Vec8 *>(b + p * ldb);
+        const Vec8 bv = loadVec8(b + p * ldb);
         for (std::size_t i = 0; i < kMR; ++i)
             acc[i] += a[i * lda + p] * bv;
     }
     for (std::size_t i = 0; i < kMR; ++i)
-        *reinterpret_cast<Vec8 *>(c + i * ldc) += acc[i];
+        storeVec8(c + i * ldc, loadVec8(c + i * ldc) + acc[i]);
 #else
     float acc[kMR][kNR] = {};
     for (std::size_t p = 0; p < k; ++p) {
@@ -161,6 +178,11 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
       std::size_t k, const float *a, const float *b, float *c,
       float beta)
 {
+    if (m == 0 || n == 0)
+        return;
+    PCNN_CHECK(c != nullptr, "sgemm: null C for m=", m, " n=", n);
+    PCNN_CHECK(k == 0 || (a != nullptr && b != nullptr),
+               "sgemm: null operand for m=", m, " n=", n, " k=", k);
     if (beta == 0.0f) {
         std::fill(c, c + m * n, 0.0f);
     } else if (beta != 1.0f) {
@@ -218,16 +240,20 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
 std::size_t
 ConvGeom::outH() const
 {
-    pcnn_assert(inH + 2 * pad >= kernel, "conv geometry under-sized: inH ",
-                inH, " pad ", pad, " kernel ", kernel);
+    PCNN_CHECK_GT(kernel, 0u, "conv geometry: zero kernel");
+    PCNN_CHECK_GT(stride, 0u, "conv geometry: zero stride");
+    PCNN_CHECK_GE(inH + 2 * pad, kernel, "conv geometry under-sized: inH ",
+                  inH, " pad ", pad, " kernel ", kernel);
     return (inH + 2 * pad - kernel) / stride + 1;
 }
 
 std::size_t
 ConvGeom::outW() const
 {
-    pcnn_assert(inW + 2 * pad >= kernel, "conv geometry under-sized: inW ",
-                inW, " pad ", pad, " kernel ", kernel);
+    PCNN_CHECK_GT(kernel, 0u, "conv geometry: zero kernel");
+    PCNN_CHECK_GT(stride, 0u, "conv geometry: zero stride");
+    PCNN_CHECK_GE(inW + 2 * pad, kernel, "conv geometry under-sized: inW ",
+                  inW, " pad ", pad, " kernel ", kernel);
     return (inW + 2 * pad - kernel) / stride + 1;
 }
 

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of the contract layer (common/check.hh): the macros
+ * themselves, plus death tests proving the deployed contracts fire —
+ * shape-mismatched SGEMM consumers, out-of-range Tensor::at, and
+ * invalid optSM/optTLP plans reaching the runtime scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+#include "gpu/gpu_spec.hh"
+#include "nn/fc_layer.hh"
+#include "nn/model_zoo.hh"
+#include "pcnn/offline/compiler.hh"
+#include "pcnn/offline/resource_model.hh"
+#include "pcnn/runtime/kernel_scheduler.hh"
+#include "pcnn/runtime/tuning_table.hh"
+#include "pcnn/task.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+namespace {
+
+// Several fixtures compile plans first, which spins up the worker
+// pool; the default "fast" (plain fork) death-test style is unsafe
+// once threads exist.
+class ThreadsafeDeathStyle : public ::testing::Environment
+{
+    void
+    SetUp() override
+    {
+        ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    }
+};
+
+const auto *const g_death_style =
+    ::testing::AddGlobalTestEnvironment(new ThreadsafeDeathStyle);
+
+using CheckDeathTest = ::testing::Test;
+
+// ------------------------------------------------------- the macros
+
+TEST(Check, PassingChecksAreSilent)
+{
+    PCNN_CHECK(1 + 1 == 2, "arithmetic");
+    PCNN_CHECK_EQ(4, 4);
+    PCNN_CHECK_NE(4, 5, "close but distinct");
+    PCNN_CHECK_LT(3, 4);
+    PCNN_CHECK_LE(4, 4);
+    PCNN_CHECK_GT(5, 4);
+    PCNN_CHECK_GE(5, 5, "reflexive");
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce)
+{
+    int calls = 0;
+    auto next = [&calls]() { return ++calls; };
+    PCNN_CHECK_LE(next(), 10, "side-effecting operand");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, FailureReportsBothOperands)
+{
+    const std::size_t level = 7, size = 4;
+    EXPECT_DEATH(PCNN_CHECK_LT(level, size, "tuning level"),
+                 "7 vs 4.*tuning level");
+    EXPECT_DEATH(PCNN_CHECK(level < size, "plain form"), "plain form");
+}
+
+#ifdef PCNN_ENABLE_DCHECKS
+TEST(CheckDeathTest, DchecksFireWhenEnabled)
+{
+    EXPECT_DEATH(PCNN_DCHECK_EQ(1, 2, "debug contract"), "1 vs 2");
+}
+#else
+TEST(Check, DchecksCompileOutButStillParse)
+{
+    int calls = 0;
+    auto next = [&calls]() { return ++calls; };
+    PCNN_DCHECK_EQ(next(), 99, "never evaluated");
+    PCNN_DCHECK(false, "never evaluated");
+    EXPECT_EQ(calls, 0);
+}
+#endif
+
+// ------------------------------------------- deployed contracts fire
+
+TEST(CheckDeathTest, TensorAtOutOfRangeDies)
+{
+#ifdef PCNN_ENABLE_DCHECKS
+    Tensor t(2, 3, 4, 5);
+    EXPECT_DEATH(t.at(0, 3, 0, 0), "out of");
+    EXPECT_DEATH(t.at(2, 0, 0, 0), "out of");
+    const Tensor &ct = t;
+    EXPECT_DEATH(ct.at(0, 0, 4, 0), "out of");
+#else
+    GTEST_SKIP() << "DCHECK bounds compiled out";
+#endif
+}
+
+TEST(CheckDeathTest, ShapeMismatchedSgemmConsumerDies)
+{
+    Rng rng(7);
+    FcLayer fc("FC", 16, 4, rng);
+    Tensor bad(1, 5, 1, 1); // flattens to 5, weight wants 16
+    EXPECT_DEATH(fc.forward(bad, false), "does not flatten");
+}
+
+TEST(CheckDeathTest, SgemmNullOperandDies)
+{
+    std::vector<float> c(4 * 4, 0.0f);
+    EXPECT_DEATH(sgemm(false, false, 4, 4, 4, nullptr, nullptr,
+                       c.data()),
+                 "null operand");
+}
+
+TEST(CheckDeathTest, ConvGeometryUnderSizedDies)
+{
+    ConvGeom g;
+    g.inC = 3;
+    g.inH = g.inW = 4;
+    g.kernel = 11; // larger than the padded input
+    g.stride = 1;
+    g.pad = 0;
+    EXPECT_DEATH(g.outH(), "under-sized");
+}
+
+TEST(CheckDeathTest, InvalidResourceModelArgsDie)
+{
+    EXPECT_DEATH(optimalSms(0, 2, 13), "empty grid");
+    EXPECT_DEATH(optimalSms(100, 0, 13), "TLP must be positive");
+    EXPECT_DEATH(optimalSms(100, 2, 0), "no SMs");
+}
+
+TEST(CheckDeathTest, OutOfRangePlanDiesAtScheduler)
+{
+    const GpuSpec gpu = jetsonTx1();
+    const OfflineCompiler compiler(gpu);
+    CompiledPlan plan =
+        compiler.compile(alexNet(), ageDetectionApp());
+    ASSERT_FALSE(plan.layers.empty());
+
+    RuntimeKernelScheduler rt(gpu);
+
+    CompiledPlan bad_tlp = plan;
+    bad_tlp.layers[0].kernel.optTLP = 0;
+    EXPECT_DEATH(rt.execute(bad_tlp, pcnnPolicy()), "optTLP");
+
+    CompiledPlan bad_sm = plan;
+    bad_sm.layers[0].kernel.optSM = gpu.numSMs + 1;
+    EXPECT_DEATH(rt.execute(bad_sm, pcnnPolicy()), "optSM");
+}
+
+TEST(CheckDeathTest, TuningPathViolationsDie)
+{
+    TuningEntry slow;
+    slow.positions = {100};
+    slow.predictedTimeS = 1.0;
+    slow.speedup = 1.0;
+
+    TuningEntry faster = slow;
+    faster.predictedTimeS = 0.5;
+    faster.speedup = 2.0;
+
+    TuningTable ok;
+    ok.push(slow);
+    ok.push(faster);
+    EXPECT_EQ(ok.levels(), 2u);
+
+    TuningTable backwards;
+    backwards.push(faster);
+    EXPECT_DEATH(backwards.push(slow), "non-increasing");
+
+    TuningEntry unperforated = faster;
+    unperforated.positions = {200}; // more positions than level 0
+    TuningTable regrow;
+    regrow.push(slow);
+    EXPECT_DEATH(regrow.push(unperforated), "un-perforated");
+
+    TuningEntry nonsense;
+    nonsense.positions = {100};
+    nonsense.predictedTimeS = -1.0;
+    EXPECT_DEATH(TuningTable().push(nonsense), "non-positive");
+}
+
+} // namespace
+} // namespace pcnn

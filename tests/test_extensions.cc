@@ -276,6 +276,52 @@ TEST(PlanIo, RejectsGarbage)
     EXPECT_FALSE(deserializePlan(bytes).has_value());
 }
 
+TEST(PlanIo, RejectsHostileStringLength)
+{
+    // Magic followed by a netName length field of ~2^64: the reader
+    // must treat it as truncation, not wrap `pos + len` and read out
+    // of bounds.
+    std::vector<std::uint8_t> bytes = {'P', 'C', 'N', 'N',
+                                       'P', 'L', 'N', '1'};
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(0xFF);
+    EXPECT_FALSE(deserializePlan(bytes).has_value());
+}
+
+TEST(PlanIo, RejectsOutOfRangeFields)
+{
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+
+    auto mutated = [&](auto &&mutate) {
+        CompiledPlan bad = plan;
+        mutate(bad);
+        return deserializePlan(serializePlan(bad));
+    };
+
+    EXPECT_FALSE(mutated([](CompiledPlan &p) { p.batch = 0; }));
+    EXPECT_FALSE(mutated([](CompiledPlan &p) {
+        p.time.convS = -1.0;
+    }));
+    EXPECT_FALSE(mutated([](CompiledPlan &p) {
+        p.layers[0].kernel.optTLP = 0;
+    }));
+    EXPECT_FALSE(mutated([](CompiledPlan &p) {
+        p.layers[0].kernel.optSM = 0;
+    }));
+    EXPECT_FALSE(mutated([](CompiledPlan &p) {
+        p.layers[0].layer.kernel = 0;
+    }));
+    EXPECT_FALSE(mutated([](CompiledPlan &p) {
+        // Kernel no longer fits in the padded input.
+        p.layers[0].layer.kernel = p.layers[0].layer.inH +
+                                   2 * p.layers[0].layer.pad + 1;
+    }));
+    EXPECT_FALSE(mutated([](CompiledPlan &p) {
+        p.layers[0].layer.groups = 7; // does not divide channels
+    }));
+}
+
 TEST(PlanIo, FileRoundTrip)
 {
     const OfflineCompiler compiler(gtx970m());

@@ -452,6 +452,10 @@ TEST(Serialize, RejectsCorruptedData)
     auto bad_magic = bytes;
     bad_magic[0] ^= 0xFF;
     EXPECT_FALSE(deserializeWeights(net, bad_magic));
+    // An oversized payload is as suspect as a truncated one.
+    auto trailing = bytes;
+    trailing.push_back(0);
+    EXPECT_FALSE(deserializeWeights(net, trailing));
 }
 
 TEST(Serialize, FileRoundTrip)

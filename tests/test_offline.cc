@@ -134,8 +134,10 @@ TEST(ResourceModel, InvariantHolds)
                 return (grid + tlp * s - 1) / (tlp * s);
             };
             EXPECT_EQ(inv(opt), inv(sms)) << grid << "/" << tlp;
-            if (opt > 1)
-                EXPECT_GT(inv(opt - 1), inv(sms)) << grid << "/" << tlp;
+            if (opt > 1) {
+                EXPECT_GT(inv(opt - 1), inv(sms))
+                    << grid << "/" << tlp;
+            }
         }
     }
 }

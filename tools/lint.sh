@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+#
+# Repository lint gate. Runs three layers:
+#
+#   1. clang-format (check mode) over all C++ sources — skipped with a
+#      note when clang-format is not installed.
+#   2. clang-tidy over src/ using .clang-tidy — skipped when
+#      clang-tidy or a compile_commands.json is missing.
+#   3. Custom grep/awk rules that need no toolchain:
+#        - no raw `new` / `delete` in src/ (containers and
+#          std::unique_ptr own everything);
+#        - no std::rand/srand/random_shuffle (determinism: all
+#          randomness goes through common/random.hh);
+#        - include guards must be derived from the header path
+#          (src/pcnn/task.hh -> PCNN_PCNN_TASK_HH);
+#        - no file-scope mutable globals outside src/common/
+#          (thread_local scratch is exempt: it is per-thread state,
+#          not shared).
+#
+# Exit status is non-zero if any executed layer finds a problem.
+# Usage: tools/lint.sh [--format-fix]
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+note() { printf '%s\n' "$*"; }
+err()
+{
+    printf 'lint: %s\n' "$*" >&2
+    fail=1
+}
+
+cxx_sources()
+{
+    find src tests bench tools examples -name '*.cc' -o -name '*.hh' \
+        2>/dev/null | sort
+}
+
+# ---------------------------------------------------- 1. clang-format
+if command -v clang-format > /dev/null 2>&1; then
+    if [ "${1:-}" = "--format-fix" ]; then
+        cxx_sources | xargs clang-format -i
+        note "clang-format: rewrote sources in place"
+    elif ! cxx_sources | xargs clang-format --dry-run -Werror \
+        > /dev/null 2>&1; then
+        err "clang-format check failed (run tools/lint.sh --format-fix)"
+    else
+        note "clang-format: clean"
+    fi
+else
+    note "clang-format: not installed, skipping"
+fi
+
+# ------------------------------------------------------ 2. clang-tidy
+if command -v clang-tidy > /dev/null 2>&1; then
+    compdb=""
+    for d in build build-asan build-tsan; do
+        if [ -f "$d/compile_commands.json" ]; then
+            compdb="$d"
+            break
+        fi
+    done
+    if [ -n "$compdb" ]; then
+        if ! find src -name '*.cc' | sort |
+            xargs clang-tidy -p "$compdb" --quiet; then
+            err "clang-tidy found problems"
+        else
+            note "clang-tidy: clean"
+        fi
+    else
+        note "clang-tidy: no compile_commands.json, skipping" \
+            "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+    fi
+else
+    note "clang-tidy: not installed, skipping"
+fi
+
+# ---------------------------------------------------- 3. custom rules
+
+# Raw new/delete in src/ (comments and strings excluded by stripping
+# // tails; the codebase has no /* */ code comments).
+raw_alloc=$(grep -rn --include='*.cc' --include='*.hh' \
+    -E '\bnew\b[[:space:]]+[A-Za-z_(]|\bdelete\b[[:space:]]*(\[\])?[[:space:]]*[A-Za-z_(]' \
+    src | sed 's://.*$::' |
+    grep -vE ':[0-9]+:[[:space:]]*(\*|/\*)' |
+    grep -E '\bnew\b|\bdelete\b' || true)
+if [ -n "$raw_alloc" ]; then
+    err "raw new/delete in src/ (own memory with containers/unique_ptr):
+$raw_alloc"
+else
+    note "raw new/delete: clean"
+fi
+
+# Non-deterministic libc randomness.
+libc_rand=$(grep -rn --include='*.cc' --include='*.hh' \
+    -E '\b(std::)?s?rand(om_shuffle)?[[:space:]]*\(' \
+    src tests bench tools examples 2>/dev/null || true)
+if [ -n "$libc_rand" ]; then
+    err "libc randomness (use common/random.hh Rng):
+$libc_rand"
+else
+    note "libc randomness: clean"
+fi
+
+# Include-guard naming: PCNN_<PATH_FROM_SRC>_HH.
+guard_bad=""
+for f in $(find src -name '*.hh' | sort); do
+    want="PCNN_$(echo "${f#src/}" | tr 'a-z/.' 'A-Z__')"
+    if ! grep -q "^#ifndef ${want}\$" "$f"; then
+        guard_bad="$guard_bad
+$f: expected guard $want"
+    fi
+done
+if [ -n "$guard_bad" ]; then
+    err "include-guard naming:$guard_bad"
+else
+    note "include guards: clean"
+fi
+
+# File-scope mutable globals outside src/common/. Heuristic: a
+# column-0 declaration ending in `;` with an initializer or empty
+# braces, that is not const/constexpr/using/extern/thread_local and
+# is not a function (no parens in the declarator head).
+globals=$(grep -rn --include='*.cc' \
+    -E '^[A-Za-z_][A-Za-z0-9_:<>,&* ]* [a-zA-Z_][A-Za-z0-9_]*( =.*|\{[^)]*\})?;$' \
+    src |
+    grep -vE 'const|constexpr|using|typedef|extern|thread_local|\(' |
+    grep -v '^src/common/' || true)
+if [ -n "$globals" ]; then
+    err "file-scope mutable globals outside src/common/:
+$globals"
+else
+    note "mutable globals: clean"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    note "lint: FAILED"
+else
+    note "lint: OK"
+fi
+exit "$fail"
