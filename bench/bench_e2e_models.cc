@@ -1,0 +1,141 @@
+/**
+ * @file
+ * End-to-end model-level benchmarks of the inference hot path.
+ *
+ * The microbenches in bench_micro_kernels.cc time single kernels;
+ * this bench times whole-network forward passes of the trainable
+ * model_zoo nets (AlexNet-style, VGG-style, inception-style) at batch
+ * 1/4/16, both at full resolution and with 25% perforation, so
+ * data-layout work that hides between kernels — im2col, panel
+ * packing, scratch churn, bias/interpolation copies — shows up in the
+ * number that matters: images per second through a real layer graph.
+ *
+ * tools/run_bench.sh snapshots this bench as BENCH_pr3.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/parallel.hh"
+#include "common/random.hh"
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+
+namespace pcnn {
+namespace {
+
+/** Which model_zoo builder a benchmark instance runs. */
+enum class Zoo
+{
+    AlexStyle,
+    VggStyle,
+    InceptionStyle,
+};
+
+Network
+makeNet(Zoo zoo, Rng &rng)
+{
+    switch (zoo) {
+      case Zoo::AlexStyle:
+        return makeMiniAlexNet(rng);
+      case Zoo::VggStyle:
+        return makeMiniVgg(rng);
+      case Zoo::InceptionStyle:
+        return makeMiniInception(rng);
+    }
+    return makeMiniAlexNet(rng);
+}
+
+/**
+ * Forward the net over a fixed random batch. range(0) = batch size,
+ * range(1) = percent of conv output positions computed (100 = full,
+ * lower = perforated inference with nearest-neighbour fill).
+ */
+void
+runForward(benchmark::State &state, Zoo zoo)
+{
+    const auto batch = std::size_t(state.range(0));
+    const auto percent = std::size_t(state.range(1));
+    Rng rng(42);
+    Network net = makeNet(zoo, rng);
+
+    const Shape in = net.inputShape();
+    Tensor x(Shape{batch, in.c, in.h, in.w});
+    x.fillGaussian(rng, 0, 1);
+
+    if (percent < 100) {
+        for (ConvLayer *c : net.convLayers())
+            c->setComputedPositions(c->fullPositions() * percent / 100);
+    }
+
+    for (auto _ : state) {
+        Tensor y = net.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(batch));
+    state.counters["img/s"] = benchmark::Counter(
+        double(state.iterations()) * double(batch),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_E2EMiniAlexNet(benchmark::State &state)
+{
+    runForward(state, Zoo::AlexStyle);
+}
+
+void
+BM_E2EMiniVgg(benchmark::State &state)
+{
+    runForward(state, Zoo::VggStyle);
+}
+
+void
+BM_E2EMiniInception(benchmark::State &state)
+{
+    runForward(state, Zoo::InceptionStyle);
+}
+
+#define PCNN_E2E_ARGS                                                  \
+    ->Args({1, 100})                                                   \
+        ->Args({4, 100})                                               \
+        ->Args({16, 100})                                              \
+        ->Args({1, 25})                                                \
+        ->Args({4, 25})                                                \
+        ->Args({16, 25})
+
+BENCHMARK(BM_E2EMiniAlexNet) PCNN_E2E_ARGS;
+BENCHMARK(BM_E2EMiniVgg) PCNN_E2E_ARGS;
+BENCHMARK(BM_E2EMiniInception) PCNN_E2E_ARGS;
+
+#undef PCNN_E2E_ARGS
+
+/**
+ * Alternating full/perforated forwards through one net: the
+ * scratch-churn shape (gemmOut shrinking and regrowing every call)
+ * that the grow-only scratch fix targets.
+ */
+void
+BM_E2EAlternatingPerforation(benchmark::State &state)
+{
+    Rng rng(43);
+    Network net = makeMiniInception(rng);
+    const Shape in = net.inputShape();
+    Tensor x(Shape{1, in.c, in.h, in.w});
+    x.fillGaussian(rng, 0, 1);
+
+    bool perf = false;
+    for (auto _ : state) {
+        for (ConvLayer *c : net.convLayers())
+            c->setComputedPositions(
+                perf ? c->fullPositions() / 4 : 0);
+        perf = !perf;
+        Tensor y = net.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_E2EAlternatingPerforation);
+
+} // namespace
+} // namespace pcnn

@@ -42,18 +42,24 @@ AvgPoolLayer::forward(const Tensor &x, bool train)
     const std::size_t w = effectiveWindow(in);
     const float inv = 1.0f / float(w * w);
 
+    // Raw row scans per (n, c) plane: the window accumulates in the
+    // same (ky, kx) order as the index-checked form, just without a
+    // four-index bounds-checked call per element.
     Tensor y(out);
-    for (std::size_t n = 0; n < in.n; ++n) {
-        for (std::size_t c = 0; c < in.c; ++c) {
-            for (std::size_t oy = 0; oy < out.h; ++oy) {
-                for (std::size_t ox = 0; ox < out.w; ++ox) {
-                    double acc = 0.0;
-                    for (std::size_t ky = 0; ky < w; ++ky)
-                        for (std::size_t kx = 0; kx < w; ++kx)
-                            acc += x.at(n, c, oy * stride + ky,
-                                        ox * stride + kx);
-                    y.at(n, c, oy, ox) = float(acc) * inv;
+    const std::size_t planes = in.n * in.c;
+    for (std::size_t plane = 0; plane < planes; ++plane) {
+        const float *src = x.data() + plane * in.h * in.w;
+        float *dst = y.data() + plane * out.h * out.w;
+        for (std::size_t oy = 0; oy < out.h; ++oy) {
+            for (std::size_t ox = 0; ox < out.w; ++ox) {
+                double acc = 0.0;
+                for (std::size_t ky = 0; ky < w; ++ky) {
+                    const float *row =
+                        src + (oy * stride + ky) * in.w + ox * stride;
+                    for (std::size_t kx = 0; kx < w; ++kx)
+                        acc += row[kx];
                 }
+                dst[oy * out.w + ox] = float(acc) * inv;
             }
         }
     }
@@ -76,15 +82,18 @@ AvgPoolLayer::backward(const Tensor &dy)
     const float inv = 1.0f / float(w * w);
 
     Tensor dx(inShape);
-    for (std::size_t n = 0; n < out.n; ++n) {
-        for (std::size_t c = 0; c < out.c; ++c) {
-            for (std::size_t oy = 0; oy < out.h; ++oy) {
-                for (std::size_t ox = 0; ox < out.w; ++ox) {
-                    const float g = dy.at(n, c, oy, ox) * inv;
-                    for (std::size_t ky = 0; ky < w; ++ky)
-                        for (std::size_t kx = 0; kx < w; ++kx)
-                            dx.at(n, c, oy * stride + ky,
-                                  ox * stride + kx) += g;
+    const std::size_t planes = out.n * out.c;
+    for (std::size_t plane = 0; plane < planes; ++plane) {
+        const float *gsrc = dy.data() + plane * out.h * out.w;
+        float *dst = dx.data() + plane * inShape.h * inShape.w;
+        for (std::size_t oy = 0; oy < out.h; ++oy) {
+            for (std::size_t ox = 0; ox < out.w; ++ox) {
+                const float g = gsrc[oy * out.w + ox] * inv;
+                for (std::size_t ky = 0; ky < w; ++ky) {
+                    float *row = dst + (oy * stride + ky) * inShape.w +
+                                 ox * stride;
+                    for (std::size_t kx = 0; kx < w; ++kx)
+                        row[kx] += g;
                 }
             }
         }

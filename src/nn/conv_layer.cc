@@ -188,33 +188,54 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     const bool perf = perforated();
     const std::size_t n_pos = perf ? computed : full;
 
-    // im2col reads this group's channel window in place — no slicing
-    // copy of the input.
     ConvGeom g = spc.geom();
     g.inC = in_cg;
-    if (perf)
-        im2colAt(x, item, g, sample, scr.cols, group * in_cg);
-    else
-        im2col(x, item, g, scr.cols, group * in_cg);
-
     const std::size_t k = g.colRows();
-    if (scr.gemmOut.size() != out_cg * n_pos)
-        scr.gemmOut.resize(out_cg * n_pos);
     const float *wg = weight.value.data() +
                       group * out_cg * in_cg * spc.kernel * spc.kernel;
+    float *ybase = y.data() + (item * spc.outC + group * out_cg) * full;
+    const float *bvals = bias.value.data() + group * out_cg;
+
+    if (!perf) {
+        // Zero-copy output path: seed each output plane with its
+        // bias, then let SGEMM accumulate the product straight into y
+        // (beta = 1) — no gemmOut staging buffer, no final add+copy.
+        // Per cell this computes b + sum(k-order), bitwise equal to
+        // the staged sum(k-order) + b (float add is commutative).
+        for (std::size_t f = 0; f < out_cg; ++f)
+            std::fill(ybase + f * full, ybase + (f + 1) * full,
+                      bvals[f]);
+        const float *bmat;
+        if (is1x1Passthrough()) {
+            // A 1x1/stride-1/pad-0 conv's im2col matrix is exactly
+            // the input channel window (in_cg rows of one contiguous
+            // plane each): skip im2col and read the input in place.
+            bmat = x.data() +
+                   (item * x.shape().c + group * in_cg) * full;
+        } else {
+            // im2col writes the packed-B panel layout the kernel
+            // consumes (row-major k x full), fused: there is no
+            // second packing pass between expansion and SGEMM.
+            im2col(x, item, g, scr.cols, group * in_cg);
+            bmat = scr.cols.data();
+        }
+        sgemm(false, false, out_cg, full, k, wg, bmat, ybase, 1.0f);
+        return;
+    }
+
+    // Perforated path: compute the sampled positions densely, then
+    // interpolate into y.
+    im2colAt(x, item, g, sample, scr.cols, group * in_cg);
+    if (scr.gemmOut.size() < out_cg * n_pos)
+        scr.gemmOut.resize(out_cg * n_pos);
     sgemm(false, false, out_cg, n_pos, k, wg, scr.cols.data(),
           scr.gemmOut.data());
 
-    float *ybase = y.data() + (item * spc.outC + group * out_cg) * full;
-    const float *bvals = bias.value.data() + group * out_cg;
     for (std::size_t f = 0; f < out_cg; ++f) {
         float *yplane = ybase + f * full;
         const float *orow = scr.gemmOut.data() + f * n_pos;
         const float b = bvals[f];
-        if (!perf) {
-            for (std::size_t p = 0; p < full; ++p)
-                yplane[p] = orow[p] + b;
-        } else if (interpMode == InterpolationMode::Nearest) {
+        if (interpMode == InterpolationMode::Nearest) {
             // Scatter computed positions, then interpolate the rest
             // from their nearest computed neighbour.
             for (std::size_t p = 0; p < full; ++p)
@@ -268,6 +289,23 @@ ConvLayer::forward(const Tensor &x, bool train)
     return y;
 }
 
+const PackedPanel &
+ConvLayer::packedWeightT(std::size_t group)
+{
+    const std::size_t in_cg = spc.inC / spc.groups;
+    const std::size_t out_cg = spc.outC / spc.groups;
+    const std::size_t k = in_cg * spc.kernel * spc.kernel;
+    if (wtPack.size() < spc.groups)
+        wtPack.resize(spc.groups);
+    PackedPanel &panel = wtPack[group];
+    if (panel.generation != weight.generation()) {
+        const float *wg = weight.value.data() + group * out_cg * k;
+        packWeights(true, k, out_cg, wg, panel);
+        panel.generation = weight.generation();
+    }
+    return panel;
+}
+
 Tensor
 ConvLayer::backward(const Tensor &dy)
 {
@@ -305,16 +343,17 @@ ConvLayer::backward(const Tensor &dy)
                 dy.data() + (i * spc.outC + gp * out_cg) * full;
             float *wgrad = weight.grad.data() +
                            gp * out_cg * in_cg * spc.kernel * spc.kernel;
-            const float *wval = weight.value.data() +
-                                gp * out_cg * in_cg * spc.kernel *
-                                    spc.kernel;
 
             // dW += dY * cols^T  (out_cg x full) * (full x k)
             sgemm(false, true, out_cg, k, full, dyg, cols.data(),
                   wgrad, 1.0f);
 
-            // dcols = W^T * dY  (k x out_cg) * (out_cg x full)
-            sgemm(true, false, k, full, out_cg, wval, dyg, dcols.data());
+            // dcols = W^T * dY  (k x out_cg) * (out_cg x full).
+            // W^T comes from the per-group packed panel: the weight
+            // is constant across the item loop, so it is materialized
+            // once per generation instead of repacked per item.
+            sgemm(false, false, k, full, out_cg,
+                  packedWeightT(gp).ptr(), dyg, dcols.data());
 
             // Scatter-add straight into this group's channel window.
             col2im(dcols, i, g, dx, gp * in_cg);

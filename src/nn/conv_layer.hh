@@ -84,14 +84,28 @@ class ConvLayer : public Layer
     InterpolationMode interpolationMode() const { return interpMode; }
 
     /**
-     * Per-lane scratch (im2col panel + SGEMM output), pooled so the
-     * hot path performs no per-forward allocations once warm.
+     * Per-lane scratch (fused im2col/packed-B panel + SGEMM output),
+     * pooled and grow-only so the hot path performs no per-forward
+     * allocations once warm, even when full-resolution and perforated
+     * layers alternate on the same lane.
      */
     struct Scratch
     {
         std::vector<float> cols;
         std::vector<float> gemmOut;
     };
+
+    /**
+     * True when this layer's convolution is a pure channel mixer
+     * (1x1 kernel, stride 1, no padding): its im2col matrix is
+     * bit-for-bit the input channel window, so forward feeds SGEMM
+     * the input tensor directly with no im2col at all.
+     */
+    bool
+    is1x1Passthrough() const
+    {
+        return spc.kernel == 1 && spc.stride == 1 && spc.pad == 0;
+    }
 
   private:
     /** Lazily build the sampled-position set and interpolation map. */
@@ -100,6 +114,9 @@ class ConvLayer : public Layer
     /** Forward for one batch item and one group. */
     void forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
                           std::size_t group, Scratch &scr);
+
+    /** Per-group packed W^T panels for backward, gen-checked. */
+    const PackedPanel &packedWeightT(std::size_t group);
 
     ConvSpec spc;
     Param weight; ///< [outC, inC/groups, k, k]
@@ -122,6 +139,10 @@ class ConvLayer : public Layer
 
     // Per-lane scratch pool, sized to the thread count on demand.
     std::vector<Scratch> scratch;
+
+    /// per-group W^T panels (colRows x outC/groups) reused across the
+    /// backward item loop; invalidated by weight generation bumps
+    std::vector<PackedPanel> wtPack;
 };
 
 } // namespace pcnn

@@ -44,6 +44,16 @@ FcLayer::flopsPerImage(const Shape &in) const
     return 2.0 * double(nIn) * double(nOut);
 }
 
+const PackedPanel &
+FcLayer::packedWeightT()
+{
+    if (wPack.generation != weight.generation()) {
+        packWeights(true, nIn, nOut, weight.value.data(), wPack);
+        wPack.generation = weight.generation();
+    }
+    return wPack;
+}
+
 Tensor
 FcLayer::forward(const Tensor &x, bool train)
 {
@@ -54,11 +64,13 @@ FcLayer::forward(const Tensor &x, bool train)
     // Seed every output row with the bias, then accumulate the
     // product on top (beta = 1) so y is streamed through only once:
     // y[batch x nOut] = bias + x[batch x nIn] * W^T[nIn x nOut].
+    // W^T comes from the persistent packed panel, so the weight is
+    // repacked only when it changes — not on every forward call.
     for (std::size_t i = 0; i < batch; ++i)
         std::copy(bias.value.data(), bias.value.data() + nOut,
                   y.data() + i * nOut);
-    sgemm(false, true, batch, nOut, nIn, x.data(), weight.value.data(),
-          y.data(), 1.0f);
+    sgemmPrepacked(batch, nOut, nIn, x.data(), packedWeightT(),
+                   y.data(), 1.0f);
 
     if (train) {
         lastInput = x;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "nn/layer.hh"
+#include "tensor/tensor_ops.hh"
 
 namespace pcnn {
 
@@ -45,11 +46,18 @@ class FcLayer : public Layer
     std::size_t outFeatures() const { return nOut; }
 
   private:
+    /** W^T panel for forward, rebuilt when `weight` changes. */
+    const PackedPanel &packedWeightT();
+
     std::string layerName;
     std::size_t nIn;
     std::size_t nOut;
     Param weight; ///< [outFeatures, inFeatures, 1, 1]
     Param bias;   ///< [1, outFeatures, 1, 1]
+
+    /// persistent packed W^T (nIn x nOut), generation-tagged against
+    /// `weight` so SGD steps and weight loads invalidate it
+    PackedPanel wPack;
 
     Tensor lastInput; ///< flattened to [n, nIn, 1, 1]
     bool haveCache = false;

@@ -116,9 +116,14 @@ InceptionLayer::forward(const Tensor &x, bool train)
     std::size_t c_off = 0;
     const std::size_t plane = out.h * out.w;
     for (auto &branch : branches) {
-        Tensor a = x;
-        for (auto &layer : branch)
-            a = layer->forward(a, train);
+        // Feed the shared input to each branch head by reference —
+        // no per-branch copy of x.
+        Tensor a;
+        const Tensor *cur = &x;
+        for (auto &layer : branch) {
+            a = layer->forward(*cur, train);
+            cur = &a;
+        }
         // Concatenate along channels.
         const Shape &bs = a.shape();
         for (std::size_t n = 0; n < bs.n; ++n) {

@@ -10,6 +10,7 @@
 #ifndef PCNN_NN_LAYER_HH
 #define PCNN_NN_LAYER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,17 @@
 
 namespace pcnn {
 
-/** A trainable parameter: value and accumulated gradient. */
+/**
+ * A trainable parameter: value and accumulated gradient.
+ *
+ * `value` carries a generation counter so layers can cache derived
+ * forms of a parameter (packed SGEMM panels, DESIGN.md §5d) and
+ * rebuild them only when the parameter actually changed. Every code
+ * path that writes `value` after construction must call
+ * markUpdated(): the optimizer does after each step, weight
+ * deserialization does after each load, and test code that perturbs
+ * weights by hand must as well.
+ */
 struct Param
 {
     Tensor value;
@@ -29,6 +40,19 @@ struct Param
     {
         grad.fill(0.0f);
     }
+
+    /**
+     * Monotone counter identifying the current contents of `value`.
+     * Starts at 1 so a zero-initialized cache generation is always
+     * stale.
+     */
+    std::uint64_t generation() const { return gen; }
+
+    /** Record that `value` changed; invalidates packed caches. */
+    void markUpdated() { ++gen; }
+
+  private:
+    std::uint64_t gen = 1;
 };
 
 /**

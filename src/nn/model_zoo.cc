@@ -256,6 +256,27 @@ makeMiniAlexNet(Rng &rng, std::size_t classes)
 }
 
 Network
+makeMiniVgg(Rng &rng, std::size_t classes)
+{
+    const Shape in{1, 1, 16, 16};
+    Network net("MiniVgg", in);
+    net.add<ConvLayer>(conv("CONV1_1", 1, 12, 3, 1, 1, 16), rng);
+    net.add<ReluLayer>("RELU1_1");
+    net.add<ConvLayer>(conv("CONV1_2", 12, 12, 3, 1, 1, 16), rng);
+    net.add<ReluLayer>("RELU1_2");
+    net.add<MaxPoolLayer>("POOL1", 2, 2); // 16 -> 8
+    net.add<ConvLayer>(conv("CONV2_1", 12, 24, 3, 1, 1, 8), rng);
+    net.add<ReluLayer>("RELU2_1");
+    net.add<ConvLayer>(conv("CONV2_2", 24, 24, 3, 1, 1, 8), rng);
+    net.add<ReluLayer>("RELU2_2");
+    net.add<MaxPoolLayer>("POOL2", 2, 2); // 8 -> 4
+    net.add<FcLayer>("FC1", 24 * 4 * 4, 48, rng);
+    net.add<ReluLayer>("RELU_FC1");
+    net.add<FcLayer>("FC2", 48, classes, rng);
+    return net;
+}
+
+Network
 makeMiniInception(Rng &rng, std::size_t classes)
 {
     const Shape in{1, 1, 16, 16};

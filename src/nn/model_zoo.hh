@@ -97,6 +97,14 @@ Network makeMiniNet(MiniSize size, Rng &rng, std::size_t classes = 8);
 Network makeMiniAlexNet(Rng &rng, std::size_t classes = 8);
 
 /**
+ * Build a trainable VGG-style network over 1x16x16 inputs: two
+ * stacked-3x3 conv blocks with 2x2 pooling and a two-layer classifier
+ * — the VGGNet pattern (uniform small filters, depth over width) in a
+ * trainable package.
+ */
+Network makeMiniVgg(Rng &rng, std::size_t classes = 8);
+
+/**
  * Build a trainable inception-style network over 1x16x16 inputs:
  * stem conv, one standard four-branch inception module, global
  * average pooling, classifier. Exercises the branched functional

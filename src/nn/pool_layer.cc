@@ -38,44 +38,47 @@ MaxPoolLayer::forward(const Tensor &x, bool train)
 
     const Shape &in = x.shape();
     // Each (n, c) plane pools independently — fan out over the pool.
+    // The valid tap window is clipped once per output coordinate
+    // (padding never wins), so the inner loops scan raw rows with no
+    // per-tap bounds tests; the scan order over valid taps is the
+    // same (ky, kx) order as before, so `v > best` picks identical
+    // winners. Inference skips the argmax bookkeeping entirely.
     parallelFor(in.n * in.c, [&](std::size_t p0, std::size_t p1,
                                  std::size_t) {
         for (std::size_t plane = p0; plane < p1; ++plane) {
-            const std::size_t n = plane / in.c;
-            const std::size_t c = plane % in.c;
             const float *src = x.data() + plane * in.h * in.w;
+            float *dst = y.data() + plane * out.h * out.w;
             for (std::size_t oy = 0; oy < out.h; ++oy) {
+                const std::size_t y0 =
+                    oy * stride >= pad ? oy * stride - pad : 0;
+                const std::size_t y1 = std::min<std::size_t>(
+                    in.h, oy * stride + window - pad);
                 for (std::size_t ox = 0; ox < out.w; ++ox) {
+                    const std::size_t x0 =
+                        ox * stride >= pad ? ox * stride - pad : 0;
+                    const std::size_t x1 = std::min<std::size_t>(
+                        in.w, ox * stride + window - pad);
                     float best = -1e30f;
                     std::size_t best_idx = 0;
-                    for (std::size_t ky = 0; ky < window; ++ky) {
-                        for (std::size_t kx = 0; kx < window; ++kx) {
-                            const long iy =
-                                long(oy * stride + ky) - long(pad);
-                            const long ix =
-                                long(ox * stride + kx) - long(pad);
-                            if (iy < 0 || iy >= long(in.h) || ix < 0 ||
-                                ix >= long(in.w)) {
-                                continue; // padding never wins
+                    for (std::size_t iy = y0; iy < y1; ++iy) {
+                        const float *row = src + iy * in.w;
+                        if (train) {
+                            for (std::size_t ix = x0; ix < x1; ++ix) {
+                                if (row[ix] > best) {
+                                    best = row[ix];
+                                    best_idx = plane * in.h * in.w +
+                                               iy * in.w + ix;
+                                }
                             }
-                            const float v =
-                                src[std::size_t(iy) * in.w +
-                                    std::size_t(ix)];
-                            if (v > best) {
-                                best = v;
-                                best_idx = ((n * in.c + c) * in.h +
-                                            std::size_t(iy)) *
-                                               in.w +
-                                           std::size_t(ix);
-                            }
+                        } else {
+                            for (std::size_t ix = x0; ix < x1; ++ix)
+                                best = row[ix] > best ? row[ix] : best;
                         }
                     }
-                    y.data()[((n * out.c + c) * out.h + oy) * out.w +
-                             ox] = best;
-                    if (train) {
-                        argmaxIdx[((n * out.c + c) * out.h + oy) * out.w +
+                    dst[oy * out.w + ox] = best;
+                    if (train)
+                        argmaxIdx[plane * out.h * out.w + oy * out.w +
                                   ox] = best_idx;
-                    }
                 }
             }
         }

@@ -108,6 +108,9 @@ deserializeWeights(Network &net,
     for (const Pending &pd : pending) {
         std::memcpy(pd.param->value.data(), bytes.data() + pd.offset,
                     pd.count * 4);
+        // Loaded weights replace the packed-panel caches' source:
+        // bump the generation so every cache repacks on next use.
+        pd.param->markUpdated();
     }
     return true;
 }

@@ -237,6 +237,38 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     }
 }
 
+void
+packWeights(bool trans, std::size_t rows, std::size_t cols,
+            const float *w, PackedPanel &panel)
+{
+    PCNN_CHECK(rows * cols == 0 || w != nullptr,
+               "packWeights: null source for ", rows, "x", cols);
+    if (panel.data.size() < rows * cols)
+        panel.data.resize(rows * cols);
+    panel.rows = rows;
+    panel.cols = cols;
+    if (rows * cols == 0)
+        return;
+    if (trans)
+        packB(cols, rows, w, panel.data.data());
+    else
+        std::memcpy(panel.data.data(), w,
+                    rows * cols * sizeof(float));
+}
+
+void
+sgemmPrepacked(std::size_t m, std::size_t n, std::size_t k,
+               const float *a, const PackedPanel &b, float *c,
+               float beta)
+{
+    PCNN_CHECK(b.rows == k && b.cols == n, "sgemmPrepacked: panel ",
+               b.rows, "x", b.cols, " mismatches k=", k, " n=", n);
+    // A packed panel is the row-major k x n matrix the kernel wants;
+    // the non-transposed sgemm path consumes it with zero copies and
+    // the identical micro-kernel schedule.
+    sgemm(false, false, m, n, k, a, b.ptr(), c, beta);
+}
+
 std::size_t
 ConvGeom::outH() const
 {
@@ -288,7 +320,10 @@ im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
     const std::size_t oh = g.outH(), ow = g.outW();
     const std::size_t n_cols = oh * ow;
     const std::size_t rows = g.colRows();
-    if (cols.size() != rows * n_cols)
+    // Grow-only: alternating geometries (perforated vs. full layers
+    // sharing one scratch pool) must not shrink and regrow the
+    // allocation on every call.
+    if (cols.size() < rows * n_cols)
         cols.resize(rows * n_cols);
 
     const std::size_t plane = g.inH * g.inW;
@@ -351,7 +386,7 @@ im2colAt(const Tensor &x, std::size_t item, const ConvGeom &g,
                     " outside output grid");
     const std::size_t n_cols = positions.size();
     const std::size_t rows = g.colRows();
-    if (cols.size() != rows * n_cols)
+    if (cols.size() < rows * n_cols)
         cols.resize(rows * n_cols);
 
     const std::size_t plane = g.inH * g.inW;
@@ -398,7 +433,7 @@ col2im(const std::vector<float> &cols, std::size_t item,
                 " mismatches geometry at channel offset ", chan_off);
     const std::size_t oh = g.outH(), ow = g.outW();
     const std::size_t n_cols = oh * ow;
-    pcnn_assert(cols.size() == g.colRows() * n_cols,
+    pcnn_assert(cols.size() >= g.colRows() * n_cols,
                 "col2im buffer size mismatch");
 
     const std::size_t plane = g.inH * g.inW;

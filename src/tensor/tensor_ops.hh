@@ -13,6 +13,7 @@
 #define PCNN_TENSOR_TENSOR_OPS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.hh"
@@ -46,6 +47,59 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t k, const float *a, const float *b, float *c,
            float beta = 0.0f);
 
+/**
+ * A matrix operand materialized in the exact row-major layout the
+ * SGEMM micro-kernel consumes: op(X) stored dense, rows x cols.
+ *
+ * `sgemm` builds such panels internally — and throws them away — on
+ * every call with a transposed operand. Packing a *constant* operand
+ * (layer weights) into a persistent PackedPanel once and reusing it
+ * via sgemmPrepacked() removes that per-call copy entirely; this is
+ * the zero-repack inference hot path of DESIGN.md §5d.
+ *
+ * Because the panel is an ordinary row-major matrix, `data.data()`
+ * may equally be fed to sgemm() as a plain non-transposed operand on
+ * either side of the product (the conv backward pass does this for
+ * its packed W^T panels).
+ *
+ * `generation` tags which Param::generation() the panel was packed
+ * from; 0 (never packed) is always stale.
+ */
+struct PackedPanel
+{
+    std::vector<float> data;      ///< grow-only backing store
+    std::size_t rows = 0;         ///< rows of op(X)
+    std::size_t cols = 0;         ///< cols of op(X)
+    std::uint64_t generation = 0; ///< source Param generation
+
+    /** Kernel-ready pointer to the packed rows x cols matrix. */
+    const float *ptr() const { return data.data(); }
+};
+
+/**
+ * Materialize op(W) into `panel` as a row-major rows x cols matrix.
+ * @param trans if true, w is stored transposed (cols x rows) and is
+ *        repacked; if false, w is copied verbatim
+ * @param rows rows of op(W)
+ * @param cols cols of op(W)
+ *
+ * The caller owns `panel.generation`; packWeights only fills data and
+ * dimensions (the backing store grows but never shrinks).
+ */
+void packWeights(bool trans, std::size_t rows, std::size_t cols,
+                 const float *w, PackedPanel &panel);
+
+/**
+ * C = A * B + beta * C with a prepacked B panel: A is row-major
+ * m x k, `b` must hold a k x n panel. Bitwise identical to
+ * sgemm(false, trans, m, n, k, a, w, c, beta) where `b` was packed
+ * from w with packWeights(trans, ...) — same micro-kernels, same
+ * per-cell accumulation order — minus the per-call packing pass.
+ */
+void sgemmPrepacked(std::size_t m, std::size_t n, std::size_t k,
+                    const float *a, const PackedPanel &b, float *c,
+                    float beta = 0.0f);
+
 /** Geometry of a convolution viewed from one input item. */
 struct ConvGeom
 {
@@ -71,10 +125,15 @@ struct ConvGeom
  * (S_f^2 N_c) x (W_o H_o) column-major-of-patches matrix (stored
  * row-major, one row per filter element).
  *
+ * The output layout doubles as a ready-to-consume SGEMM B panel
+ * (row-major colRows() x positions): the conv forward path feeds it
+ * to the kernel directly, with no intermediate packing pass.
+ *
  * @param x input tensor (any batch size)
  * @param item which batch item to expand
  * @param g convolution geometry
- * @param cols output buffer, resized to colRows() x (outH*outW)
+ * @param cols output buffer, grown (never shrunk) to at least
+ *        colRows() x (outH*outW); the result occupies that prefix
  * @param chan_off first input channel to read (grouped convolution
  *        reads a g.inC-wide channel window of a wider tensor)
  */

@@ -44,6 +44,9 @@ SgdOptimizer::step(const std::vector<Param *> &params)
                 p->value[i] += vel[i];
             }
         });
+        // The step mutated the parameter: stale-out any packed-panel
+        // caches derived from it.
+        p->markUpdated();
     }
 }
 

@@ -272,12 +272,17 @@ gradCheck(Layer &layer, const Shape &in_shape, double tol)
         const std::size_t stride = std::max<std::size_t>(
             1, p->value.size() / 5);
         for (std::size_t i = 0; i < p->value.size(); i += stride) {
+            // Direct writes to a Param must announce themselves so
+            // packed-weight caches (DESIGN.md §5d) are invalidated.
             const float orig = p->value[i];
             p->value[i] = orig + eps;
+            p->markUpdated();
             const double up = objective();
             p->value[i] = orig - eps;
+            p->markUpdated();
             const double dn = objective();
             p->value[i] = orig;
+            p->markUpdated();
             const double numeric = (up - dn) / (2.0 * eps);
             ASSERT_NEAR(p->grad[i], numeric,
                         tol * (1.0 + std::abs(numeric)))

@@ -1,32 +1,44 @@
 #!/usr/bin/env bash
-# Run the CPU-substrate microbenches and snapshot the results as JSON.
+# Run the benchmark suites and snapshot the results as JSON.
 #
-# Usage: tools/run_bench.sh [build-dir] [output.json]
+# Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json]
 #
-# Defaults: build directory ./build, output BENCH_pr1.json in the
-# repository root. The snapshot records SGEMM / im2col / conv-forward
-# throughput (including the AlexNet CONV2 acceptance shape) at 1..4
-# pool lanes; thread counts above the host core count are expected to
-# be flat, not faster — the guarantee under test is that they stay
-# bitwise identical, which tests/test_parallel.cc asserts.
+# Defaults: build directory ./build, micro-kernel output
+# BENCH_pr1.json and end-to-end model output BENCH_pr3.json in the
+# repository root.
+#
+# BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
+# (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
+# thread counts above the host core count are expected to be flat,
+# not faster — the guarantee under test is that they stay bitwise
+# identical, which tests/test_parallel.cc asserts.
+#
+# BENCH_pr3.json records whole-network forward latency for the
+# model-zoo nets (MiniAlexNet / MiniVgg / MiniInception) at batch
+# 1/4/16, full-resolution and 25%-perforated — the zero-repack hot
+# path acceptance numbers (DESIGN.md section 5d).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-out_json="${2:-$repo_root/BENCH_pr1.json}"
+micro_json="${2:-$repo_root/BENCH_pr1.json}"
+e2e_json="${3:-$repo_root/BENCH_pr3.json}"
 
-bench_bin="$build_dir/bench/bench_micro_kernels"
-if [[ ! -x "$bench_bin" ]]; then
-    echo "error: $bench_bin not built; run:" >&2
-    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
-    exit 1
-fi
+run_bench() {
+    local bench_bin="$1" out_json="$2"
+    if [[ ! -x "$bench_bin" ]]; then
+        echo "error: $bench_bin not built; run:" >&2
+        echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+        exit 1
+    fi
+    # Old google-benchmark: --benchmark_min_time takes a bare double (s).
+    "$bench_bin" \
+        --benchmark_min_time=0.25 \
+        --benchmark_format=json \
+        --benchmark_out="$out_json" \
+        --benchmark_out_format=json
+    echo "wrote $out_json"
+}
 
-# Old google-benchmark: --benchmark_min_time takes a bare double (s).
-"$bench_bin" \
-    --benchmark_min_time=0.25 \
-    --benchmark_format=json \
-    --benchmark_out="$out_json" \
-    --benchmark_out_format=json
-
-echo "wrote $out_json"
+run_bench "$build_dir/bench/bench_micro_kernels" "$micro_json"
+run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
