@@ -17,6 +17,8 @@
 
 #include "common/parallel.hh"
 #include "common/random.hh"
+#include "nn/conv_layer.hh"
+#include "nn/fusion.hh"
 #include "nn/model_zoo.hh"
 #include "nn/network.hh"
 
@@ -109,6 +111,88 @@ BENCHMARK(BM_E2EMiniVgg) PCNN_E2E_ARGS;
 BENCHMARK(BM_E2EMiniInception) PCNN_E2E_ARGS;
 
 #undef PCNN_E2E_ARGS
+
+// ------------------------------- per-algorithm layer breakdowns
+
+/**
+ * One conv layer, one algorithm, batch 1: the per-shape latency
+ * table behind the conv-algorithm cost model (DESIGN.md §5e).
+ * range(0) indexes the shape sweep below — the MiniVgg 3x3 layers
+ * plus two full-size VGG-16 shapes; range(1) is the ConvAlgo
+ * encoding (0 = im2col, 2 = winograd) or -1 for cost-model
+ * dispatch, so the "auto" rows expose the dispatch regret directly.
+ *
+ * tools/run_bench.sh snapshots these rows (with the winograd
+ * microbench) as BENCH_pr4.json.
+ */
+struct AlgoShape
+{
+    const char *name;
+    std::size_t inC, outC, hw;
+};
+
+constexpr AlgoShape kAlgoShapes[] = {
+    {"minivgg_conv1_1", 1, 12, 16}, {"minivgg_conv1_2", 12, 12, 16},
+    {"minivgg_conv2_1", 12, 24, 8}, {"minivgg_conv2_2", 24, 24, 8},
+    {"vgg16_conv3", 128, 128, 28},  {"vgg16_conv2", 64, 64, 56},
+};
+
+void
+BM_ConvAlgoLayer(benchmark::State &state)
+{
+    const AlgoShape &sh = kAlgoShapes[state.range(0)];
+    Rng rng(42);
+    ConvSpec spec;
+    spec.name = sh.name;
+    spec.inC = sh.inC;
+    spec.outC = sh.outC;
+    spec.kernel = 3;
+    spec.stride = 1;
+    spec.pad = 1;
+    spec.inH = spec.inW = sh.hw;
+    ConvLayer layer(spec, rng);
+    if (state.range(1) >= 0)
+        layer.setAlgo(ConvAlgo(int(state.range(1))));
+
+    Tensor x(1, sh.inC, sh.hw, sh.hw);
+    x.fillGaussian(rng, 0, 1);
+    for (auto _ : state) {
+        Tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+    state.SetLabel(std::string(sh.name) + "/" +
+                   convAlgoName(layer.effectiveAlgo(false)));
+}
+
+BENCHMARK(BM_ConvAlgoLayer)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5},
+                   {int(ConvAlgo::Im2col), int(ConvAlgo::Winograd),
+                    -1}});
+
+/**
+ * Whole-net MiniVgg forward with the ReLU-folding peephole on vs.
+ * off (cost-model conv dispatch either way): the fused-epilogue
+ * payoff at the network level.
+ */
+void
+BM_E2EMiniVggReluFolding(benchmark::State &state)
+{
+    Rng rng(42);
+    Network net = makeMiniVgg(rng);
+    const Shape in = net.inputShape();
+    Tensor x(Shape{1, in.c, in.h, in.w});
+    x.fillGaussian(rng, 0, 1);
+
+    setReluFolding(state.range(0) != 0);
+    for (auto _ : state) {
+        Tensor y = net.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    setReluFolding(true);
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_E2EMiniVggReluFolding)->Arg(0)->Arg(1);
 
 /**
  * Alternating full/perforated forwards through one net: the

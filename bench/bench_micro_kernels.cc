@@ -80,6 +80,39 @@ BM_ConvForward(benchmark::State &state)
 BENCHMARK(BM_ConvForward)->Arg(100)->Arg(50)->Arg(25);
 
 /**
+ * The same 3x3 layer pinned to one conv algorithm: the winograd
+ * F(2x2,3x3) route vs. the im2col lowering, head to head on a shape
+ * where the cost model prefers winograd. range(0) selects the
+ * ConvAlgo encoding (0 = im2col, 2 = winograd).
+ */
+void
+BM_ConvForwardAlgo(benchmark::State &state)
+{
+    Rng rng(3);
+    ConvSpec spec;
+    spec.name = "bench";
+    spec.inC = 64;
+    spec.outC = 64;
+    spec.kernel = 3;
+    spec.stride = 1;
+    spec.pad = 1;
+    spec.inH = spec.inW = 28;
+    ConvLayer layer(spec, rng);
+    layer.setAlgo(ConvAlgo(int(state.range(0))));
+    Tensor x(1, 64, 28, 28);
+    x.fillGaussian(rng, 0, 1);
+
+    for (auto _ : state) {
+        Tensor y = layer.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_ConvForwardAlgo)
+    ->Arg(int(ConvAlgo::Im2col))
+    ->Arg(int(ConvAlgo::Winograd));
+
+/**
  * SGEMM thread scaling: range(0) = matrix size, range(1) = pool
  * lanes. The GFLOPS counter makes speedups directly comparable in
  * the JSON snapshot (tools/run_bench.sh).

@@ -6,6 +6,8 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "nn/fusion.hh"
+#include "tensor/winograd.hh"
 
 namespace pcnn {
 
@@ -81,6 +83,46 @@ void
 ConvLayer::setInterpolationMode(InterpolationMode mode)
 {
     interpMode = mode;
+}
+
+void
+ConvLayer::setAlgo(ConvAlgo a)
+{
+    PCNN_CHECK(spc.algoEligible(a), "layer ", spc.name, ": algorithm ",
+               convAlgoName(a), " is not eligible for kernel=",
+               spc.kernel, " stride=", spc.stride, " pad=", spc.pad);
+    algoPinned = true;
+    algoSel = a;
+}
+
+void
+ConvLayer::clearAlgo()
+{
+    algoPinned = false;
+    algoSel = ConvAlgo::Im2col;
+}
+
+ConvAlgo
+ConvLayer::plannedAlgo() const
+{
+    return algoPinned ? algoSel : selectConvAlgo(spc);
+}
+
+ConvAlgo
+ConvLayer::effectiveAlgo(bool train) const
+{
+    // Training and perforated forwards stay on the exact route: the
+    // backward pass caches im2col-consumable activations, and the
+    // perforated path computes scattered positions winograd tiles
+    // cannot express. The 1x1 shortcut is bitwise equal to im2col,
+    // so it remains in force for both.
+    if (train || perforated())
+        return is1x1Passthrough() ? ConvAlgo::Direct1x1
+                                  : ConvAlgo::Im2col;
+    ConvAlgo forced;
+    if (forcedConvAlgo(forced) && spc.algoEligible(forced))
+        return forced;
+    return plannedAlgo();
 }
 
 void
@@ -179,7 +221,8 @@ ConvLayer::rebuildSampling()
 
 void
 ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
-                            std::size_t group, Scratch &scr)
+                            std::size_t group, ConvAlgo algo,
+                            bool fuse_relu, Scratch &scr)
 {
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
@@ -196,6 +239,15 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     float *ybase = y.data() + (item * spc.outC + group * out_cg) * full;
     const float *bvals = bias.value.data() + group * out_cg;
 
+    if (!perf && algo == ConvAlgo::Winograd) {
+        // Transform-domain fast path; bias and the folded ReLU are
+        // applied in the output transform (winoPack was materialized
+        // before the fan-out, so this only reads it).
+        winogradForward(x, item, g, group * in_cg, winoPack[group],
+                        bvals, y, group * out_cg, fuse_relu, scr.wino);
+        return;
+    }
+
     if (!perf) {
         // Zero-copy output path: seed each output plane with its
         // bias, then let SGEMM accumulate the product straight into y
@@ -206,7 +258,7 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
             std::fill(ybase + f * full, ybase + (f + 1) * full,
                       bvals[f]);
         const float *bmat;
-        if (is1x1Passthrough()) {
+        if (algo == ConvAlgo::Direct1x1) {
             // A 1x1/stride-1/pad-0 conv's im2col matrix is exactly
             // the input channel window (in_cg rows of one contiguous
             // plane each): skip im2col and read the input in place.
@@ -219,12 +271,20 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
             im2col(x, item, g, scr.cols, group * in_cg);
             bmat = scr.cols.data();
         }
-        sgemm(false, false, out_cg, full, k, wg, bmat, ybase, 1.0f);
+        // The folded ReLU rides the epilogue's store pass (bias is
+        // already seeded, so the epilogue clamps only): bitwise equal
+        // to a separate ReLU sweep over the same sums.
+        Epilogue epi;
+        if (fuse_relu)
+            epi.op = EpilogueOp::BiasRelu;
+        sgemm(false, false, out_cg, full, k, wg, bmat, ybase, 1.0f,
+              epi);
         return;
     }
 
     // Perforated path: compute the sampled positions densely, then
-    // interpolate into y.
+    // interpolate into y (clamping in the fill loop when a ReLU was
+    // folded — same values as clamping afterwards).
     im2colAt(x, item, g, sample, scr.cols, group * in_cg);
     if (scr.gemmOut.size() < out_cg * n_pos)
         scr.gemmOut.resize(out_cg * n_pos);
@@ -238,15 +298,19 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
         if (interpMode == InterpolationMode::Nearest) {
             // Scatter computed positions, then interpolate the rest
             // from their nearest computed neighbour.
-            for (std::size_t p = 0; p < full; ++p)
-                yplane[p] = orow[fillFrom[p]] + b;
+            for (std::size_t p = 0; p < full; ++p) {
+                const float v = orow[fillFrom[p]] + b;
+                yplane[p] = (fuse_relu && v < 0.0f) ? 0.0f : v;
+            }
         } else {
             // Average the surrounding computed grid corners.
             for (std::size_t p = 0; p < full; ++p) {
                 const auto &src = fillAvg[p];
-                yplane[p] = 0.25f * (orow[src[0]] + orow[src[1]] +
-                                     orow[src[2]] + orow[src[3]]) +
-                            b;
+                const float v =
+                    0.25f * (orow[src[0]] + orow[src[1]] +
+                             orow[src[2]] + orow[src[3]]) +
+                    b;
+                yplane[p] = (fuse_relu && v < 0.0f) ? 0.0f : v;
             }
         }
     }
@@ -255,10 +319,31 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
 Tensor
 ConvLayer::forward(const Tensor &x, bool train)
 {
+    return forwardImpl(x, train, false);
+}
+
+Tensor
+ConvLayer::forwardFusedRelu(const Tensor &x)
+{
+    return forwardImpl(x, false, true);
+}
+
+Tensor
+ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
+{
     const Shape out_shape = outputShape(x.shape());
     Tensor y(out_shape);
     if (scratch.size() < threadCount())
         scratch.resize(threadCount());
+
+    const ConvAlgo algo = effectiveAlgo(train);
+    if (algo == ConvAlgo::Winograd) {
+        // Materialize every group's transformed weights before the
+        // fan-out: the cache is shared mutable state, the jobs only
+        // read it.
+        for (std::size_t gp = 0; gp < spc.groups; ++gp)
+            winogradGroupWeights(gp);
+    }
 
     // One job per (item, group) pair; each job writes a disjoint
     // output slab, so any static partition yields identical results.
@@ -267,7 +352,7 @@ ConvLayer::forward(const Tensor &x, bool train)
     const std::size_t jobs = x.shape().n * spc.groups;
     auto run_job = [&](std::size_t job, std::size_t lane) {
         forwardItemGroup(x, y, job / spc.groups, job % spc.groups,
-                         scratch[lane]);
+                         algo, fuse_relu, scratch[lane]);
     };
     if (jobs >= threadCount() && !inParallelRegion()) {
         parallelFor(jobs, [&](std::size_t j0, std::size_t j1,
@@ -287,6 +372,23 @@ ConvLayer::forward(const Tensor &x, bool train)
         haveCache = true;
     }
     return y;
+}
+
+const WinogradWeights &
+ConvLayer::winogradGroupWeights(std::size_t group)
+{
+    const std::size_t in_cg = spc.inC / spc.groups;
+    const std::size_t out_cg = spc.outC / spc.groups;
+    if (winoPack.size() < spc.groups)
+        winoPack.resize(spc.groups);
+    WinogradWeights &wts = winoPack[group];
+    if (wts.generation != weight.generation()) {
+        const float *wg =
+            weight.value.data() + group * out_cg * in_cg * 9;
+        winogradTransformWeights(wg, in_cg, out_cg, wts);
+        wts.generation = weight.generation();
+    }
+    return wts;
 }
 
 const PackedPanel &

@@ -20,6 +20,7 @@
 
 #include "nn/conv_spec.hh"
 #include "nn/layer.hh"
+#include "tensor/winograd.hh"
 
 namespace pcnn {
 
@@ -51,9 +52,31 @@ class ConvLayer : public Layer
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     double flopsPerImage(const Shape &in) const override;
+    bool canFuseRelu() const override { return true; }
+    Tensor forwardFusedRelu(const Tensor &x) override;
 
     /** The architecture-level spec this layer realizes. */
     const ConvSpec &spec() const { return spc; }
+
+    /**
+     * Pin the conv algorithm (normally from an offline plan's
+     * per-layer field); must be eligible for this geometry.
+     */
+    void setAlgo(ConvAlgo a);
+
+    /** Remove a pinned algorithm; dispatch returns to the cost model. */
+    void clearAlgo();
+
+    /** Pinned algorithm, or the cost-model choice when unpinned. */
+    ConvAlgo plannedAlgo() const;
+
+    /**
+     * The algorithm the next forward will actually run: the
+     * PCNN_CONV_ALGO force (where eligible) beats the pinned plan
+     * choice beats the cost model; training and perforated forwards
+     * always take the exact im2col/1x1 route.
+     */
+    ConvAlgo effectiveAlgo(bool train) const;
 
     /**
      * Set the number of *computed* output positions per image.
@@ -93,6 +116,7 @@ class ConvLayer : public Layer
     {
         std::vector<float> cols;
         std::vector<float> gemmOut;
+        WinogradScratch wino;
     };
 
     /**
@@ -111,12 +135,23 @@ class ConvLayer : public Layer
     /** Lazily build the sampled-position set and interpolation map. */
     void rebuildSampling();
 
+    /** Shared forward body; fuse_relu folds a ReLU into the output. */
+    Tensor forwardImpl(const Tensor &x, bool train, bool fuse_relu);
+
     /** Forward for one batch item and one group. */
     void forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
-                          std::size_t group, Scratch &scr);
+                          std::size_t group, ConvAlgo algo,
+                          bool fuse_relu, Scratch &scr);
 
     /** Per-group packed W^T panels for backward, gen-checked. */
     const PackedPanel &packedWeightT(std::size_t group);
+
+    /**
+     * Per-group pre-transformed winograd weights, gen-checked. Not
+     * thread-safe: forwardImpl materializes every group before the
+     * (item, group) fan-out so workers only read.
+     */
+    const WinogradWeights &winogradGroupWeights(std::size_t group);
 
     ConvSpec spc;
     Param weight; ///< [outC, inC/groups, k, k]
@@ -143,6 +178,13 @@ class ConvLayer : public Layer
     /// per-group W^T panels (colRows x outC/groups) reused across the
     /// backward item loop; invalidated by weight generation bumps
     std::vector<PackedPanel> wtPack;
+
+    /// per-group winograd U^T panels (16 x inC/g x outC/g), persistent
+    /// across forwards; invalidated by weight generation bumps
+    std::vector<WinogradWeights> winoPack;
+
+    bool algoPinned = false; ///< plan pinned a specific algorithm
+    ConvAlgo algoSel = ConvAlgo::Im2col; ///< the pinned choice
 };
 
 } // namespace pcnn

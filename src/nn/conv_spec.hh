@@ -13,11 +13,34 @@
 #define PCNN_NN_CONV_SPEC_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
+
+/**
+ * Algorithm realizing a convolution on the CPU substrate
+ * (DESIGN.md §5e). The numeric values are the on-disk encoding of
+ * the per-layer algorithm field in version-2 kernel plans — never
+ * renumber.
+ */
+enum class ConvAlgo : std::uint8_t
+{
+    Im2col = 0,    ///< im2col expansion + SGEMM (always applicable)
+    Direct1x1 = 1, ///< in-place channel-mixer GEMM (1x1/s1/p0 only)
+    Winograd = 2,  ///< F(2x2,3x3) transform domain (3x3/s1 only)
+};
+
+/** Stable lower-case name, e.g. for plans, benches and env parsing. */
+const char *convAlgoName(ConvAlgo a);
+
+/**
+ * Parse a convAlgoName() string (also accepts "1x1" for Direct1x1).
+ * Returns false — leaving `out` untouched — on unknown input.
+ */
+bool parseConvAlgo(const std::string &s, ConvAlgo &out);
 
 /**
  * Shape-level description of a convolutional layer.
@@ -70,6 +93,28 @@ struct ConvSpec
     /** Number of independent SGEMMs (the group count). */
     std::size_t gemmCount() const { return groups; }
 
+    /** True when `a` can realize this layer's geometry. */
+    bool algoEligible(ConvAlgo a) const;
+
+    /** Winograd F(2x2,3x3) tile count per image (2x2-output tiles). */
+    std::size_t winogradTiles() const;
+
+    /**
+     * The per-transform-point GEMM the winograd lowering performs:
+     * M = tiles * batch, N = N_f / groups, K = N_c / groups. There
+     * are 16 such products per group (one per transform point), so
+     * winograd's gemmCount() analogue is 16 * groups.
+     */
+    GemmShape winogradGemmShape(std::size_t batch) const;
+
+    /**
+     * Elements streamed by the winograd input/output transforms for
+     * one batch: the 16-point transform-domain tensors plus one read
+     * of the input and one write of the output. Used by the time
+     * model to price the algorithm choice (DESIGN.md §5e).
+     */
+    double winogradTransformElems(std::size_t batch) const;
+
     /** Weight parameter count (including groups). */
     std::size_t weightCount() const;
 
@@ -79,6 +124,14 @@ struct ConvSpec
     /** Input activation element count per image. */
     std::size_t inputSizePerImage() const { return inC * inH * inW; }
 };
+
+/**
+ * CPU-calibrated cost model choosing the fastest eligible algorithm
+ * for a layer shape (the plan-time default; an offline plan or the
+ * PCNN_CONV_ALGO override can pin a different choice). Constants are
+ * fit against the per-algorithm latency sweep in BENCH_pr4.json.
+ */
+ConvAlgo selectConvAlgo(const ConvSpec &spec);
 
 } // namespace pcnn
 

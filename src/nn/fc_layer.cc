@@ -57,6 +57,18 @@ FcLayer::packedWeightT()
 Tensor
 FcLayer::forward(const Tensor &x, bool train)
 {
+    return forwardImpl(x, train, false);
+}
+
+Tensor
+FcLayer::forwardFusedRelu(const Tensor &x)
+{
+    return forwardImpl(x, false, true);
+}
+
+Tensor
+FcLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
+{
     const Shape out = outputShape(x.shape());
     const std::size_t batch = x.shape().n;
     Tensor y(out);
@@ -66,11 +78,17 @@ FcLayer::forward(const Tensor &x, bool train)
     // y[batch x nOut] = bias + x[batch x nIn] * W^T[nIn x nOut].
     // W^T comes from the persistent packed panel, so the weight is
     // repacked only when it changes — not on every forward call.
+    // A folded ReLU rides the epilogue store pass (bias is already
+    // seeded, so the epilogue clamps only) — bitwise equal to a
+    // separate ReLU sweep.
     for (std::size_t i = 0; i < batch; ++i)
         std::copy(bias.value.data(), bias.value.data() + nOut,
                   y.data() + i * nOut);
+    Epilogue epi;
+    if (fuse_relu)
+        epi.op = EpilogueOp::BiasRelu;
     sgemmPrepacked(batch, nOut, nIn, x.data(), packedWeightT(),
-                   y.data(), 1.0f);
+                   y.data(), 1.0f, epi);
 
     if (train) {
         lastInput = x;

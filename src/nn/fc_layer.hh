@@ -38,6 +38,8 @@ class FcLayer : public Layer
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     double flopsPerImage(const Shape &in) const override;
+    bool canFuseRelu() const override { return true; }
+    Tensor forwardFusedRelu(const Tensor &x) override;
 
     /** Input feature count. */
     std::size_t inFeatures() const { return nIn; }
@@ -48,6 +50,9 @@ class FcLayer : public Layer
   private:
     /** W^T panel for forward, rebuilt when `weight` changes. */
     const PackedPanel &packedWeightT();
+
+    /** Shared forward body; fuse_relu folds a ReLU into the store. */
+    Tensor forwardImpl(const Tensor &x, bool train, bool fuse_relu);
 
     std::string layerName;
     std::size_t nIn;

@@ -1,0 +1,87 @@
+#include "nn/fusion.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+/** ReLU-folding flag, seeded from PCNN_FOLD_RELU ("0" disables). */
+bool &
+reluFoldSlot()
+{
+    static bool on = [] {
+        const char *e = std::getenv("PCNN_FOLD_RELU");
+        return !(e != nullptr && std::string(e) == "0");
+    }();
+    return on;
+}
+
+struct ForcedAlgo
+{
+    bool active = false;
+    ConvAlgo algo = ConvAlgo::Im2col;
+};
+
+/** Forced-algorithm slot, seeded from PCNN_CONV_ALGO on first use. */
+ForcedAlgo &
+forcedAlgoSlot()
+{
+    static ForcedAlgo slot = [] {
+        ForcedAlgo f;
+        const char *e = std::getenv("PCNN_CONV_ALGO");
+        if (e == nullptr || *e == '\0' || std::string(e) == "auto")
+            return f;
+        ConvAlgo a;
+        if (parseConvAlgo(e, a)) {
+            f.active = true;
+            f.algo = a;
+        } else {
+            pcnn_warn("PCNN_CONV_ALGO=", e,
+                      " is not a known algorithm (want im2col | "
+                      "direct1x1 | winograd | auto); ignoring");
+        }
+        return f;
+    }();
+    return slot;
+}
+
+} // namespace
+
+bool
+reluFoldingEnabled()
+{
+    return reluFoldSlot();
+}
+
+void
+setReluFolding(bool on)
+{
+    reluFoldSlot() = on;
+}
+
+bool
+forcedConvAlgo(ConvAlgo &out)
+{
+    const ForcedAlgo &f = forcedAlgoSlot();
+    if (f.active)
+        out = f.algo;
+    return f.active;
+}
+
+void
+setForcedConvAlgo(ConvAlgo algo)
+{
+    forcedAlgoSlot() = ForcedAlgo{true, algo};
+}
+
+void
+clearForcedConvAlgo()
+{
+    forcedAlgoSlot() = ForcedAlgo{};
+}
+
+} // namespace pcnn

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Process-wide inference-fusion and algorithm-dispatch controls
+ * (DESIGN.md §5e).
+ *
+ * Two runtime switches steer the inference hot path:
+ *
+ *  - ReLU folding: Network (and InceptionLayer branch chains) fold a
+ *    ReLU layer into the producing Conv/Fc layer's fused-epilogue
+ *    forward at inference. On by default; PCNN_FOLD_RELU=0 or
+ *    setReluFolding(false) disables it (A/B benching, bitwise-parity
+ *    tests). Training-mode forwards never fold.
+ *
+ *  - Forced conv algorithm: PCNN_CONV_ALGO=im2col|direct1x1|winograd
+ *    (or setForcedConvAlgo()) overrides both the offline plan's
+ *    per-layer choice and the cost model, wherever the forced
+ *    algorithm is eligible for the layer geometry. `auto` / unset
+ *    restores normal dispatch.
+ *
+ * Both are plain process-wide toggles, not per-network state: they
+ * exist for benchmarking and testing, and the hot path reads them
+ * without synchronization (set them before running inference).
+ */
+
+#ifndef PCNN_NN_FUSION_HH
+#define PCNN_NN_FUSION_HH
+
+#include "nn/conv_spec.hh"
+
+namespace pcnn {
+
+/** True when inference may fold ReLU layers into producers. */
+bool reluFoldingEnabled();
+
+/** Enable/disable ReLU folding (overrides PCNN_FOLD_RELU). */
+void setReluFolding(bool on);
+
+/**
+ * Forced conv algorithm override, if active: returns true and sets
+ * `out`. Seeded from PCNN_CONV_ALGO on first use.
+ */
+bool forcedConvAlgo(ConvAlgo &out);
+
+/** Force every eligible conv layer onto `algo`. */
+void setForcedConvAlgo(ConvAlgo algo);
+
+/** Drop the forced algorithm; dispatch returns to plan/cost-model. */
+void clearForcedConvAlgo();
+
+} // namespace pcnn
+
+#endif // PCNN_NN_FUSION_HH

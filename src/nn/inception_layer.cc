@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "nn/fusion.hh"
 #include "nn/pool_layer.hh"
 #include "nn/relu_layer.hh"
 
@@ -115,13 +116,23 @@ InceptionLayer::forward(const Tensor &x, bool train)
 
     std::size_t c_off = 0;
     const std::size_t plane = out.h * out.w;
+    const bool fold = !train && reluFoldingEnabled();
     for (auto &branch : branches) {
         // Feed the shared input to each branch head by reference —
-        // no per-branch copy of x.
+        // no per-branch copy of x. The same ReLU-folding peephole as
+        // Network::forward applies within each branch chain.
         Tensor a;
         const Tensor *cur = &x;
-        for (auto &layer : branch) {
-            a = layer->forward(*cur, train);
+        for (std::size_t li = 0; li < branch.size(); ++li) {
+            Layer *layer = branch[li].get();
+            if (fold && li + 1 < branch.size() &&
+                layer->canFuseRelu() &&
+                branch[li + 1]->kind() == "relu") {
+                a = layer->forwardFusedRelu(*cur);
+                ++li;
+            } else {
+                a = layer->forward(*cur, train);
+            }
             cur = &a;
         }
         // Concatenate along channels.

@@ -87,6 +87,31 @@ class Layer
     /** Back-propagate; see class contract. */
     virtual Tensor backward(const Tensor &dy) = 0;
 
+    /**
+     * True when the layer has a fused forward that folds an
+     * immediately following ReLU into its own output pass
+     * (DESIGN.md §5e). The Network inference peephole only fuses
+     * into layers that opt in.
+     */
+    virtual bool canFuseRelu() const { return false; }
+
+    /**
+     * Inference forward with a folded ReLU: must return exactly
+     * relu(forward(x, false)). The default realizes that contract
+     * literally (forward, then clamp) so overriding canFuseRelu()
+     * alone is never unsound; layers with a real fused path override
+     * both.
+     */
+    virtual Tensor
+    forwardFusedRelu(const Tensor &x)
+    {
+        Tensor y = forward(x, false);
+        float *d = y.data();
+        for (std::size_t i = 0; i < y.size(); ++i)
+            d[i] = d[i] < 0.0f ? 0.0f : d[i];
+        return y;
+    }
+
     /** Trainable parameters (empty for stateless layers). */
     virtual std::vector<Param *> params() { return {}; }
 

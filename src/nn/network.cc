@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "nn/fusion.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -21,8 +22,22 @@ Network::forward(const Tensor &x, bool train)
                " mismatches expected ", inShape.str());
     PCNN_CHECK(!layers.empty(), netName, ": empty network");
     Tensor a = x;
-    for (auto &l : layers)
+    // Inference peephole (DESIGN.md §5e): a ReLU directly after a
+    // layer that opts into epilogue fusion is folded into that
+    // layer's store pass and the ReLU layer itself is skipped.
+    // Training-mode forwards never fold (the ReLU must cache its
+    // mask for backward).
+    const bool fold = !train && reluFoldingEnabled();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        Layer *l = layers[i].get();
+        if (fold && i + 1 < layers.size() && l->canFuseRelu() &&
+            layers[i + 1]->kind() == "relu") {
+            a = l->forwardFusedRelu(a);
+            ++i; // the folded ReLU is consumed
+            continue;
+        }
         a = l->forward(a, train);
+    }
     return a;
 }
 

@@ -10,9 +10,10 @@
 
 namespace pcnn {
 
-OfflineCompiler::OfflineCompiler(GpuSpec gpu, TuneObjective obj)
-    : gpuSpec(gpu), objective(obj), tuner(gpu), batches(gpu),
-      timeModel(std::move(gpu))
+OfflineCompiler::OfflineCompiler(GpuSpec gpu, TuneObjective obj,
+                                 AlgoSweep sweep)
+    : gpuSpec(gpu), objective(obj), algoSweep(sweep), tuner(gpu),
+      batches(gpu), timeModel(std::move(gpu))
 {
 }
 
@@ -36,8 +37,26 @@ OfflineCompiler::compileAtBatch(const NetDescriptor &net,
             const ConvSpec &layer = net.convs[li];
             LayerSchedule ls;
             ls.layer = layer;
-            ls.gemm = layer.gemmShape(batch);
-            ls.kernel = tuner.tune(ls.gemm, objective);
+            if (algoSweep == AlgoSweep::On) {
+                // The algorithm is a tuning knob (DESIGN.md §5e):
+                // the recorded GEMM is the chosen algorithm's
+                // lowering, so optSM, util and Eq. 12 all see the
+                // real kernel shape.
+                ls.kernel = tuner.tuneLayer(layer, batch, objective);
+                ls.gemm = ls.kernel.algo == ConvAlgo::Winograd
+                              ? layer.winogradGemmShape(batch)
+                              : layer.gemmShape(batch);
+            } else {
+                // Paper-fidelity mode: the im2col SGEMM family only.
+                // Record the exact route the CPU substrate runs (the
+                // 1x1 shortcut is that GEMM minus the expansion).
+                ls.gemm = layer.gemmShape(batch);
+                ls.kernel = tuner.tune(ls.gemm, objective);
+                ls.kernel.algo =
+                    layer.algoEligible(ConvAlgo::Direct1x1)
+                        ? ConvAlgo::Direct1x1
+                        : ConvAlgo::Im2col;
+            }
 
             const SgemmModel model(gpuSpec, ls.kernel.config);
             ls.kernel.optSM =

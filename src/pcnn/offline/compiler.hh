@@ -49,6 +49,19 @@ struct CompiledPlan
     double latencyS() const { return time.total(); }
 };
 
+/**
+ * Whether the tuner sweeps conv algorithms (winograd vs. im2col) as
+ * a per-layer knob. Off reproduces the paper's kernel family (its
+ * latency tables assume im2col-style SGEMM lowering throughout); On
+ * adds the DESIGN.md §5e algorithm dimension, recording the choice
+ * per layer in the plan for the runtime to apply.
+ */
+enum class AlgoSweep
+{
+    Off,
+    On,
+};
+
 /** The offline compiler, bound to one GPU. */
 class OfflineCompiler
 {
@@ -56,10 +69,13 @@ class OfflineCompiler
     /**
      * @param gpu deployment architecture
      * @param objective kernel-ranking objective (Eq. 10 by default)
+     * @param sweep conv-algorithm sweep mode (off by default: the
+     *        paper's published numbers assume the im2col family)
      */
     explicit OfflineCompiler(GpuSpec gpu,
                              TuneObjective objective =
-                                 TuneObjective::SkernelMetric);
+                                 TuneObjective::SkernelMetric,
+                             AlgoSweep sweep = AlgoSweep::Off);
 
     /**
      * Compile a network for an application on the bound GPU:
@@ -79,6 +95,7 @@ class OfflineCompiler
   private:
     GpuSpec gpuSpec;
     TuneObjective objective;
+    AlgoSweep algoSweep;
     KernelTuner tuner;
     BatchSelector batches;
     TimeModel timeModel;

@@ -113,4 +113,47 @@ KernelTuner::tune(const GemmShape &gemm, TuneObjective objective) const
     return best;
 }
 
+double
+KernelTuner::layerPredictedTime(const ConvSpec &layer,
+                                const TunedKernel &kernel,
+                                std::size_t batch) const
+{
+    const SgemmModel model(gpuSpec, kernel.config);
+    if (kernel.algo == ConvAlgo::Winograd) {
+        const GemmShape gemm = layer.winogradGemmShape(batch);
+        return model.kernelTime(gemm) * 16.0 *
+                   double(layer.gemmCount()) +
+               4.0 * layer.winogradTransformElems(batch) /
+                   gpuSpec.bandwidthBytes();
+    }
+    const GemmShape gemm = layer.gemmShape(batch);
+    return model.kernelTime(gemm) * double(layer.gemmCount());
+}
+
+TunedKernel
+KernelTuner::tuneLayer(const ConvSpec &layer, std::size_t batch,
+                       TuneObjective objective) const
+{
+    // Exact route first: the 1x1 shortcut shares the im2col GEMM
+    // shape (it is that GEMM minus the expansion pass), so the same
+    // tile tuning covers both.
+    TunedKernel best = tune(layer.gemmShape(batch), objective);
+    best.algo = layer.algoEligible(ConvAlgo::Direct1x1)
+                    ? ConvAlgo::Direct1x1
+                    : ConvAlgo::Im2col;
+    if (!layer.algoEligible(ConvAlgo::Winograd))
+        return best;
+
+    // Winograd lowers to 16 shallower GEMMs per group; its tile
+    // choice is tuned on that shape, then the two algorithms compete
+    // on predicted whole-layer time (transform overhead included).
+    // Ties break toward the exact im2col route.
+    TunedKernel wino = tune(layer.winogradGemmShape(batch), objective);
+    wino.algo = ConvAlgo::Winograd;
+    return layerPredictedTime(layer, wino, batch) <
+                   layerPredictedTime(layer, best, batch)
+               ? wino
+               : best;
+}
+
 } // namespace pcnn

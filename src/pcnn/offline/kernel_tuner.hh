@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gpu/kernel_model.hh"
+#include "nn/conv_spec.hh"
 
 namespace pcnn {
 
@@ -30,6 +31,7 @@ struct TunedKernel
     std::size_t optSM = 0;        ///< Eq. 11, filled by ResourceModel
     double skernel = 0.0;         ///< Eq. 10 score of the winner
     double predictedTimeS = 0.0;  ///< time-model estimate, whole GPU
+    ConvAlgo algo = ConvAlgo::Im2col; ///< chosen conv algorithm
 };
 
 /** How the tuner ranks candidate kernels. */
@@ -79,6 +81,28 @@ class KernelTuner
     TunedKernel tune(const GemmShape &gemm,
                      TuneObjective objective =
                          TuneObjective::SkernelMetric) const;
+
+    /**
+     * Tune one conv layer with the algorithm as a first-class knob
+     * (DESIGN.md §5e): tile/register-tune each eligible algorithm's
+     * GEMM lowering independently (im2col: one S_f^2 N_c-deep GEMM
+     * per group; winograd: 16 N_c-deep tile-GEMMs per group), then
+     * pick the algorithm with the smaller predicted whole-layer time
+     * — the Eq. 12 model extended with the winograd transform
+     * streaming cost. Ties break toward im2col.
+     */
+    TunedKernel tuneLayer(const ConvSpec &layer, std::size_t batch,
+                          TuneObjective objective =
+                              TuneObjective::SkernelMetric) const;
+
+    /**
+     * Predicted whole-layer time of a tuned kernel on the whole GPU
+     * (no optSM cap yet): per-launch kernel time x launch count,
+     * plus the transform streaming overhead for winograd.
+     */
+    double layerPredictedTime(const ConvSpec &layer,
+                              const TunedKernel &kernel,
+                              std::size_t batch) const;
 
   private:
     GpuSpec gpuSpec;

@@ -10,7 +10,12 @@ namespace pcnn {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '1'};
+// Format history: "PCNNPLN1" (PR 2) has no version byte and no
+// per-layer algorithm; "PCNNPLN2" is followed by an explicit format
+// version byte, and each layer record carries its conv algorithm.
+// Old plans keep loading (algorithm defaults to im2col).
+constexpr char kMagicV1[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '1'};
+constexpr char kMagicV2[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '2'};
 
 void
 putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
@@ -97,12 +102,23 @@ class Reader
 std::vector<std::uint8_t>
 serializePlan(const CompiledPlan &plan)
 {
+    return serializePlan(plan, kPlanFormatVersion);
+}
+
+std::vector<std::uint8_t>
+serializePlan(const CompiledPlan &plan, std::uint8_t version)
+{
+    pcnn_assert(version == 1 || version == kPlanFormatVersion,
+                "unsupported plan format version ", version);
+    const bool v2 = version >= 2;
     std::vector<std::uint8_t> out;
     // Byte-wise append: vector::insert over a raw range trips a
     // GCC 12 -Wstringop-overflow false positive under sanitizer
     // instrumentation.
-    for (char ch : kMagic)
+    for (char ch : v2 ? kMagicV2 : kMagicV1)
         out.push_back(std::uint8_t(ch));
+    if (v2)
+        out.push_back(version);
     putStr(out, plan.netName);
     putStr(out, plan.gpuName);
     putU64(out, plan.batch);
@@ -132,6 +148,8 @@ serializePlan(const CompiledPlan &plan)
         putU64(out, ls.kernel.config.regsPerThread);
         putU64(out, ls.kernel.optTLP);
         putU64(out, ls.kernel.optSM);
+        if (v2)
+            putU64(out, std::uint64_t(ls.kernel.algo));
         putF64(out, ls.kernel.skernel);
         putF64(out, ls.kernel.predictedTimeS);
         putF64(out, ls.timeS);
@@ -143,12 +161,23 @@ serializePlan(const CompiledPlan &plan)
 std::optional<CompiledPlan>
 deserializePlan(const std::vector<std::uint8_t> &bytes)
 {
-    if (bytes.size() < 8 ||
-        std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    if (bytes.size() < 8)
         return std::nullopt;
+    bool v2 = false;
+    if (std::memcmp(bytes.data(), kMagicV2, 8) == 0)
+        v2 = true;
+    else if (std::memcmp(bytes.data(), kMagicV1, 8) != 0)
+        return std::nullopt;
+    std::size_t header = 8;
+    if (v2) {
+        // Explicit format-version byte; anything newer than this
+        // build understands is rejected rather than misparsed.
+        if (bytes.size() < 9 || bytes[8] != kPlanFormatVersion)
+            return std::nullopt;
+        header = 9;
     }
-    const std::vector<std::uint8_t> body(bytes.begin() + 8,
-                                         bytes.end());
+    const std::vector<std::uint8_t> body(
+        bytes.begin() + std::ptrdiff_t(header), bytes.end());
     Reader r(body);
 
     CompiledPlan plan;
@@ -188,11 +217,13 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         ConvSpec &c = ls.layer;
         std::uint64_t in_c, out_c, kernel, stride, pad, in_h, in_w,
             groups, tile_m, tile_n, regs, tlp, sm;
+        std::uint64_t algo = std::uint64_t(ConvAlgo::Im2col);
         if (!r.str(c.name) || !r.u64(in_c) || !r.u64(out_c) ||
             !r.u64(kernel) || !r.u64(stride) || !r.u64(pad) ||
             !r.u64(in_h) || !r.u64(in_w) || !r.u64(groups) ||
             !r.u64(tile_m) || !r.u64(tile_n) || !r.u64(regs) ||
-            !r.u64(tlp) || !r.u64(sm) || !r.f64(ls.kernel.skernel) ||
+            !r.u64(tlp) || !r.u64(sm) ||
+            (v2 && !r.u64(algo)) || !r.f64(ls.kernel.skernel) ||
             !r.f64(ls.kernel.predictedTimeS) || !r.f64(ls.timeS) ||
             !r.f64(ls.util)) {
             return std::nullopt;
@@ -246,7 +277,17 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         ls.kernel.config.regsPerThread = regs;
         ls.kernel.optTLP = tlp;
         ls.kernel.optSM = sm;
-        ls.gemm = c.gemmShape(plan.batch);
+        // The algorithm must be a known encoding AND eligible for
+        // this layer's geometry: a hostile or stale file must not
+        // drive winograd onto a 5x5 layer (the executor would abort).
+        if (algo > std::uint64_t(ConvAlgo::Winograd))
+            return std::nullopt;
+        ls.kernel.algo = ConvAlgo(std::uint8_t(algo));
+        if (!c.algoEligible(ls.kernel.algo))
+            return std::nullopt;
+        ls.gemm = ls.kernel.algo == ConvAlgo::Winograd
+                      ? c.winogradGemmShape(plan.batch)
+                      : c.gemmShape(plan.batch);
         plan.layers.push_back(std::move(ls));
     }
     if (!r.done())

@@ -21,8 +21,20 @@
 
 namespace pcnn {
 
-/** Serialize a compiled plan to bytes. */
+/** Newest plan format version this build reads and writes. */
+constexpr std::uint8_t kPlanFormatVersion = 2;
+
+/** Serialize a compiled plan to bytes (current format version). */
 std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan);
+
+/**
+ * Serialize in a specific format version: 2 (current: explicit
+ * version byte + per-layer conv algorithm) or 1 (legacy PR 2 format:
+ * no version byte, no algorithm — readers default those layers to
+ * im2col). Version 1 writing exists for compatibility tests.
+ */
+std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan,
+                                        std::uint8_t version);
 
 /**
  * Restore a plan from bytes.

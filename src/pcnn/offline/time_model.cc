@@ -15,12 +15,24 @@ TimeModel::layerTime(const ConvSpec &layer, const TunedKernel &kernel,
                      std::size_t positions_per_image) const
 {
     pcnn_assert(batch >= 1, "batch must be positive");
-    const GemmShape gemm = layer.gemmShape(batch, positions_per_image);
+    // Perforated execution always takes the im2col route (winograd
+    // tiles cannot express scattered positions), so a perforated
+    // layer is priced as im2col whatever the plan's algorithm.
+    const bool wino = kernel.algo == ConvAlgo::Winograd &&
+                      positions_per_image == 0;
+    const GemmShape gemm =
+        wino ? layer.winogradGemmShape(batch)
+             : layer.gemmShape(batch, positions_per_image);
+    const double launches = wino ? 16.0 * double(layer.gemmCount())
+                                 : double(layer.gemmCount());
     const SgemmModel model(gpuSpec, kernel.config);
     const std::size_t sms =
         kernel.optSM == 0 ? gpuSpec.numSMs : kernel.optSM;
-    return model.kernelTime(gemm, sms, kernel.optTLP) *
-           double(layer.gemmCount());
+    double t = model.kernelTime(gemm, sms, kernel.optTLP) * launches;
+    if (wino)
+        t += 4.0 * layer.winogradTransformElems(batch) /
+             gpuSpec.bandwidthBytes();
+    return t;
 }
 
 double

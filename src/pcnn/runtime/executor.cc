@@ -12,6 +12,10 @@ Executor::Executor(Network &network, CompiledPlan plan, GpuSpec gpu,
 {
     pcnn_assert(net.convLayers().size() == compiled.layers.size(),
                 "plan does not match the network");
+    // Pin each conv layer to the plan's tuned algorithm; setAlgo
+    // rejects an algorithm/geometry mismatch loudly (stale plan).
+    for (std::size_t i = 0; i < compiled.layers.size(); ++i)
+        net.convLayers()[i]->setAlgo(compiled.layers[i].kernel.algo);
     // Before tuning: a single exact level that always calibrates fine.
     TuningEntry exact;
     exact.positions.assign(compiled.layers.size(), 0);

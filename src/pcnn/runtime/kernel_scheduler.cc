@@ -48,7 +48,14 @@ RuntimeKernelScheduler::execute(
                    ls.kernel.optSM, " outside [1, ", gpuSpec.numSMs,
                    "] on ", gpuSpec.name);
         const std::size_t pos = positions ? (*positions)[i] : 0;
-        const GemmShape gemm = ls.layer.gemmShape(plan.batch, pos);
+        // Perforation forces the im2col lowering (scattered output
+        // positions); a full-grid winograd layer launches its 16
+        // per-transform-point tile-GEMMs instead.
+        const bool wino =
+            ls.kernel.algo == ConvAlgo::Winograd && pos == 0;
+        const GemmShape gemm =
+            wino ? ls.layer.winogradGemmShape(plan.batch)
+                 : ls.layer.gemmShape(plan.batch, pos);
         const SgemmModel model(gpuSpec, ls.kernel.config);
 
         KernelDesc kd;
@@ -58,7 +65,8 @@ RuntimeKernelScheduler::execute(
         kd.blockSize = ls.kernel.config.tile.blockSize;
         kd.issueDensity = model.timingDensity();
         kd.bytesPerFlop = model.trafficBytesPerFlop();
-        kd.launches = ls.layer.gemmCount();
+        kd.launches =
+            wino ? 16 * ls.layer.gemmCount() : ls.layer.gemmCount();
 
         LaunchConfig lc;
         lc.scheduler = policy.scheduler;

@@ -107,16 +107,54 @@ microEdge(std::size_t k, std::size_t mr, std::size_t nr, const float *a,
 }
 
 /**
+ * Epilogue store pass over the tile C[0..mr)x[0..nr): bias add
+ * (row- or column-indexed) and/or ReLU, applied to the final
+ * accumulated values while the tile is still cache-hot. `row0`/`col0`
+ * are the tile's global C coordinates, used to index the bias vector.
+ */
+inline void
+applyEpilogue(const Epilogue &epi, std::size_t row0, std::size_t col0,
+              std::size_t mr, std::size_t nr, float *c,
+              std::size_t ldc)
+{
+    const bool relu = epi.op == EpilogueOp::BiasRelu;
+    for (std::size_t i = 0; i < mr; ++i) {
+        float *crow = c + i * ldc;
+        const float rb =
+            (epi.bias && !epi.colBias) ? epi.bias[row0 + i] : 0.0f;
+        if (epi.bias && epi.colBias) {
+            const float *cb = epi.bias + col0;
+            for (std::size_t j = 0; j < nr; ++j) {
+                float v = crow[j] + cb[j];
+                crow[j] = (relu && v < 0.0f) ? 0.0f : v;
+            }
+        } else if (epi.bias) {
+            for (std::size_t j = 0; j < nr; ++j) {
+                float v = crow[j] + rb;
+                crow[j] = (relu && v < 0.0f) ? 0.0f : v;
+            }
+        } else {
+            for (std::size_t j = 0; j < nr; ++j)
+                crow[j] = crow[j] < 0.0f ? 0.0f : crow[j];
+        }
+    }
+}
+
+/**
  * C rows [i0, i1) x cols [j0, j1) += A * B with A row-major m x k
  * (lda = k) and B row-major k x n (ldb = n). i0 is kMR-aligned and j0
  * is kNR-aligned by construction of the partitions below, so the
  * full/edge kernel split depends only on (m, n), not on the thread
- * count.
+ * count. `row_off`/`col_off` map tile coordinates to global C rows
+ * and columns for the epilogue's bias indexing; each cell belongs to
+ * exactly one tile, so the epilogue runs exactly once per cell.
  */
 void
 gemmBlock(std::size_t i0, std::size_t i1, std::size_t j0,
           std::size_t j1, std::size_t k, const float *a,
-          const float *b, std::size_t ldb, float *c, std::size_t ldc)
+          const float *b, std::size_t ldb, float *c, std::size_t ldc,
+          const Epilogue &epi = {}, std::size_t row_off = 0,
+          std::size_t col_off = 0)
 {
     for (std::size_t i = i0; i < i1; i += kMR) {
         const std::size_t mr = std::min(kMR, i1 - i);
@@ -128,6 +166,9 @@ gemmBlock(std::size_t i0, std::size_t i1, std::size_t j0,
             else
                 microEdge(k, mr, nr, a + i * k, k, b + j, ldb,
                           c + i * ldc + j, ldc);
+            if (epi.active())
+                applyEpilogue(epi, row_off + i, col_off + j, mr, nr,
+                              c + i * ldc + j, ldc);
         }
     }
 }
@@ -176,21 +217,36 @@ thread_local std::vector<float> tlPackB;
 void
 sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
       std::size_t k, const float *a, const float *b, float *c,
-      float beta)
+      float beta, const Epilogue &epi)
 {
     if (m == 0 || n == 0)
         return;
     PCNN_CHECK(c != nullptr, "sgemm: null C for m=", m, " n=", n);
     PCNN_CHECK(k == 0 || (a != nullptr && b != nullptr),
                "sgemm: null operand for m=", m, " n=", n, " k=", k);
+    PCNN_CHECK(epi.op != EpilogueOp::Bias || epi.bias != nullptr,
+               "sgemm: Bias epilogue without a bias vector");
     if (beta == 0.0f) {
         std::fill(c, c + m * n, 0.0f);
     } else if (beta != 1.0f) {
         for (std::size_t i = 0; i < m * n; ++i)
             c[i] *= beta;
     }
-    if (k == 0)
+    if (k == 0) {
+        // No accumulation pass will run, so apply the epilogue to the
+        // beta-scaled C directly (same parallel partition as below).
+        if (epi.active())
+            parallelFor((m + kMR - 1) / kMR,
+                        [&](std::size_t b0, std::size_t b1,
+                            std::size_t) {
+                            const std::size_t r0 = b0 * kMR;
+                            const std::size_t r1 =
+                                std::min(m, b1 * kMR);
+                            applyEpilogue(epi, r0, 0, r1 - r0, n,
+                                          c + r0 * n, n);
+                        });
         return;
+    }
 
     // Operand packing normalizes all four transpose cases to the one
     // row-major kernel above.
@@ -225,14 +281,15 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
                     amat = ap.data();
                 }
                 gemmBlock(0, r1 - r0, 0, n, k, amat, bmat, n, c + r0 * n,
-                          n);
+                          n, epi, r0, 0);
             });
     } else {
         parallelFor(col_blocks,
                     [&](std::size_t b0, std::size_t b1, std::size_t) {
                         const std::size_t j0 = b0 * kNR;
                         const std::size_t j1 = std::min(n, b1 * kNR);
-                        gemmBlock(0, m, j0, j1, k, a, bmat, n, c, n);
+                        gemmBlock(0, m, j0, j1, k, a, bmat, n, c, n,
+                                  epi, 0, 0);
                     });
     }
 }
@@ -259,14 +316,14 @@ packWeights(bool trans, std::size_t rows, std::size_t cols,
 void
 sgemmPrepacked(std::size_t m, std::size_t n, std::size_t k,
                const float *a, const PackedPanel &b, float *c,
-               float beta)
+               float beta, const Epilogue &epi)
 {
     PCNN_CHECK(b.rows == k && b.cols == n, "sgemmPrepacked: panel ",
                b.rows, "x", b.cols, " mismatches k=", k, " n=", n);
     // A packed panel is the row-major k x n matrix the kernel wants;
     // the non-transposed sgemm path consumes it with zero copies and
     // the identical micro-kernel schedule.
-    sgemm(false, false, m, n, k, a, b.ptr(), c, beta);
+    sgemm(false, false, m, n, k, a, b.ptr(), c, beta, epi);
 }
 
 std::size_t

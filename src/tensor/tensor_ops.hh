@@ -31,21 +31,51 @@ struct GemmShape
     double flops() const { return 2.0 * double(m) * double(n) * double(k); }
 };
 
+/** Fused post-GEMM operation (DESIGN.md §5e). */
+enum class EpilogueOp : std::uint8_t
+{
+    None,     ///< plain C = op(A) op(B) + beta C
+    Bias,     ///< add a per-row (or per-column) bias vector
+    BiasRelu, ///< bias add followed by max(0, x)
+};
+
 /**
- * Single-precision GEMM: C = op(A) * op(B) + beta * C.
+ * Epilogue applied to every C cell in the micro-kernel's store pass,
+ * after the full-K accumulation and the beta term: the fused form of
+ * the bias add and/or ReLU that would otherwise be a second full pass
+ * over C. A cell's final value is epi(beta*c + sum) with the same
+ * beta*c + sum bits as the unfused route, and max(0, x) is exact, so
+ * fusing never changes results bitwise.
+ *
+ * `bias` may be null with BiasRelu to fuse a pure ReLU (the caller
+ * already seeded C with the bias and runs beta = 1).
+ */
+struct Epilogue
+{
+    EpilogueOp op = EpilogueOp::None;
+    const float *bias = nullptr; ///< length m (row) or n (colBias)
+    bool colBias = false;        ///< index bias by column (FC layout)
+
+    /** True when the store pass has work to do. */
+    bool active() const { return op != EpilogueOp::None; }
+};
+
+/**
+ * Single-precision GEMM: C = epi(op(A) * op(B) + beta * C).
  *
  * All matrices are dense row-major. op(A) is m x k, op(B) is k x n.
  * Transposed operands are packed into contiguous panels and fed to a
  * register-blocked 8x8 micro-kernel; the M (or, for single-block-row
  * shapes, N) dimension is parallelized over the pcnn thread pool in
  * register-block-aligned bands, so results are bitwise identical for
- * every PCNN_THREADS value.
+ * every PCNN_THREADS value. The epilogue runs once per cell, on the
+ * band that owns it, while the tile is still cache-hot.
  * @param trans_a interpret A as transposed (A stored k x m)
  * @param trans_b interpret B as transposed (B stored n x k)
  */
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t k, const float *a, const float *b, float *c,
-           float beta = 0.0f);
+           float beta = 0.0f, const Epilogue &epi = {});
 
 /**
  * A matrix operand materialized in the exact row-major layout the
@@ -90,15 +120,15 @@ void packWeights(bool trans, std::size_t rows, std::size_t cols,
                  const float *w, PackedPanel &panel);
 
 /**
- * C = A * B + beta * C with a prepacked B panel: A is row-major
+ * C = epi(A * B + beta * C) with a prepacked B panel: A is row-major
  * m x k, `b` must hold a k x n panel. Bitwise identical to
- * sgemm(false, trans, m, n, k, a, w, c, beta) where `b` was packed
- * from w with packWeights(trans, ...) — same micro-kernels, same
- * per-cell accumulation order — minus the per-call packing pass.
+ * sgemm(false, trans, m, n, k, a, w, c, beta, epi) where `b` was
+ * packed from w with packWeights(trans, ...) — same micro-kernels,
+ * same per-cell accumulation order — minus the per-call packing pass.
  */
 void sgemmPrepacked(std::size_t m, std::size_t n, std::size_t k,
                     const float *a, const PackedPanel &b, float *c,
-                    float beta = 0.0f);
+                    float beta = 0.0f, const Epilogue &epi = {});
 
 /** Geometry of a convolution viewed from one input item. */
 struct ConvGeom

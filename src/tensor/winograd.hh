@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Winograd F(2x2,3x3) fast convolution (DESIGN.md §5e).
+ *
+ * For stride-1 3x3 convolutions the minimal-filtering algorithm of
+ * Lavin & Gray replaces the 36 multiply-accumulates of a 2x2 output
+ * tile (im2col route) with 16: inputs and weights are mapped into a
+ * 4x4 "transform domain", multiplied pointwise there, and the 2x2
+ * result mapped back. Batched over all tiles of an image, the
+ * pointwise products become 16 small GEMMs — one per transform point
+ * — which reuse the pcnn SGEMM micro-kernels and thread pool.
+ *
+ * The weight-side transform is input-independent, so it is computed
+ * once per weight generation and cached (Param generation-counter
+ * invalidation protocol, DESIGN.md §5d) as 16 ready-to-use SGEMM B
+ * operands; the inference hot path performs zero weight-side work.
+ *
+ * Numerics: the transforms re-associate the inner sum, so results are
+ * NOT bitwise identical to the im2col route — agreement is bounded by
+ * a small relative error (tests pin max-rel-err budgets). Results ARE
+ * bitwise identical across PCNN_THREADS values: tile transforms
+ * partition disjoint tiles and the per-point GEMMs inherit the sgemm
+ * determinism contract.
+ */
+
+#ifndef PCNN_TENSOR_WINOGRAD_HH
+#define PCNN_TENSOR_WINOGRAD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace pcnn {
+
+/** True when the geometry can take the F(2x2,3x3) fast path. */
+inline bool
+winogradApplicable(const ConvGeom &g)
+{
+    return g.kernel == 3 && g.stride == 1;
+}
+
+/** 2x2-output tile grid covering an outH x outW plane (edge tiles
+ *  may be clipped to 1 valid row/column on odd extents). */
+inline std::size_t
+winogradTileRows(std::size_t out_h)
+{
+    return (out_h + 1) / 2;
+}
+
+inline std::size_t
+winogradTileCols(std::size_t out_w)
+{
+    return (out_w + 1) / 2;
+}
+
+/**
+ * Pre-transformed weights U = G g G^T for one convolution group,
+ * laid out as 16 persistent SGEMM B operands: point(p) is the
+ * row-major inC x outC matrix U^T[p], consumed by the tile-GEMM
+ * M_p[tiles x outC] = V_p[tiles x inC] * U^T[p] with no per-call
+ * packing (the PackedPanel philosophy of DESIGN.md §5d).
+ */
+struct WinogradWeights
+{
+    std::vector<float> data;      ///< grow-only, [16][inC][outC]
+    std::size_t inC = 0;
+    std::size_t outC = 0;
+    std::uint64_t generation = 0; ///< source Param generation; 0 = stale
+
+    /** B operand for transform point p in [0, 16). */
+    const float *point(std::size_t p) const
+    {
+        return data.data() + p * inC * outC;
+    }
+};
+
+/**
+ * Transform one group's filters into `out`. `w` is the group's slice
+ * of the conv weight tensor, row-major [outC][inC][3][3]. The caller
+ * owns `out.generation`.
+ */
+void winogradTransformWeights(const float *w, std::size_t in_c,
+                              std::size_t out_c, WinogradWeights &out);
+
+/** Grow-only transform-domain scratch, pooled per worker lane. */
+struct WinogradScratch
+{
+    std::vector<float> v; ///< input transforms, [16][tiles][inC]
+    std::vector<float> m; ///< products, [16][tiles][outC]
+};
+
+/**
+ * F(2x2,3x3) forward convolution for one batch item and one group.
+ *
+ * Reads g.inC channels of `x` starting at `chan_off`, writes
+ * wts.outC channels of `y` starting at `out_chan_off`. `bias`, when
+ * non-null, holds wts.outC per-channel biases added in the output
+ * transform; `fuse_relu` additionally clamps at zero there (the
+ * epilogue-fusion protocol of DESIGN.md §5e).
+ *
+ * Requires winogradApplicable(g) and wts.inC == g.inC.
+ */
+void winogradForward(const Tensor &x, std::size_t item,
+                     const ConvGeom &g, std::size_t chan_off,
+                     const WinogradWeights &wts, const float *bias,
+                     Tensor &y, std::size_t out_chan_off,
+                     bool fuse_relu, WinogradScratch &scratch);
+
+} // namespace pcnn
+
+#endif // PCNN_TENSOR_WINOGRAD_HH

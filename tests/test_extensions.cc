@@ -334,6 +334,149 @@ TEST(PlanIo, FileRoundTrip)
     std::remove(path.c_str());
 }
 
+// --------------------------------------- plan format v2 (PR 4)
+
+namespace {
+
+/** Index of the first layer eligible for `algo`, or npos. */
+std::size_t
+firstEligible(const CompiledPlan &plan, ConvAlgo algo)
+{
+    for (std::size_t i = 0; i < plan.layers.size(); ++i)
+        if (plan.layers[i].layer.algoEligible(algo))
+            return i;
+    return std::size_t(-1);
+}
+
+} // namespace
+
+TEST(PlanIo, V2RoundTripPreservesAlgo)
+{
+    const OfflineCompiler compiler(k20c());
+    CompiledPlan plan = compiler.compileAtBatch(alexNet(), 2);
+    const std::size_t i = firstEligible(plan, ConvAlgo::Winograd);
+    ASSERT_NE(i, std::size_t(-1)) << "AlexNet has 3x3 s1 layers";
+    plan.layers[i].kernel.algo = ConvAlgo::Winograd;
+
+    const auto bytes = serializePlan(plan);
+    // v2 header: new magic plus an explicit format-version byte.
+    ASSERT_GE(bytes.size(), 9u);
+    EXPECT_EQ(bytes[7], std::uint8_t('2'));
+    EXPECT_EQ(bytes[8], kPlanFormatVersion);
+
+    const auto loaded = deserializePlan(bytes);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->layers[i].kernel.algo, ConvAlgo::Winograd);
+    // The GEMM shape is re-derived to match the algorithm.
+    const GemmShape want =
+        plan.layers[i].layer.winogradGemmShape(plan.batch);
+    EXPECT_EQ(loaded->layers[i].gemm.m, want.m);
+    EXPECT_EQ(loaded->layers[i].gemm.n, want.n);
+    EXPECT_EQ(loaded->layers[i].gemm.k, want.k);
+    for (std::size_t j = 0; j < plan.layers.size(); ++j) {
+        if (j != i) {
+            EXPECT_EQ(loaded->layers[j].kernel.algo,
+                      plan.layers[j].kernel.algo);
+        }
+    }
+}
+
+TEST(PlanIo, LegacyV1ReadDefaultsToIm2colFamily)
+{
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    // Write the pre-PR4 format: old magic, no version byte, no
+    // per-layer algorithm field.
+    const auto bytes = serializePlan(plan, 1);
+    ASSERT_GE(bytes.size(), 8u);
+    EXPECT_EQ(bytes[7], std::uint8_t('1'));
+
+    const auto loaded = deserializePlan(bytes);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->layers.size(), plan.layers.size());
+    for (const LayerSchedule &ls : loaded->layers)
+        EXPECT_EQ(ls.kernel.algo, ConvAlgo::Im2col);
+}
+
+TEST(PlanIo, RejectsUnknownFormatVersion)
+{
+    const OfflineCompiler compiler(k20c());
+    auto bytes =
+        serializePlan(compiler.compileAtBatch(alexNet(), 1));
+    ASSERT_GE(bytes.size(), 9u);
+    bytes[8] = kPlanFormatVersion + 1; // from the future
+    EXPECT_FALSE(deserializePlan(bytes).has_value());
+    bytes[8] = 1; // magic says v2, byte says v1: inconsistent
+    EXPECT_FALSE(deserializePlan(bytes).has_value());
+}
+
+TEST(PlanIo, RejectsHostileAlgoEncoding)
+{
+    const OfflineCompiler compiler(k20c());
+    CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    plan.layers[0].kernel.algo = static_cast<ConvAlgo>(9);
+    EXPECT_FALSE(deserializePlan(serializePlan(plan)).has_value());
+}
+
+TEST(PlanIo, RejectsAlgoIneligibleForGeometry)
+{
+    const OfflineCompiler compiler(k20c());
+    CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    // AlexNet conv1 is 11x11 stride 4: neither winograd nor the 1x1
+    // shortcut may be pinned onto it by a stale or hostile file.
+    ASSERT_FALSE(
+        plan.layers[0].layer.algoEligible(ConvAlgo::Winograd));
+    plan.layers[0].kernel.algo = ConvAlgo::Winograd;
+    EXPECT_FALSE(deserializePlan(serializePlan(plan)).has_value());
+    plan.layers[0].kernel.algo = ConvAlgo::Direct1x1;
+    EXPECT_FALSE(deserializePlan(serializePlan(plan)).has_value());
+}
+
+// ------------------------------------------- algorithm sweep mode
+
+TEST(AlgoSweep, OffPinsExactRouteOnEveryLayer)
+{
+    const OfflineCompiler compiler(k20c());
+    const CompiledPlan plan = compiler.compileAtBatch(alexNet(), 1);
+    for (const LayerSchedule &ls : plan.layers) {
+        EXPECT_NE(ls.kernel.algo, ConvAlgo::Winograd);
+        EXPECT_TRUE(ls.layer.algoEligible(ls.kernel.algo));
+    }
+}
+
+TEST(AlgoSweep, OnPicksWinogradWhereItHelps)
+{
+    // TX1's launch overhead / bandwidth balance makes winograd win
+    // on AlexNet CONV3 at batch 1; big desktop parts amortize the
+    // im2col GEMM well enough that 16 shallow launches lose there.
+    const GpuSpec gpu = jetsonTx1();
+    const OfflineCompiler off(gpu);
+    const OfflineCompiler on(gpu, TuneObjective::SkernelMetric,
+                             AlgoSweep::On);
+    const CompiledPlan plan_off = off.compileAtBatch(alexNet(), 1);
+    const CompiledPlan plan_on = on.compileAtBatch(alexNet(), 1);
+
+    // The sweep minimizes predicted layer time over algorithms, so
+    // it can only improve on the exact-route plan.
+    EXPECT_LE(plan_on.time.convS,
+              plan_off.time.convS * (1.0 + 1e-9));
+    bool any_wino = false;
+    for (const LayerSchedule &ls : plan_on.layers) {
+        EXPECT_TRUE(ls.layer.algoEligible(ls.kernel.algo));
+        any_wino |= ls.kernel.algo == ConvAlgo::Winograd;
+    }
+    EXPECT_TRUE(any_wino)
+        << "AlexNet's 3x3 layers should prefer winograd on TX1";
+
+    // A swept plan round-trips and executes on the simulator.
+    const auto loaded = deserializePlan(serializePlan(plan_on));
+    ASSERT_TRUE(loaded.has_value());
+    const RuntimeKernelScheduler rt(gpu);
+    const SimResult a = rt.execute(plan_on, pcnnPolicy());
+    const SimResult b = rt.execute(*loaded, pcnnPolicy());
+    EXPECT_NEAR(a.timeS, b.timeS, 1e-12);
+}
+
 // -------------------------------------------------- requirement learner
 
 TEST(RequirementLearner, ConvergesTowardTrueThreshold)

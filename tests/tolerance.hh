@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared numerical-tolerance helpers for tests that compare an
+ * approximate kernel (winograd, fused epilogues) against a reference
+ * computation. Two views of closeness are provided:
+ *
+ *  - relative error with an absolute floor (so values near zero are
+ *    judged on absolute error instead of exploding the ratio), and
+ *  - ULP distance on the monotonic integer mapping of the float
+ *    lattice (for "almost bitwise" contracts).
+ *
+ * Every test states its budget explicitly at the call site; on
+ * failure the helpers name the worst offending element with both
+ * values, its relative error, and its ULP distance, so a regression
+ * report is actionable without rerunning under a debugger.
+ */
+
+#ifndef PCNN_TESTS_TOLERANCE_HH
+#define PCNN_TESTS_TOLERANCE_HH
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace pcnn {
+
+/**
+ * Distance between two floats in representable steps. Uses the
+ * sign-magnitude-to-offset trick so the distance is monotonic across
+ * zero (+0 and -0 are 0 apart). NaN on either side is "infinitely"
+ * far.
+ */
+inline std::uint64_t
+ulpDistance(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::uint64_t>::max();
+    const auto ordered = [](float f) {
+        std::int32_t i;
+        std::memcpy(&i, &f, sizeof i);
+        return i >= 0 ? std::int64_t(i)
+                      : std::int64_t(std::numeric_limits<
+                                         std::int32_t>::min()) -
+                            std::int64_t(i);
+    };
+    const std::int64_t d = ordered(a) - ordered(b);
+    return std::uint64_t(d < 0 ? -d : d);
+}
+
+/** |want - got| / max(|want|, abs_floor). */
+inline double
+relError(float want, float got, double abs_floor)
+{
+    const double denom =
+        std::max(double(std::fabs(want)), abs_floor);
+    return std::fabs(double(want) - double(got)) / denom;
+}
+
+/**
+ * Compare two float spans under a relative-error budget. Returns a
+ * gtest assertion result naming the worst element on failure.
+ *
+ * @param rel_budget  maximum allowed relError per element
+ * @param abs_floor   denominator floor: below this magnitude the
+ *                    check degrades to absolute error / abs_floor
+ */
+inline ::testing::AssertionResult
+allClose(const float *want, const float *got, std::size_t n,
+         double rel_budget, double abs_floor = 1e-5)
+{
+    double worst_rel = 0.0;
+    std::size_t worst = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double rel = relError(want[i], got[i], abs_floor);
+        if (rel > worst_rel) {
+            worst_rel = rel;
+            worst = i;
+        }
+    }
+    if (worst_rel <= rel_budget)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "worst element [" << worst << "]: want "
+           << want[worst] << ", got " << got[worst] << ", rel err "
+           << worst_rel << " > budget " << rel_budget << " ("
+           << ulpDistance(want[worst], got[worst]) << " ulps)";
+}
+
+/** Container convenience: sizes must match, then element budget. */
+template <class A, class B>
+::testing::AssertionResult
+allClose(const A &want, const B &got, double rel_budget,
+         double abs_floor = 1e-5)
+{
+    if (want.size() != got.size())
+        return ::testing::AssertionFailure()
+               << "size mismatch: want " << want.size() << ", got "
+               << got.size();
+    return allClose(want.data(), got.data(), want.size(),
+                    rel_budget, abs_floor);
+}
+
+/** Compare two float spans under a per-element ULP budget. */
+inline ::testing::AssertionResult
+allCloseUlp(const float *want, const float *got, std::size_t n,
+            std::uint64_t ulp_budget)
+{
+    std::uint64_t worst_ulp = 0;
+    std::size_t worst = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t u = ulpDistance(want[i], got[i]);
+        if (u > worst_ulp) {
+            worst_ulp = u;
+            worst = i;
+        }
+    }
+    if (worst_ulp <= ulp_budget)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "worst element [" << worst << "]: want "
+           << want[worst] << ", got " << got[worst] << ", "
+           << worst_ulp << " ulps > budget " << ulp_budget;
+}
+
+} // namespace pcnn
+
+#endif // PCNN_TESTS_TOLERANCE_HH

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Run the benchmark suites and snapshot the results as JSON.
 #
-# Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json]
+# Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] [algo.json]
 #
 # Defaults: build directory ./build, micro-kernel output
-# BENCH_pr1.json and end-to-end model output BENCH_pr3.json in the
-# repository root.
+# BENCH_pr1.json, end-to-end model output BENCH_pr3.json, and
+# per-conv-algorithm output BENCH_pr4.json in the repository root.
 #
 # BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
 # (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
@@ -17,22 +17,31 @@
 # model-zoo nets (MiniAlexNet / MiniVgg / MiniInception) at batch
 # 1/4/16, full-resolution and 25%-perforated — the zero-repack hot
 # path acceptance numbers (DESIGN.md section 5d).
+#
+# BENCH_pr4.json records the per-conv-layer algorithm breakdown
+# (im2col vs winograd vs cost-model dispatch on the MiniVgg and
+# VGG-16 3x3 shapes at batch 1), the winograd microbench, and the
+# ReLU-folding A/B — the conv-algorithm dispatch acceptance numbers
+# (DESIGN.md section 5e).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 micro_json="${2:-$repo_root/BENCH_pr1.json}"
 e2e_json="${3:-$repo_root/BENCH_pr3.json}"
+algo_json="${4:-$repo_root/BENCH_pr4.json}"
 
 run_bench() {
-    local bench_bin="$1" out_json="$2"
+    local bench_bin="$1" out_json="$2" filter="${3:-}"
     if [[ ! -x "$bench_bin" ]]; then
         echo "error: $bench_bin not built; run:" >&2
         echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
         exit 1
     fi
+    local args=()
+    [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
     # Old google-benchmark: --benchmark_min_time takes a bare double (s).
-    "$bench_bin" \
+    "$bench_bin" "${args[@]}" \
         --benchmark_min_time=0.25 \
         --benchmark_format=json \
         --benchmark_out="$out_json" \
@@ -42,3 +51,5 @@ run_bench() {
 
 run_bench "$build_dir/bench/bench_micro_kernels" "$micro_json"
 run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
+run_bench "$build_dir/bench/bench_e2e_models" "$algo_json" \
+    "ConvAlgoLayer|ReluFolding"
