@@ -17,6 +17,8 @@ namespace {
 
 thread_local std::size_t tls_lane = 0;
 thread_local bool tls_in_region = false;
+/// per-thread lane cap installed by ScopedLaneLimit; 0 = uncapped
+thread_local std::size_t tls_lane_limit = 0;
 
 std::size_t
 defaultThreads()
@@ -71,10 +73,16 @@ class Pool
     void
     run(std::size_t n, const ParallelBody &fn)
     {
+        // A lane cap of 1 short-circuits before touching any shared
+        // pool state: capped serving workers pay zero contention.
         std::size_t lanes_now;
-        {
+        if (tls_lane_limit == 1) {
+            lanes_now = 1;
+        } else {
             std::lock_guard lk(configMutex);
             lanes_now = nLanes;
+            if (tls_lane_limit != 0)
+                lanes_now = std::min(lanes_now, tls_lane_limit);
         }
         if (tls_in_region || lanes_now == 1 || n <= 1) {
             // Inline (possibly nested) execution on the calling lane.
@@ -94,7 +102,12 @@ class Pool
         std::size_t lanes;
         {
             std::unique_lock lk(stateMutex);
+            // dispatchMutex excludes resize(), so nLanes is stable
+            // here; re-apply the per-thread cap to the fresh value.
             lanes = nLanes;
+            if (tls_lane_limit != 0)
+                lanes = std::max<std::size_t>(
+                    1, std::min(lanes, tls_lane_limit));
             ensureWorkersLocked(lanes);
             job = &fn;
             jobSize = n;
@@ -231,7 +244,27 @@ class Pool
 std::size_t
 threadCount()
 {
-    return Pool::instance().lanes();
+    if (tls_lane_limit == 1)
+        return 1;
+    const std::size_t base = Pool::instance().lanes();
+    if (tls_lane_limit != 0)
+        return std::max<std::size_t>(1,
+                                     std::min(base, tls_lane_limit));
+    return base;
+}
+
+ScopedLaneLimit::ScopedLaneLimit(std::size_t n) : prev(tls_lane_limit)
+{
+    // Nesting composes as the tighter of the two caps: a region that
+    // was already limited must not widen inside.
+    if (n == 0)
+        return;
+    tls_lane_limit = prev == 0 ? n : std::min(prev, n);
+}
+
+ScopedLaneLimit::~ScopedLaneLimit()
+{
+    tls_lane_limit = prev;
 }
 
 void

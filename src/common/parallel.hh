@@ -16,6 +16,14 @@
  * calls execute inline on the calling worker, so composed parallel
  * code (e.g. a batch-parallel conv layer whose SGEMM is itself
  * parallel) cannot deadlock or oversubscribe.
+ *
+ * Inter-op composition: threads that are themselves replicas of a
+ * concurrent server (serve/ worker threads) install a per-thread
+ * ScopedLaneLimit so the PCNN_THREADS budget is *partitioned* across
+ * them instead of multiplied. threadCount() reports the capped value
+ * on such a thread, and a limit of 1 makes every parallelFor run
+ * inline with no pool traffic at all. Because results are bitwise
+ * identical across lane counts, partitioning never changes outputs.
  */
 
 #ifndef PCNN_COMMON_PARALLEL_HH
@@ -66,6 +74,28 @@ std::size_t currentLane();
  * when n <= 1, T == 1, or the caller is already inside a region.
  */
 void parallelFor(std::size_t n, const ParallelBody &fn);
+
+/**
+ * RAII per-thread cap on the lanes parallelFor may use from the
+ * calling thread (inter-op/intra-op composition, DESIGN.md §5f):
+ * while alive, threadCount() returns min(pool lanes, n) on this
+ * thread and dispatches partition work accordingly. A limit of 1
+ * makes every parallelFor from this thread run inline. n == 0 means
+ * "no cap". Limits nest (the innermost wins until destroyed) and
+ * never affect other threads.
+ */
+class ScopedLaneLimit
+{
+  public:
+    explicit ScopedLaneLimit(std::size_t n);
+    ~ScopedLaneLimit();
+
+    ScopedLaneLimit(const ScopedLaneLimit &) = delete;
+    ScopedLaneLimit &operator=(const ScopedLaneLimit &) = delete;
+
+  private:
+    std::size_t prev;
+};
 
 } // namespace pcnn
 

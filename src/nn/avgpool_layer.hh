@@ -8,6 +8,7 @@
 #define PCNN_NN_AVGPOOL_LAYER_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "nn/layer.hh"
@@ -37,6 +38,14 @@ class AvgPoolLayer : public Layer
 
     /** True when configured as global average pooling. */
     bool global() const { return window == 0; }
+
+    std::unique_ptr<Layer>
+    cloneShared() override
+    {
+        auto c = std::make_unique<AvgPoolLayer>(*this);
+        c->haveCache = false;
+        return c;
+    }
 
   private:
     /** Effective window side for a given input. */

@@ -12,23 +12,38 @@
 namespace pcnn {
 
 ConvLayer::ConvLayer(ConvSpec spec, Rng &rng)
-    : spc(std::move(spec)), computed(0)
+    : spc(std::move(spec)), w(std::make_shared<ConvWeights>()),
+      computed(0)
 {
     pcnn_assert(spc.inC % spc.groups == 0 && spc.outC % spc.groups == 0,
                 "layer ", spc.name, ": groups must divide channels");
     const std::size_t in_cg = spc.inC / spc.groups;
-    weight.value.resize(Shape{spc.outC, in_cg, spc.kernel, spc.kernel});
-    weight.grad.resize(weight.value.shape());
-    bias.value.resize(Shape{1, spc.outC, 1, 1});
-    bias.grad.resize(bias.value.shape());
+    w->weight.value.resize(
+        Shape{spc.outC, in_cg, spc.kernel, spc.kernel});
+    w->weight.grad.resize(w->weight.value.shape());
+    w->bias.value.resize(Shape{1, spc.outC, 1, 1});
+    w->bias.grad.resize(w->bias.value.shape());
 
     // He initialization: stddev = sqrt(2 / fan_in).
     const double fan_in = double(in_cg * spc.kernel * spc.kernel);
-    weight.value.fillGaussian(rng, 0.0f,
-                              float(std::sqrt(2.0 / fan_in)));
+    w->weight.value.fillGaussian(rng, 0.0f,
+                                 float(std::sqrt(2.0 / fan_in)));
 
     computed = fullPositions();
     rebuildSampling();
+}
+
+std::unique_ptr<Layer>
+ConvLayer::cloneShared()
+{
+    // Freeze first so no mutation can slip between clone and serve.
+    w->weight.setShared();
+    w->bias.setShared();
+    auto clone = std::unique_ptr<ConvLayer>(new ConvLayer(*this));
+    clone->lastInput = Tensor();
+    clone->haveCache = false;
+    clone->scratch.clear(); // activations stay per-replica
+    return clone;
 }
 
 Shape
@@ -44,7 +59,7 @@ ConvLayer::outputShape(const Shape &in) const
 std::vector<Param *>
 ConvLayer::params()
 {
-    return {&weight, &bias};
+    return {&w->weight, &w->bias};
 }
 
 double
@@ -234,16 +249,16 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     ConvGeom g = spc.geom();
     g.inC = in_cg;
     const std::size_t k = g.colRows();
-    const float *wg = weight.value.data() +
+    const float *wg = w->weight.value.data() +
                       group * out_cg * in_cg * spc.kernel * spc.kernel;
     float *ybase = y.data() + (item * spc.outC + group * out_cg) * full;
-    const float *bvals = bias.value.data() + group * out_cg;
+    const float *bvals = w->bias.value.data() + group * out_cg;
 
     if (!perf && algo == ConvAlgo::Winograd) {
         // Transform-domain fast path; bias and the folded ReLU are
         // applied in the output transform (winoPack was materialized
         // before the fan-out, so this only reads it).
-        winogradForward(x, item, g, group * in_cg, winoPack[group],
+        winogradForward(x, item, g, group * in_cg, w->winoPack[group],
                         bvals, y, group * out_cg, fuse_relu, scr.wino);
         return;
     }
@@ -379,14 +394,14 @@ ConvLayer::winogradGroupWeights(std::size_t group)
 {
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
-    if (winoPack.size() < spc.groups)
-        winoPack.resize(spc.groups);
-    WinogradWeights &wts = winoPack[group];
-    if (wts.generation != weight.generation()) {
+    if (w->winoPack.size() < spc.groups)
+        w->winoPack.resize(spc.groups);
+    WinogradWeights &wts = w->winoPack[group];
+    if (wts.generation != w->weight.generation()) {
         const float *wg =
-            weight.value.data() + group * out_cg * in_cg * 9;
+            w->weight.value.data() + group * out_cg * in_cg * 9;
         winogradTransformWeights(wg, in_cg, out_cg, wts);
-        wts.generation = weight.generation();
+        wts.generation = w->weight.generation();
     }
     return wts;
 }
@@ -397,13 +412,13 @@ ConvLayer::packedWeightT(std::size_t group)
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
     const std::size_t k = in_cg * spc.kernel * spc.kernel;
-    if (wtPack.size() < spc.groups)
-        wtPack.resize(spc.groups);
-    PackedPanel &panel = wtPack[group];
-    if (panel.generation != weight.generation()) {
-        const float *wg = weight.value.data() + group * out_cg * k;
+    if (w->wtPack.size() < spc.groups)
+        w->wtPack.resize(spc.groups);
+    PackedPanel &panel = w->wtPack[group];
+    if (panel.generation != w->weight.generation()) {
+        const float *wg = w->weight.value.data() + group * out_cg * k;
         packWeights(true, k, out_cg, wg, panel);
-        panel.generation = weight.generation();
+        panel.generation = w->weight.generation();
     }
     return panel;
 }
@@ -443,8 +458,9 @@ ConvLayer::backward(const Tensor &dy)
 
             const float *dyg =
                 dy.data() + (i * spc.outC + gp * out_cg) * full;
-            float *wgrad = weight.grad.data() +
-                           gp * out_cg * in_cg * spc.kernel * spc.kernel;
+            float *wgrad = w->weight.grad.data() +
+                           gp * out_cg * in_cg * spc.kernel *
+                               spc.kernel;
 
             // dW += dY * cols^T  (out_cg x full) * (full x k)
             sgemm(false, true, out_cg, k, full, dyg, cols.data(),
@@ -461,7 +477,7 @@ ConvLayer::backward(const Tensor &dy)
             col2im(dcols, i, g, dx, gp * in_cg);
 
             // db += column sums of dY.
-            float *bgrad = bias.grad.data() + gp * out_cg;
+            float *bgrad = w->bias.grad.data() + gp * out_cg;
             for (std::size_t f = 0; f < out_cg; ++f) {
                 double s = 0.0;
                 for (std::size_t p = 0; p < full; ++p)

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,7 @@ class ConvLayer : public Layer
     double flopsPerImage(const Shape &in) const override;
     bool canFuseRelu() const override { return true; }
     Tensor forwardFusedRelu(const Tensor &x) override;
+    std::unique_ptr<Layer> cloneShared() override;
 
     /** The architecture-level spec this layer realizes. */
     const ConvSpec &spec() const { return spc; }
@@ -132,6 +134,33 @@ class ConvLayer : public Layer
     }
 
   private:
+    /**
+     * Parameters plus every persistent weight-derived panel, bundled
+     * so serving replicas share one copy (DESIGN.md §5f). In shared
+     * mode the bundle is read-only: the engine warm-up forward
+     * materializes the panels the inference route needs before any
+     * worker thread exists, and because shared Params refuse
+     * markUpdated() the generation checks never re-pack afterwards.
+     */
+    struct ConvWeights
+    {
+        Param weight; ///< [outC, inC/groups, k, k]
+        Param bias;   ///< [1, outC, 1, 1]
+
+        /// per-group W^T panels (colRows x outC/groups) reused across
+        /// the backward item loop; invalidated by weight generation
+        /// bumps
+        std::vector<PackedPanel> wtPack;
+
+        /// per-group winograd U^T panels (16 x inC/g x outC/g),
+        /// persistent across forwards; invalidated by weight
+        /// generation bumps
+        std::vector<WinogradWeights> winoPack;
+    };
+
+    /** Weight-sharing replica constructor (see cloneShared). */
+    ConvLayer(const ConvLayer &) = default;
+
     /** Lazily build the sampled-position set and interpolation map. */
     void rebuildSampling();
 
@@ -154,8 +183,7 @@ class ConvLayer : public Layer
     const WinogradWeights &winogradGroupWeights(std::size_t group);
 
     ConvSpec spc;
-    Param weight; ///< [outC, inC/groups, k, k]
-    Param bias;   ///< [1, outC, 1, 1]
+    std::shared_ptr<ConvWeights> w; ///< shared across replicas
 
     std::size_t computed;            ///< computed positions per image
     InterpolationMode interpMode = InterpolationMode::Nearest;
@@ -174,14 +202,6 @@ class ConvLayer : public Layer
 
     // Per-lane scratch pool, sized to the thread count on demand.
     std::vector<Scratch> scratch;
-
-    /// per-group W^T panels (colRows x outC/groups) reused across the
-    /// backward item loop; invalidated by weight generation bumps
-    std::vector<PackedPanel> wtPack;
-
-    /// per-group winograd U^T panels (16 x inC/g x outC/g), persistent
-    /// across forwards; invalidated by weight generation bumps
-    std::vector<WinogradWeights> winoPack;
 
     bool algoPinned = false; ///< plan pinned a specific algorithm
     ConvAlgo algoSel = ConvAlgo::Im2col; ///< the pinned choice

@@ -6,6 +6,7 @@
 #ifndef PCNN_NN_DROPOUT_LAYER_HH
 #define PCNN_NN_DROPOUT_LAYER_HH
 
+#include <memory>
 #include <string>
 
 #include "nn/layer.hh"
@@ -32,6 +33,17 @@ class DropoutLayer : public Layer
     Shape outputShape(const Shape &in) const override { return in; }
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &dy) override;
+
+    /// Identity at inference; the replica keeps its own rng copy so a
+    /// (contract-violating) training forward cannot race the original.
+    std::unique_ptr<Layer>
+    cloneShared() override
+    {
+        auto c = std::make_unique<DropoutLayer>(*this);
+        c->mask = Tensor();
+        c->haveCache = false;
+        return c;
+    }
 
   private:
     std::string layerName;

@@ -11,16 +11,29 @@ namespace pcnn {
 
 FcLayer::FcLayer(std::string name, std::size_t in_features,
                  std::size_t out_features, Rng &rng)
-    : layerName(std::move(name)), nIn(in_features), nOut(out_features)
+    : layerName(std::move(name)), nIn(in_features), nOut(out_features),
+      w(std::make_shared<FcWeights>())
 {
     pcnn_assert(nIn > 0 && nOut > 0, "fc ", layerName,
                 ": feature counts must be positive");
-    weight.value.resize(Shape{nOut, nIn, 1, 1});
-    weight.grad.resize(weight.value.shape());
-    bias.value.resize(Shape{1, nOut, 1, 1});
-    bias.grad.resize(bias.value.shape());
-    weight.value.fillGaussian(rng, 0.0f,
-                              float(std::sqrt(2.0 / double(nIn))));
+    w->weight.value.resize(Shape{nOut, nIn, 1, 1});
+    w->weight.grad.resize(w->weight.value.shape());
+    w->bias.value.resize(Shape{1, nOut, 1, 1});
+    w->bias.grad.resize(w->bias.value.shape());
+    w->weight.value.fillGaussian(rng, 0.0f,
+                                 float(std::sqrt(2.0 / double(nIn))));
+}
+
+std::unique_ptr<Layer>
+FcLayer::cloneShared()
+{
+    // Freeze first so no mutation can slip between clone and serve.
+    w->weight.setShared();
+    w->bias.setShared();
+    auto clone = std::unique_ptr<FcLayer>(new FcLayer(*this));
+    clone->lastInput = Tensor();
+    clone->haveCache = false;
+    return clone;
 }
 
 Shape
@@ -34,7 +47,7 @@ FcLayer::outputShape(const Shape &in) const
 std::vector<Param *>
 FcLayer::params()
 {
-    return {&weight, &bias};
+    return {&w->weight, &w->bias};
 }
 
 double
@@ -47,11 +60,11 @@ FcLayer::flopsPerImage(const Shape &in) const
 const PackedPanel &
 FcLayer::packedWeightT()
 {
-    if (wPack.generation != weight.generation()) {
-        packWeights(true, nIn, nOut, weight.value.data(), wPack);
-        wPack.generation = weight.generation();
+    if (w->wPack.generation != w->weight.generation()) {
+        packWeights(true, nIn, nOut, w->weight.value.data(), w->wPack);
+        w->wPack.generation = w->weight.generation();
     }
-    return wPack;
+    return w->wPack;
 }
 
 Tensor
@@ -82,7 +95,7 @@ FcLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
     // seeded, so the epilogue clamps only) — bitwise equal to a
     // separate ReLU sweep.
     for (std::size_t i = 0; i < batch; ++i)
-        std::copy(bias.value.data(), bias.value.data() + nOut,
+        std::copy(w->bias.value.data(), w->bias.value.data() + nOut,
                   y.data() + i * nOut);
     Epilogue epi;
     if (fuse_relu)
@@ -111,17 +124,17 @@ FcLayer::backward(const Tensor &dy)
 
     // dW += dY^T * X  (nOut x batch) * (batch x nIn)
     sgemm(true, false, nOut, nIn, batch, dy.data(), lastInput.data(),
-          weight.grad.data(), 1.0f);
+          w->weight.grad.data(), 1.0f);
 
     // db += column sums of dY.
     for (std::size_t i = 0; i < batch; ++i)
         for (std::size_t f = 0; f < nOut; ++f)
-            bias.grad.data()[f] += dy.data()[i * nOut + f];
+            w->bias.grad.data()[f] += dy.data()[i * nOut + f];
 
     // dX = dY * W  (batch x nOut) * (nOut x nIn)
     Tensor dx(Shape{batch, nIn, 1, 1});
-    sgemm(false, false, batch, nIn, nOut, dy.data(), weight.value.data(),
-          dx.data());
+    sgemm(false, false, batch, nIn, nOut, dy.data(),
+          w->weight.value.data(), dx.data());
     return dx;
 }
 

@@ -7,6 +7,7 @@
 #define PCNN_NN_FC_LAYER_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "nn/layer.hh"
@@ -40,6 +41,7 @@ class FcLayer : public Layer
     double flopsPerImage(const Shape &in) const override;
     bool canFuseRelu() const override { return true; }
     Tensor forwardFusedRelu(const Tensor &x) override;
+    std::unique_ptr<Layer> cloneShared() override;
 
     /** Input feature count. */
     std::size_t inFeatures() const { return nIn; }
@@ -48,6 +50,28 @@ class FcLayer : public Layer
     std::size_t outFeatures() const { return nOut; }
 
   private:
+    /**
+     * Parameters and the persistent packed panel derived from them,
+     * bundled so serving replicas can share one copy
+     * (Network::cloneSharingWeights, DESIGN.md §5f). Shared-mode
+     * access is read-only: the panel is materialized before worker
+     * threads exist (engine warm-up) and the generation check then
+     * never re-packs because shared Params refuse markUpdated().
+     */
+    struct FcWeights
+    {
+        Param weight; ///< [outFeatures, inFeatures, 1, 1]
+        Param bias;   ///< [1, outFeatures, 1, 1]
+
+        /// persistent packed W^T (nIn x nOut), generation-tagged
+        /// against `weight` so SGD steps and weight loads invalidate
+        /// it
+        PackedPanel wPack;
+    };
+
+    /** Weight-sharing replica constructor (see cloneShared). */
+    FcLayer(const FcLayer &) = default;
+
     /** W^T panel for forward, rebuilt when `weight` changes. */
     const PackedPanel &packedWeightT();
 
@@ -57,12 +81,7 @@ class FcLayer : public Layer
     std::string layerName;
     std::size_t nIn;
     std::size_t nOut;
-    Param weight; ///< [outFeatures, inFeatures, 1, 1]
-    Param bias;   ///< [1, outFeatures, 1, 1]
-
-    /// persistent packed W^T (nIn x nOut), generation-tagged against
-    /// `weight` so SGD steps and weight loads invalidate it
-    PackedPanel wPack;
+    std::shared_ptr<FcWeights> w; ///< shared across replicas
 
     Tensor lastInput; ///< flattened to [n, nIn, 1, 1]
     bool haveCache = false;

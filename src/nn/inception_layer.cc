@@ -24,6 +24,25 @@ InceptionLayer::InceptionLayer(std::string name,
     }
 }
 
+std::unique_ptr<Layer>
+InceptionLayer::cloneShared()
+{
+    // Replicate branch by branch; the ctor revalidates and rebuilds
+    // the inner-conv index over the cloned layers.
+    std::vector<Branch> cloned;
+    cloned.reserve(branches.size());
+    for (Branch &br : branches) {
+        Branch cb;
+        cb.reserve(br.size());
+        for (auto &layer : br)
+            cb.push_back(layer->cloneShared());
+        cloned.push_back(std::move(cb));
+    }
+    auto c = std::make_unique<InceptionLayer>(layerName,
+                                              std::move(cloned));
+    return c;
+}
+
 std::unique_ptr<InceptionLayer>
 InceptionLayer::standard(std::string name, std::size_t in_c,
                          std::size_t hw, std::size_t ch1,

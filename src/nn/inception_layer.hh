@@ -57,6 +57,7 @@ class InceptionLayer : public Layer
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     double flopsPerImage(const Shape &in) const override;
+    std::unique_ptr<Layer> cloneShared() override;
 
     /** Number of branches. */
     std::size_t branchCount() const { return branches.size(); }

@@ -11,9 +11,11 @@
 #define PCNN_NN_LAYER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.hh"
 #include "tensor/tensor.hh"
 
 namespace pcnn {
@@ -28,6 +30,14 @@ namespace pcnn {
  * markUpdated(): the optimizer does after each step, weight
  * deserialization does after each load, and test code that perturbs
  * weights by hand must as well.
+ *
+ * A parameter whose storage is shared across serving replicas
+ * (Network::cloneSharingWeights, DESIGN.md §5f) is frozen:
+ * setShared() marks it, and from then on markUpdated() — and hence
+ * every protocol-abiding mutation path (SGD step, weight
+ * deserialization, hand edits) — fails a PCNN_CHECK instead of
+ * silently corrupting the weights other replicas are concurrently
+ * reading. Sharing is permanent for the life of the parameter.
  */
 struct Param
 {
@@ -49,10 +59,28 @@ struct Param
     std::uint64_t generation() const { return gen; }
 
     /** Record that `value` changed; invalidates packed caches. */
-    void markUpdated() { ++gen; }
+    void
+    markUpdated()
+    {
+        PCNN_CHECK(!sharedRO,
+                   "Param::markUpdated on a parameter shared across "
+                   "replicas: shared weights are read-only at "
+                   "inference (DESIGN.md §5f)");
+        ++gen;
+    }
+
+    /**
+     * Freeze the parameter: its storage is (about to be) shared
+     * across replica networks and must never change again.
+     */
+    void setShared() { sharedRO = true; }
+
+    /** True once the parameter is shared across replicas. */
+    bool isShared() const { return sharedRO; }
 
   private:
     std::uint64_t gen = 1;
+    bool sharedRO = false;
 };
 
 /**
@@ -114,6 +142,27 @@ class Layer
 
     /** Trainable parameters (empty for stateless layers). */
     virtual std::vector<Param *> params() { return {}; }
+
+    /**
+     * Replicate the layer for a concurrent serving worker
+     * (DESIGN.md §5f): configuration and trainable state are carried
+     * over, with parameter storage and the persistent packed/winograd
+     * panels *shared* with this layer (marked read-only via
+     * Param::setShared — the clone and the original both refuse
+     * mutation afterwards). Transient training caches are not
+     * carried. Stateless layers return an independent copy.
+     *
+     * The base implementation rejects: every in-tree layer overrides
+     * it, and out-of-tree layers must opt in explicitly before their
+     * networks can be replicated.
+     */
+    virtual std::unique_ptr<Layer>
+    cloneShared()
+    {
+        PCNN_CHECK(false, "layer kind '", kind(),
+                   "' does not support weight-sharing replication");
+        return nullptr;
+    }
 
     /** Forward FLOPs per image given an input shape; 0 if negligible. */
     virtual double flopsPerImage(const Shape &in) const

@@ -7,6 +7,7 @@
 #define PCNN_NN_LRN_LAYER_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "nn/layer.hh"
@@ -36,6 +37,16 @@ class LrnLayer : public Layer
     Shape outputShape(const Shape &in) const override { return in; }
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &dy) override;
+
+    std::unique_ptr<Layer>
+    cloneShared() override
+    {
+        auto c = std::make_unique<LrnLayer>(*this);
+        c->lastInput = Tensor();
+        c->lastScale = Tensor();
+        c->haveCache = false;
+        return c;
+    }
 
   private:
     std::string layerName;

@@ -103,4 +103,13 @@ Network::clearPerforation()
         c->setComputedPositions(0);
 }
 
+Network
+Network::cloneSharingWeights()
+{
+    Network replica(netName, inShape);
+    for (auto &l : layers)
+        replica.addLayer(l->cloneShared());
+    return replica;
+}
+
 } // namespace pcnn

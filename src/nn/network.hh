@@ -127,6 +127,22 @@ class Network
     /** Reset all conv layers to unperforated execution. */
     void clearPerforation();
 
+    /**
+     * Replicate the network for a concurrent serving worker
+     * (DESIGN.md §5f). The replica shares parameter storage and the
+     * persistent packed/winograd panels with this network; per-forward
+     * state (activations, scratch) is per-replica. Sharing freezes the
+     * parameters of *both* networks permanently: any later SGD step,
+     * weight load, or markUpdated() on either fails a PCNN_CHECK.
+     *
+     * Thread safety: run one warm-up forward on the prototype (to
+     * materialize the panels the inference route needs) before any
+     * other thread touches a replica; after that all replicas may run
+     * forward() concurrently, and results are bitwise identical to
+     * the prototype's.
+     */
+    Network cloneSharingWeights();
+
   private:
     std::string netName;
     Shape inShape;

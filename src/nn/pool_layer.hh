@@ -7,6 +7,7 @@
 #define PCNN_NN_POOL_LAYER_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,15 @@ class MaxPoolLayer : public Layer
     Shape outputShape(const Shape &in) const override;
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &dy) override;
+
+    std::unique_ptr<Layer>
+    cloneShared() override
+    {
+        auto c = std::make_unique<MaxPoolLayer>(*this);
+        c->argmaxIdx.clear();
+        c->haveCache = false;
+        return c;
+    }
 
   private:
     std::string layerName;

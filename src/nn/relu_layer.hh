@@ -6,6 +6,7 @@
 #ifndef PCNN_NN_RELU_LAYER_HH
 #define PCNN_NN_RELU_LAYER_HH
 
+#include <memory>
 #include <string>
 
 #include "nn/layer.hh"
@@ -24,6 +25,15 @@ class ReluLayer : public Layer
     Shape outputShape(const Shape &in) const override { return in; }
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &dy) override;
+
+    std::unique_ptr<Layer>
+    cloneShared() override
+    {
+        auto c = std::make_unique<ReluLayer>(*this);
+        c->mask = Tensor();
+        c->haveCache = false;
+        return c;
+    }
 
   private:
     std::string layerName;

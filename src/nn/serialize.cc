@@ -75,6 +75,14 @@ deserializeWeights(Network &net,
     const auto params = net.params();
     if (count != params.size())
         return false;
+    // Loading into a replicated network would corrupt the weights
+    // other replicas are concurrently reading; fail before any write
+    // (the markUpdated() below would only fire after the memcpy).
+    for (Param *p : params)
+        PCNN_CHECK(!p->isShared(),
+                   "deserializeWeights into a parameter shared across "
+                   "serving replicas (DESIGN.md §5f): load weights "
+                   "before cloneSharingWeights, never after");
 
     // Validate everything before touching the network.
     struct Pending

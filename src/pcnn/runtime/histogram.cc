@@ -1,0 +1,76 @@
+#include "pcnn/runtime/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+double
+percentileOfSorted(const std::vector<double> &sorted, double p)
+{
+    pcnn_assert(!sorted.empty(), "percentile of empty sample");
+    pcnn_assert(p >= 0.0 && p <= 1.0, "percentile p out of [0,1]");
+    const double idx = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double t = idx - double(lo);
+    return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
+LatencySummary
+summarizeLatencies(std::vector<double> samples)
+{
+    LatencySummary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.count = samples.size();
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.meanS = sum / double(s.count);
+    s.minS = samples.front();
+    s.maxS = samples.back();
+    s.p50S = percentileOfSorted(samples, 0.50);
+    s.p95S = percentileOfSorted(samples, 0.95);
+    s.p99S = percentileOfSorted(samples, 0.99);
+    s.p999S = percentileOfSorted(samples, 0.999);
+    return s;
+}
+
+void
+BatchSizeHistogram::record(std::size_t batch)
+{
+    pcnn_assert(batch >= 1, "batch size must be >= 1");
+    if (counts.size() <= batch)
+        counts.resize(batch + 1, 0);
+    ++counts[batch];
+}
+
+std::size_t
+BatchSizeHistogram::batches() const
+{
+    std::size_t n = 0;
+    for (std::size_t c : counts)
+        n += c;
+    return n;
+}
+
+std::size_t
+BatchSizeHistogram::images() const
+{
+    std::size_t n = 0;
+    for (std::size_t b = 1; b < counts.size(); ++b)
+        n += b * counts[b];
+    return n;
+}
+
+double
+BatchSizeHistogram::meanBatch() const
+{
+    const std::size_t n = batches();
+    return n == 0 ? 0.0 : double(images()) / double(n);
+}
+
+} // namespace pcnn

@@ -17,21 +17,6 @@ ServingSimulator::ServingSimulator(GpuSpec gpu, NetDescriptor net)
 {
 }
 
-namespace {
-
-double
-percentile(std::vector<double> sorted, double p)
-{
-    pcnn_assert(!sorted.empty(), "percentile of empty sample");
-    const double idx = p * double(sorted.size() - 1);
-    const std::size_t lo = std::size_t(idx);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double t = idx - double(lo);
-    return sorted[lo] + t * (sorted[hi] - sorted[lo]);
-}
-
-} // namespace
-
 ServingStats
 ServingSimulator::run(const ServingConfig &cfg,
                       const UserRequirement &req) const
@@ -123,8 +108,7 @@ ServingSimulator::run(const ServingConfig &cfg,
         }
         busy += exec.timeS;
         serve_energy += exec.energy.total();
-        ++stats.batches;
-        stats.meanBatch += double(batch);
+        stats.batchHist.record(batch);
         now = done;
         admit_until(now);
     }
@@ -134,17 +118,15 @@ ServingSimulator::run(const ServingConfig &cfg,
                 "serving lost requests");
     if (stats.requests == 0)
         return stats;
-    stats.meanBatch /= double(stats.batches);
+    stats.batches = stats.batchHist.batches();
+    stats.meanBatch = stats.batchHist.meanBatch();
 
-    std::vector<double> sorted = latencies;
-    std::sort(sorted.begin(), sorted.end());
-    double sum = 0.0;
-    for (double l : latencies)
-        sum += l;
-    stats.meanLatencyS = sum / double(stats.requests);
-    stats.p50LatencyS = percentile(sorted, 0.50);
-    stats.p95LatencyS = percentile(sorted, 0.95);
-    stats.p99LatencyS = percentile(sorted, 0.99);
+    const LatencySummary lat = summarizeLatencies(latencies);
+    stats.meanLatencyS = lat.meanS;
+    stats.p50LatencyS = lat.p50S;
+    stats.p95LatencyS = lat.p95S;
+    stats.p99LatencyS = lat.p99S;
+    stats.p999LatencyS = lat.p999S;
 
     // Energy over the whole horizon: serving plus gated idle.
     const double horizon = std::max(now, cfg.durationS);

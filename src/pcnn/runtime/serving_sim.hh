@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "pcnn/offline/compiler.hh"
+#include "pcnn/runtime/histogram.hh"
 #include "pcnn/runtime/kernel_scheduler.hh"
 #include "pcnn/satisfaction.hh"
 
@@ -45,6 +46,9 @@ struct ServingStats
     double p50LatencyS = 0.0;
     double p95LatencyS = 0.0;
     double p99LatencyS = 0.0;
+    double p999LatencyS = 0.0;
+    /// served-batch size distribution (meanBatch is its mean)
+    BatchSizeHistogram batchHist;
     double energyJ = 0.0; ///< serving + idle energy over the horizon
     double energyPerImageJ = 0.0;
     double busyFraction = 0.0; ///< GPU-busy share of the horizon

@@ -1,0 +1,68 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+namespace {
+
+/// EWMA smoothing: heavy enough to damp scheduler noise, light
+/// enough to track DVFS-style service-time drift within ~10 batches.
+constexpr double kAlpha = 0.3;
+
+} // namespace
+
+Batcher::Batcher(BatcherConfig config)
+    : cfg(config), ewma(cfg.maxBatch + 1, 0.0)
+{
+    pcnn_assert(cfg.maxBatch >= 1, "batcher maxBatch must be >= 1");
+    pcnn_assert(cfg.maxWaitS >= 0.0, "batcher maxWaitS must be >= 0");
+}
+
+double
+Batcher::waitBudgetS(double oldest_age_s, std::size_t queued) const
+{
+    if (queued >= cfg.maxBatch)
+        return 0.0;
+    // Hard cap: the oldest request never waits past maxWaitS.
+    double budget = cfg.maxWaitS - oldest_age_s;
+    if (!cfg.requirement.timeInsensitive) {
+        // Early flush (Fig. 3): keep the oldest request's completion
+        // inside the imperceptible region. Waiting w more seconds
+        // completes it no earlier than age + w + service(maxBatch),
+        // so the slack before T_i is the wait we can still afford.
+        const double slack = cfg.requirement.imperceptibleS -
+                             estServiceS(cfg.maxBatch) - oldest_age_s;
+        budget = std::min(budget, slack);
+    }
+    return std::max(budget, 0.0);
+}
+
+void
+Batcher::recordService(std::size_t batch, double service_s)
+{
+    pcnn_assert(batch >= 1 && batch <= cfg.maxBatch,
+                "recorded batch out of range");
+    std::lock_guard<std::mutex> lk(mu);
+    double &slot = ewma[batch];
+    slot = slot == 0.0 ? service_s
+                       : (1.0 - kAlpha) * slot + kAlpha * service_s;
+}
+
+double
+Batcher::estServiceS(std::size_t batch) const
+{
+    const std::size_t b = std::min(batch, cfg.maxBatch);
+    std::lock_guard<std::mutex> lk(mu);
+    // Exact size first, then the largest observed size under it:
+    // service time grows with batch, so a smaller batch's time is a
+    // usable (under-)estimate while samples are still sparse.
+    for (std::size_t i = b; i >= 1; --i)
+        if (ewma[i] != 0.0)
+            return ewma[i];
+    return 0.0;
+}
+
+} // namespace pcnn

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deadline-aware dynamic batching policy.
+ *
+ * Larger batches amortize per-image cost (the reason the offline
+ * compiler picks an optimal batch size at all, Section IV.B.1), but
+ * every queued request keeps aging while the batch fills. The Batcher
+ * bounds that wait with the user's satisfaction curve (Fig. 3): an
+ * incomplete batch is flushed early as soon as waiting any longer
+ * would push the *oldest* request's completion past the end of the
+ * imperceptible region, where SoC_time starts decaying.
+ */
+
+#ifndef PCNN_SERVE_BATCHER_HH
+#define PCNN_SERVE_BATCHER_HH
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/** Batching policy knobs. */
+struct BatcherConfig
+{
+    /// serve at most this many requests per batch (the offline
+    /// compiler's optimal batch size; see optimalServeBatch)
+    std::size_t maxBatch = 1;
+    /// per-request satisfaction requirement driving the early flush
+    UserRequirement requirement;
+    /// hard cap on how long the oldest request may wait for the batch
+    /// to fill (0 = serve immediately with whatever is queued)
+    double maxWaitS = 0.0;
+};
+
+/**
+ * Decides how long an incomplete batch may keep waiting. Thread-safe:
+ * worker replicas consult it concurrently from popBatch and feed
+ * measured service times back after every batch.
+ */
+class Batcher
+{
+  public:
+    explicit Batcher(BatcherConfig config);
+
+    /** Largest batch the policy will form. */
+    std::size_t maxBatch() const { return cfg.maxBatch; }
+
+    /** The configuration this policy was built with. */
+    const BatcherConfig &config() const { return cfg; }
+
+    /**
+     * Seconds the consumer may keep waiting for more requests given
+     * the oldest queued request's age. <= 0 means flush now: the
+     * batch is full, the maxWaitS budget is spent, or — for
+     * latency-sensitive requirements — the oldest request's slack
+     * before leaving the imperceptible region (T_i minus the
+     * estimated service time minus its age) has run out.
+     */
+    double waitBudgetS(double oldest_age_s, std::size_t queued) const;
+
+    /**
+     * Feed back a measured batch execution time; maintains the
+     * per-batch-size EWMA estimate the flush decision uses.
+     */
+    void recordService(std::size_t batch, double service_s);
+
+    /**
+     * Estimated service time of a batch: the EWMA for that size, the
+     * largest observed size at or under it as a fallback, 0 before
+     * any observation (optimistic: never flush earlier than measured
+     * evidence demands).
+     */
+    double estServiceS(std::size_t batch) const;
+
+  private:
+    BatcherConfig cfg;
+    mutable std::mutex mu;
+    std::vector<double> ewma; ///< [batch] -> smoothed seconds, 0 unset
+};
+
+} // namespace pcnn
+
+#endif // PCNN_SERVE_BATCHER_HH

@@ -1,0 +1,161 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hh"
+#include "common/parallel.hh"
+#include "gpu/gpu_spec.hh"
+#include "pcnn/offline/batch_selector.hh"
+
+namespace pcnn {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0,
+             std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(Network &prototype, EngineConfig config)
+    : cfg(config), proto(prototype), queue(cfg.queueCapacity),
+      policy(BatcherConfig{cfg.maxBatch, cfg.requirement, cfg.maxWaitS})
+{
+    PCNN_CHECK(cfg.workers >= 1, "engine needs at least one worker");
+    PCNN_CHECK(cfg.maxBatch >= 1, "engine maxBatch must be >= 1");
+
+    // Partition the intra-op lane budget across workers so inter-op
+    // and intra-op parallelism compose instead of multiplying.
+    lanes = cfg.lanesPerWorker != 0
+                ? cfg.lanesPerWorker
+                : std::max<std::size_t>(1, threadCount() / cfg.workers);
+
+    // Replicate first: sharing freezes the weights, so nothing can
+    // invalidate the warm-up below after it runs.
+    replicas.reserve(cfg.workers);
+    for (std::size_t i = 0; i < cfg.workers; ++i)
+        replicas.push_back(proto.cloneSharingWeights());
+
+    // Warm-up forward before any worker thread exists: materializes
+    // every weight-derived panel the inference route reads (the conv
+    // algorithm choice depends on layer geometry, not batch size, so
+    // batch 1 covers all serving batches). The panels then reach the
+    // workers through the thread-creation happens-before edge, and
+    // the frozen generation guarantees no worker ever re-packs — the
+    // steady state takes no locks on weight state at all.
+    const Shape &in = proto.inputShape();
+    Tensor warm(Shape{1, in.c, in.h, in.w});
+    {
+        ScopedLaneLimit limit(lanes);
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)replicas[0].forward(warm, false);
+        const auto t1 = std::chrono::steady_clock::now();
+        // Seed the flush decision with a measured service time.
+        policy.recordService(1, secondsSince(t0, t1));
+    }
+
+    meter.start();
+    threads.reserve(cfg.workers);
+    for (std::size_t i = 0; i < cfg.workers; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ServeEngine::~ServeEngine()
+{
+    stop();
+}
+
+ServeEngine::Submission
+ServeEngine::submit(Tensor input)
+{
+    const Shape &in = proto.inputShape();
+    PCNN_CHECK(input.shape().n == 1 && input.shape().c == in.c &&
+                   input.shape().h == in.h && input.shape().w == in.w,
+               "serve submit: input ", input.shape().str(),
+               " mismatches expected [1,", in.c, ",", in.h, ",", in.w,
+               "]");
+
+    PendingRequest req;
+    req.id = nextId.fetch_add(1, std::memory_order_relaxed);
+    req.input = std::move(input);
+    req.enqueued = std::chrono::steady_clock::now();
+    std::future<ServeResult> fut = req.done.get_future();
+
+    Submission sub;
+    sub.status = queue.push(std::move(req));
+    if (sub.status == SubmitStatus::Accepted) {
+        sub.result = std::move(fut);
+        meter.recordQueueDepth(queue.size());
+    } else if (sub.status == SubmitStatus::QueueFull) {
+        meter.recordShed();
+    }
+    return sub;
+}
+
+void
+ServeEngine::stop()
+{
+    if (stopFlag.exchange(true))
+        return;
+    queue.close();
+    for (std::thread &t : threads)
+        t.join();
+    threads.clear();
+}
+
+void
+ServeEngine::workerLoop(std::size_t worker)
+{
+    // The cap is thread-local: install it once for the life of the
+    // worker so every forward below runs on this worker's share of
+    // the lane budget.
+    ScopedLaneLimit limit(lanes);
+    Network &net = replicas[worker];
+    const std::size_t item = proto.inputShape().itemSize();
+
+    for (;;) {
+        std::vector<PendingRequest> batch = queue.popBatch(policy);
+        if (batch.empty())
+            return; // closed and drained
+
+        const std::size_t b = batch.size();
+        const auto start = std::chrono::steady_clock::now();
+        Tensor x(Shape{b, proto.inputShape().c, proto.inputShape().h,
+                       proto.inputShape().w});
+        for (std::size_t i = 0; i < b; ++i)
+            std::memcpy(x.data() + i * item, batch[i].input.data(),
+                        item * sizeof(float));
+        Tensor logits = net.forward(x, false);
+        const auto end = std::chrono::steady_clock::now();
+
+        policy.recordService(b, secondsSince(start, end));
+        meter.recordBatch(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            ServeResult r;
+            r.logits = logits.item(i);
+            r.batchSize = b;
+            r.queueS = secondsSince(batch[i].enqueued, start);
+            r.latencyS = secondsSince(batch[i].enqueued, end);
+            meter.recordLatency(r.latencyS, r.queueS);
+            batch[i].done.set_value(std::move(r));
+        }
+    }
+}
+
+std::size_t
+optimalServeBatch(const GpuSpec &gpu, const NetDescriptor &net,
+                  const AppSpec &app, const UserRequirement &req)
+{
+    BatchSelector sel(gpu);
+    if (app.taskClass == TaskClass::Background || req.timeInsensitive)
+        return sel.backgroundBatch(net);
+    return std::max<std::size_t>(1, sel.initialBatch(net, app, req));
+}
+
+} // namespace pcnn

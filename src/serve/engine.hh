@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Concurrent CNN serving engine (DESIGN.md §5f).
+ *
+ * Drives real Network::forward calls under load: a bounded MPMC
+ * request queue feeds N worker replicas that share one copy of the
+ * prototype's weights and persistent packed/winograd panels
+ * (Network::cloneSharingWeights), form batches under a
+ * deadline-aware Batcher, and partition the PCNN_THREADS lane budget
+ * among themselves with ScopedLaneLimit so inter-op and intra-op
+ * parallelism compose without oversubscription. Because the compute
+ * substrate is bitwise-deterministic across lane counts, per-request
+ * outputs are bitwise identical to a single-worker run.
+ */
+
+#ifndef PCNN_SERVE_ENGINE_HH
+#define PCNN_SERVE_ENGINE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+#include "pcnn/task.hh"
+#include "serve/batcher.hh"
+#include "serve/metrics.hh"
+#include "serve/request_queue.hh"
+
+namespace pcnn {
+
+struct GpuSpec;
+
+/** Engine sizing and policy. */
+struct EngineConfig
+{
+    std::size_t workers = 1;       ///< replica count (>= 1)
+    std::size_t maxBatch = 1;      ///< batch ceiling per replica
+    std::size_t queueCapacity = 64;
+    UserRequirement requirement;   ///< drives the early flush
+    double maxWaitS = 0.0;         ///< hard batch-fill wait cap
+    /// intra-op lanes per worker; 0 = partition threadCount() evenly
+    /// (at least 1 lane each)
+    std::size_t lanesPerWorker = 0;
+};
+
+/**
+ * Multi-replica serving engine over one prototype network.
+ *
+ * The prototype is frozen on construction (its parameters become
+ * shared and read-only; training it afterwards PCNN_CHECK-fails) and
+ * a warm-up forward materializes every panel the inference route
+ * needs *before* worker threads exist, so the steady state performs
+ * no panel packing and no lock-protected weight access at all.
+ */
+class ServeEngine
+{
+  public:
+    /**
+     * @param prototype network to serve; must outlive the engine
+     * @param config sizing and batching policy
+     */
+    ServeEngine(Network &prototype, EngineConfig config);
+
+    /** Stops and joins (see stop()). */
+    ~ServeEngine();
+
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /** submit() outcome: a status and, when accepted, a future. */
+    struct Submission
+    {
+        SubmitStatus status = SubmitStatus::Stopped;
+        std::future<ServeResult> result; ///< valid iff Accepted
+    };
+
+    /**
+     * Submit one image [1, c, h, w] (matching the prototype's input
+     * shape). Never blocks: a full queue sheds the request with
+     * QueueFull and a stopped engine returns Stopped; only Accepted
+     * submissions carry a valid future.
+     */
+    Submission submit(Tensor input);
+
+    /**
+     * Stop accepting requests, serve everything already queued
+     * exactly once, and join the workers. Idempotent; also run by
+     * the destructor.
+     */
+    void stop();
+
+    /** Replica count. */
+    std::size_t workerCount() const { return cfg.workers; }
+
+    /** Intra-op lanes each worker runs with. */
+    std::size_t lanesPerWorker() const { return lanes; }
+
+    /** The batching policy (exposed for tests and benches). */
+    const Batcher &batcher() const { return policy; }
+
+    /** Metrics snapshot (thread-safe at any time). */
+    ServeMetricsSnapshot metrics() const { return meter.snapshot(); }
+
+    /** Queue depth high-water mark. */
+    std::size_t queueHighWater() const { return queue.highWater(); }
+
+  private:
+    /** Worker replica loop: pop a batch, run it, fulfill promises. */
+    void workerLoop(std::size_t worker);
+
+    EngineConfig cfg;
+    std::size_t lanes = 1;
+    Network &proto;
+    std::vector<Network> replicas; ///< one per worker
+    RequestQueue queue;
+    Batcher policy;
+    ServeMetrics meter;
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> nextId{0};
+    std::atomic<bool> stopFlag{false};
+};
+
+/**
+ * The offline compiler's optimal serving batch for a task (Section
+ * IV.B.1 / Eq. 13): background tasks get the full-utilization batch,
+ * latency-sensitive tasks the batch their data rate can fill inside
+ * the time requirement.
+ */
+std::size_t optimalServeBatch(const GpuSpec &gpu,
+                              const NetDescriptor &net,
+                              const AppSpec &app,
+                              const UserRequirement &req);
+
+} // namespace pcnn
+
+#endif // PCNN_SERVE_ENGINE_HH

@@ -1,0 +1,77 @@
+#include "serve/metrics.hh"
+
+#include <algorithm>
+
+namespace pcnn {
+
+ServeMetrics::ServeMetrics()
+{
+    started = std::chrono::steady_clock::now();
+}
+
+void
+ServeMetrics::start()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    started = std::chrono::steady_clock::now();
+    latencies.clear();
+    queueWaits.clear();
+    hist = BatchSizeHistogram();
+    shedCount = 0;
+    highWater = 0;
+}
+
+void
+ServeMetrics::recordBatch(std::size_t batch)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    hist.record(batch);
+}
+
+void
+ServeMetrics::recordLatency(double latency_s, double queue_s)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    latencies.push_back(latency_s);
+    queueWaits.push_back(queue_s);
+}
+
+void
+ServeMetrics::recordShed()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    ++shedCount;
+}
+
+void
+ServeMetrics::recordQueueDepth(std::size_t depth)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    highWater = std::max(highWater, depth);
+}
+
+ServeMetricsSnapshot
+ServeMetrics::snapshot() const
+{
+    std::vector<double> lat, waits;
+    ServeMetricsSnapshot s;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        lat = latencies;
+        waits = queueWaits;
+        s.batchHist = hist;
+        s.shed = shedCount;
+        s.queueHighWater = highWater;
+        s.elapsedS = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    }
+    s.completed = lat.size();
+    s.latency = summarizeLatencies(std::move(lat));
+    s.queueWait = summarizeLatencies(std::move(waits));
+    s.throughputRps =
+        s.elapsedS > 0.0 ? double(s.completed) / s.elapsedS : 0.0;
+    return s;
+}
+
+} // namespace pcnn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Thread-safe serving metrics: latency tails, batch-size histogram,
+ * throughput, shed count, queue high-water.
+ *
+ * Uses the same LatencySummary/BatchSizeHistogram helpers as the
+ * analytical ServingSimulator so engine measurements and simulator
+ * predictions are directly comparable.
+ */
+
+#ifndef PCNN_SERVE_METRICS_HH
+#define PCNN_SERVE_METRICS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pcnn/runtime/histogram.hh"
+
+namespace pcnn {
+
+/** Point-in-time view of an engine's metrics. */
+struct ServeMetricsSnapshot
+{
+    LatencySummary latency;       ///< submit -> completion, seconds
+    LatencySummary queueWait;     ///< submit -> service start
+    BatchSizeHistogram batchHist; ///< served-batch size distribution
+    std::uint64_t completed = 0;  ///< requests served
+    std::uint64_t shed = 0;       ///< requests rejected QueueFull
+    std::size_t queueHighWater = 0;
+    double elapsedS = 0.0;      ///< start() -> snapshot()
+    double throughputRps = 0.0; ///< completed / elapsedS
+};
+
+/** Concurrent metrics recorder shared by all engine threads. */
+class ServeMetrics
+{
+  public:
+    ServeMetrics();
+
+    /** Reset counters and restart the throughput clock. */
+    void start();
+
+    /** Count one served batch. */
+    void recordBatch(std::size_t batch);
+
+    /** Count one completed request. */
+    void recordLatency(double latency_s, double queue_s);
+
+    /** Count one rejected (QueueFull) request. */
+    void recordShed();
+
+    /** Track the observed queue depth high-water mark. */
+    void recordQueueDepth(std::size_t depth);
+
+    /** Consistent snapshot of everything recorded since start(). */
+    ServeMetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu;
+    std::chrono::steady_clock::time_point started;
+    std::vector<double> latencies;
+    std::vector<double> queueWaits;
+    BatchSizeHistogram hist;
+    std::uint64_t shedCount = 0;
+    std::size_t highWater = 0;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_SERVE_METRICS_HH

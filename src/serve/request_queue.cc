@@ -1,0 +1,114 @@
+#include "serve/request_queue.hh"
+
+#include <algorithm>
+
+#include "serve/batcher.hh"
+
+namespace pcnn {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0,
+             std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : cap(std::max<std::size_t>(1, capacity))
+{
+}
+
+SubmitStatus
+RequestQueue::push(PendingRequest &&req)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (stopped)
+            return SubmitStatus::Stopped;
+        if (items.size() >= cap)
+            return SubmitStatus::QueueFull;
+        items.push_back(std::move(req));
+        peak = std::max(peak, items.size());
+    }
+    cv.notify_one();
+    return SubmitStatus::Accepted;
+}
+
+std::vector<PendingRequest>
+RequestQueue::popBatch(const Batcher &policy)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        if (items.empty()) {
+            if (stopped)
+                return {};
+            cv.wait(lk);
+            continue;
+        }
+
+        const std::size_t max_batch = policy.maxBatch();
+        double budget = 0.0;
+        if (!stopped && items.size() < max_batch) {
+            const double age = secondsSince(
+                items.front().enqueued,
+                std::chrono::steady_clock::now());
+            budget = policy.waitBudgetS(age, items.size());
+        }
+        if (budget > 0.0) {
+            // More slack: wait for the batch to fill (or for close /
+            // new arrivals to re-evaluate the budget).
+            cv.wait_for(lk, std::chrono::duration<double>(budget));
+            continue;
+        }
+
+        const std::size_t take = std::min(items.size(), max_batch);
+        std::vector<PendingRequest> batch;
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(items.front()));
+            items.pop_front();
+        }
+        const bool more = !items.empty();
+        lk.unlock();
+        if (more)
+            cv.notify_one();
+        return batch;
+    }
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopped = true;
+    }
+    cv.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return stopped;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return items.size();
+}
+
+std::size_t
+RequestQueue::highWater() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return peak;
+}
+
+} // namespace pcnn

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bounded MPMC request queue for the concurrent serving engine.
+ *
+ * Producers (application threads calling ServeEngine::submit) push
+ * single-image requests without ever blocking: a full queue rejects
+ * with SubmitStatus::QueueFull so the caller can shed load instead of
+ * stalling (DESIGN.md §5f). Consumers (worker replicas) pop *batches*
+ * under a Batcher policy that trades waiting time for batch size.
+ */
+
+#ifndef PCNN_SERVE_REQUEST_QUEUE_HH
+#define PCNN_SERVE_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace pcnn {
+
+class Batcher;
+
+/** Outcome of ServeEngine::submit / RequestQueue::push. */
+enum class SubmitStatus
+{
+    Accepted,  ///< queued; the future will be fulfilled
+    QueueFull, ///< shed: the bounded queue was at capacity
+    Stopped,   ///< the engine is stopping; no new work accepted
+};
+
+/** Completed inference for one request. */
+struct ServeResult
+{
+    Tensor logits;             ///< [1, k, 1, 1] classifier output
+    double latencyS = 0.0;     ///< submit -> completion
+    double queueS = 0.0;       ///< submit -> service start
+    std::size_t batchSize = 0; ///< size of the batch it rode in
+};
+
+/** One queued request. */
+struct PendingRequest
+{
+    std::uint64_t id = 0;
+    Tensor input; ///< [1, c, h, w]
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<ServeResult> done;
+};
+
+/**
+ * Bounded multi-producer multi-consumer queue. push() never blocks;
+ * popBatch() blocks until a Batcher-approved batch is ready or the
+ * queue is closed and drained.
+ */
+class RequestQueue
+{
+  public:
+    /** @param capacity maximum queued requests (>= 1) */
+    explicit RequestQueue(std::size_t capacity);
+
+    /**
+     * Enqueue a request, or reject immediately: QueueFull at
+     * capacity, Stopped after close(). The request is moved from only
+     * on acceptance.
+     */
+    SubmitStatus push(PendingRequest &&req);
+
+    /**
+     * Pop the next batch under the policy: blocks while the queue is
+     * open and empty; once requests are queued, waits at most the
+     * policy's waitBudgetS for the batch to fill, then takes up to
+     * policy.maxBatch() requests in arrival order. After close() any
+     * remaining requests are still handed out (drain); an empty
+     * return means closed-and-drained, and consumers should exit.
+     */
+    std::vector<PendingRequest> popBatch(const Batcher &policy);
+
+    /**
+     * Stop accepting new requests and wake every waiting consumer.
+     * Already-queued requests remain poppable. Idempotent.
+     */
+    void close();
+
+    /** True after close(). */
+    bool closed() const;
+
+    /** Requests currently queued. */
+    std::size_t size() const;
+
+    /** Maximum depth ever observed (for metrics). */
+    std::size_t highWater() const;
+
+    /** Configured capacity. */
+    std::size_t capacity() const { return cap; }
+
+  private:
+    const std::size_t cap;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<PendingRequest> items;
+    std::size_t peak = 0;
+    bool stopped = false;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_SERVE_REQUEST_QUEUE_HH

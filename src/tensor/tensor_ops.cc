@@ -1,6 +1,7 @@
 #include "tensor/tensor_ops.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -294,12 +295,31 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     }
 }
 
+namespace {
+
+/// process-wide packWeights() materialization counter (see header)
+std::atomic<std::uint64_t> &
+packCounter()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
+} // namespace
+
+std::uint64_t
+weightPackCount()
+{
+    return packCounter().load(std::memory_order_relaxed);
+}
+
 void
 packWeights(bool trans, std::size_t rows, std::size_t cols,
             const float *w, PackedPanel &panel)
 {
     PCNN_CHECK(rows * cols == 0 || w != nullptr,
                "packWeights: null source for ", rows, "x", cols);
+    packCounter().fetch_add(1, std::memory_order_relaxed);
     if (panel.data.size() < rows * cols)
         panel.data.resize(rows * cols);
     panel.rows = rows;

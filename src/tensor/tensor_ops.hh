@@ -120,6 +120,15 @@ void packWeights(bool trans, std::size_t rows, std::size_t cols,
                  const float *w, PackedPanel &panel);
 
 /**
+ * Process-wide count of packWeights() panel materializations since
+ * start-up (atomic, any thread). Serving tests pin the weight-sharing
+ * contract with it: after a multi-replica engine warms up, steady
+ * state must not move this counter — one pack serves every replica
+ * (DESIGN.md §5f).
+ */
+std::uint64_t weightPackCount();
+
+/**
  * C = epi(A * B + beta * C) with a prepacked B panel: A is row-major
  * m x k, `b` must hold a k x n panel. Bitwise identical to
  * sgemm(false, trans, m, n, k, a, w, c, beta, epi) where `b` was

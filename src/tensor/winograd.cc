@@ -19,6 +19,7 @@
 #include "tensor/winograd.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/check.hh"
@@ -51,7 +52,21 @@ outputPass(const float *s, std::size_t ss, float *t, std::size_t ts)
     t[1 * ts] = m1 - m2 - m3;
 }
 
+/// process-wide weight-transform counter (see header)
+std::atomic<std::uint64_t> &
+winoPackCounter()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
 } // namespace
+
+std::uint64_t
+winogradPackCount()
+{
+    return winoPackCounter().load(std::memory_order_relaxed);
+}
 
 void
 winogradTransformWeights(const float *w, std::size_t in_c,
@@ -60,6 +75,7 @@ winogradTransformWeights(const float *w, std::size_t in_c,
     PCNN_CHECK(in_c > 0 && out_c > 0 && w != nullptr,
                "winograd weight transform: empty group ", in_c, "x",
                out_c);
+    winoPackCounter().fetch_add(1, std::memory_order_relaxed);
     const std::size_t plane = in_c * out_c;
     if (out.data.size() < 16 * plane)
         out.data.resize(16 * plane);

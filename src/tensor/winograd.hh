@@ -85,6 +85,14 @@ struct WinogradWeights
 void winogradTransformWeights(const float *w, std::size_t in_c,
                               std::size_t out_c, WinogradWeights &out);
 
+/**
+ * Process-wide count of winogradTransformWeights() materializations
+ * since start-up (atomic, any thread) — the winograd-side companion
+ * of weightPackCount(), pinned by the serving weight-sharing tests
+ * (DESIGN.md §5f).
+ */
+std::uint64_t winogradPackCount();
+
 /** Grow-only transform-domain scratch, pooled per worker lane. */
 struct WinogradScratch
 {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -18,6 +19,13 @@ void
 SgdOptimizer::step(const std::vector<Param *> &params)
 {
     for (Param *p : params) {
+        // Fail before touching the values: markUpdated() after the
+        // in-place update would fire too, but only after the shared
+        // storage other replicas are reading was already corrupted.
+        PCNN_CHECK(!p->isShared(),
+                   "SGD step on a parameter shared across serving "
+                   "replicas (DESIGN.md §5f): train on the prototype "
+                   "before cloneSharingWeights, never after");
         auto it = std::find(known.begin(), known.end(), p);
         std::size_t idx;
         if (it == known.end()) {

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hh"
@@ -365,6 +366,106 @@ TEST(Determinism, KernelTunerIdenticalAcrossThreadCounts)
         EXPECT_EQ(t1.skernel, t8.skernel);
         EXPECT_EQ(t1.predictedTimeS, t8.predictedTimeS);
     }
+}
+
+// ------------------------------------------- ScopedLaneLimit (§5f)
+
+TEST(ScopedLaneLimit, CapsThreadCountAndNestsTighterWins)
+{
+    ThreadCountGuard guard(4);
+    EXPECT_EQ(threadCount(), 4u);
+    {
+        ScopedLaneLimit two(2);
+        EXPECT_EQ(threadCount(), 2u);
+        {
+            ScopedLaneLimit three(3); // looser than 2: no effect
+            EXPECT_EQ(threadCount(), 2u);
+            ScopedLaneLimit one(1);
+            EXPECT_EQ(threadCount(), 1u);
+        }
+        EXPECT_EQ(threadCount(), 2u);
+    }
+    EXPECT_EQ(threadCount(), 4u);
+}
+
+TEST(ScopedLaneLimit, ZeroMeansNoCap)
+{
+    ThreadCountGuard guard(3);
+    ScopedLaneLimit none(0);
+    EXPECT_EQ(threadCount(), 3u);
+}
+
+TEST(ScopedLaneLimit, LimitOneRunsInline)
+{
+    ThreadCountGuard guard(4);
+    ScopedLaneLimit one(1);
+    std::size_t chunks = 0;
+    parallelFor(64, [&](std::size_t b, std::size_t e,
+                        std::size_t tid) {
+        // One [0, n) chunk on the calling thread: no pool traffic.
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 64u);
+        EXPECT_EQ(tid, 0u);
+        ++chunks;
+    });
+    EXPECT_EQ(chunks, 1u);
+}
+
+TEST(ScopedLaneLimit, PartitionFollowsTheCappedCount)
+{
+    ThreadCountGuard guard(4);
+    ScopedLaneLimit two(2);
+    const std::size_t n = 10;
+    std::vector<std::size_t> begins(threadCount(), n + 1);
+    std::vector<std::size_t> ends(threadCount(), n + 1);
+    parallelFor(n, [&](std::size_t b, std::size_t e,
+                       std::size_t tid) {
+        begins[tid] = b;
+        ends[tid] = e;
+    });
+    const std::size_t T = 2;
+    for (std::size_t t = 0; t < T; ++t) {
+        EXPECT_EQ(begins[t], n * t / T);
+        EXPECT_EQ(ends[t], n * (t + 1) / T);
+    }
+}
+
+TEST(ScopedLaneLimit, IsThreadLocal)
+{
+    ThreadCountGuard guard(4);
+    std::atomic<std::size_t> inThread{0};
+    {
+        ScopedLaneLimit one(1);
+        // A concurrently running thread sees the uncapped count.
+        std::thread t([&] { inThread = threadCount(); });
+        t.join();
+        EXPECT_EQ(threadCount(), 1u);
+    }
+    EXPECT_EQ(inThread.load(), 4u);
+}
+
+TEST(ScopedLaneLimit, ResultsBitwiseIdenticalUnderCap)
+{
+    ThreadCountGuard guard(4);
+    const std::size_t m = 17, n = 23, k = 31;
+    Rng rng(97);
+    std::vector<float> a(m * k), b(k * n);
+    for (auto &v : a)
+        v = float(rng.uniform()) - 0.5f;
+    for (auto &v : b)
+        v = float(rng.uniform()) - 0.5f;
+
+    std::vector<float> full(m * n, 0.0f), capped(m * n, 0.0f);
+    sgemm(false, false, m, n, k, a.data(), b.data(), full.data());
+    {
+        ScopedLaneLimit two(2);
+        sgemm(false, false, m, n, k, a.data(), b.data(),
+              capped.data());
+    }
+    EXPECT_EQ(std::memcmp(full.data(), capped.data(),
+                          full.size() * sizeof(float)),
+              0)
+        << "lane cap changed SGEMM bits";
 }
 
 } // namespace

@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Concurrent serving engine tests (DESIGN.md §5f): bounded-queue
+ * backpressure, deadline-aware batching policy, drain-on-stop,
+ * bitwise-identical multi-replica inference over shared weight
+ * panels, steady-state zero-repack, and the shared-weight mutation
+ * contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/random.hh"
+#include "gpu/gpu_spec.hh"
+#include "nn/model_zoo.hh"
+#include "nn/serialize.hh"
+#include "pcnn/offline/batch_selector.hh"
+#include "serve/engine.hh"
+#include "tensor/tensor_ops.hh"
+#include "tensor/winograd.hh"
+#include "train/sgd.hh"
+
+namespace pcnn {
+namespace {
+
+// The engine spawns worker threads; the default "fast" (plain fork)
+// death-test style is unsafe once threads exist.
+class ThreadsafeDeathStyle : public ::testing::Environment
+{
+    void
+    SetUp() override
+    {
+        ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    }
+};
+
+const auto *const g_death_style =
+    ::testing::AddGlobalTestEnvironment(new ThreadsafeDeathStyle);
+
+/** A background-style requirement: no deadline pressure at all. */
+UserRequirement
+relaxedReq()
+{
+    UserRequirement r;
+    r.timeInsensitive = true;
+    return r;
+}
+
+Tensor
+randomInput(Rng &rng, const Shape &in)
+{
+    Tensor t(Shape{1, in.c, in.h, in.w});
+    t.fillUniform(rng, -1.0f, 1.0f);
+    return t;
+}
+
+// --------------------------------------------------------- Batcher
+
+TEST(Batcher, FullBatchFlushesImmediately)
+{
+    Batcher b(BatcherConfig{4, relaxedReq(), 10.0});
+    EXPECT_EQ(b.waitBudgetS(0.0, 4), 0.0);
+    EXPECT_EQ(b.waitBudgetS(0.0, 9), 0.0);
+}
+
+TEST(Batcher, TimeInsensitiveWaitsUpToMaxWait)
+{
+    Batcher b(BatcherConfig{4, relaxedReq(), 2.0});
+    EXPECT_DOUBLE_EQ(b.waitBudgetS(0.0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(b.waitBudgetS(1.5, 1), 0.5);
+    EXPECT_EQ(b.waitBudgetS(2.5, 1), 0.0);
+}
+
+TEST(Batcher, DeadlineSlackShrinksBudget)
+{
+    UserRequirement req; // interactive: T_i = 0.1 s
+    Batcher b(BatcherConfig{8, req, 10.0});
+    // No service estimate yet: the whole imperceptible region is
+    // slack, so the budget is T_i - age.
+    EXPECT_NEAR(b.waitBudgetS(0.02, 1), 0.08, 1e-12);
+    // A measured service time eats into the slack.
+    b.recordService(8, 0.06);
+    EXPECT_NEAR(b.waitBudgetS(0.02, 1), 0.02, 1e-12);
+    // Past the point of no return the budget clamps to zero.
+    EXPECT_EQ(b.waitBudgetS(0.09, 1), 0.0);
+}
+
+TEST(Batcher, EstServiceFallsBackToSmallerBatch)
+{
+    Batcher b(BatcherConfig{8, relaxedReq(), 1.0});
+    EXPECT_EQ(b.estServiceS(8), 0.0);
+    b.recordService(2, 0.010);
+    EXPECT_DOUBLE_EQ(b.estServiceS(8), 0.010); // nearest under 8
+    b.recordService(8, 0.030);
+    EXPECT_DOUBLE_EQ(b.estServiceS(8), 0.030); // exact beats fallback
+    EXPECT_DOUBLE_EQ(b.estServiceS(2), 0.010);
+}
+
+TEST(Batcher, RecordServiceSmoothes)
+{
+    Batcher b(BatcherConfig{1, relaxedReq(), 0.0});
+    b.recordService(1, 0.100);
+    b.recordService(1, 0.200);
+    const double est = b.estServiceS(1);
+    EXPECT_GT(est, 0.100);
+    EXPECT_LT(est, 0.200);
+}
+
+// ---------------------------------------------------- RequestQueue
+
+PendingRequest
+makeReq(std::uint64_t id)
+{
+    PendingRequest r;
+    r.id = id;
+    r.input = Tensor(Shape{1, 1, 1, 1});
+    r.enqueued = std::chrono::steady_clock::now();
+    return r;
+}
+
+TEST(RequestQueue, RejectsWhenFullInsteadOfBlocking)
+{
+    RequestQueue q(2);
+    EXPECT_EQ(q.push(makeReq(0)), SubmitStatus::Accepted);
+    EXPECT_EQ(q.push(makeReq(1)), SubmitStatus::Accepted);
+    EXPECT_EQ(q.push(makeReq(2)), SubmitStatus::QueueFull);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.highWater(), 2u);
+}
+
+TEST(RequestQueue, StoppedAfterClose)
+{
+    RequestQueue q(4);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.push(makeReq(0)), SubmitStatus::Stopped);
+    q.close(); // idempotent
+}
+
+TEST(RequestQueue, DrainsRemainingAfterClose)
+{
+    RequestQueue q(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ASSERT_EQ(q.push(makeReq(i)), SubmitStatus::Accepted);
+    q.close();
+
+    Batcher policy(BatcherConfig{2, relaxedReq(), 10.0});
+    std::vector<std::uint64_t> ids;
+    for (;;) {
+        auto batch = q.popBatch(policy);
+        if (batch.empty())
+            break;
+        EXPECT_LE(batch.size(), 2u);
+        for (auto &r : batch)
+            ids.push_back(r.id);
+    }
+    // Every queued request handed out exactly once, in order.
+    ASSERT_EQ(ids.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(ids[i], i);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, MpmcStressDeliversEachRequestOnce)
+{
+    RequestQueue q(1024);
+    Batcher policy(BatcherConfig{4, relaxedReq(), 0.0});
+    constexpr std::size_t kProducers = 4, kConsumers = 3;
+    constexpr std::uint64_t kPerProducer = 200;
+
+    std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+    for (auto &s : seen)
+        s = 0;
+
+    std::vector<std::thread> consumers;
+    for (std::size_t c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            for (;;) {
+                auto batch = q.popBatch(policy);
+                if (batch.empty())
+                    return;
+                for (auto &r : batch)
+                    seen[r.id].fetch_add(1);
+            }
+        });
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                const std::uint64_t id = p * kPerProducer + i;
+                while (q.push(makeReq(id)) != SubmitStatus::Accepted)
+                    std::this_thread::yield();
+            }
+        });
+
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    for (const auto &s : seen)
+        EXPECT_EQ(s.load(), 1);
+}
+
+// ---------------------------------------------------- batch purity
+
+TEST(Serve, BatchedForwardIsBitwiseRowInvariant)
+{
+    // The engine serves one request inside varying batch sizes; this
+    // only preserves bitwise reproducibility because a batched
+    // forward computes each item exactly as a batch-1 forward would.
+    Rng rng(7);
+    Network net = makeMiniAlexNet(rng);
+    Tensor batch(Shape{3, net.inputShape().c, net.inputShape().h,
+                       net.inputShape().w});
+    batch.fillUniform(rng, -1.0f, 1.0f);
+
+    const Tensor together = net.forward(batch, false);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const Tensor alone = net.forward(batch.item(i), false);
+        ASSERT_EQ(alone.size(), together.shape().itemSize());
+        EXPECT_EQ(std::memcmp(alone.data(),
+                              together.data() +
+                                  i * together.shape().itemSize(),
+                              alone.size() * sizeof(float)),
+                  0)
+            << "batch row " << i << " differs from batch-1 forward";
+    }
+}
+
+// --------------------------------------------------------- engine
+
+EngineConfig
+quickConfig(std::size_t workers, std::size_t max_batch = 1)
+{
+    EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.maxBatch = max_batch;
+    cfg.queueCapacity = 64;
+    cfg.requirement = relaxedReq();
+    cfg.maxWaitS = 0.0;
+    return cfg;
+}
+
+TEST(Serve, EngineMatchesPrototypeBitwise)
+{
+    Rng rng(11);
+    Network net = makeMiniAlexNet(rng);
+    Rng inputs(5);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < 6; ++i)
+        xs.push_back(randomInput(inputs, net.inputShape()));
+
+    // Reference logits from the plain network, before serving.
+    std::vector<Tensor> want;
+    for (const Tensor &x : xs)
+        want.push_back(net.forward(x, false));
+
+    ServeEngine engine(net, quickConfig(2));
+    std::vector<std::future<ServeResult>> futs;
+    for (const Tensor &x : xs) {
+        auto sub = engine.submit(x);
+        ASSERT_EQ(sub.status, SubmitStatus::Accepted);
+        futs.push_back(std::move(sub.result));
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        const ServeResult r = futs[i].get();
+        ASSERT_EQ(r.logits.size(), want[i].size());
+        EXPECT_EQ(std::memcmp(r.logits.data(), want[i].data(),
+                              r.logits.size() * sizeof(float)),
+                  0)
+            << "request " << i << " logits differ from prototype";
+        EXPECT_GE(r.latencyS, 0.0);
+        EXPECT_EQ(r.batchSize, 1u);
+    }
+}
+
+TEST(Serve, WorkerCountsProduceBitwiseIdenticalLogits)
+{
+    // Identical weight init in two prototypes (same seed); the only
+    // difference between the runs is the replica/lane partition.
+    Rng inputs(13);
+    Rng rng1(42), rng4(42);
+    Network net1 = makeMiniAlexNet(rng1);
+    Network net4 = makeMiniAlexNet(rng4);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < 8; ++i)
+        xs.push_back(randomInput(inputs, net1.inputShape()));
+
+    auto run = [&](Network &net, std::size_t workers) {
+        ServeEngine engine(net, quickConfig(workers));
+        std::vector<std::future<ServeResult>> futs;
+        for (const Tensor &x : xs) {
+            auto sub = engine.submit(x);
+            EXPECT_EQ(sub.status, SubmitStatus::Accepted);
+            futs.push_back(std::move(sub.result));
+        }
+        std::vector<Tensor> out;
+        for (auto &f : futs)
+            out.push_back(f.get().logits);
+        return out;
+    };
+
+    const auto one = run(net1, 1);
+    const auto four = run(net4, 4);
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_EQ(std::memcmp(one[i].data(), four[i].data(),
+                              one[i].size() * sizeof(float)),
+                  0)
+            << "request " << i << " differs between 1 and 4 workers";
+}
+
+TEST(Serve, SteadyStatePacksNoNewPanels)
+{
+    Rng rng(3);
+    Network net = makeMiniAlexNet(rng);
+    ServeEngine engine(net, quickConfig(3));
+
+    // Drive a first wave through every worker, then snapshot the
+    // global pack counters: the construction-time warm-up must have
+    // materialized everything the serving route reads.
+    Rng inputs(17);
+    auto wave = [&](int n) {
+        std::vector<std::future<ServeResult>> futs;
+        for (int i = 0; i < n; ++i) {
+            auto sub = engine.submit(randomInput(inputs,
+                                                 net.inputShape()));
+            ASSERT_EQ(sub.status, SubmitStatus::Accepted);
+            futs.push_back(std::move(sub.result));
+        }
+        for (auto &f : futs)
+            f.get();
+    };
+    wave(6);
+    const std::uint64_t packs = weightPackCount();
+    const std::uint64_t wino = winogradPackCount();
+    wave(24);
+    EXPECT_EQ(weightPackCount(), packs)
+        << "steady-state serving repacked SGEMM panels";
+    EXPECT_EQ(winogradPackCount(), wino)
+        << "steady-state serving re-transformed winograd weights";
+}
+
+TEST(Serve, BackpressureShedsWhenQueueFull)
+{
+    Rng rng(23);
+    Network net = makeMiniAlexNet(rng);
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 8;        // workers wait for the batch to fill...
+    cfg.queueCapacity = 2;   // ...so the tiny queue stays occupied
+    cfg.requirement = relaxedReq();
+    cfg.maxWaitS = 30.0;
+    ServeEngine engine(net, cfg);
+
+    Rng inputs(29);
+    std::vector<std::future<ServeResult>> futs;
+    std::size_t shed = 0;
+    for (int i = 0; i < 6; ++i) {
+        auto sub = engine.submit(randomInput(inputs, net.inputShape()));
+        if (sub.status == SubmitStatus::Accepted)
+            futs.push_back(std::move(sub.result));
+        else if (sub.status == SubmitStatus::QueueFull)
+            ++shed;
+    }
+    EXPECT_GE(shed, 1u) << "full queue never shed a request";
+    EXPECT_EQ(futs.size() + shed, 6u);
+
+    engine.stop(); // drains the accepted requests despite maxWaitS
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().logits.shape().h, 1u);
+    EXPECT_EQ(engine.metrics().shed, shed);
+}
+
+TEST(Serve, StopDrainsEveryAcceptedRequestExactlyOnce)
+{
+    Rng rng(31);
+    Network net = makeMiniAlexNet(rng);
+    EngineConfig cfg = quickConfig(2, 4);
+    cfg.maxWaitS = 30.0; // batches would otherwise wait to fill
+    ServeEngine engine(net, cfg);
+
+    Rng inputs(37);
+    std::vector<std::future<ServeResult>> futs;
+    for (int i = 0; i < 10; ++i) {
+        auto sub = engine.submit(randomInput(inputs, net.inputShape()));
+        ASSERT_EQ(sub.status, SubmitStatus::Accepted);
+        futs.push_back(std::move(sub.result));
+    }
+    engine.stop();
+    engine.stop(); // idempotent
+
+    for (auto &f : futs) {
+        ASSERT_TRUE(f.valid());
+        f.get(); // fulfilled exactly once; a second set would throw
+    }
+    const ServeMetricsSnapshot m = engine.metrics();
+    EXPECT_EQ(m.completed, 10u);
+    EXPECT_EQ(m.batchHist.images(), 10u);
+
+    // Submissions after stop are refused, not queued.
+    auto late = engine.submit(randomInput(inputs, net.inputShape()));
+    EXPECT_EQ(late.status, SubmitStatus::Stopped);
+}
+
+TEST(Serve, MetricsCountBatchesAndTails)
+{
+    Rng rng(41);
+    Network net = makeMiniAlexNet(rng);
+    ServeEngine engine(net, quickConfig(1));
+
+    Rng inputs(43);
+    std::vector<std::future<ServeResult>> futs;
+    for (int i = 0; i < 12; ++i) {
+        auto sub = engine.submit(randomInput(inputs, net.inputShape()));
+        ASSERT_EQ(sub.status, SubmitStatus::Accepted);
+        futs.push_back(std::move(sub.result));
+    }
+    for (auto &f : futs)
+        f.get();
+
+    const ServeMetricsSnapshot m = engine.metrics();
+    EXPECT_EQ(m.completed, 12u);
+    EXPECT_EQ(m.shed, 0u);
+    EXPECT_EQ(m.batchHist.images(), 12u);
+    EXPECT_GE(m.batchHist.batches(), 1u);
+    EXPECT_GT(m.latency.p50S, 0.0);
+    EXPECT_LE(m.latency.p50S, m.latency.p99S);
+    EXPECT_LE(m.latency.p99S, m.latency.p999S);
+    EXPECT_LE(m.latency.p999S, m.latency.maxS);
+    EXPECT_GT(m.throughputRps, 0.0);
+    EXPECT_GE(m.queueHighWater, 1u);
+}
+
+TEST(Serve, LanePartitionComposesWithoutOversubscription)
+{
+    Rng rng(47);
+    Network net = makeMiniAlexNet(rng);
+    EngineConfig cfg = quickConfig(2);
+    cfg.lanesPerWorker = 1;
+    ServeEngine engine(net, cfg);
+    EXPECT_EQ(engine.lanesPerWorker(), 1u);
+
+    Rng inputs(53);
+    auto sub = engine.submit(randomInput(inputs, net.inputShape()));
+    ASSERT_EQ(sub.status, SubmitStatus::Accepted);
+    sub.result.get();
+}
+
+// ------------------------------------- shared-weight write contracts
+
+using ServeDeathTest = ::testing::Test;
+
+TEST(ServeDeathTest, SgdStepOnSharedWeightsFails)
+{
+    Rng rng(59);
+    Network net = makeMiniAlexNet(rng);
+    Network replica = net.cloneSharingWeights();
+    SgdOptimizer opt(SgdConfig{});
+    EXPECT_DEATH(opt.step(net.params()), "shared across serving");
+}
+
+TEST(ServeDeathTest, WeightLoadIntoSharedWeightsFails)
+{
+    Rng rng(61);
+    Network net = makeMiniAlexNet(rng);
+    const auto bytes = serializeWeights(net);
+    Network replica = net.cloneSharingWeights();
+    EXPECT_DEATH((void)deserializeWeights(net, bytes),
+                 "shared across");
+}
+
+TEST(ServeDeathTest, MarkUpdatedOnSharedParamFails)
+{
+    Rng rng(67);
+    Network net = makeMiniAlexNet(rng);
+    Network replica = net.cloneSharingWeights();
+    Param *p = net.params().front();
+    ASSERT_TRUE(p->isShared());
+    EXPECT_DEATH(p->markUpdated(), "read-only");
+}
+
+TEST(Serve, CloneSharesStorageAndFreezesBothSides)
+{
+    Rng rng(71);
+    Network net = makeMiniAlexNet(rng);
+    Network replica = net.cloneSharingWeights();
+
+    const auto orig = net.params();
+    const auto copy = replica.params();
+    ASSERT_EQ(orig.size(), copy.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+        // Same Param object: storage is shared, not duplicated.
+        EXPECT_EQ(orig[i], copy[i]);
+        EXPECT_TRUE(orig[i]->isShared());
+    }
+}
+
+// ------------------------------------------------- batch selection
+
+TEST(Serve, OptimalServeBatchCoversTaskClasses)
+{
+    Rng rng(73);
+    Network net = makeMiniAlexNet(rng);
+    const NetDescriptor desc = describe(net);
+    const GpuSpec gpu = jetsonTx1();
+
+    AppSpec background = imageTaggingApp();
+    const std::size_t bg = optimalServeBatch(
+        gpu, desc, background, inferRequirement(background));
+    EXPECT_GE(bg, 1u);
+
+    AppSpec interactive = ageDetectionApp();
+    const std::size_t fg = optimalServeBatch(
+        gpu, desc, interactive, inferRequirement(interactive));
+    EXPECT_GE(fg, 1u);
+    EXPECT_LE(fg, BatchSelector::maxBatch);
+}
+
+} // namespace
+} // namespace pcnn

@@ -130,5 +130,64 @@ TEST_F(ServingFixture, RealTimeRequirementCountsViolations)
     EXPECT_GT(s.satisfactionViolations, s.requests / 2);
 }
 
+TEST_F(ServingFixture, TailPercentilesAreOrdered)
+{
+    const ServingStats s = sim.run(base(), req);
+    EXPECT_LE(s.p50LatencyS, s.p95LatencyS);
+    EXPECT_LE(s.p95LatencyS, s.p99LatencyS);
+    EXPECT_LE(s.p99LatencyS, s.p999LatencyS);
+    EXPECT_GT(s.p999LatencyS, 0.0);
+}
+
+TEST_F(ServingFixture, BatchHistogramAccountsForEveryRequest)
+{
+    ServingConfig cfg = base();
+    cfg.maxBatch = 8;
+    cfg.maxWaitS = 0.05;
+    const ServingStats s = sim.run(cfg, req);
+    EXPECT_EQ(s.batchHist.batches(), s.batches);
+    EXPECT_EQ(s.batchHist.images(), s.requests);
+    EXPECT_DOUBLE_EQ(s.batchHist.meanBatch(), s.meanBatch);
+    // No recorded batch exceeds the policy ceiling.
+    EXPECT_LE(s.batchHist.counts.size(), cfg.maxBatch + 1);
+}
+
+TEST(Histogram, PercentileInterpolatesLinearly)
+{
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.875), 4.5);
+}
+
+TEST(Histogram, SummaryMatchesHandComputation)
+{
+    const LatencySummary s =
+        summarizeLatencies({0.4, 0.1, 0.3, 0.2});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.meanS, 0.25);
+    EXPECT_DOUBLE_EQ(s.minS, 0.1);
+    EXPECT_DOUBLE_EQ(s.maxS, 0.4);
+    EXPECT_DOUBLE_EQ(s.p50S, 0.25);
+    const LatencySummary empty = summarizeLatencies({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.p999S, 0.0);
+}
+
+TEST(Histogram, BatchSizeHistogramCounts)
+{
+    BatchSizeHistogram h;
+    EXPECT_EQ(h.batches(), 0u);
+    EXPECT_EQ(h.meanBatch(), 0.0);
+    h.record(1);
+    h.record(4);
+    h.record(4);
+    EXPECT_EQ(h.batches(), 3u);
+    EXPECT_EQ(h.images(), 9u);
+    EXPECT_DOUBLE_EQ(h.meanBatch(), 3.0);
+    EXPECT_EQ(h.counts[4], 2u);
+}
+
 } // namespace
 } // namespace pcnn

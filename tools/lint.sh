@@ -8,7 +8,10 @@
 #      clang-tidy or a compile_commands.json is missing.
 #   3. Custom grep/awk rules that need no toolchain:
 #        - no raw `new` / `delete` in src/ (containers and
-#          std::unique_ptr own everything);
+#          std::unique_ptr own everything; `unique_ptr<T>(new T...)`
+#          is exempt — it is the only way to heap-construct through
+#          a private copy ctor, and ownership transfers in the same
+#          expression);
 #        - no std::rand/srand/random_shuffle (determinism: all
 #          randomness goes through common/random.hh);
 #        - include guards must be derived from the header path
@@ -84,6 +87,7 @@ raw_alloc=$(grep -rn --include='*.cc' --include='*.hh' \
     -E '\bnew\b[[:space:]]+[A-Za-z_(]|\bdelete\b[[:space:]]*(\[\])?[[:space:]]*[A-Za-z_(]' \
     src | sed 's://.*$::' |
     grep -vE ':[0-9]+:[[:space:]]*(\*|/\*)' |
+    grep -vE 'unique_ptr<[A-Za-z_:]+>\(new ' |
     grep -E '\bnew\b|\bdelete\b' || true)
 if [ -n "$raw_alloc" ]; then
     err "raw new/delete in src/ (own memory with containers/unique_ptr):

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Run the benchmark suites and snapshot the results as JSON.
 #
-# Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] [algo.json]
+# Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] \
+#            [algo.json] [serve.json]
 #
 # Defaults: build directory ./build, micro-kernel output
-# BENCH_pr1.json, end-to-end model output BENCH_pr3.json, and
-# per-conv-algorithm output BENCH_pr4.json in the repository root.
+# BENCH_pr1.json, end-to-end model output BENCH_pr3.json,
+# per-conv-algorithm output BENCH_pr4.json, and serving-engine
+# output BENCH_pr5.json in the repository root.
 #
 # BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
 # (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
@@ -23,6 +25,14 @@
 # VGG-16 3x3 shapes at batch 1), the winograd microbench, and the
 # ReLU-folding A/B — the conv-algorithm dispatch acceptance numbers
 # (DESIGN.md section 5e).
+#
+# BENCH_pr5.json records the concurrent serving engine: closed-loop
+# throughput at 1/2/4 worker replicas (with a bitwise logits check
+# across worker counts), an open-loop Poisson arrival sweep against
+# the deadline-aware batcher, and a cross-check of the batching
+# behaviour against the analytical ServingSimulator (DESIGN.md
+# section 5f). Worker counts above the host core count are expected
+# to be flat, not faster; the JSON records the host thread count.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,6 +40,7 @@ build_dir="${1:-$repo_root/build}"
 micro_json="${2:-$repo_root/BENCH_pr1.json}"
 e2e_json="${3:-$repo_root/BENCH_pr3.json}"
 algo_json="${4:-$repo_root/BENCH_pr4.json}"
+serve_json="${5:-$repo_root/BENCH_pr5.json}"
 
 run_bench() {
     local bench_bin="$1" out_json="$2" filter="${3:-}"
@@ -53,3 +64,13 @@ run_bench "$build_dir/bench/bench_micro_kernels" "$micro_json"
 run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
 run_bench "$build_dir/bench/bench_e2e_models" "$algo_json" \
     "ConvAlgoLayer|ReluFolding"
+
+# The serving-engine bench is a plain binary (real threads, not
+# google-benchmark); it writes its JSON itself.
+serve_bin="$build_dir/bench/bench_serving_engine"
+if [[ ! -x "$serve_bin" ]]; then
+    echo "error: $serve_bin not built; run:" >&2
+    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+fi
+"$serve_bin" "$serve_json"
