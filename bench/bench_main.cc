@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared main for the google-benchmark binaries: stamps the JSON
+ * context with the host identity the numbers depend on — CPU model,
+ * SIMD feature flags, cache sizes, hardware threads, and the kernel
+ * tier the dispatcher would pick — so a BENCH_*.json snapshot is
+ * interpretable without the machine it ran on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+
+#include "tensor/microkernel.hh"
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    const pcnn::CpuFeatures &cpu = pcnn::cpuFeatures();
+    const pcnn::CacheInfo &ci = pcnn::cacheInfo();
+    benchmark::AddCustomContext("cpu_model", cpu.model);
+    benchmark::AddCustomContext("cpu_features", cpu.str());
+    benchmark::AddCustomContext("cache_l1d_bytes",
+                                std::to_string(ci.l1d));
+    benchmark::AddCustomContext("cache_l2_bytes",
+                                std::to_string(ci.l2));
+    benchmark::AddCustomContext("cache_l3_bytes",
+                                std::to_string(ci.l3));
+    benchmark::AddCustomContext(
+        "hardware_threads",
+        std::to_string(std::thread::hardware_concurrency()));
+    benchmark::AddCustomContext(
+        "kernel_tier_best",
+        pcnn::kernelTierName(pcnn::bestKernelTier()));
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

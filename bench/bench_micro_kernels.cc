@@ -7,12 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "common/parallel.hh"
 #include "common/random.hh"
 #include "gpu/kernel_model.hh"
 #include "nn/conv_layer.hh"
 #include "nn/model_zoo.hh"
+#include "pcnn/offline/host_tuner.hh"
 #include "pcnn/offline/kernel_tuner.hh"
+#include "tensor/microkernel.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -193,6 +197,116 @@ BM_ConvForwardAlexNetConv2(benchmark::State &state)
     setThreadCount(0);
 }
 BENCHMARK(BM_ConvForwardAlexNetConv2)->UseRealTime()->Arg(1)->Arg(2)->Arg(4);
+
+/** Conv layer of a paper network, looked up by name. */
+const ConvSpec &
+zooConv(const NetDescriptor &d, const char *name)
+{
+    for (const ConvSpec &c : d.convs)
+        if (c.name == name)
+            return c;
+    std::abort(); // bench shape table out of sync with the zoo
+}
+
+/** Shape table of the tier sweep: fixed squares + e2e conv GEMMs. */
+GemmShape
+tierBenchShape(int idx)
+{
+    static const NetDescriptor alex = alexNet();
+    static const NetDescriptor vgg = vgg16();
+    switch (idx) {
+    case 0:
+        return GemmShape{256, 256, 256};
+    case 1:
+        return GemmShape{512, 512, 512};
+    case 2:
+        return zooConv(alex, "CONV2").gemmShape(1); // large K (1200)
+    case 3:
+        return zooConv(vgg, "CONV2_1").gemmShape(1);
+    default:
+        return zooConv(vgg, "CONV3_1").gemmShape(1); // large K (1152)
+    }
+}
+
+/**
+ * The tier sweep over the prepacked inference hot path
+ * (sgemmPrepacked, the route serving traffic takes). cfg selects the
+ * kernel configuration:
+ *   0 = portable tier at its default blocking (the pre-dispatch
+ *       baseline: what every host ran before tier dispatch existed),
+ *   1 = runtime-dispatched best tier at its cache-derived default,
+ *   2 = the persisted per-host tune cache (pcnn_autotune winner);
+ *       skipped with an error when no valid cache exists — run
+ *       tools/run_bench.sh or pcnn_autotune first.
+ *
+ * The bitwise_threads_ok counter re-runs the product at 1/2/4 pool
+ * lanes before timing and records whether all three agree bitwise —
+ * the per-tier determinism contract, checked on the exact
+ * configuration being measured.
+ */
+void
+BM_SgemmTier(benchmark::State &state)
+{
+    const GemmShape g = tierBenchShape(int(state.range(0)));
+    const int cfg = int(state.range(1));
+
+    resetKernelTier();
+    resetBlocking();
+    if (cfg == 0) {
+        setKernelTier(KernelTier::Portable);
+        setBlocking(defaultBlocking(KernelTier::Portable));
+    } else if (cfg == 1) {
+        setKernelTier(bestKernelTier());
+    } else {
+        HostTuneConfig tuned;
+        std::string err;
+        if (!loadHostTune(hostTuneCachePath(), tuned, err) ||
+            !applyHostTune(tuned)) {
+            state.SkipWithError(("no usable tune cache: " + err).c_str());
+            return;
+        }
+    }
+
+    Rng rng(6);
+    std::vector<float> a(g.m * g.k), w(g.k * g.n), c(g.m * g.n);
+    for (auto &x : a)
+        x = float(rng.uniform(-1, 1));
+    for (auto &x : w)
+        x = float(rng.uniform(-1, 1));
+    PackedPanel panel;
+    packWeights(false, g.k, g.n, w.data(), panel);
+
+    // Determinism probe at the measured configuration.
+    bool bitwise_ok = true;
+    {
+        std::vector<float> ref(g.m * g.n);
+        setThreadCount(1);
+        sgemmPrepacked(g.m, g.n, g.k, a.data(), panel, ref.data());
+        for (std::size_t lanes : {std::size_t(2), std::size_t(4)}) {
+            setThreadCount(lanes);
+            sgemmPrepacked(g.m, g.n, g.k, a.data(), panel, c.data());
+            if (std::memcmp(ref.data(), c.data(),
+                            c.size() * sizeof(float)) != 0)
+                bitwise_ok = false;
+        }
+        setThreadCount(0);
+    }
+
+    for (auto _ : state) {
+        sgemmPrepacked(g.m, g.n, g.k, a.data(), panel, c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        g.flops() * double(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate);
+    state.counters["bitwise_threads_ok"] = bitwise_ok ? 1.0 : 0.0;
+    state.counters["k"] = double(g.k);
+    resetKernelTier();
+    resetBlocking();
+}
+BENCHMARK(BM_SgemmTier)
+    ->ArgNames({"shape", "cfg"})
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}});
 
 void
 BM_SoftmaxEntropy(benchmark::State &state)

@@ -32,6 +32,7 @@
 #include "nn/model_zoo.hh"
 #include "pcnn/runtime/serving_sim.hh"
 #include "serve/engine.hh"
+#include "tensor/microkernel.hh"
 
 using namespace pcnn;
 
@@ -314,10 +315,19 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "{\n  \"bench\": \"serving_engine\",\n");
     std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    const CpuFeatures &cpu = cpuFeatures();
+    const CacheInfo &ci = cacheInfo();
     std::fprintf(f,
                  "  \"host\": {\"hardware_threads\": %u, "
-                 "\"pcnn_threads\": %zu},\n",
-                 std::thread::hardware_concurrency(), threadCount());
+                 "\"pcnn_threads\": %zu,\n"
+                 "    \"cpu_model\": \"%s\", \"cpu_features\": "
+                 "\"%s\",\n"
+                 "    \"cache_l1d_bytes\": %zu, \"cache_l2_bytes\": "
+                 "%zu, \"cache_l3_bytes\": %zu,\n"
+                 "    \"kernel_tier\": \"%s\"},\n",
+                 std::thread::hardware_concurrency(), threadCount(),
+                 cpu.model.c_str(), cpu.str().c_str(), ci.l1d, ci.l2,
+                 ci.l3, kernelTierName(activeKernelTier()));
 
     std::fprintf(f, "  \"closed_loop\": [\n");
     for (std::size_t i = 0; i < closed.size(); ++i) {

@@ -9,6 +9,7 @@
 #include "common/parallel.hh"
 #include "gpu/gpu_spec.hh"
 #include "pcnn/offline/batch_selector.hh"
+#include "pcnn/offline/host_tuner.hh"
 
 namespace pcnn {
 
@@ -29,6 +30,13 @@ ServeEngine::ServeEngine(Network &prototype, EngineConfig config)
 {
     PCNN_CHECK(cfg.workers >= 1, "engine needs at least one worker");
     PCNN_CHECK(cfg.maxBatch >= 1, "engine maxBatch must be >= 1");
+
+    // Pin the per-host tuned kernel tier/blocking (when a valid tune
+    // cache exists) before the warm-up below runs the first GEMM and
+    // before any worker thread exists: the dispatch setters are not
+    // safe against concurrent GEMMs, and every worker must inherit
+    // the same configuration the warm-up measured.
+    (void)applyHostTuneCacheOnce();
 
     // Partition the intra-op lane budget across workers so inter-op
     // and intra-op parallelism compose instead of multiplying.

@@ -8,92 +8,29 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "tensor/microkernel.hh"
 
 namespace pcnn {
 
 namespace {
 
-// Register-blocking factors of the SGEMM micro-kernel. An 8x8 tile of
-// C accumulators (64 floats) fits the architectural vector register
-// file on every target we build for, and every cell accumulates in
-// pure k-order, so results do not depend on how row blocks are
-// distributed across threads.
-constexpr std::size_t kMR = 8;
-constexpr std::size_t kNR = 8;
-
-#if defined(__GNUC__) || defined(__clang__)
-#define PCNN_HAVE_VEC_EXT 1
-// One C-tile row of the micro-kernel: 8 lanes. The explicit vector
-// type pins the compiler to lane-wise (j-direction) vectorization;
-// auto-vectorizers otherwise tend to pick the k loop, which needs
-// gathers and spills the accumulator tile.
-typedef float Vec8 __attribute__((vector_size(kNR * sizeof(float))));
-
-// Rows of C / packed B are only float-aligned and alias the scalar
-// buffers, so all vector traffic goes through memcpy: GCC and Clang
-// lower a fixed 32-byte memcpy to the same single unaligned vector
-// move a pointer cast would produce, without the strict-aliasing UB
-// of reinterpret_cast<Vec8 *>.
-inline Vec8
-loadVec8(const float *p)
-{
-    Vec8 v;
-    std::memcpy(&v, p, sizeof(v));
-    return v;
-}
-
-inline void
-storeVec8(float *p, const Vec8 &v)
-{
-    std::memcpy(p, &v, sizeof(v));
-}
-#endif
+// Row-block granule of the k == 0 epilogue-only pass. Elementwise, so
+// any partition yields identical bits; 8 matches the portable tile.
+constexpr std::size_t kEpiBlock = 8;
 
 /**
- * Full 8x8 micro-tile: C[0..8)x[0..8) += A(8 rows, lda) * B(k x ldb).
- * The accumulator tile lives in registers; the k-loop issues one
- * contiguous 8-wide load of B and eight broadcast loads of A.
- */
-inline void
-microFull(std::size_t k, const float *a, std::size_t lda,
-          const float *b, std::size_t ldb, float *c, std::size_t ldc)
-{
-#ifdef PCNN_HAVE_VEC_EXT
-    Vec8 acc[kMR] = {};
-    for (std::size_t p = 0; p < k; ++p) {
-        const Vec8 bv = loadVec8(b + p * ldb);
-        for (std::size_t i = 0; i < kMR; ++i)
-            acc[i] += a[i * lda + p] * bv;
-    }
-    for (std::size_t i = 0; i < kMR; ++i)
-        storeVec8(c + i * ldc, loadVec8(c + i * ldc) + acc[i]);
-#else
-    float acc[kMR][kNR] = {};
-    for (std::size_t p = 0; p < k; ++p) {
-        const float *brow = b + p * ldb;
-        for (std::size_t i = 0; i < kMR; ++i) {
-            const float av = a[i * lda + p];
-            for (std::size_t j = 0; j < kNR; ++j)
-                acc[i][j] += av * brow[j];
-        }
-    }
-    for (std::size_t i = 0; i < kMR; ++i)
-        for (std::size_t j = 0; j < kNR; ++j)
-            c[i * ldc + j] += acc[i][j];
-#endif
-}
-
-/**
- * Edge micro-tile for mr x nr remainders (mr <= kMR, nr <= kNR).
- * Accumulation per cell is the same pure k-order as microFull, so a
- * cell's value never depends on which kernel handled it.
+ * Edge micro-tile for mr x nr remainders (mr <= kMaxMicroMR,
+ * nr <= kMaxMicroNR), shared by every tier. Accumulation per cell is
+ * the same pure k-order as the full kernels, and the full/edge split
+ * depends only on (m, n) and the blocking, so a cell's value never
+ * depends on the thread count.
  */
 inline void
 microEdge(std::size_t k, std::size_t mr, std::size_t nr, const float *a,
           std::size_t lda, const float *b, std::size_t ldb, float *c,
           std::size_t ldc)
 {
-    float acc[kMR][kNR] = {};
+    float acc[kMaxMicroMR][kMaxMicroNR] = {};
     for (std::size_t p = 0; p < k; ++p) {
         const float *brow = b + p * ldb;
         for (std::size_t i = 0; i < mr; ++i) {
@@ -142,34 +79,105 @@ applyEpilogue(const Epilogue &epi, std::size_t row0, std::size_t col0,
 }
 
 /**
- * C rows [i0, i1) x cols [j0, j1) += A * B with A row-major m x k
- * (lda = k) and B row-major k x n (ldb = n). i0 is kMR-aligned and j0
- * is kNR-aligned by construction of the partitions below, so the
- * full/edge kernel split depends only on (m, n), not on the thread
- * count. `row_off`/`col_off` map tile coordinates to global C rows
- * and columns for the epilogue's bias indexing; each cell belongs to
- * exactly one tile, so the epilogue runs exactly once per cell.
+ * Per-call resolution of the dispatch state: the active micro-kernel
+ * plus the blocking hierarchy re-aligned to its register tile. The
+ * narrow-N fallback keeps panels thinner than the tier's register
+ * tile (winograd tile-GEMMs run n = 8..32, FC heads can be narrower
+ * still) on the portable 8-wide kernel instead of pushing every
+ * column into the scalar edge path. All of this depends only on the
+ * shape and the pinned tier/blocking — never on the thread count.
+ */
+struct TiledGemm
+{
+    const MicroKernel *mk;
+    std::size_t kc, mc, nc, pf;
+};
+
+TiledGemm
+resolveGemm(std::size_t n)
+{
+    const MicroKernel *mk = &microKernelFor(activeKernelTier());
+    if (n < mk->nr)
+        mk = &microKernelFor(KernelTier::Portable);
+    const GemmBlocking blk = activeBlocking();
+    TiledGemm t;
+    t.mk = mk;
+    t.kc = std::max<std::size_t>(blk.kc, 1);
+    t.mc = std::max(mk->mr, blk.mc - blk.mc % mk->mr);
+    t.nc = std::max(mk->nr, blk.nc - blk.nc % mk->nr);
+    t.pf = blk.prefetch;
+    return t;
+}
+
+/**
+ * Register-tile sweep of C rows [i0, i1) x cols [j0, j1) over the K
+ * range [p0, p1): the innermost stop of the blocking hierarchy.
+ * i0/j0 are mr/nr-aligned by construction of the partitions in
+ * rangeSweep (thread bands, Mc blocks and Nc panels are all
+ * register-tile multiples), so the full/edge kernel split depends
+ * only on (m, n) and the blocking, not on the thread count. `epi` is
+ * non-null only on the final K chunk; each cell belongs to exactly
+ * one tile of that chunk, so the epilogue runs exactly once per cell
+ * after its full-K accumulation. `row_off` maps tile rows to global
+ * C rows for the bias indexing of packed row bands; columns are
+ * always global.
  */
 void
-gemmBlock(std::size_t i0, std::size_t i1, std::size_t j0,
-          std::size_t j1, std::size_t k, const float *a,
+tileSweep(const TiledGemm &t, std::size_t i0, std::size_t i1,
+          std::size_t j0, std::size_t j1, std::size_t p0,
+          std::size_t p1, const float *a, std::size_t lda,
           const float *b, std::size_t ldb, float *c, std::size_t ldc,
-          const Epilogue &epi = {}, std::size_t row_off = 0,
-          std::size_t col_off = 0)
+          const Epilogue *epi, std::size_t row_off)
 {
-    for (std::size_t i = i0; i < i1; i += kMR) {
-        const std::size_t mr = std::min(kMR, i1 - i);
-        for (std::size_t j = j0; j < j1; j += kNR) {
-            const std::size_t nr = std::min(kNR, j1 - j);
-            if (mr == kMR && nr == kNR)
-                microFull(k, a + i * k, k, b + j, ldb, c + i * ldc + j,
-                          ldc);
+    const std::size_t mr = t.mk->mr, nr = t.mk->nr;
+    const std::size_t kk = p1 - p0;
+    const float *bbase = b + p0 * ldb;
+    for (std::size_t i = i0; i < i1; i += mr) {
+        const std::size_t mi = std::min(mr, i1 - i);
+        const float *arow = a + i * lda + p0;
+        for (std::size_t j = j0; j < j1; j += nr) {
+            const std::size_t nj = std::min(nr, j1 - j);
+            if (mi == mr && nj == nr)
+                t.mk->full(kk, arow, lda, bbase + j, ldb,
+                           c + i * ldc + j, ldc, t.pf);
             else
-                microEdge(k, mr, nr, a + i * k, k, b + j, ldb,
+                microEdge(kk, mi, nj, arow, lda, bbase + j, ldb,
                           c + i * ldc + j, ldc);
-            if (epi.active())
-                applyEpilogue(epi, row_off + i, col_off + j, mr, nr,
+            if (epi != nullptr)
+                applyEpilogue(*epi, row_off + i, j, mi, nj,
                               c + i * ldc + j, ldc);
+        }
+    }
+}
+
+/**
+ * Cache-blocked sweep of C rows [r0, r1) x cols [c0, c1): Nc panels
+ * outermost (the Kc x Nc B slab stays L2-resident across the row
+ * sweep), Kc chunks next (ascending, so every C cell accumulates its
+ * K range in pure ascending order regardless of the blocking), Mc
+ * row blocks innermost (the Mc x Kc A block stays near-L1 across the
+ * panel). One thread owns the whole range, so per-cell accumulation
+ * order is fixed for every thread count; the epilogue rides the last
+ * Kc chunk. A is row-major with leading dimension lda >= k; rows are
+ * relative to `a` (callers pass packed bands with row_off mapping
+ * back to global C rows).
+ */
+void
+rangeSweep(const TiledGemm &t, std::size_t r0, std::size_t r1,
+           std::size_t c0, std::size_t c1, std::size_t k,
+           const float *a, std::size_t lda, const float *b,
+           std::size_t ldb, float *c, std::size_t ldc,
+           const Epilogue &epi, std::size_t row_off)
+{
+    for (std::size_t jc = c0; jc < c1; jc += t.nc) {
+        const std::size_t j1 = std::min(c1, jc + t.nc);
+        for (std::size_t pc = 0; pc < k; pc += t.kc) {
+            const std::size_t p1 = std::min(k, pc + t.kc);
+            const Epilogue *e =
+                (p1 == k && epi.active()) ? &epi : nullptr;
+            for (std::size_t ic = r0; ic < r1; ic += t.mc)
+                tileSweep(t, ic, std::min(r1, ic + t.mc), jc, j1, pc,
+                          p1, a, lda, b, ldb, c, ldc, e, row_off);
         }
     }
 }
@@ -235,14 +243,15 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     }
     if (k == 0) {
         // No accumulation pass will run, so apply the epilogue to the
-        // beta-scaled C directly (same parallel partition as below).
+        // beta-scaled C directly (elementwise, so the partition
+        // cannot change bits).
         if (epi.active())
-            parallelFor((m + kMR - 1) / kMR,
+            parallelFor((m + kEpiBlock - 1) / kEpiBlock,
                         [&](std::size_t b0, std::size_t b1,
                             std::size_t) {
-                            const std::size_t r0 = b0 * kMR;
+                            const std::size_t r0 = b0 * kEpiBlock;
                             const std::size_t r1 =
-                                std::min(m, b1 * kMR);
+                                std::min(m, b1 * kEpiBlock);
                             applyEpilogue(epi, r0, 0, r1 - r0, n,
                                           c + r0 * n, n);
                         });
@@ -250,7 +259,7 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     }
 
     // Operand packing normalizes all four transpose cases to the one
-    // row-major kernel above.
+    // row-major blocked sweep above.
     const float *bmat = b;
     if (trans_b) {
         std::vector<float> &bp = tlPackB;
@@ -260,19 +269,23 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
         bmat = bp.data();
     }
 
-    const std::size_t row_blocks = (m + kMR - 1) / kMR;
-    const std::size_t col_blocks = (n + kNR - 1) / kNR;
+    const TiledGemm t = resolveGemm(n);
+    const std::size_t mr = t.mk->mr, nr = t.mk->nr;
+    const std::size_t row_blocks = (m + mr - 1) / mr;
+    const std::size_t col_blocks = (n + nr - 1) / nr;
 
     // Row-band parallelism over M; when M is a single block-row,
-    // partition the N dimension instead (both partitions are aligned
-    // to the register blocking, so per-cell results are identical for
-    // every thread count).
+    // partition the N dimension instead. Both partitions are aligned
+    // to the active tier's register blocking and every band runs its
+    // own cache-blocked sweep with a fixed per-cell accumulation
+    // order, so results are bitwise identical for every thread count
+    // (per tier/blocking).
     if (row_blocks >= col_blocks || trans_a) {
         parallelFor(
             row_blocks,
             [&](std::size_t b0, std::size_t b1, std::size_t) {
-                const std::size_t r0 = b0 * kMR;
-                const std::size_t r1 = std::min(m, b1 * kMR);
+                const std::size_t r0 = b0 * mr;
+                const std::size_t r1 = std::min(m, b1 * mr);
                 const float *amat = a + r0 * k;
                 if (trans_a) {
                     std::vector<float> &ap = tlPackA;
@@ -281,16 +294,16 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
                     packA(r0, r1, m, k, a, ap.data());
                     amat = ap.data();
                 }
-                gemmBlock(0, r1 - r0, 0, n, k, amat, bmat, n, c + r0 * n,
-                          n, epi, r0, 0);
+                rangeSweep(t, 0, r1 - r0, 0, n, k, amat, k, bmat, n,
+                           c + r0 * n, n, epi, r0);
             });
     } else {
         parallelFor(col_blocks,
                     [&](std::size_t b0, std::size_t b1, std::size_t) {
-                        const std::size_t j0 = b0 * kNR;
-                        const std::size_t j1 = std::min(n, b1 * kNR);
-                        gemmBlock(0, m, j0, j1, k, a, bmat, n, c, n,
-                                  epi, 0, 0);
+                        const std::size_t j0 = b0 * nr;
+                        const std::size_t j1 = std::min(n, b1 * nr);
+                        rangeSweep(t, 0, m, j0, j1, k, a, k, bmat, n,
+                                   c, n, epi, 0);
                     });
     }
 }

@@ -64,12 +64,16 @@ struct Epilogue
  * Single-precision GEMM: C = epi(op(A) * op(B) + beta * C).
  *
  * All matrices are dense row-major. op(A) is m x k, op(B) is k x n.
- * Transposed operands are packed into contiguous panels and fed to a
- * register-blocked 8x8 micro-kernel; the M (or, for single-block-row
- * shapes, N) dimension is parallelized over the pcnn thread pool in
+ * Transposed operands are packed into contiguous panels and fed to
+ * the active SIMD micro-kernel tier (tensor/microkernel.hh: portable
+ * Vec8 8x8, AVX2 6x16, AVX-512 8x32, NEON 8x8, runtime-dispatched
+ * and overridable with PCNN_KERNEL_TIER) under a Kc/Mc/Nc
+ * cache-blocking hierarchy; the M (or, for single-block-row shapes,
+ * N) dimension is parallelized over the pcnn thread pool in
  * register-block-aligned bands, so results are bitwise identical for
- * every PCNN_THREADS value. The epilogue runs once per cell, on the
- * band that owns it, while the tile is still cache-hot.
+ * every PCNN_THREADS value at a fixed tier and blocking. The
+ * epilogue runs once per cell, on the final Kc chunk of the band
+ * that owns it, while the tile is still cache-hot.
  * @param trans_a interpret A as transposed (A stored k x m)
  * @param trans_b interpret B as transposed (B stored n x k)
  */

@@ -2,12 +2,13 @@
 # Run the benchmark suites and snapshot the results as JSON.
 #
 # Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] \
-#            [algo.json] [serve.json]
+#            [algo.json] [serve.json] [tier.json]
 #
 # Defaults: build directory ./build, micro-kernel output
 # BENCH_pr1.json, end-to-end model output BENCH_pr3.json,
-# per-conv-algorithm output BENCH_pr4.json, and serving-engine
-# output BENCH_pr5.json in the repository root.
+# per-conv-algorithm output BENCH_pr4.json, serving-engine
+# output BENCH_pr5.json, and kernel-tier sweep output
+# BENCH_pr6.json in the repository root.
 #
 # BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
 # (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
@@ -26,6 +27,18 @@
 # ReLU-folding A/B — the conv-algorithm dispatch acceptance numbers
 # (DESIGN.md section 5e).
 #
+# BENCH_pr6.json records the SIMD kernel-tier sweep: the prepacked
+# SGEMM hot path at fixed square shapes and the e2e conv GEMM shapes
+# (AlexNet CONV2, VGG-16 CONV2_1/CONV3_1), each at three kernel
+# configurations — portable (the pre-dispatch baseline), the
+# runtime-dispatched best tier at its cache-derived default blocking,
+# and the per-host autotuned winner (pcnn_autotune is run first to
+# guarantee a tune cache exists). Every row carries a
+# bitwise_threads_ok counter asserting the per-tier determinism
+# contract at 1/2/4 pool lanes, and the JSON context records the CPU
+# model, SIMD feature flags, and cache sizes the numbers depend on
+# (DESIGN.md section 5g).
+#
 # BENCH_pr5.json records the concurrent serving engine: closed-loop
 # throughput at 1/2/4 worker replicas (with a bitwise logits check
 # across worker counts), an open-loop Poisson arrival sweep against
@@ -41,6 +54,7 @@ micro_json="${2:-$repo_root/BENCH_pr1.json}"
 e2e_json="${3:-$repo_root/BENCH_pr3.json}"
 algo_json="${4:-$repo_root/BENCH_pr4.json}"
 serve_json="${5:-$repo_root/BENCH_pr5.json}"
+tier_json="${6:-$repo_root/BENCH_pr6.json}"
 
 run_bench() {
     local bench_bin="$1" out_json="$2" filter="${3:-}"
@@ -60,7 +74,18 @@ run_bench() {
     echo "wrote $out_json"
 }
 
+# The tier sweep's "tuned" rows read the per-host tune cache; sweep
+# and persist it first so they never skip.
+autotune_bin="$build_dir/tools/pcnn_autotune"
+if [[ ! -x "$autotune_bin" ]]; then
+    echo "error: $autotune_bin not built; run:" >&2
+    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+fi
+"$autotune_bin" --reps 2
+
 run_bench "$build_dir/bench/bench_micro_kernels" "$micro_json"
+run_bench "$build_dir/bench/bench_micro_kernels" "$tier_json" "SgemmTier"
 run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
 run_bench "$build_dir/bench/bench_e2e_models" "$algo_json" \
     "ConvAlgoLayer|ReluFolding"
