@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Annotated mutex / condition-variable wrappers.
+ *
+ * libstdc++'s std::mutex carries no thread-safety attributes, so
+ * clang's analysis cannot see through it. These thin wrappers add
+ * the PCNN_CAPABILITY / PCNN_ACQUIRE / PCNN_RELEASE annotations
+ * (common/thread_annotations.hh) while compiling to the exact same
+ * code: every method is an inline forward to the std type.
+ *
+ * Usage mirrors the std types:
+ *
+ *   Mutex mu;
+ *   int value PCNN_GUARDED_BY(mu);
+ *   { MutexLock lk(mu); value++; }            // lock_guard
+ *   { UniqueLock lk(mu); cv.wait(lk); ... }   // unique_lock + CV
+ *
+ * UniqueLock supports unlock()/lock() mid-scope (the analyzer
+ * tracks the state), which popBatch uses to drop the lock before
+ * notifying. CondVar::wait takes the UniqueLock wrapper and
+ * re-establishes the "held" claim on return like std::condition_
+ * variable does. Predicate waits are written as explicit while
+ * loops at the call site so the GUARDED_BY reads inside the
+ * predicate stay inside a context the analyzer understands
+ * (attributes cannot attach to lambdas).
+ */
+
+#ifndef PCNN_COMMON_MUTEX_HH
+#define PCNN_COMMON_MUTEX_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace pcnn {
+
+/** std::mutex with capability annotations. */
+class PCNN_CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() PCNN_ACQUIRE()
+    {
+        mu.lock();
+    }
+
+    void
+    unlock() PCNN_RELEASE()
+    {
+        mu.unlock();
+    }
+
+    /** The wrapped std::mutex, for std APIs that need the real type. */
+    std::mutex &
+    native()
+    {
+        return mu;
+    }
+
+  private:
+    std::mutex mu;
+};
+
+/** std::lock_guard over Mutex: holds the lock for the full scope. */
+class PCNN_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex &m) PCNN_ACQUIRE(m) : mu(m) { mu.lock(); }
+    ~MutexLock() PCNN_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/**
+ * std::unique_lock over Mutex: releasable and re-acquirable within
+ * the scope, and the handle CondVar waits on.
+ */
+class PCNN_SCOPED_CAPABILITY UniqueLock {
+  public:
+    explicit UniqueLock(Mutex &m) PCNN_ACQUIRE(m) : lk(m.native()) {}
+
+    /** Unlocks on destruction only if still held. */
+    ~UniqueLock() PCNN_RELEASE()
+    {
+        // std::unique_lock already skips the unlock when released;
+        // the annotation tells the analyzer the capability is gone.
+    }
+
+    void
+    unlock() PCNN_RELEASE()
+    {
+        lk.unlock();
+    }
+
+    void
+    lock() PCNN_ACQUIRE()
+    {
+        lk.lock();
+    }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lk;
+};
+
+/**
+ * std::condition_variable that waits on a UniqueLock. The guarded
+ * Mutex is passed alongside the lock so the analyzer can match the
+ * REQUIRES claim against the capability the caller actually holds
+ * (it matches capability expressions syntactically, so the
+ * requirement must name the caller's mutex, not a field of the
+ * lock handle).
+ */
+class CondVar {
+  public:
+    /** Caller must hold `m` via `lk`; holds it again on return. */
+    void
+    wait(UniqueLock &lk, Mutex &m) PCNN_REQUIRES(m)
+    {
+        (void)m;
+        cv.wait(lk.lk);
+    }
+
+    /** Timed wait; returns cv_status::timeout on budget expiry. */
+    template <class Rep, class Period>
+    std::cv_status
+    waitFor(UniqueLock &lk, Mutex &m,
+            const std::chrono::duration<Rep, Period> &budget)
+        PCNN_REQUIRES(m)
+    {
+        (void)m;
+        return cv.wait_for(lk.lk, budget);
+    }
+
+    void
+    notifyOne()
+    {
+        cv.notify_one();
+    }
+
+    void
+    notifyAll()
+    {
+        cv.notify_all();
+    }
+
+  private:
+    std::condition_variable cv;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_COMMON_MUTEX_HH

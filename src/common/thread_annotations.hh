@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotation macros (DESIGN.md §5h).
+ *
+ * Wrappers over clang's `capability` attribute family, compiled to
+ * nothing on every other compiler (gcc builds the same sources
+ * warning-free). The clang CI leg compiles the annotated targets
+ * with -Wthread-safety -Werror, turning the locking conventions the
+ * serving engine and thread pool rely on into build failures:
+ *
+ *  - every field a mutex protects carries PCNN_GUARDED_BY(mu), so a
+ *    read or write outside the lock is a compile error;
+ *  - functions that expect the caller to hold (or not hold) a lock
+ *    say so with PCNN_REQUIRES / PCNN_EXCLUDES;
+ *  - lock wrappers themselves (common/mutex.hh) are annotated with
+ *    PCNN_ACQUIRE / PCNN_RELEASE so the analyzer tracks them.
+ *
+ * The annotations are macros — not a library — so headers stay
+ * dependency-free and the no-op expansion keeps non-clang builds
+ * byte-identical. Companion static checking that does not need clang
+ * at all (hot-path allocation closure, reader check discipline,
+ * mutex/GUARDED_BY pairing) lives in tools/pcnn_analyze.cc.
+ */
+
+#ifndef PCNN_COMMON_THREAD_ANNOTATIONS_HH
+#define PCNN_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PCNN_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef PCNN_THREAD_ANNOTATION_
+#define PCNN_THREAD_ANNOTATION_(x)
+#endif
+
+/** Type declares a capability (a lock). */
+#define PCNN_CAPABILITY(name) \
+    PCNN_THREAD_ANNOTATION_(capability(name))
+
+/** RAII type that acquires a capability for its lifetime. */
+#define PCNN_SCOPED_CAPABILITY \
+    PCNN_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Field may only be touched while `mu` is held. */
+#define PCNN_GUARDED_BY(mu) PCNN_THREAD_ANNOTATION_(guarded_by(mu))
+
+/** Pointee may only be touched while `mu` is held. */
+#define PCNN_PT_GUARDED_BY(mu) \
+    PCNN_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+/** Caller must hold the listed capabilities. */
+#define PCNN_REQUIRES(...) \
+    PCNN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define PCNN_EXCLUDES(...) \
+    PCNN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the capability (and does not release it). */
+#define PCNN_ACQUIRE(...) \
+    PCNN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define PCNN_RELEASE(...) \
+    PCNN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function returns a reference to the given capability. */
+#define PCNN_RETURN_CAPABILITY(x) \
+    PCNN_THREAD_ANNOTATION_(lock_returned(x))
+
+/** Escape hatch: body is exempt from the analysis (say why). */
+#define PCNN_NO_THREAD_SAFETY_ANALYSIS \
+    PCNN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // PCNN_COMMON_THREAD_ANNOTATIONS_HH
