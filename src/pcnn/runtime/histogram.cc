@@ -43,6 +43,8 @@ void
 BatchSizeHistogram::record(std::size_t batch)
 {
     pcnn_assert(batch >= 1, "batch size must be >= 1");
+    // pcnn-analyze: allow(hot-path-alloc): grow-only bucket
+    // array: grows to the largest batch seen, then stays put.
     if (counts.size() <= batch)
         counts.resize(batch + 1, 0);
     ++counts[batch];

@@ -45,7 +45,7 @@ Batcher::recordService(std::size_t batch, double service_s)
 {
     pcnn_assert(batch >= 1 && batch <= cfg.maxBatch,
                 "recorded batch out of range");
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     double &slot = ewma[batch];
     slot = slot == 0.0 ? service_s
                        : (1.0 - kAlpha) * slot + kAlpha * service_s;
@@ -55,7 +55,7 @@ double
 Batcher::estServiceS(std::size_t batch) const
 {
     const std::size_t b = std::min(batch, cfg.maxBatch);
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     // Exact size first, then the largest observed size under it:
     // service time grows with batch, so a smaller batch's time is a
     // usable (under-)estimate while samples are still sparse.

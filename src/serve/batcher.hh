@@ -15,9 +15,9 @@
 #define PCNN_SERVE_BATCHER_HH
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "pcnn/task.hh"
 
 namespace pcnn {
@@ -77,8 +77,9 @@ class Batcher
 
   private:
     BatcherConfig cfg;
-    mutable std::mutex mu;
-    std::vector<double> ewma; ///< [batch] -> smoothed seconds, 0 unset
+    mutable Mutex mu;
+    /// [batch] -> smoothed seconds, 0 unset
+    std::vector<double> ewma PCNN_GUARDED_BY(mu);
 };
 
 } // namespace pcnn

@@ -12,42 +12,56 @@ ServeMetrics::ServeMetrics()
 void
 ServeMetrics::start()
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     started = std::chrono::steady_clock::now();
     latencies.clear();
     queueWaits.clear();
     hist = BatchSizeHistogram();
     shedCount = 0;
     highWater = 0;
+    steadyAllocs = 0;
+    steadyProbed = 0;
 }
 
 void
 ServeMetrics::recordBatch(std::size_t batch)
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     hist.record(batch);
 }
 
 void
 ServeMetrics::recordLatency(double latency_s, double queue_s)
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
+    // pcnn-analyze: allow(hot-path-alloc): per-request sample
+    // log (amortized doubling); recorded outside the worker's
+    // steady-state probe window by design.
     latencies.push_back(latency_s);
+    // pcnn-analyze: allow(hot-path-alloc): see above.
     queueWaits.push_back(queue_s);
 }
 
 void
 ServeMetrics::recordShed()
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     ++shedCount;
 }
 
 void
 ServeMetrics::recordQueueDepth(std::size_t depth)
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     highWater = std::max(highWater, depth);
+}
+
+void
+ServeMetrics::recordSteadyProbe(std::uint64_t allocs)
+{
+    MutexLock lk(mu);
+    steadyAllocs += allocs;
+    ++steadyProbed;
 }
 
 ServeMetricsSnapshot
@@ -56,12 +70,14 @@ ServeMetrics::snapshot() const
     std::vector<double> lat, waits;
     ServeMetricsSnapshot s;
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         lat = latencies;
         waits = queueWaits;
         s.batchHist = hist;
         s.shed = shedCount;
         s.queueHighWater = highWater;
+        s.steadyAllocs = steadyAllocs;
+        s.steadyProbedBatches = steadyProbed;
         s.elapsedS = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - started)
                          .count();

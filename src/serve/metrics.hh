@@ -14,9 +14,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "pcnn/runtime/histogram.hh"
 
 namespace pcnn {
@@ -32,6 +32,12 @@ struct ServeMetricsSnapshot
     std::size_t queueHighWater = 0;
     double elapsedS = 0.0;      ///< start() -> snapshot()
     double throughputRps = 0.0; ///< completed / elapsedS
+    /// worker-thread allocations observed inside steady-state
+    /// (post-warmup, batch size already seen) forward probes; the
+    /// zero-alloc invariant (DESIGN.md §5h) requires this to stay 0
+    std::uint64_t steadyAllocs = 0;
+    /// forwards the steady-state allocation probe covered
+    std::uint64_t steadyProbedBatches = 0;
 };
 
 /** Concurrent metrics recorder shared by all engine threads. */
@@ -55,17 +61,29 @@ class ServeMetrics
     /** Track the observed queue depth high-water mark. */
     void recordQueueDepth(std::size_t depth);
 
+    /**
+     * Record one steady-state allocation probe: a worker forward over
+     * a batch size it had already served, measured by
+     * ScopedAllocCount. `allocs` must be 0 for the zero-alloc
+     * invariant to hold; the snapshot exposes the sum so tests and
+     * benches can assert it.
+     */
+    void recordSteadyProbe(std::uint64_t allocs);
+
     /** Consistent snapshot of everything recorded since start(). */
     ServeMetricsSnapshot snapshot() const;
 
   private:
-    mutable std::mutex mu;
-    std::chrono::steady_clock::time_point started;
-    std::vector<double> latencies;
-    std::vector<double> queueWaits;
-    BatchSizeHistogram hist;
-    std::uint64_t shedCount = 0;
-    std::size_t highWater = 0;
+    mutable Mutex mu;
+    std::chrono::steady_clock::time_point started
+        PCNN_GUARDED_BY(mu);
+    std::vector<double> latencies PCNN_GUARDED_BY(mu);
+    std::vector<double> queueWaits PCNN_GUARDED_BY(mu);
+    BatchSizeHistogram hist PCNN_GUARDED_BY(mu);
+    std::uint64_t shedCount PCNN_GUARDED_BY(mu) = 0;
+    std::size_t highWater PCNN_GUARDED_BY(mu) = 0;
+    std::uint64_t steadyAllocs PCNN_GUARDED_BY(mu) = 0;
+    std::uint64_t steadyProbed PCNN_GUARDED_BY(mu) = 0;
 };
 
 } // namespace pcnn

@@ -26,7 +26,7 @@ SubmitStatus
 RequestQueue::push(PendingRequest &&req)
 {
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         if (stopped)
             return SubmitStatus::Stopped;
         if (items.size() >= cap)
@@ -34,19 +34,19 @@ RequestQueue::push(PendingRequest &&req)
         items.push_back(std::move(req));
         peak = std::max(peak, items.size());
     }
-    cv.notify_one();
+    cv.notifyOne();
     return SubmitStatus::Accepted;
 }
 
 std::vector<PendingRequest>
 RequestQueue::popBatch(const Batcher &policy)
 {
-    std::unique_lock<std::mutex> lk(mu);
+    UniqueLock lk(mu);
     for (;;) {
         if (items.empty()) {
             if (stopped)
                 return {};
-            cv.wait(lk);
+            cv.wait(lk, mu);
             continue;
         }
 
@@ -61,21 +61,26 @@ RequestQueue::popBatch(const Batcher &policy)
         if (budget > 0.0) {
             // More slack: wait for the batch to fill (or for close /
             // new arrivals to re-evaluate the budget).
-            cv.wait_for(lk, std::chrono::duration<double>(budget));
+            cv.waitFor(lk, mu, std::chrono::duration<double>(budget));
             continue;
         }
 
         const std::size_t take = std::min(items.size(), max_batch);
+        // pcnn-analyze: allow(hot-path-alloc): batch handoff
+        // vector whose ownership moves to the worker; outside the
+        // steady-state probe window by design.
         std::vector<PendingRequest> batch;
+        // pcnn-analyze: allow(hot-path-alloc): see above.
         batch.reserve(take);
         for (std::size_t i = 0; i < take; ++i) {
+            // pcnn-analyze: allow(hot-path-alloc): see above.
             batch.push_back(std::move(items.front()));
             items.pop_front();
         }
         const bool more = !items.empty();
         lk.unlock();
         if (more)
-            cv.notify_one();
+            cv.notifyOne();
         return batch;
     }
 }
@@ -84,30 +89,30 @@ void
 RequestQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         stopped = true;
     }
-    cv.notify_all();
+    cv.notifyAll();
 }
 
 bool
 RequestQueue::closed() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return stopped;
 }
 
 std::size_t
 RequestQueue::size() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return items.size();
 }
 
 std::size_t
 RequestQueue::highWater() const
 {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     return peak;
 }
 

@@ -13,14 +13,13 @@
 #define PCNN_SERVE_REQUEST_QUEUE_HH
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "tensor/tensor.hh"
 
 namespace pcnn {
@@ -101,11 +100,11 @@ class RequestQueue
 
   private:
     const std::size_t cap;
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::deque<PendingRequest> items;
-    std::size_t peak = 0;
-    bool stopped = false;
+    mutable Mutex mu;
+    CondVar cv;
+    std::deque<PendingRequest> items PCNN_GUARDED_BY(mu);
+    std::size_t peak PCNN_GUARDED_BY(mu) = 0;
+    bool stopped PCNN_GUARDED_BY(mu) = false;
 };
 
 } // namespace pcnn
