@@ -30,14 +30,52 @@
 #define PCNN_COMMON_PARALLEL_HH
 
 #include <cstddef>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 namespace pcnn {
 
-/** Chunk body: half-open index range plus the executing lane id. */
-using ParallelBody =
-    std::function<void(std::size_t begin, std::size_t end,
-                       std::size_t tid)>;
+/**
+ * Chunk body: half-open index range plus the executing lane id.
+ *
+ * A non-owning callable reference (two raw pointers), not a
+ * std::function: parallelFor sits on the inference hot path, and a
+ * std::function built from a lambda whose captures exceed the
+ * small-buffer optimization heap-allocates on every call —
+ * measurable per-layer allocator traffic that the zero-steady-state-
+ * allocation invariant (DESIGN.md §5h) forbids. The referenced
+ * callable must outlive the call, which parallelFor guarantees by
+ * executing synchronously.
+ */
+class ParallelBody
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cv_t<std::remove_reference_t<F>>,
+                  ParallelBody>>>
+    ParallelBody(F &&f) // NOLINT: implicit by design, like function_ref
+        : obj(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call([](void *o, std::size_t begin, std::size_t end,
+                  std::size_t tid) {
+              (*static_cast<std::remove_reference_t<F> *>(o))(
+                  begin, end, tid);
+          })
+    {
+    }
+
+    void
+    operator()(std::size_t begin, std::size_t end,
+               std::size_t tid) const
+    {
+        call(obj, begin, end, tid);
+    }
+
+  private:
+    void *obj;
+    void (*call)(void *, std::size_t, std::size_t, std::size_t);
+};
 
 /**
  * Configured worker-lane count (>= 1). First call reads PCNN_THREADS
