@@ -46,17 +46,19 @@ KernelTuner::staircase(const TileConfig &tile) const
 const std::vector<KernelConfig> &
 KernelTuner::candidates() const
 {
-    std::lock_guard lk(cacheMutex);
-    if (!candidateCache.empty())
-        return candidateCache;
-    std::vector<KernelConfig> out;
-    for (const TileConfig &tile : tileCatalogue()) {
-        auto stair = staircase(tile);
-        out.insert(out.end(), stair.begin(), stair.end());
-    }
-    pcnn_assert(!out.empty(), "no viable kernel candidates on ",
-                gpuSpec.name);
-    candidateCache = std::move(out);
+    // Build-once cache: call_once publishes the vector, after which
+    // it is immutable and references can escape without a lock (a
+    // guarded field could not be returned by reference at all).
+    std::call_once(cacheOnce, [this] {
+        std::vector<KernelConfig> out;
+        for (const TileConfig &tile : tileCatalogue()) {
+            auto stair = staircase(tile);
+            out.insert(out.end(), stair.begin(), stair.end());
+        }
+        pcnn_assert(!out.empty(), "no viable kernel candidates on ",
+                    gpuSpec.name);
+        candidateCache = std::move(out);
+    });
     return candidateCache;
 }
 

@@ -106,9 +106,11 @@ class KernelTuner
 
   private:
     GpuSpec gpuSpec;
-    /// lazy cache: the candidate set depends only on the GPU
+    /// lazy cache: the candidate set depends only on the GPU.
+    /// Initialized exactly once under cacheOnce, immutable after —
+    /// candidates() may hand out references without a lock.
+    mutable std::once_flag cacheOnce;
     mutable std::vector<KernelConfig> candidateCache;
-    mutable std::mutex cacheMutex;
 };
 
 } // namespace pcnn
