@@ -1,0 +1,245 @@
+#include "common/alloc_count.hh"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// pcnn-analyze: allow-file(raw-new): this file IS the allocator
+// hook; it defines the counting replacements for the global
+// new/delete family.
+
+namespace pcnn {
+namespace {
+
+// Plain integers with static (zero) initialization: the counters
+// must be usable from the very first allocation of a thread, before
+// any dynamic thread_local initialization could have run.
+thread_local std::uint64_t tlsAllocs = 0;
+thread_local std::uint64_t tlsFrees = 0;
+
+} // namespace
+
+bool
+allocCountingEnabled()
+{
+#if defined(PCNN_COUNT_ALLOCS)
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::uint64_t
+threadAllocCount()
+{
+    return tlsAllocs;
+}
+
+std::uint64_t
+threadFreeCount()
+{
+    return tlsFrees;
+}
+
+ScopedAllocCount::ScopedAllocCount()
+    : a0(tlsAllocs), f0(tlsFrees)
+{
+}
+
+std::uint64_t
+ScopedAllocCount::allocs() const
+{
+    return tlsAllocs - a0;
+}
+
+std::uint64_t
+ScopedAllocCount::frees() const
+{
+    return tlsFrees - f0;
+}
+
+namespace detail {
+
+void
+countAlloc()
+{
+    ++tlsAllocs;
+}
+
+void
+countFree()
+{
+    ++tlsFrees;
+}
+
+} // namespace detail
+} // namespace pcnn
+
+#if defined(PCNN_COUNT_ALLOCS)
+
+// Counting replacements for the whole global allocation family.
+// Every form funnels through malloc/free (aligned forms through
+// aligned_alloc), so mixing forms stays correct and the hook adds
+// one thread-local increment per call — cheap enough to leave on for
+// the entire dev test suite. The sanitizer presets compile this out:
+// ASan/TSan interpose their own new/delete, and replacing it would
+// disable their mismatch and poisoning checks.
+
+namespace {
+
+void *
+countedAlloc(std::size_t size)
+{
+    pcnn::detail::countAlloc();
+    if (size == 0)
+        size = 1;
+    return std::malloc(size);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    pcnn::detail::countAlloc();
+    if (size == 0)
+        size = 1;
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlignedAlloc(size, std::size_t(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlignedAlloc(size, std::size_t(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, std::size_t(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, std::size_t(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    pcnn::detail::countFree();
+    std::free(p);
+}
+
+#endif // PCNN_COUNT_ALLOCS
