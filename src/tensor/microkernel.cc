@@ -433,6 +433,8 @@ CpuFeatures::str() const
 const CpuFeatures &
 cpuFeatures()
 {
+    // pcnn-analyze: allow(hot-path-alloc): one-time static
+    // init; detection runs once per process.
     static const CpuFeatures f = detectCpu();
     return f;
 }
@@ -440,6 +442,8 @@ cpuFeatures()
 const CacheInfo &
 cacheInfo()
 {
+    // pcnn-analyze: allow(hot-path-alloc): one-time static
+    // init; detection runs once per process.
     static const CacheInfo ci = detectCaches();
     return ci;
 }
@@ -486,8 +490,14 @@ supportedKernelTiers()
 KernelTier
 bestKernelTier()
 {
-    const std::vector<KernelTier> tiers = supportedKernelTiers();
-    return tiers.back();
+    // Cached: the host ISA cannot change mid-process, and this sits
+    // on the sgemm dispatch path (via activeKernelTier/activeBlocking)
+    // where rebuilding the candidate vector per call was the last
+    // steady-state allocation the probe caught (DESIGN.md §5h).
+    // pcnn-analyze: allow(hot-path-alloc): one-time static
+    // init (the comment above).
+    static const KernelTier best = supportedKernelTiers().back();
+    return best;
 }
 
 KernelTier
@@ -496,8 +506,12 @@ activeKernelTier()
     const DispatchState &s = state();
     if (s.tierPinned)
         return s.tier;
-    if (envTier().forced)
-        return envTier().tier;
+    // pcnn-analyze: allow(hot-path-alloc): PCNN_KERNEL_TIER is
+    // parsed once per process into a static; steady-state calls
+    // only read the cached result.
+    const EnvTier &env = envTier();
+    if (env.forced)
+        return env.tier;
     return bestKernelTier();
 }
 
