@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/alloc_count.hh"
 #include "common/parallel.hh"
 #include "common/random.hh"
 #include "nn/conv_layer.hh"
@@ -69,15 +70,27 @@ runForward(benchmark::State &state, Zoo zoo)
             c->setComputedPositions(c->fullPositions() * percent / 100);
     }
 
+    // Warm-up grows every scratch buffer and weight panel; after it,
+    // the steady-state forward must not touch the allocator, and the
+    // probe below publishes the measured count per JSON row (the
+    // runtime cross-check of the pcnn_analyze hot-path-alloc rule).
+    Tensor y;
+    net.forwardInto(x, false, y);
+    std::uint64_t steady_allocs = 0;
     for (auto _ : state) {
-        Tensor y = net.forward(x, false);
+        ScopedAllocCount probe;
+        net.forwardInto(x, false, y);
         benchmark::DoNotOptimize(y.data());
+        steady_allocs += probe.allocs();
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(batch));
     state.counters["img/s"] = benchmark::Counter(
         double(state.iterations()) * double(batch),
         benchmark::Counter::kIsRate);
+    state.counters["steady_allocs"] = double(steady_allocs);
+    state.counters["alloc_counting"] =
+        allocCountingEnabled() ? 1.0 : 0.0;
 }
 
 void

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/alloc_count.hh"
 #include "common/parallel.hh"
 #include "common/random.hh"
 #include "nn/model_zoo.hh"
@@ -65,6 +66,8 @@ struct ClosedLoopResult
     double throughputRps = 0.0;
     double p50Ms = 0.0;
     double p99Ms = 0.0;
+    std::uint64_t steadyAllocs = 0;
+    std::uint64_t steadyProbedBatches = 0;
     std::vector<Tensor> probeLogits;
 };
 
@@ -130,6 +133,8 @@ runClosedLoop(std::size_t workers, std::size_t total,
     const ServeMetricsSnapshot m = engine.metrics();
     r.p50Ms = m.latency.p50S * 1e3;
     r.p99Ms = m.latency.p99S * 1e3;
+    r.steadyAllocs = m.steadyAllocs;
+    r.steadyProbedBatches = m.steadyProbedBatches;
     engine.stop();
     return r;
 }
@@ -315,6 +320,8 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "{\n  \"bench\": \"serving_engine\",\n");
     std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"alloc_counting\": %s,\n",
+                 allocCountingEnabled() ? "true" : "false");
     const CpuFeatures &cpu = cpuFeatures();
     const CacheInfo &ci = cacheInfo();
     std::fprintf(f,
@@ -332,12 +339,16 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"closed_loop\": [\n");
     for (std::size_t i = 0; i < closed.size(); ++i) {
         const ClosedLoopResult &r = closed[i];
-        std::fprintf(f,
-                     "    {\"workers\": %zu, \"requests\": %zu, "
-                     "\"throughput_rps\": %.1f, \"p50_ms\": %.4f, "
-                     "\"p99_ms\": %.4f}%s\n",
-                     r.workers, r.requests, r.throughputRps, r.p50Ms,
-                     r.p99Ms, i + 1 < closed.size() ? "," : "");
+        std::fprintf(
+            f,
+            "    {\"workers\": %zu, \"requests\": %zu, "
+            "\"throughput_rps\": %.1f, \"p50_ms\": %.4f, "
+            "\"p99_ms\": %.4f, \"steady_allocs\": %llu, "
+            "\"steady_probed_batches\": %llu}%s\n",
+            r.workers, r.requests, r.throughputRps, r.p50Ms, r.p99Ms,
+            static_cast<unsigned long long>(r.steadyAllocs),
+            static_cast<unsigned long long>(r.steadyProbedBatches),
+            i + 1 < closed.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"probe_logits_bitwise_equal\": %s,\n",
@@ -354,6 +365,8 @@ main(int argc, char **argv)
             "\"mean_batch\": %.3f, \"queue_high_water\": %zu, "
             "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
             "\"p999_ms\": %.4f, \"throughput_rps\": %.1f, "
+            "\"steady_allocs\": %llu, "
+            "\"steady_probed_batches\": %llu, "
             "\"batch_hist\": ",
             open[i].rateHz, open_workers, open_batch, open_wait,
             static_cast<unsigned long long>(m.completed),
@@ -361,7 +374,9 @@ main(int argc, char **argv)
             m.batchHist.meanBatch(), m.queueHighWater,
             m.latency.p50S * 1e3, m.latency.p95S * 1e3,
             m.latency.p99S * 1e3, m.latency.p999S * 1e3,
-            m.throughputRps);
+            m.throughputRps,
+            static_cast<unsigned long long>(m.steadyAllocs),
+            static_cast<unsigned long long>(m.steadyProbedBatches));
         jsonBatchHist(f, m.batchHist);
         std::fprintf(f, "}%s\n", i + 1 < open.size() ? "," : "");
     }

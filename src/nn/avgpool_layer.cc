@@ -34,8 +34,8 @@ AvgPoolLayer::outputShape(const Shape &in) const
                  (in.w - w) / stride + 1};
 }
 
-Tensor
-AvgPoolLayer::forward(const Tensor &x, bool train)
+void
+AvgPoolLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
     const Shape out = outputShape(x.shape());
     const Shape &in = x.shape();
@@ -45,7 +45,9 @@ AvgPoolLayer::forward(const Tensor &x, bool train)
     // Raw row scans per (n, c) plane: the window accumulates in the
     // same (ky, kx) order as the index-checked form, just without a
     // four-index bounds-checked call per element.
-    Tensor y(out);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only output
+    // buffer; capacity is reused once warm (DESIGN.md §5h).
+    y.resize(out);
     const std::size_t planes = in.n * in.c;
     for (std::size_t plane = 0; plane < planes; ++plane) {
         const float *src = x.data() + plane * in.h * in.w;
@@ -67,7 +69,6 @@ AvgPoolLayer::forward(const Tensor &x, bool train)
         inShape = in;
         haveCache = true;
     }
-    return y;
 }
 
 Tensor

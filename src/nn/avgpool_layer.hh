@@ -33,7 +33,8 @@ class AvgPoolLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "avgpool"; }
     Shape outputShape(const Shape &in) const override;
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
 
     /** True when configured as global average pooling. */

@@ -6,6 +6,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/tags.hh"
 #include "nn/fusion.hh"
 #include "tensor/winograd.hh"
 
@@ -234,6 +235,7 @@ ConvLayer::rebuildSampling()
     }
 }
 
+PCNN_HOT_PATH
 void
 ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
                             std::size_t group, ConvAlgo algo,
@@ -301,6 +303,8 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     // interpolate into y (clamping in the fill loop when a ReLU was
     // folded — same values as clamping afterwards).
     im2colAt(x, item, g, sample, scr.cols, group * in_cg);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only per-lane
+    // scratch; sized by the largest geometry seen, then reused.
     if (scr.gemmOut.size() < out_cg * n_pos)
         scr.gemmOut.resize(out_cg * n_pos);
     sgemm(false, false, out_cg, n_pos, k, wg, scr.cols.data(),
@@ -331,23 +335,29 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     }
 }
 
-Tensor
-ConvLayer::forward(const Tensor &x, bool train)
+void
+ConvLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
-    return forwardImpl(x, train, false);
+    forwardImpl(x, train, false, y);
 }
 
-Tensor
-ConvLayer::forwardFusedRelu(const Tensor &x)
+void
+ConvLayer::forwardFusedReluInto(const Tensor &x, Tensor &y)
 {
-    return forwardImpl(x, false, true);
+    forwardImpl(x, false, true, y);
 }
 
-Tensor
-ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
+PCNN_HOT_PATH
+void
+ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
+                       Tensor &y)
 {
     const Shape out_shape = outputShape(x.shape());
-    Tensor y(out_shape);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only output
+    // buffer; capacity is reused once warm (DESIGN.md §5h).
+    y.resize(out_shape);
+    // pcnn-analyze: allow(hot-path-alloc): per-thread scratch
+    // pool grows to the lane count once, then stays.
     if (scratch.size() < threadCount())
         scratch.resize(threadCount());
 
@@ -386,7 +396,6 @@ ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
         lastInput = x;
         haveCache = true;
     }
-    return y;
 }
 
 const WinogradWeights &
@@ -394,6 +403,9 @@ ConvLayer::winogradGroupWeights(std::size_t group)
 {
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
+    // pcnn-analyze: allow(hot-path-alloc): generation-gated
+    // repack: runs only when the weights changed, never in a
+    // steady-state forward.
     if (w->winoPack.size() < spc.groups)
         w->winoPack.resize(spc.groups);
     WinogradWeights &wts = w->winoPack[group];
@@ -412,6 +424,8 @@ ConvLayer::packedWeightT(std::size_t group)
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
     const std::size_t k = in_cg * spc.kernel * spc.kernel;
+    // pcnn-analyze: allow(hot-path-alloc): generation-gated
+    // repack (same argument as winogradGroupWeights above).
     if (w->wtPack.size() < spc.groups)
         w->wtPack.resize(spc.groups);
     PackedPanel &panel = w->wtPack[group];

@@ -49,12 +49,13 @@ class ConvLayer : public Layer
     std::string name() const override { return spc.name; }
     std::string kind() const override { return "conv"; }
     Shape outputShape(const Shape &in) const override;
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     double flopsPerImage(const Shape &in) const override;
     bool canFuseRelu() const override { return true; }
-    Tensor forwardFusedRelu(const Tensor &x) override;
+    void forwardFusedReluInto(const Tensor &x, Tensor &y) override;
     std::unique_ptr<Layer> cloneShared() override;
 
     /** The architecture-level spec this layer realizes. */
@@ -165,7 +166,8 @@ class ConvLayer : public Layer
     void rebuildSampling();
 
     /** Shared forward body; fuse_relu folds a ReLU into the output. */
-    Tensor forwardImpl(const Tensor &x, bool train, bool fuse_relu);
+    void forwardImpl(const Tensor &x, bool train, bool fuse_relu,
+                     Tensor &y);
 
     /** Forward for one batch item and one group. */
     void forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,

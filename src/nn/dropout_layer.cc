@@ -1,5 +1,7 @@
 #include "nn/dropout_layer.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pcnn {
@@ -11,15 +13,24 @@ DropoutLayer::DropoutLayer(std::string name, double p, Rng &rng)
                 ": p must be in [0,1), got ", p);
 }
 
-Tensor
-DropoutLayer::forward(const Tensor &x, bool train)
+void
+DropoutLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
     if (!train) {
+        // Inference is the identity; copy through into the caller's
+        // buffer (no allocation once y has grown to shape).
         haveCache = false;
-        return x;
+        // pcnn-analyze: allow(hot-path-alloc): grow-only
+        // output buffer; capacity is reused once warm.
+        y.resize(x.shape());
+        std::copy(x.data(), x.data() + x.size(), y.data());
+        return;
     }
+    // pcnn-analyze: allow(hot-path-alloc): training-only path;
+    // both buffers are grow-only and inference never gets here.
     mask.resize(x.shape());
-    Tensor y(x.shape());
+    // pcnn-analyze: allow(hot-path-alloc): see above.
+    y.resize(x.shape());
     const float scale = float(1.0 / (1.0 - prob));
     for (std::size_t i = 0; i < x.size(); ++i) {
         const bool keep = !rng.chance(prob);
@@ -27,7 +38,6 @@ DropoutLayer::forward(const Tensor &x, bool train)
         y[i] = x[i] * mask[i];
     }
     haveCache = true;
-    return y;
 }
 
 Tensor

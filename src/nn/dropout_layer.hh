@@ -31,7 +31,8 @@ class DropoutLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "dropout"; }
     Shape outputShape(const Shape &in) const override { return in; }
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
 
     /// Identity at inference; the replica keeps its own rng copy so a

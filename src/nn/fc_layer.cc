@@ -5,6 +5,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/tags.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -67,24 +68,28 @@ FcLayer::packedWeightT()
     return w->wPack;
 }
 
-Tensor
-FcLayer::forward(const Tensor &x, bool train)
+void
+FcLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
-    return forwardImpl(x, train, false);
+    forwardImpl(x, train, false, y);
 }
 
-Tensor
-FcLayer::forwardFusedRelu(const Tensor &x)
+void
+FcLayer::forwardFusedReluInto(const Tensor &x, Tensor &y)
 {
-    return forwardImpl(x, false, true);
+    forwardImpl(x, false, true, y);
 }
 
-Tensor
-FcLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
+PCNN_HOT_PATH
+void
+FcLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
+                     Tensor &y)
 {
     const Shape out = outputShape(x.shape());
     const std::size_t batch = x.shape().n;
-    Tensor y(out);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only output
+    // buffer; capacity is reused once warm (DESIGN.md §5h).
+    y.resize(out);
 
     // Seed every output row with the bias, then accumulate the
     // product on top (beta = 1) so y is streamed through only once:
@@ -108,7 +113,6 @@ FcLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu)
         lastInput.reshape(Shape{batch, nIn, 1, 1});
         haveCache = true;
     }
-    return y;
 }
 
 Tensor

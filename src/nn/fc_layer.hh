@@ -35,12 +35,13 @@ class FcLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "fc"; }
     Shape outputShape(const Shape &in) const override;
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     double flopsPerImage(const Shape &in) const override;
     bool canFuseRelu() const override { return true; }
-    Tensor forwardFusedRelu(const Tensor &x) override;
+    void forwardFusedReluInto(const Tensor &x, Tensor &y) override;
     std::unique_ptr<Layer> cloneShared() override;
 
     /** Input feature count. */
@@ -76,7 +77,8 @@ class FcLayer : public Layer
     const PackedPanel &packedWeightT();
 
     /** Shared forward body; fuse_relu folds a ReLU into the store. */
-    Tensor forwardImpl(const Tensor &x, bool train, bool fuse_relu);
+    void forwardImpl(const Tensor &x, bool train, bool fuse_relu,
+                     Tensor &y);
 
     std::string layerName;
     std::size_t nIn;

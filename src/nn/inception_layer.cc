@@ -127,37 +127,44 @@ InceptionLayer::outputShape(const Shape &in) const
     return Shape{in.n, channels, first.h, first.w};
 }
 
-Tensor
-InceptionLayer::forward(const Tensor &x, bool train)
+void
+InceptionLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
     const Shape out = outputShape(x.shape());
-    Tensor y(out);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only output
+    // buffer; capacity is reused once warm (DESIGN.md §5h).
+    y.resize(out);
 
     std::size_t c_off = 0;
     const std::size_t plane = out.h * out.w;
     const bool fold = !train && reluFoldingEnabled();
     for (auto &branch : branches) {
         // Feed the shared input to each branch head by reference —
-        // no per-branch copy of x. The same ReLU-folding peephole as
-        // Network::forward applies within each branch chain.
-        Tensor a;
+        // no per-branch copy of x. Branch activations ping-pong
+        // between two persistent scratch tensors, so the whole block
+        // allocates nothing once they have grown. The same
+        // ReLU-folding peephole as Network::forward applies within
+        // each branch chain.
         const Tensor *cur = &x;
+        Tensor *nxt = &actA;
         for (std::size_t li = 0; li < branch.size(); ++li) {
             Layer *layer = branch[li].get();
+            Tensor *dst = nxt;
             if (fold && li + 1 < branch.size() &&
                 layer->canFuseRelu() &&
                 branch[li + 1]->kind() == "relu") {
-                a = layer->forwardFusedRelu(*cur);
+                layer->forwardFusedReluInto(*cur, *dst);
                 ++li;
             } else {
-                a = layer->forward(*cur, train);
+                layer->forwardInto(*cur, train, *dst);
             }
-            cur = &a;
+            nxt = dst == &actA ? &actB : &actA;
+            cur = dst;
         }
         // Concatenate along channels.
-        const Shape &bs = a.shape();
+        const Shape &bs = cur->shape();
         for (std::size_t n = 0; n < bs.n; ++n) {
-            const float *src = a.data() + n * bs.itemSize();
+            const float *src = cur->data() + n * bs.itemSize();
             float *dst =
                 y.data() + (n * out.c + c_off) * plane;
             std::copy(src, src + bs.itemSize(), dst);
@@ -169,7 +176,6 @@ InceptionLayer::forward(const Tensor &x, bool train)
         lastInShape = x.shape();
         haveCache = true;
     }
-    return y;
 }
 
 Tensor

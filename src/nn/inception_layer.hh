@@ -53,7 +53,8 @@ class InceptionLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "inception"; }
     Shape outputShape(const Shape &in) const override;
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     double flopsPerImage(const Shape &in) const override;
@@ -72,6 +73,10 @@ class InceptionLayer : public Layer
     std::string layerName;
     std::vector<Branch> branches;
     std::vector<ConvLayer *> convs;
+
+    /// per-layer ping-pong activation scratch for forwardInto;
+    /// grow-only, per-replica (never carried by cloneShared)
+    Tensor actA, actB;
 
     // Training cache: per-branch outputs' channel offsets.
     Shape lastInShape;

@@ -105,12 +105,31 @@ class Layer
     virtual Shape outputShape(const Shape &in) const = 0;
 
     /**
-     * Run the layer.
-     * @param x input activations
+     * Run the layer, writing the output into a caller-provided
+     * tensor (resized to the output shape; prior contents
+     * discarded). Reusing `y` across calls is how the inference hot
+     * path stays allocation-free: Tensor::resize never shrinks
+     * capacity, so after the first call on the largest shape the
+     * layer performs no allocator traffic (DESIGN.md §5h).
+     * @param x input activations; must not alias y
      * @param train true during training (enables caching for
      *        backward and stochastic behaviour such as dropout)
+     * @param y output destination; distinct object from x
      */
-    virtual Tensor forward(const Tensor &x, bool train) = 0;
+    virtual void forwardInto(const Tensor &x, bool train,
+                             Tensor &y) = 0;
+
+    /**
+     * Run the layer into a fresh tensor (allocating convenience
+     * wrapper over forwardInto).
+     */
+    Tensor
+    forward(const Tensor &x, bool train)
+    {
+        Tensor y;
+        forwardInto(x, train, y);
+        return y;
+    }
 
     /** Back-propagate; see class contract. */
     virtual Tensor backward(const Tensor &dy) = 0;
@@ -124,19 +143,28 @@ class Layer
     virtual bool canFuseRelu() const { return false; }
 
     /**
-     * Inference forward with a folded ReLU: must return exactly
-     * relu(forward(x, false)). The default realizes that contract
-     * literally (forward, then clamp) so overriding canFuseRelu()
-     * alone is never unsound; layers with a real fused path override
-     * both.
+     * Inference forward with a folded ReLU: must produce exactly
+     * relu(forward(x, false)) in y. The default realizes that
+     * contract literally (forward, then clamp) so overriding
+     * canFuseRelu() alone is never unsound; layers with a real fused
+     * path override both.
+     * @param x input activations; must not alias y
      */
-    virtual Tensor
-    forwardFusedRelu(const Tensor &x)
+    virtual void
+    forwardFusedReluInto(const Tensor &x, Tensor &y)
     {
-        Tensor y = forward(x, false);
+        forwardInto(x, false, y);
         float *d = y.data();
         for (std::size_t i = 0; i < y.size(); ++i)
             d[i] = d[i] < 0.0f ? 0.0f : d[i];
+    }
+
+    /** Allocating convenience wrapper over forwardFusedReluInto. */
+    Tensor
+    forwardFusedRelu(const Tensor &x)
+    {
+        Tensor y;
+        forwardFusedReluInto(x, y);
         return y;
     }
 

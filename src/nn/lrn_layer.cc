@@ -14,12 +14,19 @@ LrnLayer::LrnLayer(std::string name, std::size_t size, double alpha,
     pcnn_assert(size >= 1, "lrn ", layerName, ": window must be >= 1");
 }
 
-Tensor
-LrnLayer::forward(const Tensor &x, bool train)
+void
+LrnLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
     const Shape &s = x.shape();
-    Tensor y(s);
-    Tensor scale(s);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only output
+    // buffer; capacity is reused once warm (DESIGN.md §5h).
+    y.resize(s);
+    // Persistent scratch: the normalization scales are recomputed
+    // every call but the buffer grows once and is then reused.
+    Tensor &scale = scaleScratch;
+    // pcnn-analyze: allow(hot-path-alloc): grow-only
+    // persistent scratch (the comment above).
+    scale.resize(s);
     const long half = long(size / 2);
     const float a_over_n = alpha / float(size);
 
@@ -49,7 +56,6 @@ LrnLayer::forward(const Tensor &x, bool train)
         lastScale = scale;
         haveCache = true;
     }
-    return y;
 }
 
 Tensor

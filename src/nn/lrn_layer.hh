@@ -35,7 +35,8 @@ class LrnLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "lrn"; }
     Shape outputShape(const Shape &in) const override { return in; }
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
 
     std::unique_ptr<Layer>
@@ -44,6 +45,7 @@ class LrnLayer : public Layer
         auto c = std::make_unique<LrnLayer>(*this);
         c->lastInput = Tensor();
         c->lastScale = Tensor();
+        c->scaleScratch = Tensor();
         c->haveCache = false;
         return c;
     }
@@ -57,6 +59,8 @@ class LrnLayer : public Layer
 
     Tensor lastInput;
     Tensor lastScale; ///< the (k + alpha/n * sum) term per element
+    /// grow-only per-call scale buffer (forwardInto stays alloc-free)
+    Tensor scaleScratch;
     bool haveCache = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/tags.hh"
 #include "nn/fusion.hh"
 #include "tensor/tensor_ops.hh"
 
@@ -16,12 +17,30 @@ Network::Network(std::string name, Shape input_shape)
 Tensor
 Network::forward(const Tensor &x, bool train)
 {
+    Tensor out;
+    forwardInto(x, train, out);
+    return out;
+}
+
+PCNN_HOT_PATH
+void
+Network::forwardInto(const Tensor &x, bool train, Tensor &out)
+{
     PCNN_CHECK(x.shape().c == inShape.c && x.shape().h == inShape.h &&
                    x.shape().w == inShape.w,
                netName, ": input ", x.shape().str(),
                " mismatches expected ", inShape.str());
     PCNN_CHECK(!layers.empty(), netName, ": empty network");
-    Tensor a = x;
+    PCNN_CHECK(&out != &x, netName,
+               ": forwardInto output must not alias the input");
+    // Activations ping-pong between two persistent per-network
+    // buffers (the last layer writes straight into `out`), so a
+    // steady-state inference forward performs no allocator traffic
+    // once every buffer has grown to its high-water shape
+    // (DESIGN.md §5h). The old per-layer fresh-tensor chain (and the
+    // input copy it started from) is gone.
+    const Tensor *cur = &x;
+    Tensor *nxt = &actA;
     // Inference peephole (DESIGN.md §5e): a ReLU directly after a
     // layer that opts into epilogue fusion is folded into that
     // layer's store pass and the ReLU layer itself is skipped.
@@ -30,15 +49,20 @@ Network::forward(const Tensor &x, bool train)
     const bool fold = !train && reluFoldingEnabled();
     for (std::size_t i = 0; i < layers.size(); ++i) {
         Layer *l = layers[i].get();
-        if (fold && i + 1 < layers.size() && l->canFuseRelu() &&
-            layers[i + 1]->kind() == "relu") {
-            a = l->forwardFusedRelu(a);
+        const bool fuse = fold && i + 1 < layers.size() &&
+                          l->canFuseRelu() &&
+                          layers[i + 1]->kind() == "relu";
+        const bool last = i + (fuse ? 2 : 1) >= layers.size();
+        Tensor *dst = last ? &out : nxt;
+        if (fuse) {
+            l->forwardFusedReluInto(*cur, *dst);
             ++i; // the folded ReLU is consumed
-            continue;
+        } else {
+            l->forwardInto(*cur, train, *dst);
         }
-        a = l->forward(a, train);
+        nxt = dst == &actA ? &actB : &actA;
+        cur = dst;
     }
-    return a;
 }
 
 Tensor

@@ -103,6 +103,15 @@ class Network
      */
     Tensor forward(const Tensor &x, bool train = false);
 
+    /**
+     * Run the network, writing the logits into `out` (resized as
+     * needed). Repeated calls with the same `out` tensor reuse its
+     * buffer and the network's internal ping-pong activation
+     * scratch, so a steady-state inference forward performs zero
+     * allocations (DESIGN.md §5h). `out` must not alias `x`.
+     */
+    void forwardInto(const Tensor &x, bool train, Tensor &out);
+
     /** Softmax of forward(x): class probabilities. */
     Tensor predict(const Tensor &x);
 
@@ -149,6 +158,9 @@ class Network
     std::vector<std::unique_ptr<Layer>> layers;
     std::vector<ConvLayer *> convs;
     std::vector<FcLayer *> fcs;
+    /// forwardInto ping-pong activation scratch; grow-only,
+    /// per-network (replicas get their own via cloneSharingWeights)
+    Tensor actA, actB;
 };
 
 } // namespace pcnn

@@ -26,13 +26,17 @@ MaxPoolLayer::outputShape(const Shape &in) const
                  (in.w + 2 * pad - window) / stride + 1};
 }
 
-Tensor
-MaxPoolLayer::forward(const Tensor &x, bool train)
+void
+MaxPoolLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
     const Shape out = outputShape(x.shape());
-    Tensor y(out);
+    // pcnn-analyze: allow(hot-path-alloc): grow-only output
+    // buffer; capacity is reused once warm (DESIGN.md §5h).
+    y.resize(out);
     if (train) {
         inShape = x.shape();
+        // pcnn-analyze: allow(hot-path-alloc): training-only
+        // bookkeeping; inference never takes this branch.
         argmaxIdx.assign(out.size(), 0);
     }
 
@@ -84,7 +88,6 @@ MaxPoolLayer::forward(const Tensor &x, bool train)
         }
     });
     haveCache = train;
-    return y;
 }
 
 Tensor

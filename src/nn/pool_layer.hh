@@ -36,7 +36,8 @@ class MaxPoolLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "maxpool"; }
     Shape outputShape(const Shape &in) const override;
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
 
     std::unique_ptr<Layer>

@@ -7,10 +7,10 @@ namespace pcnn {
 
 ReluLayer::ReluLayer(std::string name) : layerName(std::move(name)) {}
 
-Tensor
-ReluLayer::forward(const Tensor &x, bool train)
+void
+ReluLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
-    Tensor y(x.shape());
+    y.resize(x.shape());
     if (train)
         mask.resize(x.shape());
     // The mask branch is hoisted out of the element loop: the
@@ -34,7 +34,6 @@ ReluLayer::forward(const Tensor &x, bool train)
         }
     });
     haveCache = train;
-    return y;
 }
 
 Tensor

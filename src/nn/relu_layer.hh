@@ -23,7 +23,8 @@ class ReluLayer : public Layer
     std::string name() const override { return layerName; }
     std::string kind() const override { return "relu"; }
     Shape outputShape(const Shape &in) const override { return in; }
-    Tensor forward(const Tensor &x, bool train) override;
+    void forwardInto(const Tensor &x, bool train,
+                     Tensor &y) override;
     Tensor backward(const Tensor &dy) override;
 
     std::unique_ptr<Layer>
