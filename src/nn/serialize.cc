@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/check.hh"
+#include "common/tags.hh"
 #include "common/logging.hh"
 
 namespace pcnn {
@@ -58,6 +59,7 @@ serializeWeights(Network &net)
     return out;
 }
 
+PCNN_BINARY_READER
 bool
 deserializeWeights(Network &net,
                    const std::vector<std::uint8_t> &bytes)
@@ -135,6 +137,7 @@ saveWeights(Network &net, const std::string &path)
     return static_cast<bool>(f);
 }
 
+PCNN_BINARY_READER
 bool
 loadWeights(Network &net, const std::string &path)
 {

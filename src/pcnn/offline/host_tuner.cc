@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/tags.hh"
 #include "common/random.hh"
 #include "nn/model_zoo.hh"
 
@@ -388,6 +389,7 @@ saveHostTune(const HostTuneConfig &cfg, const std::string &path)
     return static_cast<bool>(f);
 }
 
+PCNN_BINARY_READER
 bool
 loadHostTune(const std::string &path, HostTuneConfig &out,
              std::string &err)

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "common/tags.hh"
 
 namespace pcnn {
 
@@ -158,6 +159,7 @@ serializePlan(const CompiledPlan &plan, std::uint8_t version)
     return out;
 }
 
+PCNN_BINARY_READER
 std::optional<CompiledPlan>
 deserializePlan(const std::vector<std::uint8_t> &bytes)
 {
@@ -307,6 +309,7 @@ savePlan(const CompiledPlan &plan, const std::string &path)
     return static_cast<bool>(f);
 }
 
+PCNN_BINARY_READER
 std::optional<CompiledPlan>
 loadPlan(const std::string &path)
 {

@@ -8,6 +8,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/tags.hh"
 #include "tensor/microkernel.hh"
 
 namespace pcnn {
@@ -223,6 +224,7 @@ thread_local std::vector<float> tlPackB;
 
 } // namespace
 
+PCNN_HOT_PATH
 void
 sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
       std::size_t k, const float *a, const float *b, float *c,
@@ -263,6 +265,8 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
     const float *bmat = b;
     if (trans_b) {
         std::vector<float> &bp = tlPackB;
+        // pcnn-analyze: allow(hot-path-alloc): grow-only
+        // thread-local packing scratch.
         if (bp.size() < k * n)
             bp.resize(k * n);
         packB(n, k, b, bp.data());
@@ -289,6 +293,8 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
                 const float *amat = a + r0 * k;
                 if (trans_a) {
                     std::vector<float> &ap = tlPackA;
+                    // pcnn-analyze: allow(hot-path-alloc): grow-only
+                    // thread-local packing scratch.
                     if (ap.size() < (r1 - r0) * k)
                         ap.resize((r1 - r0) * k);
                     packA(r0, r1, m, k, a, ap.data());
@@ -333,6 +339,9 @@ packWeights(bool trans, std::size_t rows, std::size_t cols,
     PCNN_CHECK(rows * cols == 0 || w != nullptr,
                "packWeights: null source for ", rows, "x", cols);
     packCounter().fetch_add(1, std::memory_order_relaxed);
+    // pcnn-analyze: allow(hot-path-alloc): generation-gated
+    // weight repack; callers only invoke this when the source
+    // weights changed.
     if (panel.data.size() < rows * cols)
         panel.data.resize(rows * cols);
     panel.rows = rows;
@@ -346,6 +355,7 @@ packWeights(bool trans, std::size_t rows, std::size_t cols,
                     rows * cols * sizeof(float));
 }
 
+PCNN_HOT_PATH
 void
 sgemmPrepacked(std::size_t m, std::size_t n, std::size_t k,
                const float *a, const PackedPanel &b, float *c,
@@ -413,6 +423,8 @@ im2col(const Tensor &x, std::size_t item, const ConvGeom &g,
     // Grow-only: alternating geometries (perforated vs. full layers
     // sharing one scratch pool) must not shrink and regrow the
     // allocation on every call.
+    // pcnn-analyze: allow(hot-path-alloc): the grow-only
+    // policy stated above.
     if (cols.size() < rows * n_cols)
         cols.resize(rows * n_cols);
 
@@ -476,6 +488,8 @@ im2colAt(const Tensor &x, std::size_t item, const ConvGeom &g,
                     " outside output grid");
     const std::size_t n_cols = positions.size();
     const std::size_t rows = g.colRows();
+    // pcnn-analyze: allow(hot-path-alloc): grow-only scratch
+    // shared with im2col above.
     if (cols.size() < rows * n_cols)
         cols.resize(rows * n_cols);
 

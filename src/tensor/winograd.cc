@@ -24,6 +24,7 @@
 
 #include "common/check.hh"
 #include "common/parallel.hh"
+#include "common/tags.hh"
 
 namespace pcnn {
 
@@ -77,6 +78,8 @@ winogradTransformWeights(const float *w, std::size_t in_c,
                out_c);
     winoPackCounter().fetch_add(1, std::memory_order_relaxed);
     const std::size_t plane = in_c * out_c;
+    // pcnn-analyze: allow(hot-path-alloc): generation-gated
+    // weight transform; never runs in a steady-state forward.
     if (out.data.size() < 16 * plane)
         out.data.resize(16 * plane);
     out.inC = in_c;
@@ -108,6 +111,7 @@ winogradTransformWeights(const float *w, std::size_t in_c,
     }
 }
 
+PCNN_HOT_PATH
 void
 winogradForward(const Tensor &x, std::size_t item, const ConvGeom &g,
                 std::size_t chan_off, const WinogradWeights &wts,
@@ -127,8 +131,11 @@ winogradForward(const Tensor &x, std::size_t item, const ConvGeom &g,
     const std::size_t in_h = g.inH, in_w = g.inW;
     const std::size_t pad = g.pad;
 
+    // pcnn-analyze: allow(hot-path-alloc): grow-only per-lane
+    // transform scratch; sized by the largest tile set seen.
     if (scratch.v.size() < 16 * tiles * in_c)
         scratch.v.resize(16 * tiles * in_c);
+    // pcnn-analyze: allow(hot-path-alloc): see above.
     if (scratch.m.size() < 16 * tiles * out_c)
         scratch.m.resize(16 * tiles * out_c);
     float *v = scratch.v.data();

@@ -1,0 +1,32 @@
+// Fixture: a file every rule accepts — hot path without allocations,
+// guarded reads, no globals, no libc randomness.
+
+#include <cstring>
+
+#include "common/check.hh"
+#include "common/tags.hh"
+
+namespace pcnn {
+
+PCNN_HOT_PATH
+float
+sumInPlace(const float *v, unsigned long n)
+{
+    float acc = 0.0f;
+    for (unsigned long i = 0; i < n; ++i)
+        acc += v[i];
+    return acc;
+}
+
+PCNN_BINARY_READER
+bool
+guardedCopy(char *dst, const char *src, unsigned long n,
+            unsigned long cap)
+{
+    if (n > cap)
+        return false;
+    std::memcpy(dst, src, n);
+    return true;
+}
+
+} // namespace pcnn

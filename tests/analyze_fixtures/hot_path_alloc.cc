@@ -1,0 +1,17 @@
+// Fixture: hot-path-alloc — an allocating primitive reachable from a
+// PCNN_HOT_PATH function without a grow-only allow must be flagged.
+
+#include <vector>
+
+#include "common/tags.hh"
+
+namespace pcnn {
+
+PCNN_HOT_PATH
+void
+appendSample(std::vector<float> &log, float v)
+{
+    log.push_back(v);
+}
+
+} // namespace pcnn

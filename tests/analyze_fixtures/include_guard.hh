@@ -1,0 +1,8 @@
+// Fixture: include-guard — the guard must be derived from the file
+// path (PCNN_INCLUDE_GUARD_HH here), not invented.
+#ifndef SOME_OTHER_GUARD_HH
+#define SOME_OTHER_GUARD_HH
+
+int fixtureValue();
+
+#endif // SOME_OTHER_GUARD_HH

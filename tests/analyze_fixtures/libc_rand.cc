@@ -1,0 +1,10 @@
+// Fixture: libc-rand — libc randomness must be flagged (the project
+// requires the seeded pcnn::Rng for reproducibility).
+
+#include <cstdlib>
+
+int
+rollDie()
+{
+    return std::rand() % 6;
+}

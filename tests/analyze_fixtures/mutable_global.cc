@@ -1,0 +1,10 @@
+// Fixture: mutable-global — file-scope mutable state outside
+// src/common/ must be flagged.
+
+int hitCounter = 0;
+
+int
+bumpCounter()
+{
+    return ++hitCounter;
+}

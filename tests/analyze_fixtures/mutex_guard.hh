@@ -1,0 +1,22 @@
+// Fixture: mutex-guard — a Mutex field whose file names no
+// PCNN_GUARDED_BY partner protects nothing and must be flagged.
+#ifndef PCNN_MUTEX_GUARD_HH
+#define PCNN_MUTEX_GUARD_HH
+
+#include "common/mutex.hh"
+
+namespace pcnn {
+
+class UnguardedCounter
+{
+  public:
+    void bump();
+
+  private:
+    Mutex mu;
+    int value = 0;
+};
+
+} // namespace pcnn
+
+#endif // PCNN_MUTEX_GUARD_HH

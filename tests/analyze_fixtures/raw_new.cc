@@ -1,0 +1,7 @@
+// Fixture: raw-new — an unmanaged allocation must be flagged.
+
+int *
+leakAnInt()
+{
+    return new int(7);
+}

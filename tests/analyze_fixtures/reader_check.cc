@@ -1,0 +1,18 @@
+// Fixture: reader-check — a length-driven read in a
+// PCNN_BINARY_READER without a preceding PCNN_CHECK or early-failure
+// guard must be flagged.
+
+#include <cstring>
+
+#include "common/tags.hh"
+
+namespace pcnn {
+
+PCNN_BINARY_READER
+void
+copyHeader(char *dst, const char *src, unsigned long n)
+{
+    std::memcpy(dst, src, n);
+}
+
+} // namespace pcnn

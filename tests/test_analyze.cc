@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the pcnn_analyze static analyzer: the full tree must be
+ * clean, every checked-in violation fixture must trip exactly its
+ * rule, and the clean fixture must pass. Paths are injected by CMake.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+namespace pcnn {
+namespace {
+
+#ifndef PCNN_ANALYZE_PATH
+#error "PCNN_ANALYZE_PATH must be defined by the build system"
+#endif
+#ifndef PCNN_REPO_ROOT
+#error "PCNN_REPO_ROOT must be defined by the build system"
+#endif
+#ifndef PCNN_FIXTURE_DIR
+#error "PCNN_FIXTURE_DIR must be defined by the build system"
+#endif
+
+/** Run an analyzer invocation; returns (exit status, output). */
+std::pair<int, std::string>
+runAnalyze(const std::string &args)
+{
+    const std::string cmd =
+        std::string(PCNN_ANALYZE_PATH) + " " + args + " 2>&1";
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    std::array<char, 512> buf;
+    while (std::fgets(buf.data(), int(buf.size()), pipe))
+        out += buf.data();
+    const int raw = ::pclose(pipe);
+    return {WIFEXITED(raw) ? WEXITSTATUS(raw) : -1, out};
+}
+
+std::string
+rootArgs()
+{
+    return std::string("--root ") + PCNN_REPO_ROOT;
+}
+
+std::string
+fixture(const char *name)
+{
+    return std::string(PCNN_FIXTURE_DIR) + "/" + name;
+}
+
+/** One violation fixture: non-zero exit, its rule id in the output. */
+void
+expectViolation(const char *file, const char *rule)
+{
+    const auto [status, out] =
+        runAnalyze(rootArgs() + " " + fixture(file));
+    EXPECT_EQ(status, 1) << out;
+    EXPECT_NE(out.find(std::string(rule) + ":"), std::string::npos)
+        << "expected rule '" << rule << "' in:\n"
+        << out;
+    EXPECT_NE(out.find("1 violation"), std::string::npos) << out;
+}
+
+TEST(Analyze, WholeTreeIsClean)
+{
+    const auto [status, out] = runAnalyze(rootArgs());
+    EXPECT_EQ(status, 0) << out;
+    EXPECT_NE(out.find("clean"), std::string::npos) << out;
+}
+
+TEST(Analyze, CleanFixturePasses)
+{
+    const auto [status, out] =
+        runAnalyze(rootArgs() + " " + fixture("clean.cc"));
+    EXPECT_EQ(status, 0) << out;
+}
+
+TEST(Analyze, FlagsRawNew)
+{
+    expectViolation("raw_new.cc", "raw-new");
+}
+
+TEST(Analyze, FlagsLibcRand)
+{
+    expectViolation("libc_rand.cc", "libc-rand");
+}
+
+TEST(Analyze, FlagsIncludeGuard)
+{
+    expectViolation("include_guard.hh", "include-guard");
+}
+
+TEST(Analyze, FlagsMutableGlobal)
+{
+    expectViolation("mutable_global.cc", "mutable-global");
+}
+
+TEST(Analyze, FlagsMutexWithoutGuardedBy)
+{
+    expectViolation("mutex_guard.hh", "mutex-guard");
+}
+
+TEST(Analyze, FlagsHotPathAllocation)
+{
+    const auto [status, out] =
+        runAnalyze(rootArgs() + " " + fixture("hot_path_alloc.cc"));
+    EXPECT_EQ(status, 1) << out;
+    // The message must carry the call chain from the tagged root.
+    EXPECT_NE(out.find("hot-path-alloc:"), std::string::npos) << out;
+    EXPECT_NE(out.find("via appendSample"), std::string::npos) << out;
+}
+
+TEST(Analyze, FlagsUncheckedReaderCopy)
+{
+    expectViolation("reader_check.cc", "reader-check");
+}
+
+TEST(Analyze, MissingFileIsUsageError)
+{
+    const auto [status, out] =
+        runAnalyze(rootArgs() + " /nonexistent/nope.cc");
+    EXPECT_EQ(status, 2) << out;
+}
+
+} // namespace
+} // namespace pcnn

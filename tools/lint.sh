@@ -6,19 +6,13 @@
 #      note when clang-format is not installed.
 #   2. clang-tidy over src/ using .clang-tidy — skipped when
 #      clang-tidy or a compile_commands.json is missing.
-#   3. Custom grep/awk rules that need no toolchain:
-#        - no raw `new` / `delete` in src/ (containers and
-#          std::unique_ptr own everything; `unique_ptr<T>(new T...)`
-#          is exempt — it is the only way to heap-construct through
-#          a private copy ctor, and ownership transfers in the same
-#          expression);
-#        - no std::rand/srand/random_shuffle (determinism: all
-#          randomness goes through common/random.hh);
-#        - include guards must be derived from the header path
-#          (src/pcnn/task.hh -> PCNN_PCNN_TASK_HH);
-#        - no file-scope mutable globals outside src/common/
-#          (thread_local scratch is exempt: it is per-thread state,
-#          not shared).
+#   3. The project analyzer (tools/pcnn_analyze): raw new/delete,
+#      libc randomness, include-guard naming, mutable globals,
+#      mutex fields without PCNN_GUARDED_BY, hot-path allocation
+#      reachability and binary-reader validation. One rule engine,
+#      one exemption syntax (`// pcnn-analyze: allow(rule): why`);
+#      see tests/analyze_fixtures/ for one example per rule. The
+#      analyzer binary is built if missing (plain C++17, seconds).
 #
 # Exit status is non-zero if any executed layer finds a problem.
 # Usage: tools/lint.sh [--format-fix]
@@ -79,63 +73,31 @@ else
     note "clang-tidy: not installed, skipping"
 fi
 
-# ---------------------------------------------------- 3. custom rules
-
-# Raw new/delete in src/ (comments and strings excluded by stripping
-# // tails; the codebase has no /* */ code comments).
-raw_alloc=$(grep -rn --include='*.cc' --include='*.hh' \
-    -E '\bnew\b[[:space:]]+[A-Za-z_(]|\bdelete\b[[:space:]]*(\[\])?[[:space:]]*[A-Za-z_(]' \
-    src | sed 's://.*$::' |
-    grep -vE ':[0-9]+:[[:space:]]*(\*|/\*)' |
-    grep -vE 'unique_ptr<[A-Za-z_:]+>\(new ' |
-    grep -E '\bnew\b|\bdelete\b' || true)
-if [ -n "$raw_alloc" ]; then
-    err "raw new/delete in src/ (own memory with containers/unique_ptr):
-$raw_alloc"
-else
-    note "raw new/delete: clean"
-fi
-
-# Non-deterministic libc randomness.
-libc_rand=$(grep -rn --include='*.cc' --include='*.hh' \
-    -E '\b(std::)?s?rand(om_shuffle)?[[:space:]]*\(' \
-    src tests bench tools examples 2>/dev/null || true)
-if [ -n "$libc_rand" ]; then
-    err "libc randomness (use common/random.hh Rng):
-$libc_rand"
-else
-    note "libc randomness: clean"
-fi
-
-# Include-guard naming: PCNN_<PATH_FROM_SRC>_HH.
-guard_bad=""
-for f in $(find src -name '*.hh' | sort); do
-    want="PCNN_$(echo "${f#src/}" | tr 'a-z/.' 'A-Z__')"
-    if ! grep -q "^#ifndef ${want}\$" "$f"; then
-        guard_bad="$guard_bad
-$f: expected guard $want"
+# ----------------------------------------------- 3. project analyzer
+# The grep/awk rules this layer used to carry moved into
+# tools/pcnn_analyze so the same engine (and the same allow-comment
+# exemption syntax) serves the shell gate, the test suite and CI.
+analyze=""
+for d in build build-asan build-tsan; do
+    if [ -x "$d/tools/pcnn_analyze" ]; then
+        analyze="$d/tools/pcnn_analyze"
+        break
     fi
 done
-if [ -n "$guard_bad" ]; then
-    err "include-guard naming:$guard_bad"
-else
-    note "include guards: clean"
+if [ -z "$analyze" ]; then
+    # No configured build tree: the analyzer is dependency-free
+    # C++17, so compile it directly into a scratch location.
+    analyze="${TMPDIR:-/tmp}/pcnn_analyze.$$"
+    if ! ${CXX:-c++} -std=c++17 -O1 -o "$analyze" \
+        tools/pcnn_analyze.cc; then
+        err "could not build tools/pcnn_analyze"
+        analyze=""
+    fi
 fi
-
-# File-scope mutable globals outside src/common/. Heuristic: a
-# column-0 declaration ending in `;` with an initializer or empty
-# braces, that is not const/constexpr/using/extern/thread_local and
-# is not a function (no parens in the declarator head).
-globals=$(grep -rn --include='*.cc' \
-    -E '^[A-Za-z_][A-Za-z0-9_:<>,&* ]* [a-zA-Z_][A-Za-z0-9_]*( =.*|\{[^)]*\})?;$' \
-    src |
-    grep -vE 'const|constexpr|using|typedef|extern|thread_local|\(' |
-    grep -v '^src/common/' || true)
-if [ -n "$globals" ]; then
-    err "file-scope mutable globals outside src/common/:
-$globals"
-else
-    note "mutable globals: clean"
+if [ -n "$analyze" ]; then
+    if ! "$analyze" --root .; then
+        err "pcnn_analyze found problems"
+    fi
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,808 @@
+/**
+ * @file
+ * Project static analyzer: the single rule engine behind the lint
+ * gate (tools/lint.sh layer 3 delegates here) plus the concurrency
+ * and hot-path discipline checks that plain grep cannot express.
+ *
+ * Needs no compiler front end: it parses the tree with the project's
+ * own layout conventions (function names at column 0 after a
+ * separate return-type line, `{`/`}` at column 0 for definitions)
+ * and builds a name-level call graph — deliberately conservative:
+ * same-named functions merge, unknown callees are ignored.
+ *
+ * Rules (ids usable in exemption comments):
+ *
+ *   raw-new        raw new/delete in src/ (unique_ptr<T>(new T...)
+ *                  is exempt: sole way through a private copy ctor)
+ *   libc-rand      std::rand/srand/random_shuffle anywhere
+ *                  (determinism: randomness goes via common/random.hh)
+ *   include-guard  src/ header guards must derive from the path
+ *                  (src/pcnn/task.hh -> PCNN_PCNN_TASK_HH)
+ *   mutable-global file-scope mutable globals in src/ outside
+ *                  src/common/ (thread_local scratch is exempt)
+ *   mutex-guard    every pcnn::Mutex field needs a PCNN_GUARDED_BY
+ *                  partner in the same file; raw std::mutex fields
+ *                  outside common/mutex.hh cannot carry annotations
+ *   hot-path-alloc PCNN_HOT_PATH functions must not transitively
+ *                  reach an allocating primitive (new/malloc,
+ *                  container growth, container/Tensor construction)
+ *   reader-check   PCNN_BINARY_READER functions need a validation
+ *                  (PCNN_CHECK/PCNN_DCHECK or an early-failure
+ *                  guard) before each length-driven read
+ *
+ * Exemptions, always with a reason:
+ *
+ *   // pcnn-analyze: allow(rule-id): reason          (this line, or
+ *                                    the next code line if alone)
+ *   // pcnn-analyze: allow-file(rule-id): reason     (whole file)
+ *
+ * Exempt lines are fully inert for hot-path-alloc: neither their
+ * allocation sites nor their call edges are followed, so exempting a
+ * call like queue.popBatch(...) prunes the whole subtree.
+ *
+ * Usage: pcnn_analyze [--root DIR] [file...]
+ *   no files: scan DIR's src/tests/bench/tools/examples tree
+ *             (tests/analyze_fixtures is skipped — its files are
+ *             violations by design, driven by tests/test_analyze.cc)
+ *   files:    scan exactly those files with every applicable rule
+ * Exit: 0 clean, 1 violations, 2 usage/IO error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct SourceFile
+{
+    std::string rel;                ///< path relative to the root
+    std::vector<std::string> raw;   ///< verbatim lines
+    std::vector<std::string> code;  ///< comments/literals blanked
+    std::map<std::size_t, std::set<std::string>> lineAllows;
+    std::set<std::string> fileAllows;
+};
+
+struct Violation
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct FunctionDef
+{
+    std::string name;       ///< bare name (no class qualifier)
+    const SourceFile *file = nullptr;
+    std::size_t sigLine = 0;  ///< 0-based index of the name line
+    std::size_t bodyBegin = 0; ///< first line inside the braces
+    std::size_t bodyEnd = 0;   ///< one past the last line inside
+    bool hotPath = false;
+    bool binaryReader = false;
+};
+
+std::vector<Violation> violations;
+
+void
+report(const SourceFile &f, std::size_t line_idx,
+       const std::string &rule, const std::string &msg)
+{
+    violations.push_back({f.rel, line_idx + 1, rule, msg});
+}
+
+bool
+lineExempt(const SourceFile &f, std::size_t line_idx,
+           const std::string &rule)
+{
+    if (f.fileAllows.count(rule) != 0)
+        return true;
+    auto it = f.lineAllows.find(line_idx);
+    return it != f.lineAllows.end() && it->second.count(rule) != 0;
+}
+
+// ------------------------------------------------------- file loading
+
+/**
+ * Blank out block/line comments and string/char literals so rule
+ * regexes only ever match real code. Replacement preserves column
+ * numbers (each blanked char becomes a space). Returns the allow
+ * directives found in comments.
+ */
+void
+loadFile(const fs::path &path, const std::string &rel, SourceFile &out)
+{
+    out.rel = rel;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        out.raw.push_back(line);
+
+    static const std::regex allow_re(
+        "pcnn-analyze:\\s*(allow|allow-file)\\(([a-z-]+)\\)");
+
+    bool in_block = false;
+    std::vector<std::size_t> pending; // allow-only lines awaiting code
+    for (std::size_t i = 0; i < out.raw.size(); ++i) {
+        const std::string &src = out.raw[i];
+        std::string code(src.size(), ' ');
+        std::string comment; // comment text on this line
+        bool in_str = false, in_chr = false;
+        for (std::size_t c = 0; c < src.size(); ++c) {
+            const char ch = src[c];
+            if (in_block) {
+                if (ch == '*' && c + 1 < src.size() &&
+                    src[c + 1] == '/') {
+                    in_block = false;
+                    ++c;
+                }
+                comment.push_back(ch);
+                continue;
+            }
+            if (in_str) {
+                if (ch == '\\')
+                    ++c;
+                else if (ch == '"')
+                    in_str = false;
+                continue;
+            }
+            if (in_chr) {
+                if (ch == '\\')
+                    ++c;
+                else if (ch == '\'')
+                    in_chr = false;
+                continue;
+            }
+            if (ch == '/' && c + 1 < src.size() && src[c + 1] == '/') {
+                comment.append(src, c, std::string::npos);
+                break;
+            }
+            if (ch == '/' && c + 1 < src.size() && src[c + 1] == '*') {
+                in_block = true;
+                ++c;
+                continue;
+            }
+            if (ch == '"') {
+                in_str = true;
+                continue;
+            }
+            // Apostrophe: char literal unless a digit separator.
+            if (ch == '\'' &&
+                !(c > 0 && std::isdigit((unsigned char)src[c - 1]) &&
+                  c + 1 < src.size() &&
+                  std::isdigit((unsigned char)src[c + 1]))) {
+                in_chr = true;
+                continue;
+            }
+            code[c] = ch;
+        }
+        out.code.push_back(code);
+
+        std::smatch m;
+        if (std::regex_search(comment, m, allow_re)) {
+            if (m[1] == "allow-file") {
+                out.fileAllows.insert(m[2]);
+            } else {
+                // Attach to this line if it has code, else to the
+                // next code-bearing line.
+                const bool has_code =
+                    code.find_first_not_of(' ') != std::string::npos;
+                if (has_code)
+                    out.lineAllows[i].insert(m[2]);
+                else
+                    pending.push_back(i);
+            }
+        }
+        if (!pending.empty() &&
+            code.find_first_not_of(' ') != std::string::npos) {
+            // Standalone allow comments cover the whole following
+            // statement: a guard like `if (x.size() < n)` plus the
+            // controlled line below it. The span ends at the first
+            // code line that closes a statement (`;`, `{` or `}`).
+            for (std::size_t p : pending) {
+                std::smatch pm;
+                std::string text = out.raw[p];
+                if (std::regex_search(text, pm, allow_re))
+                    out.lineAllows[i].insert(pm[2]);
+            }
+            const std::size_t tail =
+                code.find_last_not_of(' ');
+            if (tail == std::string::npos ||
+                (code[tail] != ';' && code[tail] != '{' &&
+                 code[tail] != '}'))
+                continue; // keep covering the statement's next line
+            pending.clear();
+        }
+    }
+}
+
+// ------------------------------------------------------ simple rules
+
+bool
+underDir(const std::string &rel, const char *dir)
+{
+    return rel.rfind(dir, 0) == 0;
+}
+
+void
+ruleRawNew(const SourceFile &f)
+{
+    static const std::regex re(
+        "\\bnew\\b\\s+[A-Za-z_(]|\\bdelete\\b\\s*(\\[\\])?\\s*[A-Za-z_(*]");
+    static const std::regex uptr_re("unique_ptr<[^>]*>\\s*\\(\\s*new\\b");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (lineExempt(f, i, "raw-new"))
+            continue;
+        if (!std::regex_search(f.code[i], re))
+            continue;
+        if (std::regex_search(f.code[i], uptr_re))
+            continue;
+        report(f, i, "raw-new",
+               "raw new/delete (own memory with containers or "
+               "std::unique_ptr)");
+    }
+}
+
+void
+ruleLibcRand(const SourceFile &f)
+{
+    static const std::regex re(
+        "\\b(std::)?(rand|srand|random_shuffle)\\s*\\(");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (lineExempt(f, i, "libc-rand"))
+            continue;
+        if (std::regex_search(f.code[i], re))
+            report(f, i, "libc-rand",
+                   "libc randomness (use common/random.hh Rng)");
+    }
+}
+
+void
+ruleIncludeGuard(const SourceFile &f)
+{
+    if (lineExempt(f, 0, "include-guard") ||
+        f.fileAllows.count("include-guard") != 0)
+        return;
+    std::string stem = underDir(f.rel, "src/")
+                           ? f.rel.substr(4)
+                           : fs::path(f.rel).filename().string();
+    std::string want = "PCNN_";
+    for (char ch : stem) {
+        if (ch == '/' || ch == '.')
+            want.push_back('_');
+        else
+            want.push_back(char(std::toupper((unsigned char)ch)));
+    }
+    const std::string needle = "#ifndef " + want;
+    for (const std::string &line : f.raw)
+        if (line.rfind(needle, 0) == 0 &&
+            (line.size() == needle.size() ||
+             std::isspace((unsigned char)line[needle.size()])))
+            return;
+    report(f, 0, "include-guard", "expected include guard " + want);
+}
+
+void
+ruleMutableGlobal(const SourceFile &f)
+{
+    static const std::regex decl_re(
+        "^[A-Za-z_][A-Za-z0-9_:<>,&* ]* [a-zA-Z_][A-Za-z0-9_]*"
+        "( =.*|\\{[^)]*\\})?;\\s*$");
+    static const std::regex skip_re(
+        "\\b(const|constexpr|using|typedef|extern|thread_local)\\b|\\(");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (lineExempt(f, i, "mutable-global"))
+            continue;
+        if (!std::regex_search(f.code[i], decl_re))
+            continue;
+        if (std::regex_search(f.code[i], skip_re))
+            continue;
+        report(f, i, "mutable-global",
+               "file-scope mutable global outside src/common/ "
+               "(wrap in a function-local static or move to common/)");
+    }
+}
+
+void
+ruleMutexGuard(const SourceFile &f)
+{
+    if (f.rel == "src/common/mutex.hh")
+        return; // the annotated wrapper itself
+    static const std::regex pcnn_mu_re(
+        "^\\s*(mutable\\s+)?Mutex\\s+([A-Za-z_][A-Za-z0-9_]*)\\s*;");
+    static const std::regex std_mu_re(
+        "^\\s*(mutable\\s+)?std::(mutex|shared_mutex|recursive_mutex)"
+        "\\s+[A-Za-z_][A-Za-z0-9_]*\\s*;");
+    std::string all;
+    for (const std::string &line : f.raw) {
+        all += line;
+        all.push_back('\n');
+    }
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (lineExempt(f, i, "mutex-guard"))
+            continue;
+        std::smatch m;
+        if (std::regex_search(f.code[i], m, std_mu_re)) {
+            report(f, i, "mutex-guard",
+                   "raw std::mutex field cannot carry thread-safety "
+                   "annotations; use pcnn::Mutex (common/mutex.hh)");
+            continue;
+        }
+        if (std::regex_search(f.code[i], m, pcnn_mu_re)) {
+            const std::string name = m[2];
+            if (all.find("PCNN_GUARDED_BY(" + name) ==
+                std::string::npos)
+                report(f, i, "mutex-guard",
+                       "Mutex '" + name +
+                           "' has no PCNN_GUARDED_BY(" + name +
+                           ") partner in this file");
+        }
+    }
+}
+
+// --------------------------------------- function / call-graph rules
+
+bool
+isKeyword(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",       "while",     "switch",   "return",
+        "sizeof", "alignof",   "decltype",  "catch",    "defined",
+        "else",   "case",      "namespace", "template", "static_assert",
+        "assert", "using",     "typedef",   "struct",   "class",
+        "enum",   "constexpr", "const",     "throw",    "operator",
+        "do",     "new",       "delete",    "public",   "private",
+        "int",    "void",      "bool",      "float",    "double",
+        "char",   "auto"};
+    return kw.count(s) != 0;
+}
+
+/**
+ * Extract function definitions from one file. Handles the two
+ * project shapes:
+ *  - .cc definitions: qualified name at column 0 (return type on the
+ *    previous line), `{` alone at column 0, `}` alone at column 0;
+ *  - inline bodies whose `{ ... }` starts on the signature line
+ *    (header accessors), tracked by brace counting.
+ */
+void
+extractFunctions(const SourceFile &f, std::vector<FunctionDef> &out)
+{
+    static const std::regex col0_re(
+        "^([A-Za-z_~][A-Za-z0-9_]*(::[A-Za-z_~][A-Za-z0-9_]*|"
+        "<[^;{]*>)*)\\s*\\(");
+    static const std::regex inline_re(
+        "\\b([A-Za-z_][A-Za-z0-9_]*)\\s*\\(([^()]|\\([^()]*\\))*\\)"
+        "\\s*(const\\s*|noexcept\\s*|override\\s*|final\\s*|"
+        "PCNN_[A-Z_]+(\\([^()]*\\))?\\s*|->\\s*[^{;]+)*\\{");
+
+    auto tagNear = [&](std::size_t i, const char *tag) {
+        for (std::size_t back = 1; back <= 3 && back <= i; ++back)
+            if (f.raw[i - back].find(tag) != std::string::npos)
+                return true;
+        return f.raw[i].find(tag) != std::string::npos;
+    };
+
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        const std::string &line = f.code[i];
+        std::smatch m;
+        if (std::regex_search(line, m, col0_re) &&
+            m.position(0) == 0) {
+            // Qualified name at column 0: find the `{` at column 0
+            // that opens the body (a `;` at paren depth 0 first
+            // means declaration, not definition).
+            const std::string qual = m[1];
+            const std::size_t dots = qual.rfind("::");
+            std::string name = dots == std::string::npos
+                                   ? qual
+                                   : qual.substr(dots + 2);
+            if (isKeyword(name))
+                continue;
+            int paren = 0;
+            bool decl_only = false;
+            std::size_t open = 0;
+            for (std::size_t j = i; j < f.code.size() && j < i + 24;
+                 ++j) {
+                for (char ch : f.code[j]) {
+                    if (ch == '(')
+                        ++paren;
+                    else if (ch == ')')
+                        --paren;
+                    else if (ch == ';' && paren == 0) {
+                        decl_only = true;
+                        break;
+                    }
+                }
+                if (decl_only)
+                    break;
+                if (paren == 0 && j + 1 < f.code.size() &&
+                    f.code[j + 1].rfind("{", 0) == 0) {
+                    open = j + 1;
+                    break;
+                }
+            }
+            if (decl_only || open == 0)
+                continue;
+            int depth = 0;
+            std::size_t end = open;
+            for (std::size_t j = open; j < f.code.size(); ++j) {
+                for (char ch : f.code[j]) {
+                    if (ch == '{')
+                        ++depth;
+                    else if (ch == '}')
+                        --depth;
+                }
+                if (depth == 0) {
+                    end = j;
+                    break;
+                }
+            }
+            FunctionDef fn;
+            fn.name = name;
+            fn.file = &f;
+            fn.sigLine = i;
+            fn.bodyBegin = open + 1;
+            fn.bodyEnd = end;
+            fn.hotPath = tagNear(i, "PCNN_HOT_PATH");
+            fn.binaryReader = tagNear(i, "PCNN_BINARY_READER");
+            out.push_back(fn);
+            i = end;
+            continue;
+        }
+        // Inline body on the signature line (header methods).
+        if (std::regex_search(line, m, inline_re)) {
+            const std::string name = m[1];
+            if (isKeyword(name))
+                continue;
+            const std::size_t brace =
+                std::size_t(m.position(0) + m.length(0)) - 1;
+            int depth = 0;
+            std::size_t end = i;
+            bool closed = false;
+            for (std::size_t j = i; j < f.code.size() && !closed;
+                 ++j) {
+                const std::size_t from = j == i ? brace : 0;
+                for (std::size_t c = from; c < f.code[j].size();
+                     ++c) {
+                    if (f.code[j][c] == '{')
+                        ++depth;
+                    else if (f.code[j][c] == '}' && --depth == 0) {
+                        end = j;
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            if (!closed)
+                continue;
+            FunctionDef fn;
+            fn.name = name;
+            fn.file = &f;
+            fn.sigLine = i;
+            fn.bodyBegin = i; // single/multi-line body incl. this line
+            fn.bodyEnd = end + 1;
+            fn.hotPath = tagNear(i, "PCNN_HOT_PATH");
+            fn.binaryReader = tagNear(i, "PCNN_BINARY_READER");
+            out.push_back(fn);
+            if (end > i)
+                i = end;
+        }
+    }
+}
+
+/** Allocation primitives a hot path must never reach. */
+bool
+allocSite(const std::string &code, std::string &what)
+{
+    static const std::regex new_re("\\bnew\\b\\s*[A-Za-z_(:[]");
+    static const std::regex libc_re(
+        "\\b(malloc|calloc|realloc|strdup|aligned_alloc)\\s*\\(");
+    static const std::regex grow_re(
+        "\\.(push_back|emplace_back|emplace|insert|reserve|assign|"
+        "append|push_front|resize)\\s*\\(");
+    static const std::regex make_re(
+        "\\bmake_(unique|shared)\\s*[<(]");
+    static const std::regex ctor_re(
+        "\\b(std::vector<[^;]*>|std::string|std::deque<[^;]*>|"
+        "Tensor)\\s+[a-zA-Z_][A-Za-z0-9_]*\\s*[({=]");
+    std::smatch m;
+    if (std::regex_search(code, m, new_re)) {
+        what = "operator new";
+        return true;
+    }
+    if (std::regex_search(code, m, libc_re)) {
+        what = m[1].str() + "()";
+        return true;
+    }
+    if (std::regex_search(code, m, grow_re)) {
+        what = "." + m[1].str() + "()";
+        return true;
+    }
+    if (std::regex_search(code, m, make_re)) {
+        what = "make_" + m[1].str();
+        return true;
+    }
+    if (std::regex_search(code, m, ctor_re)) {
+        what = "container/Tensor construction";
+        return true;
+    }
+    return false;
+}
+
+bool
+checkLine(const std::string &code)
+{
+    return code.find("PCNN_CHECK") != std::string::npos ||
+           code.find("PCNN_DCHECK") != std::string::npos ||
+           code.find("pcnn_assert") != std::string::npos ||
+           code.find("static_assert") != std::string::npos;
+}
+
+/** Last line index (inclusive) of the parenthesised statement that
+    starts at `i`. Contract macros span lines (the message arguments
+    wrap), and their continuation lines must inherit the exemption —
+    a Shape::str() call inside a PCNN_CHECK message only runs on the
+    failure path. */
+std::size_t
+statementEnd(const SourceFile &f, std::size_t i, std::size_t limit)
+{
+    int depth = 0;
+    bool opened = false;
+    for (std::size_t j = i; j < limit; ++j) {
+        for (char c : f.code[j]) {
+            if (c == '(') {
+                ++depth;
+                opened = true;
+            } else if (c == ')') {
+                --depth;
+            }
+        }
+        if (opened && depth <= 0)
+            return j;
+    }
+    return i;
+}
+
+void
+ruleHotPathAlloc(const std::vector<FunctionDef> &funcs)
+{
+    std::map<std::string, std::vector<const FunctionDef *>> byName;
+    for (const FunctionDef &fn : funcs)
+        byName[fn.name].push_back(&fn);
+
+    static const std::regex call_re("([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+    std::set<std::pair<std::string, std::size_t>> reported;
+
+    // DFS from each tagged root; exempt lines prune both their
+    // allocation sites and their call edges.
+    struct Walker
+    {
+        const std::map<std::string,
+                       std::vector<const FunctionDef *>> &byName;
+        std::set<std::string> visited;
+        std::vector<std::string> path;
+        std::set<std::pair<std::string, std::size_t>> &reported;
+
+        void walk(const FunctionDef &fn)
+        {
+            path.push_back(fn.name);
+            const SourceFile &f = *fn.file;
+            for (std::size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+                if (lineExempt(f, i, "hot-path-alloc"))
+                    continue;
+                if (checkLine(f.code[i])) {
+                    // Contracts only allocate on failure; the
+                    // exemption covers the macro's continuation
+                    // lines too.
+                    i = statementEnd(f, i, fn.bodyEnd);
+                    continue;
+                }
+                // On the signature line only the inline body (after
+                // the opening brace) counts: `std::string kind()`
+                // is a declaration, not a construction.
+                std::string line = f.code[i];
+                if (i == fn.sigLine) {
+                    const std::size_t brace = line.find('{');
+                    line = brace == std::string::npos
+                               ? std::string()
+                               : line.substr(brace);
+                }
+                std::string what;
+                if (allocSite(line, what) &&
+                    reported.insert({f.rel, i}).second) {
+                    std::string via;
+                    for (const std::string &p : path)
+                        via += (via.empty() ? "" : " -> ") + p;
+                    violations.push_back(
+                        {f.rel, i + 1, "hot-path-alloc",
+                         what + " reachable from PCNN_HOT_PATH via " +
+                             via});
+                }
+                auto begin = std::sregex_iterator(
+                    line.begin(), line.end(), call_re);
+                for (auto it = begin; it != std::sregex_iterator();
+                     ++it) {
+                    const std::string callee = (*it)[1];
+                    if (isKeyword(callee) ||
+                        visited.count(callee) != 0)
+                        continue;
+                    auto target = byName.find(callee);
+                    if (target == byName.end())
+                        continue;
+                    visited.insert(callee);
+                    for (const FunctionDef *t : target->second)
+                        walk(*t);
+                }
+            }
+            path.pop_back();
+        }
+    };
+
+    for (const FunctionDef &fn : funcs) {
+        if (!fn.hotPath)
+            continue;
+        Walker w{byName, {}, {}, reported};
+        w.visited.insert(fn.name);
+        w.walk(fn);
+    }
+}
+
+void
+ruleReaderCheck(const std::vector<FunctionDef> &funcs)
+{
+    static const std::regex read_re(
+        "\\.read\\s*\\(|\\bmemcpy\\s*\\(|\\bfread\\s*\\(");
+    static const std::regex guard_re(
+        "\\breturn\\s+(false|nullptr|std::nullopt|\\{\\})|\\bthrow\\b");
+    for (const FunctionDef &fn : funcs) {
+        if (!fn.binaryReader)
+            continue;
+        const SourceFile &f = *fn.file;
+        bool validated = false;
+        for (std::size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+            if (lineExempt(f, i, "reader-check"))
+                continue;
+            if (checkLine(f.code[i])) {
+                // The whole multi-line macro is the validation; its
+                // argument lines must not consume it (or trip the
+                // read regex on e.g. a size expression).
+                validated = true;
+                i = statementEnd(f, i, fn.bodyEnd);
+                continue;
+            }
+            if (std::regex_search(f.code[i], guard_re))
+                validated = true;
+            if (std::regex_search(f.code[i], read_re)) {
+                if (!validated)
+                    report(f, i, "reader-check",
+                           "length-driven read in PCNN_BINARY_READER "
+                           "'" + fn.name +
+                               "' without a prior PCNN_CHECK or "
+                               "early-failure guard");
+                validated = false; // each read needs a fresh guard
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- main
+
+bool
+ccOrHh(const fs::path &p)
+{
+    return p.extension() == ".cc" || p.extension() == ".hh";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::vector<fs::path> explicit_files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: pcnn_analyze [--root DIR] [file...]\n");
+            return 0;
+        } else {
+            explicit_files.push_back(argv[i]);
+        }
+    }
+    root = fs::absolute(root).lexically_normal();
+
+    std::vector<std::pair<fs::path, std::string>> targets;
+    if (explicit_files.empty()) {
+        if (!fs::is_directory(root / "src")) {
+            std::fprintf(stderr,
+                         "pcnn_analyze: %s has no src/ (pass --root)\n",
+                         root.string().c_str());
+            return 2;
+        }
+        for (const char *top :
+             {"src", "tests", "bench", "tools", "examples"}) {
+            const fs::path dir = root / top;
+            if (!fs::is_directory(dir))
+                continue;
+            for (const auto &e :
+                 fs::recursive_directory_iterator(dir)) {
+                if (!e.is_regular_file() || !ccOrHh(e.path()))
+                    continue;
+                const std::string rel =
+                    e.path().lexically_relative(root).generic_string();
+                if (rel.find("analyze_fixtures") != std::string::npos)
+                    continue;
+                targets.push_back({e.path(), rel});
+            }
+        }
+    } else {
+        for (const fs::path &p : explicit_files) {
+            if (!fs::is_regular_file(p)) {
+                std::fprintf(stderr, "pcnn_analyze: no such file %s\n",
+                             p.string().c_str());
+                return 2;
+            }
+            const fs::path abs = fs::absolute(p).lexically_normal();
+            std::string rel =
+                abs.lexically_relative(root).generic_string();
+            if (rel.empty() || rel.rfind("..", 0) == 0)
+                rel = "src/" + abs.filename().string();
+            targets.push_back({abs, rel});
+        }
+    }
+    std::sort(targets.begin(), targets.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+
+    std::vector<SourceFile> files(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i)
+        loadFile(targets[i].first, targets[i].second, files[i]);
+
+    const bool fixture_mode = !explicit_files.empty();
+    std::vector<FunctionDef> funcs;
+    for (const SourceFile &f : files) {
+        const bool in_src = underDir(f.rel, "src/");
+        const bool is_hh = f.rel.size() > 3 &&
+                           f.rel.compare(f.rel.size() - 3, 3, ".hh") ==
+                               0;
+        if (in_src || fixture_mode) {
+            ruleRawNew(f);
+            ruleMutexGuard(f);
+            if (is_hh)
+                ruleIncludeGuard(f);
+            if (!is_hh && !underDir(f.rel, "src/common/"))
+                ruleMutableGlobal(f);
+            extractFunctions(f, funcs);
+        }
+        ruleLibcRand(f);
+    }
+    ruleHotPathAlloc(funcs);
+    ruleReaderCheck(funcs);
+
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    for (const Violation &v : violations)
+        std::printf("%s:%zu: %s: %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+    if (violations.empty()) {
+        std::printf("pcnn_analyze: clean (%zu files, %zu functions)\n",
+                    files.size(), funcs.size());
+        return 0;
+    }
+    std::printf("pcnn_analyze: %zu violation(s)\n", violations.size());
+    return 1;
+}
