@@ -2,13 +2,14 @@
 # Run the benchmark suites and snapshot the results as JSON.
 #
 # Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] \
-#            [algo.json] [serve.json] [tier.json]
+#            [algo.json] [serve.json] [tier.json] [alloc.json]
 #
 # Defaults: build directory ./build, micro-kernel output
 # BENCH_pr1.json, end-to-end model output BENCH_pr3.json,
 # per-conv-algorithm output BENCH_pr4.json, serving-engine
-# output BENCH_pr5.json, and kernel-tier sweep output
-# BENCH_pr6.json in the repository root.
+# output BENCH_pr5.json, kernel-tier sweep output BENCH_pr6.json,
+# and allocation-probe snapshot BENCH_pr7.json in the repository
+# root.
 #
 # BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
 # (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
@@ -39,6 +40,14 @@
 # model, SIMD feature flags, and cache sizes the numbers depend on
 # (DESIGN.md section 5g).
 #
+# BENCH_pr7.json records the allocation-probe acceptance rows
+# (DESIGN.md section 5h): the full-resolution e2e forwards with
+# their steady_allocs counter, which must be 0 on every row when
+# the build has PCNN_COUNT_ALLOCS (alloc_counting = 1) — the
+# runtime cross-check of the pcnn_analyze hot-path-alloc rule. The
+# serving engine's closed/open-loop rows in BENCH_pr5.json carry
+# the same counter for the post-warmup worker loop.
+#
 # BENCH_pr5.json records the concurrent serving engine: closed-loop
 # throughput at 1/2/4 worker replicas (with a bitwise logits check
 # across worker counts), an open-loop Poisson arrival sweep against
@@ -55,6 +64,7 @@ e2e_json="${3:-$repo_root/BENCH_pr3.json}"
 algo_json="${4:-$repo_root/BENCH_pr4.json}"
 serve_json="${5:-$repo_root/BENCH_pr5.json}"
 tier_json="${6:-$repo_root/BENCH_pr6.json}"
+alloc_json="${7:-$repo_root/BENCH_pr7.json}"
 
 run_bench() {
     local bench_bin="$1" out_json="$2" filter="${3:-}"
@@ -89,6 +99,8 @@ run_bench "$build_dir/bench/bench_micro_kernels" "$tier_json" "SgemmTier"
 run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
 run_bench "$build_dir/bench/bench_e2e_models" "$algo_json" \
     "ConvAlgoLayer|ReluFolding"
+run_bench "$build_dir/bench/bench_e2e_models" "$alloc_json" \
+    'BM_E2EMini[A-Za-z]*/[0-9]+/100'
 
 # The serving-engine bench is a plain binary (real threads, not
 # google-benchmark); it writes its JSON itself.
