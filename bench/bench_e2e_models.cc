@@ -22,6 +22,7 @@
 #include "nn/fusion.hh"
 #include "nn/model_zoo.hh"
 #include "nn/network.hh"
+#include "tensor/tensor_ops.hh"
 
 namespace pcnn {
 namespace {
@@ -206,6 +207,85 @@ BM_E2EMiniVggReluFolding(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()));
 }
 BENCHMARK(BM_E2EMiniVggReluFolding)->Arg(0)->Arg(1);
+
+/**
+ * Whole-net batch-1 forward with every conv/fc layer on the int8
+ * quantized route vs. the fp32 default — the network-level A/B of
+ * the DESIGN.md §5i microbench rows. range(0) = model_zoo net,
+ * range(1) = 0 (fp32) / 1 (int8, via the process-wide force that
+ * the PCNN_QUANTIZE CI leg also uses).
+ *
+ * Beyond latency, each row carries the accuracy-proxy counters the
+ * perforation/precision tuner trades against: top1_match is the
+ * fraction of a fixed 16-image probe batch whose argmax survives
+ * the precision flip (1.0 on the fp32 rows by construction), and
+ * entropy_delta the shift in mean output entropy — the paper's
+ * Eq. 10 confidence signal. steady_allocs must stay 0 when
+ * alloc_counting = 1: quantized panels and activation buffers are
+ * grow-only, so the steady-state int8 forward is allocation-free
+ * like the fp32 path.
+ */
+void
+BM_E2EQuantized(benchmark::State &state)
+{
+    const Zoo zoo = Zoo(int(state.range(0)));
+    const bool int8 = state.range(1) != 0;
+    Rng rng(42);
+    Network net = makeNet(zoo, rng);
+    const Shape in = net.inputShape();
+
+    // Accuracy probe: fp32 reference labels/entropy on a fixed
+    // batch, then the same batch in the measured mode.
+    const std::size_t probe = 16;
+    Tensor xp(Shape{probe, in.c, in.h, in.w});
+    xp.fillGaussian(rng, 0, 1);
+    setQuantizeForced(false);
+    const Tensor ref = net.forward(xp, false);
+    const std::size_t classes = ref.size() / probe;
+    const double ref_entropy = batchEntropy(softmax(ref));
+    setQuantizeForced(int8);
+    const Tensor got = net.forward(xp, false);
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < probe; ++i) {
+        const float *r = ref.data() + i * classes;
+        const float *q = got.data() + i * classes;
+        std::size_t rb = 0, qb = 0;
+        for (std::size_t j = 1; j < classes; ++j) {
+            if (r[j] > r[rb])
+                rb = j;
+            if (q[j] > q[qb])
+                qb = j;
+        }
+        matches += (rb == qb) ? 1 : 0;
+    }
+    const double got_entropy = batchEntropy(softmax(got));
+
+    Tensor x(Shape{1, in.c, in.h, in.w});
+    x.fillGaussian(rng, 0, 1);
+    Tensor y;
+    net.forwardInto(x, false, y); // warm: quantize panels, scratch
+    std::uint64_t steady_allocs = 0;
+    for (auto _ : state) {
+        ScopedAllocCount alloc_probe;
+        net.forwardInto(x, false, y);
+        benchmark::DoNotOptimize(y.data());
+        steady_allocs += alloc_probe.allocs();
+    }
+    clearQuantizeForced();
+
+    state.SetItemsProcessed(int64_t(state.iterations()));
+    state.counters["img/s"] = benchmark::Counter(
+        double(state.iterations()), benchmark::Counter::kIsRate);
+    state.counters["top1_match"] =
+        double(matches) / double(probe);
+    state.counters["entropy_delta"] = got_entropy - ref_entropy;
+    state.counters["steady_allocs"] = double(steady_allocs);
+    state.counters["alloc_counting"] =
+        allocCountingEnabled() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_E2EQuantized)
+    ->ArgNames({"zoo", "int8"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
 
 /**
  * Alternating full/perforated forwards through one net: the

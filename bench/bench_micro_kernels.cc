@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
+#include "common/alloc_count.hh"
 #include "common/parallel.hh"
 #include "common/random.hh"
 #include "gpu/kernel_model.hh"
@@ -17,6 +20,7 @@
 #include "pcnn/offline/host_tuner.hh"
 #include "pcnn/offline/kernel_tuner.hh"
 #include "tensor/microkernel.hh"
+#include "tensor/quant.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -307,6 +311,158 @@ BM_SgemmTier(benchmark::State &state)
 BENCHMARK(BM_SgemmTier)
     ->ArgNames({"shape", "cfg"})
     ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}});
+
+/** Best-of-five seconds per call of `fn`, with the inner iteration
+ * count calibrated so each sample spans at least ~20 ms. Used for
+ * the in-bench fp32-vs-int8 baseline where both sides must be timed
+ * with the same methodology. */
+template <class Fn>
+double
+bestSecsPerCall(Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    fn(); // warm-up: grow panels and scratch outside the samples
+    std::size_t iters = 1;
+    for (;;) {
+        const auto t0 = clock::now();
+        for (std::size_t i = 0; i < iters; ++i)
+            fn();
+        const double s =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        if (s >= 0.02 || iters >= (std::size_t(1) << 20))
+            break;
+        iters *= 2;
+    }
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto t0 = clock::now();
+        for (std::size_t i = 0; i < iters; ++i)
+            fn();
+        const double s =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        best = std::min(best, s / double(iters));
+    }
+    return best;
+}
+
+/**
+ * Int8 quantized GEMM (fused dequant epilogue) vs. the tuned fp32
+ * hot path on the batch-1 conv GEMM acceptance shapes — the
+ * DESIGN.md §5i headline numbers. range(0) indexes tierBenchShape
+ * (2 = AlexNet CONV2, 3 = VGG-16 CONV2_1, 4 = VGG-16 CONV3_1, the
+ * large-K shapes where int8's 4x denser dot products pay off);
+ * range(1) = int8 kernel configuration: 0 = portable int8 tier,
+ * 1 = the runtime-dispatched best int8 tier.
+ *
+ * The timed body is the full per-forward int8 cost: quantize+pack
+ * the activation panel, then qgemm. The speedup_vs_fp32 counter
+ * divides a same-methodology fp32 baseline — the plain sgemm call
+ * the exact conv route makes per forward (weights x im2col matrix,
+ * internal packing included), under the per-host tune cache when
+ * one exists and the dispatched best tier otherwise — by the int8
+ * time. bitwise_threads_ok asserts the cross-thread bitwise
+ * contract on the measured configuration, and steady_allocs records
+ * the allocator traffic of a warmed call (must be 0 when
+ * alloc_counting = 1).
+ */
+void
+BM_Qgemm(benchmark::State &state)
+{
+    const GemmShape g = tierBenchShape(int(state.range(0)));
+    const int cfg = int(state.range(1));
+
+    Rng rng(7);
+    std::vector<float> wgt(g.m * g.k), act(g.k * g.n), c(g.m * g.n);
+    for (auto &x : wgt)
+        x = float(rng.uniform(-1, 1));
+    for (auto &x : act)
+        x = float(rng.uniform(-1, 1));
+
+    // Tuned fp32 baseline on the same shape: the per-host autotuned
+    // config when a cache exists (tools/run_bench.sh sweeps one
+    // first), the dispatched best tier otherwise.
+    resetKernelTier();
+    resetBlocking();
+    {
+        HostTuneConfig tuned;
+        std::string err;
+        if (!loadHostTune(hostTuneCachePath(), tuned, err) ||
+            !applyHostTune(tuned))
+            setKernelTier(bestKernelTier());
+    }
+    const double fp32_secs = bestSecsPerCall([&] {
+        sgemm(false, false, g.m, g.n, g.k, wgt.data(), act.data(),
+              c.data());
+        benchmark::DoNotOptimize(c.data());
+    });
+
+    resetKernelTier();
+    resetBlocking();
+    if (cfg == 0)
+        setKernelTier(KernelTier::Portable);
+
+    QuantizedPanel qw;
+    quantizeWeights(g.m, g.k, wgt.data(), qw);
+    const QuantParams qp = computeQuantParams(act.data(), act.size());
+    std::vector<std::uint8_t> qb;
+    const auto quantizedCall = [&] {
+        quantizePackActivations(act.data(), g.k, g.n, g.n, false, qp,
+                                qb);
+        qgemm(g.m, g.n, g.k, qw, qb.data(), qp, c.data(), nullptr,
+              false);
+        benchmark::DoNotOptimize(c.data());
+    };
+
+    // Determinism probe at the measured configuration: the int8
+    // contract is bitwise identity across thread counts (and tiers,
+    // which the cfg sweep itself exercises).
+    bool bitwise_ok = true;
+    {
+        std::vector<float> ref(g.m * g.n);
+        setThreadCount(1);
+        quantizePackActivations(act.data(), g.k, g.n, g.n, false, qp,
+                                qb);
+        qgemm(g.m, g.n, g.k, qw, qb.data(), qp, ref.data(), nullptr,
+              false);
+        for (std::size_t lanes : {std::size_t(2), std::size_t(4)}) {
+            setThreadCount(lanes);
+            quantizedCall();
+            if (std::memcmp(ref.data(), c.data(),
+                            c.size() * sizeof(float)) != 0)
+                bitwise_ok = false;
+        }
+        setThreadCount(0);
+    }
+
+    // Steady-state allocation probe on a warmed call.
+    std::uint64_t steady_allocs = 0;
+    {
+        quantizedCall();
+        ScopedAllocCount probe;
+        quantizedCall();
+        steady_allocs = probe.allocs();
+    }
+
+    const double int8_secs = bestSecsPerCall(quantizedCall);
+
+    for (auto _ : state)
+        quantizedCall();
+
+    state.counters["GFLOPS"] = benchmark::Counter(
+        g.flops() * double(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate);
+    state.counters["speedup_vs_fp32"] = fp32_secs / int8_secs;
+    state.counters["steady_allocs"] = double(steady_allocs);
+    state.counters["alloc_counting"] =
+        allocCountingEnabled() ? 1.0 : 0.0;
+    state.counters["bitwise_threads_ok"] = bitwise_ok ? 1.0 : 0.0;
+    state.counters["k"] = double(g.k);
+    resetKernelTier();
+    resetBlocking();
+}
+BENCHMARK(BM_Qgemm)
+    ->ArgNames({"shape", "cfg"})
+    ->ArgsProduct({{2, 3, 4}, {0, 1}});
 
 void
 BM_SoftmaxEntropy(benchmark::State &state)

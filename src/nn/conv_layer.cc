@@ -124,6 +124,15 @@ ConvLayer::plannedAlgo() const
     return algoPinned ? algoSel : selectConvAlgo(spc);
 }
 
+bool
+ConvLayer::effectiveQuantized(bool train) const
+{
+    // Training always runs fp32: backward needs exact activations,
+    // and quantization is an inference-time approximation like
+    // perforation.
+    return !train && (quantOn || quantizeForced());
+}
+
 ConvAlgo
 ConvLayer::effectiveAlgo(bool train) const
 {
@@ -239,7 +248,8 @@ PCNN_HOT_PATH
 void
 ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
                             std::size_t group, ConvAlgo algo,
-                            bool fuse_relu, Scratch &scr)
+                            bool fuse_relu, bool quant,
+                            const QuantParams &aq, Scratch &scr)
 {
     const std::size_t in_cg = spc.inC / spc.groups;
     const std::size_t out_cg = spc.outC / spc.groups;
@@ -266,14 +276,6 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     }
 
     if (!perf) {
-        // Zero-copy output path: seed each output plane with its
-        // bias, then let SGEMM accumulate the product straight into y
-        // (beta = 1) — no gemmOut staging buffer, no final add+copy.
-        // Per cell this computes b + sum(k-order), bitwise equal to
-        // the staged sum(k-order) + b (float add is commutative).
-        for (std::size_t f = 0; f < out_cg; ++f)
-            std::fill(ybase + f * full, ybase + (f + 1) * full,
-                      bvals[f]);
         const float *bmat;
         if (algo == ConvAlgo::Direct1x1) {
             // A 1x1/stride-1/pad-0 conv's im2col matrix is exactly
@@ -288,6 +290,24 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
             im2col(x, item, g, scr.cols, group * in_cg);
             bmat = scr.cols.data();
         }
+        if (quant) {
+            // Int8 route: quantize+interleave the panel, then qgemm
+            // overwrite-stores dequant(+bias)(+ReLU) straight into
+            // y — bias/ReLU ride the fused epilogue, so no seeding.
+            quantizePackActivations(bmat, k, full, full, false, aq,
+                                    scr.qcols);
+            qgemm(out_cg, full, k, w->qPack[group], scr.qcols.data(),
+                  aq, ybase, bvals, fuse_relu);
+            return;
+        }
+        // Zero-copy output path: seed each output plane with its
+        // bias, then let SGEMM accumulate the product straight into y
+        // (beta = 1) — no gemmOut staging buffer, no final add+copy.
+        // Per cell this computes b + sum(k-order), bitwise equal to
+        // the staged sum(k-order) + b (float add is commutative).
+        for (std::size_t f = 0; f < out_cg; ++f)
+            std::fill(ybase + f * full, ybase + (f + 1) * full,
+                      bvals[f]);
         // The folded ReLU rides the epilogue's store pass (bias is
         // already seeded, so the epilogue clamps only): bitwise equal
         // to a separate ReLU sweep over the same sums.
@@ -307,8 +327,17 @@ ConvLayer::forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
     // scratch; sized by the largest geometry seen, then reused.
     if (scr.gemmOut.size() < out_cg * n_pos)
         scr.gemmOut.resize(out_cg * n_pos);
-    sgemm(false, false, out_cg, n_pos, k, wg, scr.cols.data(),
-          scr.gemmOut.data());
+    if (quant) {
+        // Bias and the folded ReLU stay in the interpolation loop
+        // below (as in fp32), so the epilogue only dequantizes.
+        quantizePackActivations(scr.cols.data(), k, n_pos, n_pos,
+                                false, aq, scr.qcols);
+        qgemm(out_cg, n_pos, k, w->qPack[group], scr.qcols.data(),
+              aq, scr.gemmOut.data(), nullptr, false);
+    } else {
+        sgemm(false, false, out_cg, n_pos, k, wg, scr.cols.data(),
+              scr.gemmOut.data());
+    }
 
     for (std::size_t f = 0; f < out_cg; ++f) {
         float *yplane = ybase + f * full;
@@ -361,13 +390,31 @@ ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
     if (scratch.size() < threadCount())
         scratch.resize(threadCount());
 
-    const ConvAlgo algo = effectiveAlgo(train);
+    // The int8 route always lowers through im2col/1x1 (winograd's
+    // transform domain has no integer analogue here).
+    const bool quant = effectiveQuantized(train);
+    const ConvAlgo algo =
+        quant ? (is1x1Passthrough() ? ConvAlgo::Direct1x1
+                                    : ConvAlgo::Im2col)
+              : effectiveAlgo(train);
     if (algo == ConvAlgo::Winograd) {
         // Materialize every group's transformed weights before the
         // fan-out: the cache is shared mutable state, the jobs only
         // read it.
         for (std::size_t gp = 0; gp < spc.groups; ++gp)
             winogradGroupWeights(gp);
+    }
+    QuantParams aq;
+    if (quant) {
+        // Same pre-fan-out contract for the int8 panels, and one
+        // set of activation params for the whole batch: derived
+        // from the full input tensor before any partitioning, so
+        // every job — and every thread count — quantizes
+        // identically.
+        for (std::size_t gp = 0; gp < spc.groups; ++gp)
+            quantizedGroupWeights(gp);
+        aq = haveInQuant ? inQuant
+                         : computeQuantParams(x.data(), x.size());
     }
 
     // One job per (item, group) pair; each job writes a disjoint
@@ -377,7 +424,7 @@ ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
     const std::size_t jobs = x.shape().n * spc.groups;
     auto run_job = [&](std::size_t job, std::size_t lane) {
         forwardItemGroup(x, y, job / spc.groups, job % spc.groups,
-                         algo, fuse_relu, scratch[lane]);
+                         algo, fuse_relu, quant, aq, scratch[lane]);
     };
     if (jobs >= threadCount() && !inParallelRegion()) {
         parallelFor(jobs, [&](std::size_t j0, std::size_t j1,
@@ -416,6 +463,26 @@ ConvLayer::winogradGroupWeights(std::size_t group)
         wts.generation = w->weight.generation();
     }
     return wts;
+}
+
+const QuantizedPanel &
+ConvLayer::quantizedGroupWeights(std::size_t group)
+{
+    const std::size_t in_cg = spc.inC / spc.groups;
+    const std::size_t out_cg = spc.outC / spc.groups;
+    const std::size_t k = in_cg * spc.kernel * spc.kernel;
+    // pcnn-analyze: allow(hot-path-alloc): generation-gated
+    // quantization: runs only when the weights changed, never in
+    // a steady-state forward.
+    if (w->qPack.size() < spc.groups)
+        w->qPack.resize(spc.groups);
+    QuantizedPanel &panel = w->qPack[group];
+    if (panel.generation != w->weight.generation()) {
+        const float *wg = w->weight.value.data() + group * out_cg * k;
+        quantizeWeights(out_cg, k, wg, panel);
+        panel.generation = w->weight.generation();
+    }
+    return panel;
 }
 
 const PackedPanel &

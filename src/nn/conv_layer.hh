@@ -21,6 +21,7 @@
 
 #include "nn/conv_spec.hh"
 #include "nn/layer.hh"
+#include "tensor/quant.hh"
 #include "tensor/winograd.hh"
 
 namespace pcnn {
@@ -110,6 +111,47 @@ class ConvLayer : public Layer
     InterpolationMode interpolationMode() const { return interpMode; }
 
     /**
+     * Route inference forwards through the int8 path (quant.hh):
+     * im2col output quantized per-tensor, per-channel int8 weight
+     * panels, qgemm with the fused dequant+bias+ReLU epilogue.
+     * Training forwards always stay fp32. Like the winograd panels,
+     * the quantized panels materialize lazily on the next forward —
+     * for serving, enable before cloneSharingWeights() so the
+     * warm-up forward builds them while the bundle is still
+     * single-threaded and replicas then share them read-only.
+     */
+    void setQuantized(bool on) { quantOn = on; }
+
+    /** True when the int8 route is enabled on this layer. */
+    bool quantizedEnabled() const { return quantOn; }
+
+    /**
+     * True when a forward with this `train` flag runs int8: enabled
+     * per layer (plan v3 / precision tuning) or forced process-wide
+     * by PCNN_QUANTIZE=1; never during training.
+     */
+    bool effectiveQuantized(bool train) const;
+
+    /**
+     * Pin offline-calibrated input-activation quantization params
+     * (from a QuantProfile). Without them the forward derives
+     * params from the live input's min/max — still deterministic
+     * per input batch, but batch-composition dependent.
+     */
+    void
+    setInputQuant(const QuantParams &qp)
+    {
+        inQuant = qp;
+        haveInQuant = true;
+    }
+
+    /** Drop pinned input params; revert to dynamic ranges. */
+    void clearInputQuant() { haveInQuant = false; }
+
+    /** True when offline-calibrated input params are pinned. */
+    bool hasInputQuant() const { return haveInQuant; }
+
+    /**
      * Per-lane scratch (fused im2col/packed-B panel + SGEMM output),
      * pooled and grow-only so the hot path performs no per-forward
      * allocations once warm, even when full-resolution and perforated
@@ -119,6 +161,7 @@ class ConvLayer : public Layer
     {
         std::vector<float> cols;
         std::vector<float> gemmOut;
+        std::vector<std::uint8_t> qcols; ///< int8 activation panel
         WinogradScratch wino;
     };
 
@@ -157,6 +200,11 @@ class ConvLayer : public Layer
         /// persistent across forwards; invalidated by weight
         /// generation bumps
         std::vector<WinogradWeights> winoPack;
+
+        /// per-group int8 weight panels (outC/g x colRows,
+        /// per-channel scales), persistent across forwards;
+        /// invalidated by weight generation bumps
+        std::vector<QuantizedPanel> qPack;
     };
 
     /** Weight-sharing replica constructor (see cloneShared). */
@@ -169,10 +217,13 @@ class ConvLayer : public Layer
     void forwardImpl(const Tensor &x, bool train, bool fuse_relu,
                      Tensor &y);
 
-    /** Forward for one batch item and one group. */
+    /** Forward for one batch item and one group. `quant` selects
+     * the int8 route, `aq` carries the batch's activation params
+     * (resolved once in forwardImpl so every job agrees). */
     void forwardItemGroup(const Tensor &x, Tensor &y, std::size_t item,
                           std::size_t group, ConvAlgo algo,
-                          bool fuse_relu, Scratch &scr);
+                          bool fuse_relu, bool quant,
+                          const QuantParams &aq, Scratch &scr);
 
     /** Per-group packed W^T panels for backward, gen-checked. */
     const PackedPanel &packedWeightT(std::size_t group);
@@ -183,6 +234,13 @@ class ConvLayer : public Layer
      * (item, group) fan-out so workers only read.
      */
     const WinogradWeights &winogradGroupWeights(std::size_t group);
+
+    /**
+     * Per-group int8 weight panels, gen-checked. Same threading
+     * contract as winogradGroupWeights: forwardImpl materializes
+     * every group before the (item, group) fan-out.
+     */
+    const QuantizedPanel &quantizedGroupWeights(std::size_t group);
 
     ConvSpec spc;
     std::shared_ptr<ConvWeights> w; ///< shared across replicas
@@ -207,6 +265,10 @@ class ConvLayer : public Layer
 
     bool algoPinned = false; ///< plan pinned a specific algorithm
     ConvAlgo algoSel = ConvAlgo::Im2col; ///< the pinned choice
+
+    bool quantOn = false;     ///< int8 inference route enabled
+    bool haveInQuant = false; ///< calibrated input params pinned
+    QuantParams inQuant;      ///< the pinned input params
 };
 
 } // namespace pcnn

@@ -6,6 +6,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/tags.hh"
+#include "nn/fusion.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -34,6 +35,8 @@ FcLayer::cloneShared()
     auto clone = std::unique_ptr<FcLayer>(new FcLayer(*this));
     clone->lastInput = Tensor();
     clone->haveCache = false;
+    clone->qx.clear(); // activations scratch stays per-replica
+    clone->yT.clear();
     return clone;
 }
 
@@ -68,6 +71,23 @@ FcLayer::packedWeightT()
     return w->wPack;
 }
 
+const QuantizedPanel &
+FcLayer::quantizedWeight()
+{
+    if (w->qPack.generation != w->weight.generation()) {
+        quantizeWeights(nOut, nIn, w->weight.value.data(), w->qPack);
+        w->qPack.generation = w->weight.generation();
+    }
+    return w->qPack;
+}
+
+bool
+FcLayer::effectiveQuantized(bool train) const
+{
+    // Training always runs fp32 (backward needs exact activations).
+    return !train && (quantOn || quantizeForced());
+}
+
 void
 FcLayer::forwardInto(const Tensor &x, bool train, Tensor &y)
 {
@@ -90,6 +110,36 @@ FcLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
     // pcnn-analyze: allow(hot-path-alloc): grow-only output
     // buffer; capacity is reused once warm (DESIGN.md §5h).
     y.resize(out);
+
+    if (effectiveQuantized(train)) {
+        // Int8 route: y^T = W_q x_q^T with the dequant+bias+ReLU
+        // epilogue fused into the register tile. The trans pack
+        // reads x^T without materializing it; at batch 1 (the
+        // serving case) y^T is y, so qgemm stores straight into
+        // the output and nothing else runs.
+        const QuantizedPanel &qp = quantizedWeight();
+        const QuantParams aq =
+            haveInQuant ? inQuant
+                        : computeQuantParams(x.data(), x.size());
+        quantizePackActivations(x.data(), nIn, batch, nIn, true, aq,
+                                qx);
+        const float *bias = w->bias.value.data();
+        if (batch == 1) {
+            qgemm(nOut, 1, nIn, qp, qx.data(), aq, y.data(), bias,
+                  fuse_relu);
+            return;
+        }
+        // pcnn-analyze: allow(hot-path-alloc): grow-only per-layer
+        // staging for the y^T -> y transpose.
+        if (yT.size() < nOut * batch)
+            yT.resize(nOut * batch);
+        qgemm(nOut, batch, nIn, qp, qx.data(), aq, yT.data(), bias,
+              fuse_relu);
+        for (std::size_t i = 0; i < batch; ++i)
+            for (std::size_t f = 0; f < nOut; ++f)
+                y.data()[i * nOut + f] = yT[f * batch + i];
+        return;
+    }
 
     // Seed every output row with the bias, then accumulate the
     // product on top (beta = 1) so y is streamed through only once:

@@ -7,10 +7,13 @@
 #define PCNN_NN_FC_LAYER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "nn/layer.hh"
+#include "tensor/quant.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -50,6 +53,39 @@ class FcLayer : public Layer
     /** Output feature count. */
     std::size_t outFeatures() const { return nOut; }
 
+    /**
+     * Route inference forwards through the int8 path (quant.hh):
+     * per-channel int8 weight panel, per-tensor input quantization,
+     * qgemm with the fused dequant+bias+ReLU epilogue. Training
+     * forwards always stay fp32. For serving, enable before
+     * cloneSharingWeights() so the warm-up forward materializes the
+     * shared panel single-threaded.
+     */
+    void setQuantized(bool on) { quantOn = on; }
+
+    /** True when the int8 route is enabled on this layer. */
+    bool quantizedEnabled() const { return quantOn; }
+
+    /** True when a forward with this `train` flag runs int8 (layer
+     * flag or PCNN_QUANTIZE=1; never during training). */
+    bool effectiveQuantized(bool train) const;
+
+    /** Pin offline-calibrated input-activation quant params (from a
+     * QuantProfile); without them the forward derives params from
+     * the live input's min/max. */
+    void
+    setInputQuant(const QuantParams &qp)
+    {
+        inQuant = qp;
+        haveInQuant = true;
+    }
+
+    /** Drop pinned input params; revert to dynamic ranges. */
+    void clearInputQuant() { haveInQuant = false; }
+
+    /** True when offline-calibrated input params are pinned. */
+    bool hasInputQuant() const { return haveInQuant; }
+
   private:
     /**
      * Parameters and the persistent packed panel derived from them,
@@ -68,6 +104,10 @@ class FcLayer : public Layer
         /// against `weight` so SGD steps and weight loads invalidate
         /// it
         PackedPanel wPack;
+
+        /// persistent int8 weight panel (nOut x nIn, per-channel
+        /// scales), generation-tagged like wPack
+        QuantizedPanel qPack;
     };
 
     /** Weight-sharing replica constructor (see cloneShared). */
@@ -75,6 +115,9 @@ class FcLayer : public Layer
 
     /** W^T panel for forward, rebuilt when `weight` changes. */
     const PackedPanel &packedWeightT();
+
+    /** Int8 weight panel, rebuilt when `weight` changes. */
+    const QuantizedPanel &quantizedWeight();
 
     /** Shared forward body; fuse_relu folds a ReLU into the store. */
     void forwardImpl(const Tensor &x, bool train, bool fuse_relu,
@@ -87,6 +130,14 @@ class FcLayer : public Layer
 
     Tensor lastInput; ///< flattened to [n, nIn, 1, 1]
     bool haveCache = false;
+
+    bool quantOn = false;     ///< int8 inference route enabled
+    bool haveInQuant = false; ///< calibrated input params pinned
+    QuantParams inQuant;      ///< the pinned input params
+
+    // Per-replica int8 scratch (grow-only, cleared by cloneShared).
+    std::vector<std::uint8_t> qx; ///< interleaved x^T panel
+    std::vector<float> yT;        ///< nOut x batch staging (batch>1)
 };
 
 } // namespace pcnn

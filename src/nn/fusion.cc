@@ -1,6 +1,7 @@
 #include "nn/fusion.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/logging.hh"
@@ -49,6 +50,30 @@ forcedAlgoSlot()
     return slot;
 }
 
+/**
+ * PCNN_QUANTIZE environment seed ("1"/"true" forces int8). Reached
+ * from quantized forwards, so the comparison stays allocation-free
+ * (the hot-path analyzer walks through the one-time static init).
+ */
+bool
+quantizeEnvSeed()
+{
+    static const bool on = [] {
+        const char *e = std::getenv("PCNN_QUANTIZE");
+        return e != nullptr && (std::strcmp(e, "1") == 0 ||
+                                std::strcmp(e, "true") == 0);
+    }();
+    return on;
+}
+
+/** Forced-quantization slot, seeded from PCNN_QUANTIZE. */
+bool &
+quantizeSlot()
+{
+    static bool on = quantizeEnvSeed();
+    return on;
+}
+
 } // namespace
 
 bool
@@ -82,6 +107,24 @@ void
 clearForcedConvAlgo()
 {
     forcedAlgoSlot() = ForcedAlgo{};
+}
+
+bool
+quantizeForced()
+{
+    return quantizeSlot();
+}
+
+void
+setQuantizeForced(bool on)
+{
+    quantizeSlot() = on;
+}
+
+void
+clearQuantizeForced()
+{
+    quantizeSlot() = quantizeEnvSeed();
 }
 
 } // namespace pcnn

@@ -17,6 +17,12 @@
  *    algorithm is eligible for the layer geometry. `auto` / unset
  *    restores normal dispatch.
  *
+ *  - Forced quantization: PCNN_QUANTIZE=1 (or setQuantizeForced())
+ *    routes every Conv/Fc inference forward through the int8 path
+ *    regardless of per-layer flags — the quantized analogue of the
+ *    tier/algorithm forcing legs in CI. Training forwards are never
+ *    quantized.
+ *
  * Both are plain process-wide toggles, not per-network state: they
  * exist for benchmarking and testing, and the hot path reads them
  * without synchronization (set them before running inference).
@@ -46,6 +52,15 @@ void setForcedConvAlgo(ConvAlgo algo);
 
 /** Drop the forced algorithm; dispatch returns to plan/cost-model. */
 void clearForcedConvAlgo();
+
+/** True when every inference forward is forced onto the int8 path. */
+bool quantizeForced();
+
+/** Force (or un-force) int8 inference process-wide. */
+void setQuantizeForced(bool on);
+
+/** Restore the PCNN_QUANTIZE environment default. */
+void clearQuantizeForced();
 
 } // namespace pcnn
 

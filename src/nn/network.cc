@@ -127,6 +127,15 @@ Network::clearPerforation()
         c->setComputedPositions(0);
 }
 
+void
+Network::clearQuantization()
+{
+    for (ConvLayer *c : convs)
+        c->setQuantized(false);
+    for (FcLayer *f : fcs)
+        f->setQuantized(false);
+}
+
 Network
 Network::cloneSharingWeights()
 {

@@ -136,6 +136,9 @@ class Network
     /** Reset all conv layers to unperforated execution. */
     void clearPerforation();
 
+    /** Reset all conv/fc layers to the fp32 inference route. */
+    void clearQuantization();
+
     /**
      * Replicate the network for a concurrent serving worker
      * (DESIGN.md §5f). The replica shares parameter storage and the

@@ -437,6 +437,14 @@ bool
 applyHostTuneCacheOnce()
 {
     static const bool applied = [] {
+        // Refuse to flip tier/blocking once a GEMM has executed:
+        // fp32 results computed before the flip (e.g. a prototype
+        // forward taken as a bitwise reference) would differ from
+        // everything computed after it. Processes that want the
+        // tuned config must reach this hook before their first
+        // forward; the serving engine's constructor does.
+        if (gemmHasRun())
+            return false;
         HostTuneConfig cfg;
         std::string err;
         if (!loadHostTune(hostTuneCachePath(), cfg, err))

@@ -101,7 +101,10 @@ bool applyHostTune(const HostTuneConfig &cfg);
  * this is the runtime/start-up hook — the serving engine calls it
  * before replicating and freezing weights so every worker inherits
  * the pinned tier/blocking. Missing or invalid caches quietly leave
- * the detected defaults in force.
+ * the detected defaults in force, and so does a first call made
+ * after any GEMM has already executed (gemmHasRun()): pinning then
+ * would change the bitwise value of every later fp32 GEMM relative
+ * to results the process already produced.
  * @retval true when a valid cache was applied
  */
 bool applyHostTuneCacheOnce();

@@ -32,6 +32,7 @@ struct TunedKernel
     double skernel = 0.0;         ///< Eq. 10 score of the winner
     double predictedTimeS = 0.0;  ///< time-model estimate, whole GPU
     ConvAlgo algo = ConvAlgo::Im2col; ///< chosen conv algorithm
+    bool quantized = false; ///< run this layer's forward int8 (v3)
 };
 
 /** How the tuner ranks candidate kernels. */

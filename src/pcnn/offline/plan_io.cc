@@ -14,7 +14,10 @@ namespace {
 // Format history: "PCNNPLN1" (PR 2) has no version byte and no
 // per-layer algorithm; "PCNNPLN2" is followed by an explicit format
 // version byte, and each layer record carries its conv algorithm.
-// Old plans keep loading (algorithm defaults to im2col).
+// Version 3 keeps the V2 magic (the version byte discriminates) and
+// appends a per-layer int8 `quantized` flag after the algorithm.
+// Old plans keep loading (algorithm defaults to im2col, quantized
+// to false).
 constexpr char kMagicV1[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '1'};
 constexpr char kMagicV2[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '2'};
 
@@ -109,9 +112,10 @@ serializePlan(const CompiledPlan &plan)
 std::vector<std::uint8_t>
 serializePlan(const CompiledPlan &plan, std::uint8_t version)
 {
-    pcnn_assert(version == 1 || version == kPlanFormatVersion,
+    pcnn_assert(version >= 1 && version <= kPlanFormatVersion,
                 "unsupported plan format version ", version);
     const bool v2 = version >= 2;
+    const bool v3 = version >= 3;
     std::vector<std::uint8_t> out;
     // Byte-wise append: vector::insert over a raw range trips a
     // GCC 12 -Wstringop-overflow false positive under sanitizer
@@ -151,6 +155,8 @@ serializePlan(const CompiledPlan &plan, std::uint8_t version)
         putU64(out, ls.kernel.optSM);
         if (v2)
             putU64(out, std::uint64_t(ls.kernel.algo));
+        if (v3)
+            putU64(out, ls.kernel.quantized ? 1 : 0);
         putF64(out, ls.kernel.skernel);
         putF64(out, ls.kernel.predictedTimeS);
         putF64(out, ls.timeS);
@@ -171,11 +177,14 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
     else if (std::memcmp(bytes.data(), kMagicV1, 8) != 0)
         return std::nullopt;
     std::size_t header = 8;
+    bool v3 = false;
     if (v2) {
         // Explicit format-version byte; anything newer than this
         // build understands is rejected rather than misparsed.
-        if (bytes.size() < 9 || bytes[8] != kPlanFormatVersion)
+        if (bytes.size() < 9 || bytes[8] < 2 ||
+            bytes[8] > kPlanFormatVersion)
             return std::nullopt;
+        v3 = bytes[8] >= 3;
         header = 9;
     }
     const std::vector<std::uint8_t> body(
@@ -220,16 +229,23 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         std::uint64_t in_c, out_c, kernel, stride, pad, in_h, in_w,
             groups, tile_m, tile_n, regs, tlp, sm;
         std::uint64_t algo = std::uint64_t(ConvAlgo::Im2col);
+        std::uint64_t quantized = 0;
         if (!r.str(c.name) || !r.u64(in_c) || !r.u64(out_c) ||
             !r.u64(kernel) || !r.u64(stride) || !r.u64(pad) ||
             !r.u64(in_h) || !r.u64(in_w) || !r.u64(groups) ||
             !r.u64(tile_m) || !r.u64(tile_n) || !r.u64(regs) ||
             !r.u64(tlp) || !r.u64(sm) ||
-            (v2 && !r.u64(algo)) || !r.f64(ls.kernel.skernel) ||
+            (v2 && !r.u64(algo)) || (v3 && !r.u64(quantized)) ||
+            !r.f64(ls.kernel.skernel) ||
             !r.f64(ls.kernel.predictedTimeS) || !r.f64(ls.timeS) ||
             !r.f64(ls.util)) {
             return std::nullopt;
         }
+        // The flag is strictly boolean on the wire; anything else
+        // marks a corrupt or hostile file.
+        if (quantized > 1)
+            return std::nullopt;
+        ls.kernel.quantized = quantized != 0;
         // Geometry must satisfy every ConvSpec/ConvGeom contract the
         // models assert on (divisible groups, kernel fitting in the
         // padded input) before any of them runs.

@@ -22,16 +22,19 @@
 namespace pcnn {
 
 /** Newest plan format version this build reads and writes. */
-constexpr std::uint8_t kPlanFormatVersion = 2;
+constexpr std::uint8_t kPlanFormatVersion = 3;
 
 /** Serialize a compiled plan to bytes (current format version). */
 std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan);
 
 /**
- * Serialize in a specific format version: 2 (current: explicit
- * version byte + per-layer conv algorithm) or 1 (legacy PR 2 format:
- * no version byte, no algorithm — readers default those layers to
- * im2col). Version 1 writing exists for compatibility tests.
+ * Serialize in a specific format version: 3 (current: adds the
+ * per-layer int8 `quantized` flag), 2 (explicit version byte +
+ * per-layer conv algorithm), or 1 (legacy PR 2 format: no version
+ * byte, no algorithm — readers default those layers to im2col).
+ * Readers accept all three; older versions load with
+ * quantized=false. Old-version writing exists for compatibility
+ * tests.
  */
 std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan,
                                         std::uint8_t version);

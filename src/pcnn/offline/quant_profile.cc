@@ -1,0 +1,240 @@
+#include "pcnn/offline/quant_profile.hh"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/tags.hh"
+#include "nn/network.hh"
+
+namespace pcnn {
+
+namespace {
+
+// "PCNNQPR1": magic + format version in one token, like the plan
+// files. The payload is a u64 entry count followed by (name, f64
+// scale, u64 zero) records.
+constexpr char kMagic[8] = {'P', 'C', 'N', 'N', 'Q', 'P', 'R', '1'};
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(out, bits);
+}
+
+void
+putStr(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &bytes)
+        : data(bytes)
+    {
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (pos + 8 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(data[pos + std::size_t(i)]) << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        std::uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, 8);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        // `pos + len` can wrap for a hostile 64-bit length, so the
+        // bound is phrased against the bytes actually remaining.
+        std::uint64_t len;
+        if (!u64(len) || len > data.size() - pos)
+            return fail();
+        s.assign(data.begin() + std::ptrdiff_t(pos),
+                 data.begin() + std::ptrdiff_t(pos + len));
+        pos += len;
+        return true;
+    }
+
+    bool done() const { return ok && pos == data.size(); }
+
+    bool fail()
+    {
+        ok = false;
+        return false;
+    }
+
+  private:
+    const std::vector<std::uint8_t> &data;
+    std::size_t pos = 0;
+    bool ok = true;
+};
+
+} // namespace
+
+const QuantParams *
+QuantProfile::find(const std::string &name) const
+{
+    for (const Entry &e : entries)
+        if (e.layer == name)
+            return &e.params;
+    return nullptr;
+}
+
+QuantProfile
+calibrateQuantProfile(Network &net, const Tensor &inputs)
+{
+    QuantProfile profile;
+    // Manual sequential forward: observe each top-level layer's
+    // input, then advance through the layer (fp32, inference mode).
+    Tensor a = inputs;
+    Tensor b;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        Layer &l = net.layer(i);
+        const bool wants = dynamic_cast<ConvLayer *>(&l) != nullptr ||
+                           dynamic_cast<FcLayer *>(&l) != nullptr;
+        if (wants)
+            profile.entries.push_back(
+                {l.name(), computeQuantParams(a.data(), a.size())});
+        l.forwardInto(a, false, b);
+        std::swap(a, b);
+    }
+    return profile;
+}
+
+void
+applyQuantProfile(Network &net, const QuantProfile &profile,
+                  bool enable)
+{
+    for (ConvLayer *c : net.convLayers()) {
+        if (const QuantParams *p = profile.find(c->name())) {
+            c->setInputQuant(*p);
+            if (enable)
+                c->setQuantized(true);
+        }
+    }
+    for (FcLayer *f : net.fcLayers()) {
+        if (const QuantParams *p = profile.find(f->name())) {
+            f->setInputQuant(*p);
+            if (enable)
+                f->setQuantized(true);
+        }
+    }
+}
+
+std::vector<std::uint8_t>
+serializeQuantProfile(const QuantProfile &profile)
+{
+    std::vector<std::uint8_t> out;
+    for (char ch : kMagic)
+        out.push_back(std::uint8_t(ch));
+    putU64(out, profile.entries.size());
+    for (const QuantProfile::Entry &e : profile.entries) {
+        putStr(out, e.layer);
+        putF64(out, double(e.params.scale));
+        putU64(out, e.params.zero);
+    }
+    return out;
+}
+
+PCNN_BINARY_READER
+std::optional<QuantProfile>
+deserializeQuantProfile(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < 8 ||
+        std::memcmp(bytes.data(), kMagic, 8) != 0)
+        return std::nullopt;
+    const std::vector<std::uint8_t> body(bytes.begin() + 8,
+                                         bytes.end());
+    Reader r(body);
+
+    std::uint64_t count = 0;
+    if (!r.u64(count))
+        return std::nullopt;
+    if (count > 4096)
+        return std::nullopt; // sanity bound
+
+    QuantProfile profile;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        QuantProfile::Entry e;
+        double scale = 0.0;
+        std::uint64_t zero = 0;
+        if (!r.str(e.layer) || !r.f64(scale) || !r.u64(zero))
+            return std::nullopt;
+        // The quantizers divide by the scale and the kernels assume
+        // a u7 zero point; a NaN/inf/zero/negative scale or an
+        // out-of-range zero point marks a corrupt or hostile file.
+        if (!std::isfinite(scale) || scale <= 0.0)
+            return std::nullopt;
+        if (zero > 127)
+            return std::nullopt;
+        e.params.scale = float(scale);
+        if (!std::isfinite(e.params.scale) || e.params.scale <= 0.0f)
+            return std::nullopt; // overflowed the f32 narrowing
+        e.params.zero = std::uint8_t(zero);
+        profile.entries.push_back(std::move(e));
+    }
+    if (!r.done())
+        return std::nullopt; // trailing bytes
+    return profile;
+}
+
+bool
+saveQuantProfile(const QuantProfile &profile, const std::string &path)
+{
+    const auto bytes = serializeQuantProfile(profile);
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            std::streamsize(bytes.size()));
+    return static_cast<bool>(f);
+}
+
+PCNN_BINARY_READER
+std::optional<QuantProfile>
+loadQuantProfile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        return std::nullopt;
+    const std::streamoff end = f.tellg();
+    if (end < 0)
+        return std::nullopt;
+    const auto size = std::size_t(end);
+    f.seekg(0);
+    std::vector<std::uint8_t> bytes(size);
+    f.read(reinterpret_cast<char *>(bytes.data()),
+           std::streamsize(size));
+    if (!f)
+        return std::nullopt;
+    return deserializeQuantProfile(bytes);
+}
+
+} // namespace pcnn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Offline activation-range calibration for the int8 inference path.
+ *
+ * The quantized forward needs per-tensor activation quantization
+ * params for every Conv/Fc layer input. Deriving them dynamically
+ * from the live batch works, but makes logits depend on batch
+ * composition; the paper-style deployment instead calibrates the
+ * ranges once, offline, over training-set inputs and ships them
+ * with the plan. A QuantProfile holds those calibrated params keyed
+ * by layer name, and serializes to a small hostile-input-hardened
+ * binary alongside the compiled plan (DESIGN.md section 5i).
+ */
+
+#ifndef PCNN_PCNN_OFFLINE_QUANT_PROFILE_HH
+#define PCNN_PCNN_OFFLINE_QUANT_PROFILE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/quant.hh"
+
+namespace pcnn {
+
+class Network;
+class Tensor;
+
+/** Calibrated activation quantization params for one network. */
+struct QuantProfile
+{
+    /** Params for one layer's *input* activations. */
+    struct Entry
+    {
+        std::string layer; ///< layer name (Layer::name())
+        QuantParams params;
+    };
+
+    std::vector<Entry> entries;
+
+    /** Params for `name`, or nullptr when uncalibrated. */
+    const QuantParams *find(const std::string &name) const;
+};
+
+/**
+ * Calibrate a profile by running `inputs` through `net` layer by
+ * layer (fp32, inference mode) and recording each top-level Conv/Fc
+ * layer's input range. Layers nested inside containers (Inception
+ * branches) are not observed separately — they fall back to dynamic
+ * ranges at inference.
+ */
+QuantProfile calibrateQuantProfile(Network &net, const Tensor &inputs);
+
+/**
+ * Pin every profiled layer's input params on the matching Conv/Fc
+ * layers of `net` (by name); with `enable`, also switch those
+ * layers onto the int8 route.
+ */
+void applyQuantProfile(Network &net, const QuantProfile &profile,
+                       bool enable = true);
+
+/** Serialize a profile to bytes ("PCNNQPR1" format). */
+std::vector<std::uint8_t>
+serializeQuantProfile(const QuantProfile &profile);
+
+/**
+ * Restore a profile from bytes.
+ * @return the profile, or std::nullopt on malformed/hostile data
+ *         (bad magic, truncation, non-finite or non-positive
+ *         scales, zero points beyond 127, trailing bytes)
+ */
+std::optional<QuantProfile>
+deserializeQuantProfile(const std::vector<std::uint8_t> &bytes);
+
+/** Save a profile to a file. @retval true on success */
+bool saveQuantProfile(const QuantProfile &profile,
+                      const std::string &path);
+
+/** Load a profile from a file; std::nullopt on any failure. */
+std::optional<QuantProfile> loadQuantProfile(const std::string &path);
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_OFFLINE_QUANT_PROFILE_HH

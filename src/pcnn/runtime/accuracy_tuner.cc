@@ -22,6 +22,14 @@ double
 AccuracyTuner::layerTimeAt(const CompiledPlan &plan, std::size_t layer,
                            std::size_t positions) const
 {
+    return layerTimeAt(plan, layer, positions, false);
+}
+
+double
+AccuracyTuner::layerTimeAt(const CompiledPlan &plan, std::size_t layer,
+                           std::size_t positions, bool quantized)
+    const
+{
     const LayerSchedule &ls = plan.layers.at(layer);
     TunedKernel k = ls.kernel;
     // Re-derive optSM for the perforated grid (resource model).
@@ -29,7 +37,10 @@ AccuracyTuner::layerTimeAt(const CompiledPlan &plan, std::size_t layer,
     const SgemmModel model(gpuSpec, k.config);
     k.optSM =
         optimalSms(model.gridSize(gemm), k.optTLP, gpuSpec.numSMs);
-    return timeModel.layerTime(ls.layer, k, plan.batch, positions);
+    double t = timeModel.layerTime(ls.layer, k, plan.batch, positions);
+    if (quantized)
+        t /= std::max(cfg.int8Speedup, 1.0);
+    return t;
 }
 
 double
@@ -66,9 +77,11 @@ namespace {
 /** Evaluation hooks shared by the three tuning variants. */
 struct TuneOracle
 {
-    /// measure (entropy, accuracy) at the current assignment
+    /// measure (entropy, accuracy) at a (positions, quant) assignment;
+    /// the quant vector is empty when the precision axis is off
     std::function<std::pair<double, double>(
-        const std::vector<std::size_t> &)>
+        const std::vector<std::size_t> &,
+        const std::vector<std::uint8_t> &)>
         measure;
     /// true when the stop criterion fires for a committed entry
     std::function<bool(const TuningEntry &, const TuningEntry &level0)>
@@ -81,18 +94,24 @@ struct TuneOracle
 
 } // namespace
 
-// The greedy loop of Fig. 12, shared across guidance modes.
+// The greedy loop of Fig. 12, shared across guidance modes. With
+// `allow_quant` each iteration considers two kinds of adjustment per
+// layer — shrink its grid, or flip it fp32 -> int8 — and commits
+// whichever scores best across all layers and both axes.
 static TuningTable
 greedyTune(const AccuracyTuner &tuner, const CompiledPlan &plan,
            const TunerConfig &cfg,
            const std::vector<std::size_t> &full_positions,
-           const std::vector<std::size_t> &tile_n,
+           const std::vector<std::size_t> &tile_n, bool allow_quant,
            const TuneOracle &oracle,
            const std::function<std::size_t(std::size_t, std::size_t,
                                            std::size_t)> &shrink)
 {
     const std::size_t n_layers = plan.layers.size();
     std::vector<std::size_t> current = full_positions;
+    // Per-layer precision state; stays empty (legacy entries) when
+    // the precision axis is off so replay paths are byte-identical.
+    std::vector<std::uint8_t> quant(allow_quant ? n_layers : 0, 0);
 
     // Per-layer conv times, maintained incrementally: a trial only
     // re-prices the layer it perforates.
@@ -107,8 +126,9 @@ greedyTune(const AccuracyTuner &tuner, const CompiledPlan &plan,
     TuningTable table;
     TuningEntry level0;
     level0.positions = current;
+    level0.quant = quant;
     level0.predictedTimeS = conv_time + fc_aux;
-    auto [e0, a0] = oracle.measure(current);
+    auto [e0, a0] = oracle.measure(current, quant);
     level0.entropy = e0;
     level0.accuracy = a0;
     level0.speedup = 1.0;
@@ -121,10 +141,35 @@ greedyTune(const AccuracyTuner &tuner, const CompiledPlan &plan,
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
         double best_score = -1.0;
         int best_layer = -1;
-        double best_time = 0.0, best_layer_time = 0.0;
+        bool best_precision = false;
+        double best_layer_time = 0.0;
         TuningEntry best_entry;
 
+        const auto consider = [&](std::size_t i, bool precision,
+                                  std::vector<std::size_t> trial_pos,
+                                  std::vector<std::uint8_t> trial_q,
+                                  double cand_layer_time) {
+            const double t =
+                conv_time - layer_time[i] + cand_layer_time + fc_aux;
+            auto [entropy, acc] =
+                oracle.measure(trial_pos, trial_q);
+            const double dt = prev.predictedTimeS - t;
+            const double score = oracle.score(dt, prev, entropy, acc);
+            if (score > best_score) {
+                best_score = score;
+                best_layer = int(i);
+                best_precision = precision;
+                best_layer_time = cand_layer_time;
+                best_entry.positions = std::move(trial_pos);
+                best_entry.quant = std::move(trial_q);
+                best_entry.predictedTimeS = t;
+                best_entry.entropy = entropy;
+                best_entry.accuracy = acc;
+            }
+        };
+
         for (std::size_t i = 0; i < n_layers; ++i) {
+            const bool is_quant = allow_quant && quant[i] != 0;
             // Walk down the aligned position counts until this
             // layer's time actually drops: alignment plateaus (the
             // grid only changes every tile-n positions) and optSM
@@ -134,7 +179,8 @@ greedyTune(const AccuracyTuner &tuner, const CompiledPlan &plan,
             std::size_t cand =
                 shrink(current[i], full_positions[i], tile_n[i]);
             double cand_layer_time =
-                cand ? tuner.layerTimeAt(plan, i, cand) : 0.0;
+                cand ? tuner.layerTimeAt(plan, i, cand, is_quant)
+                     : 0.0;
             while (cand != 0 &&
                    cand_layer_time >= layer_time[i] - 1e-12) {
                 const std::size_t next =
@@ -144,40 +190,42 @@ greedyTune(const AccuracyTuner &tuner, const CompiledPlan &plan,
                     break;
                 }
                 cand = next;
-                cand_layer_time = tuner.layerTimeAt(plan, i, cand);
+                cand_layer_time =
+                    tuner.layerTimeAt(plan, i, cand, is_quant);
             }
-            if (cand == 0)
-                continue; // no useful shrink left in this layer
+            if (cand != 0) {
+                std::vector<std::size_t> trial = current;
+                trial[i] = cand;
+                consider(i, false, std::move(trial), quant,
+                         cand_layer_time);
+            }
 
-            std::vector<std::size_t> trial = current;
-            trial[i] = cand;
-            const double t =
-                conv_time - layer_time[i] + cand_layer_time + fc_aux;
-            auto [entropy, acc] = oracle.measure(trial);
-            const double dt = prev.predictedTimeS - t;
-            const double score = oracle.score(dt, prev, entropy, acc);
-            if (score > best_score) {
-                best_score = score;
-                best_layer = int(i);
-                best_time = t;
-                best_layer_time = cand_layer_time;
-                best_entry.positions = std::move(trial);
-                best_entry.predictedTimeS = t;
-                best_entry.entropy = entropy;
-                best_entry.accuracy = acc;
+            // Precision candidate: flip this layer to int8 at its
+            // current grid. One-way — the tuning-table invariant
+            // (and the paper's monotone walk) forbids reverting.
+            if (allow_quant && quant[i] == 0) {
+                const double q_time =
+                    tuner.layerTimeAt(plan, i, current[i], true);
+                if (q_time < layer_time[i] - 1e-12) {
+                    std::vector<std::uint8_t> qtrial = quant;
+                    qtrial[i] = 1;
+                    consider(i, true, current, std::move(qtrial),
+                             q_time);
+                }
             }
         }
         if (best_layer < 0)
-            break; // nothing left to shrink
+            break; // nothing left to shrink or quantize
 
         best_entry.speedup =
             level0.predictedTimeS / best_entry.predictedTimeS;
         best_entry.adjustedLayer = best_layer;
+        best_entry.adjustedPrecision = best_precision;
         current = best_entry.positions;
+        quant = best_entry.quant;
         conv_time += best_layer_time -
                      layer_time[std::size_t(best_layer)];
         layer_time[std::size_t(best_layer)] = best_layer_time;
-        (void)best_time;
         table.push(best_entry);
         prev = table.entry(table.levels() - 1);
         if (oracle.stop(prev, level0))
@@ -201,9 +249,13 @@ AccuracyTuner::tuneNetwork(Network &net, const CompiledPlan &plan,
     }
 
     TuneOracle oracle;
-    oracle.measure = [&](const std::vector<std::size_t> &pos) {
-        for (std::size_t i = 0; i < convs.size(); ++i)
+    oracle.measure = [&](const std::vector<std::size_t> &pos,
+                         const std::vector<std::uint8_t> &q) {
+        for (std::size_t i = 0; i < convs.size(); ++i) {
             convs[i]->setComputedPositions(pos[i]);
+            if (!q.empty())
+                convs[i]->setQuantized(q[i] != 0);
+        }
         const Tensor probs = softmax(net.forward(tuning_inputs, false));
         return std::make_pair(batchEntropy(probs), -1.0);
     };
@@ -222,9 +274,12 @@ AccuracyTuner::tuneNetwork(Network &net, const CompiledPlan &plan,
                             std::size_t n) {
         return shrink(cur, full_pos, n);
     };
-    TuningTable table =
-        greedyTune(*this, plan, cfg, full, tile_n, oracle, shrink_fn);
+    TuningTable table = greedyTune(*this, plan, cfg, full, tile_n,
+                                   cfg.allowQuantize, oracle,
+                                   shrink_fn);
     net.clearPerforation();
+    if (cfg.allowQuantize)
+        net.clearQuantization();
     return table;
 }
 
@@ -245,9 +300,13 @@ AccuracyTuner::tuneNetworkByAccuracy(Network &net,
     const Tensor inputs = labeled.batch(0, labeled.size());
 
     TuneOracle oracle;
-    oracle.measure = [&](const std::vector<std::size_t> &pos) {
-        for (std::size_t i = 0; i < convs.size(); ++i)
+    oracle.measure = [&](const std::vector<std::size_t> &pos,
+                         const std::vector<std::uint8_t> &q) {
+        for (std::size_t i = 0; i < convs.size(); ++i) {
             convs[i]->setComputedPositions(pos[i]);
+            if (!q.empty())
+                convs[i]->setQuantized(q[i] != 0);
+        }
         const Tensor logits = net.forward(inputs, false);
         const Tensor probs = softmax(logits);
         return std::make_pair(batchEntropy(probs),
@@ -266,9 +325,12 @@ AccuracyTuner::tuneNetworkByAccuracy(Network &net,
                             std::size_t n) {
         return shrink(cur, full_pos, n);
     };
-    TuningTable table =
-        greedyTune(*this, plan, cfg, full, tile_n, oracle, shrink_fn);
+    TuningTable table = greedyTune(*this, plan, cfg, full, tile_n,
+                                   cfg.allowQuantize, oracle,
+                                   shrink_fn);
     net.clearPerforation();
+    if (cfg.allowQuantize)
+        net.clearQuantization();
     return table;
 }
 
@@ -289,7 +351,8 @@ AccuracyTuner::tuneModeled(const CompiledPlan &plan,
     }
 
     TuneOracle oracle;
-    oracle.measure = [&](const std::vector<std::size_t> &pos) {
+    oracle.measure = [&](const std::vector<std::size_t> &pos,
+                         const std::vector<std::uint8_t> &) {
         double kept = 0.0;
         for (std::size_t i = 0; i < n_layers; ++i)
             kept += layer_flops[i] * double(pos[i]) / double(full[i]);
@@ -311,7 +374,10 @@ AccuracyTuner::tuneModeled(const CompiledPlan &plan,
                             std::size_t n) {
         return shrink(cur, full_pos, n);
     };
-    return greedyTune(*this, plan, cfg, full, tile_n, oracle,
+    // Modeled profiles map a FLOP keep-fraction to entropy; they
+    // carry no information about int8 error, so the precision axis
+    // stays off here regardless of cfg.allowQuantize.
+    return greedyTune(*this, plan, cfg, full, tile_n, false, oracle,
                       shrink_fn);
 }
 

@@ -37,6 +37,14 @@ struct TunerConfig
     double stepFraction = 0.8;
     /// never perforate a layer below this many positions
     std::size_t minPositions = 4;
+    /// let a greedy step flip one layer fp32 -> int8 instead of
+    /// perforating it (the precision axis of the trade-off walk);
+    /// off by default so the paper-fidelity path is untouched
+    bool allowQuantize = false;
+    /// Eq.-12 pricing of an int8 layer: fp32 layer time divided by
+    /// this factor. The default matches the measured batch-1 qgemm
+    /// speedup on large-K conv shapes (BENCH_pr8.json).
+    double int8Speedup = 2.0;
 };
 
 /**
@@ -90,6 +98,14 @@ class AccuracyTuner
      */
     double layerTimeAt(const CompiledPlan &plan, std::size_t layer,
                        std::size_t positions) const;
+
+    /**
+     * Same, with the precision axis: `quantized` prices the layer on
+     * the int8 route (fp32 time / int8Speedup, clamped to >= 1x so a
+     * misconfigured factor can never make "faster" kernels slower).
+     */
+    double layerTimeAt(const CompiledPlan &plan, std::size_t layer,
+                       std::size_t positions, bool quantized) const;
 
   private:
     /** Next smaller aligned position count; 0 when already minimal. */

@@ -14,8 +14,12 @@ Executor::Executor(Network &network, CompiledPlan plan, GpuSpec gpu,
                 "plan does not match the network");
     // Pin each conv layer to the plan's tuned algorithm; setAlgo
     // rejects an algorithm/geometry mismatch loudly (stale plan).
-    for (std::size_t i = 0; i < compiled.layers.size(); ++i)
+    // Plan-v3 precision selections ride along the same pinning.
+    for (std::size_t i = 0; i < compiled.layers.size(); ++i) {
         net.convLayers()[i]->setAlgo(compiled.layers[i].kernel.algo);
+        net.convLayers()[i]->setQuantized(
+            compiled.layers[i].kernel.quantized);
+    }
     // Before tuning: a single exact level that always calibrates fine.
     TuningEntry exact;
     exact.positions.assign(compiled.layers.size(), 0);
@@ -47,8 +51,13 @@ Executor::applyLevel(std::size_t level)
 {
     const TuningEntry &e = table.entry(level);
     const auto &convs = net.convLayers();
-    for (std::size_t i = 0; i < convs.size(); ++i)
+    for (std::size_t i = 0; i < convs.size(); ++i) {
         convs[i]->setComputedPositions(e.positions[i]);
+        // Entries with no precision axis (legacy tables, the pre-tune
+        // exact level) leave the plan/profile quantization alone.
+        if (!e.quant.empty())
+            convs[i]->setQuantized(e.quant[i] != 0);
+    }
 }
 
 InferenceResult

@@ -34,6 +34,21 @@ TuningTable::push(TuningEntry entry)
                           "tuning path un-perforated layer ", i,
                           " at level ", entries.size());
         }
+        // Precision walks the same one-way path as perforation: a
+        // layer flipped to int8 stays int8 at every later level, so
+        // calibration backtracking only ever *removes* approximation.
+        if (!entry.quant.empty() && !entries.back().quant.empty()) {
+            PCNN_CHECK_EQ(entry.quant.size(),
+                          entries.back().quant.size(),
+                          "tuning entry quant layer count changed "
+                          "mid-path");
+            for (std::size_t i = 0; i < entry.quant.size(); ++i) {
+                PCNN_CHECK_GE(int(entry.quant[i]),
+                              int(entries.back().quant[i]),
+                              "tuning path de-quantized layer ", i,
+                              " at level ", entries.size());
+            }
+        }
     }
     entries.push_back(std::move(entry));
 }

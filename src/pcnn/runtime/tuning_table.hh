@@ -12,6 +12,7 @@
 #define PCNN_PCNN_RUNTIME_TUNING_TABLE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,9 @@ struct TuningEntry
 {
     /// computed output positions per conv layer; 0 = full grid
     std::vector<std::size_t> positions;
+    /// per-conv-layer int8 flag (1 = quantized); empty = an all-fp32
+    /// legacy path, so PR-7-era tables keep loading/pushing unchanged
+    std::vector<std::uint8_t> quant;
     double predictedTimeS = 0.0; ///< batch latency at this level
     double entropy = 0.0;        ///< CNN_entropy at this level
     double accuracy = -1.0;      ///< labeled accuracy; -1 if unknown
@@ -29,6 +33,9 @@ struct TuningEntry
     /// which layer was perforated further in this iteration (-1 for
     /// the untouched level 0)
     int adjustedLayer = -1;
+    /// true when this iteration's step flipped a layer to int8
+    /// instead of perforating (precision-vs-perforation walk)
+    bool adjustedPrecision = false;
 };
 
 /**

@@ -37,7 +37,11 @@ ServeEngine::ServeEngine(Network &prototype, EngineConfig config)
     // cache exists) before the warm-up below runs the first GEMM and
     // before any worker thread exists: the dispatch setters are not
     // safe against concurrent GEMMs, and every worker must inherit
-    // the same configuration the warm-up measured.
+    // the same configuration the warm-up measured. If the embedding
+    // process already ran a forward (a prototype whose logits the
+    // engine must reproduce bitwise), the hook declines and the
+    // engine keeps the configuration those results were computed
+    // under.
     (void)applyHostTuneCacheOnce();
 
     // Partition the intra-op lane budget across workers so inter-op

@@ -244,6 +244,8 @@ detectCpu()
     f.avx2 = __builtin_cpu_supports("avx2") != 0 &&
              __builtin_cpu_supports("fma") != 0;
     f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+    f.avx512bw = __builtin_cpu_supports("avx512bw") != 0;
+    f.avx512vnni = __builtin_cpu_supports("avx512vnni") != 0;
 #endif
 #ifdef PCNN_NEON_TIER
     f.neon = true;
@@ -423,6 +425,10 @@ CpuFeatures::str() const
         add("avx2");
     if (avx512f)
         add("avx512f");
+    if (avx512bw)
+        add("avx512bw");
+    if (avx512vnni)
+        add("avx512vnni");
     if (neon)
         add("neon");
     if (s.empty())

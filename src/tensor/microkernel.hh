@@ -63,9 +63,11 @@ bool parseKernelTier(const std::string &s, KernelTier &out);
 /** CPU identity and SIMD feature flags, detected once per process. */
 struct CpuFeatures
 {
-    bool avx2 = false;    ///< AVX2 + FMA both present
-    bool avx512f = false; ///< AVX-512 Foundation
-    bool neon = false;    ///< compiled for a NEON target
+    bool avx2 = false;     ///< AVX2 + FMA both present
+    bool avx512f = false;  ///< AVX-512 Foundation
+    bool avx512bw = false; ///< AVX-512 Byte/Word (int8 kernel tier)
+    bool avx512vnni = false; ///< AVX-512 VNNI (vpdpbusd int8 variant)
+    bool neon = false;     ///< compiled for a NEON target
     std::string model;    ///< e.g. /proc/cpuinfo "model name"
 
     /** Feature flags as a stable comma-joined string ("avx2,fma"). */

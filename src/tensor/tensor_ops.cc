@@ -222,7 +222,27 @@ packA(std::size_t r0, std::size_t r1, std::size_t m, std::size_t k,
 thread_local std::vector<float> tlPackA;
 thread_local std::vector<float> tlPackB;
 
+/** Latched by the first GEMM of the process; see gemmHasRun(). */
+std::atomic<bool> &
+gemmRanFlag() noexcept
+{
+    static std::atomic<bool> ran{false};
+    return ran;
+}
+
 } // namespace
+
+bool
+gemmHasRun() noexcept
+{
+    return gemmRanFlag().load(std::memory_order_relaxed);
+}
+
+void
+noteGemmRan() noexcept
+{
+    gemmRanFlag().store(true, std::memory_order_relaxed);
+}
 
 PCNN_HOT_PATH
 void
@@ -232,6 +252,7 @@ sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
 {
     if (m == 0 || n == 0)
         return;
+    noteGemmRan();
     PCNN_CHECK(c != nullptr, "sgemm: null C for m=", m, " n=", n);
     PCNN_CHECK(k == 0 || (a != nullptr && b != nullptr),
                "sgemm: null operand for m=", m, " n=", n, " k=", k);

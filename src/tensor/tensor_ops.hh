@@ -82,6 +82,20 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            float beta = 0.0f, const Epilogue &epi = {});
 
 /**
+ * True once any GEMM (sgemm, sgemmPrepacked, or qgemm) has executed
+ * in this process. Configuration hooks that would change the kernel
+ * tier or blocking — and with them the bitwise result of later
+ * fp32 GEMMs — consult this to refuse to flip dispatch state
+ * mid-process: results computed before the flip could never be
+ * reproduced after it (tests/test_serve.cc EngineMatchesPrototype*).
+ * Monotone; never resets.
+ */
+bool gemmHasRun() noexcept;
+
+/** Internal: GEMM entry points latch gemmHasRun(). */
+void noteGemmRan() noexcept;
+
+/**
  * A matrix operand materialized in the exact row-major layout the
  * SGEMM micro-kernel consumes: op(X) stored dense, rows x cols.
  *

@@ -1,0 +1,23 @@
+// Fixture: hot-path-alloc on the int8 path — a quantized micro-kernel
+// that builds its accumulator tile on the heap instead of in
+// registers must be flagged (the real kernels use C arrays).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tags.hh"
+
+namespace pcnn {
+
+PCNN_HOT_PATH
+void
+qgemmTileInt8(const std::int8_t *a, const std::uint8_t *b, float *c)
+{
+    std::vector<std::int32_t> acc(8);
+    for (int i = 0; i < 8; ++i)
+        acc[std::size_t(i)] = std::int32_t(a[i]) * std::int32_t(b[i]);
+    for (int i = 0; i < 8; ++i)
+        c[i] = float(acc[std::size_t(i)]);
+}
+
+} // namespace pcnn

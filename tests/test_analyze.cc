@@ -113,6 +113,15 @@ TEST(Analyze, FlagsHotPathAllocation)
     EXPECT_NE(out.find("via appendSample"), std::string::npos) << out;
 }
 
+TEST(Analyze, FlagsInt8HotPathAllocation)
+{
+    const auto [status, out] =
+        runAnalyze(rootArgs() + " " + fixture("int8_hot_alloc.cc"));
+    EXPECT_EQ(status, 1) << out;
+    EXPECT_NE(out.find("hot-path-alloc:"), std::string::npos) << out;
+    EXPECT_NE(out.find("via qgemmTileInt8"), std::string::npos) << out;
+}
+
 TEST(Analyze, FlagsUncheckedReaderCopy)
 {
     expectViolation("reader_check.cc", "reader-check");

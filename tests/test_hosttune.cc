@@ -16,6 +16,7 @@
 
 #include "pcnn/offline/host_tuner.hh"
 #include "tensor/microkernel.hh"
+#include "tensor/tensor_ops.hh"
 
 namespace pcnn {
 namespace {
@@ -248,6 +249,33 @@ TEST(HostTune, TuneShapesNonEmptyAndDistinct)
 
 // The headline contract: the first run sweeps and persists, the
 // second run loads without re-sweeping, and both agree.
+TEST(HostTune, CacheOnceDeclinesAfterFirstGemm)
+{
+    DispatchStateGuard guard;
+    // A valid, host-matching cache sits at the default path...
+    const std::string path = tmpPath("once/hosttune-v1.json");
+    ASSERT_TRUE(saveHostTune(sampleConfig(), path));
+    ASSERT_EQ(setenv("PCNN_TUNE_CACHE", path.c_str(), 1), 0);
+
+    // ...but a GEMM has already run in this process, so the bitwise
+    // value of fp32 results is committed to the current blocking.
+    float a[4] = {1, 2, 3, 4}, b[4] = {5, 6, 7, 8}, c[4];
+    sgemm(false, false, 2, 2, 2, a, b, c);
+    ASSERT_TRUE(gemmHasRun());
+
+    const GemmBlocking before = activeBlocking();
+    const KernelTier tier = activeKernelTier();
+    EXPECT_FALSE(applyHostTuneCacheOnce())
+        << "cache applied after a GEMM already ran";
+    EXPECT_TRUE(activeBlocking() == before);
+    EXPECT_EQ(activeKernelTier(), tier);
+    EXPECT_FALSE(blockingPinned());
+
+    // The outcome latches: later calls must not re-try either.
+    EXPECT_FALSE(applyHostTuneCacheOnce());
+    ASSERT_EQ(unsetenv("PCNN_TUNE_CACHE"), 0);
+}
+
 TEST(HostTune, EnsureHostTunedSweepsOnceThenLoads)
 {
     DispatchStateGuard guard;

@@ -2,14 +2,15 @@
 # Run the benchmark suites and snapshot the results as JSON.
 #
 # Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] \
-#            [algo.json] [serve.json] [tier.json] [alloc.json]
+#            [algo.json] [serve.json] [tier.json] [alloc.json] \
+#            [quant.json]
 #
 # Defaults: build directory ./build, micro-kernel output
 # BENCH_pr1.json, end-to-end model output BENCH_pr3.json,
 # per-conv-algorithm output BENCH_pr4.json, serving-engine
 # output BENCH_pr5.json, kernel-tier sweep output BENCH_pr6.json,
-# and allocation-probe snapshot BENCH_pr7.json in the repository
-# root.
+# allocation-probe snapshot BENCH_pr7.json, and int8 quantized-GEMM
+# snapshot BENCH_pr8.json in the repository root.
 #
 # BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
 # (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
@@ -48,6 +49,19 @@
 # serving engine's closed/open-loop rows in BENCH_pr5.json carry
 # the same counter for the post-warmup worker loop.
 #
+# BENCH_pr8.json records the int8 quantized GEMM sweep (DESIGN.md
+# section 5i): the full per-forward int8 cost (activation
+# quantize+pack plus qgemm with the fused dequant epilogue) on the
+# batch-1 conv GEMM acceptance shapes (AlexNet CONV2, VGG-16
+# CONV2_1/CONV3_1), at the portable and dispatched-best int8 tiers.
+# Each row carries speedup_vs_fp32 (a same-methodology tuned-fp32
+# sgemmPrepacked baseline on the identical shape; the large-K rows
+# must clear 2x at the dispatched tier), bitwise_threads_ok (the
+# cross-thread bitwise-identity contract), and steady_allocs (must
+# be 0 when alloc_counting = 1). The network-level fp32-vs-int8 A/B
+# rows (BM_E2EQuantized, with top1_match / entropy_delta accuracy
+# proxies) ride along in BENCH_pr3.json's unfiltered e2e run.
+#
 # BENCH_pr5.json records the concurrent serving engine: closed-loop
 # throughput at 1/2/4 worker replicas (with a bitwise logits check
 # across worker counts), an open-loop Poisson arrival sweep against
@@ -65,6 +79,7 @@ algo_json="${4:-$repo_root/BENCH_pr4.json}"
 serve_json="${5:-$repo_root/BENCH_pr5.json}"
 tier_json="${6:-$repo_root/BENCH_pr6.json}"
 alloc_json="${7:-$repo_root/BENCH_pr7.json}"
+quant_json="${8:-$repo_root/BENCH_pr8.json}"
 
 run_bench() {
     local bench_bin="$1" out_json="$2" filter="${3:-}"
@@ -96,6 +111,7 @@ fi
 
 run_bench "$build_dir/bench/bench_micro_kernels" "$micro_json"
 run_bench "$build_dir/bench/bench_micro_kernels" "$tier_json" "SgemmTier"
+run_bench "$build_dir/bench/bench_micro_kernels" "$quant_json" "Qgemm"
 run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
 run_bench "$build_dir/bench/bench_e2e_models" "$algo_json" \
     "ConvAlgoLayer|ReluFolding"
