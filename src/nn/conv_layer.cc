@@ -44,7 +44,25 @@ ConvLayer::cloneShared()
     clone->lastInput = Tensor();
     clone->haveCache = false;
     clone->scratch.clear(); // activations stay per-replica
+    clone->pool = nullptr;  // the replica's own graph installs one
     return clone;
+}
+
+std::size_t
+ConvLayer::steadyStateScratchBytes() const
+{
+    // Own lanes only: when a shared pool is serving this layer the
+    // bytes are counted once at the pool (CompiledGraph), not per
+    // conv — that max-instead-of-sum is the point of pooling.
+    std::size_t total = 0;
+    for (const Scratch &s : scratch) {
+        total += (s.cols.capacity() + s.gemmOut.capacity()) *
+                 sizeof(float);
+        total += s.qcols.capacity();
+        total += (s.wino.v.capacity() + s.wino.m.capacity()) *
+                 sizeof(float);
+    }
+    return total;
 }
 
 Shape
@@ -385,10 +403,16 @@ ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
     // pcnn-analyze: allow(hot-path-alloc): grow-only output
     // buffer; capacity is reused once warm (DESIGN.md §5h).
     y.resize(out_shape);
+    // An active shared pool (compiled-graph run, DESIGN.md §5j)
+    // substitutes its lanes for the per-layer ones; either vector is
+    // grow-only, and lane indexing is identical, so results do not
+    // depend on which backing store the bytes live in.
+    std::vector<Scratch> &lanes =
+        (pool != nullptr && pool->active) ? pool->lanes : scratch;
     // pcnn-analyze: allow(hot-path-alloc): per-thread scratch
     // pool grows to the lane count once, then stays.
-    if (scratch.size() < threadCount())
-        scratch.resize(threadCount());
+    if (lanes.size() < threadCount())
+        lanes.resize(threadCount());
 
     // The int8 route always lowers through im2col/1x1 (winograd's
     // transform domain has no integer analogue here).
@@ -424,7 +448,7 @@ ConvLayer::forwardImpl(const Tensor &x, bool train, bool fuse_relu,
     const std::size_t jobs = x.shape().n * spc.groups;
     auto run_job = [&](std::size_t job, std::size_t lane) {
         forwardItemGroup(x, y, job / spc.groups, job % spc.groups,
-                         algo, fuse_relu, quant, aq, scratch[lane]);
+                         algo, fuse_relu, quant, aq, lanes[lane]);
     };
     if (jobs >= threadCount() && !inParallelRegion()) {
         parallelFor(jobs, [&](std::size_t j0, std::size_t j1,

@@ -26,6 +26,8 @@
 
 namespace pcnn {
 
+struct ConvScratchPool;
+
 /** How perforated (non-computed) output positions are filled. */
 enum class InterpolationMode
 {
@@ -177,6 +179,19 @@ class ConvLayer : public Layer
         return spc.kernel == 1 && spc.stride == 1 && spc.pad == 0;
     }
 
+    /**
+     * Point this layer at an external per-lane scratch pool (owned
+     * by a CompiledGraph, DESIGN.md §5j). While the pool is active,
+     * forwards use its lanes instead of the layer's own `scratch`,
+     * so the footprint across all convs is the *max* of any one
+     * layer's need rather than the sum. While inactive (legacy path,
+     * training) the layer's own scratch is used and the baseline
+     * memory story is unchanged. Pass nullptr to detach.
+     */
+    void setScratchPool(ConvScratchPool *p) { pool = p; }
+
+    std::size_t steadyStateScratchBytes() const override;
+
   private:
     /**
      * Parameters plus every persistent weight-derived panel, bundled
@@ -269,6 +284,38 @@ class ConvLayer : public Layer
     bool quantOn = false;     ///< int8 inference route enabled
     bool haveInQuant = false; ///< calibrated input params pinned
     QuantParams inQuant;      ///< the pinned input params
+
+    /// external shared scratch (CompiledGraph); never owned, never
+    /// carried across cloneShared
+    ConvScratchPool *pool = nullptr;
+};
+
+/**
+ * Per-lane conv scratch shared across every conv layer of one
+ * compiled graph (DESIGN.md §5j). The lanes grow lazily inside conv
+ * forwards exactly like per-layer scratch; `active` gates use so the
+ * legacy chain and training keep per-layer buffers (and baseline
+ * accounting) even after a graph has installed the pool.
+ */
+struct ConvScratchPool
+{
+    std::vector<ConvLayer::Scratch> lanes;
+    bool active = false; ///< set for the duration of a graph run
+
+    /** Current bytes held across all lanes. */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const ConvLayer::Scratch &s : lanes) {
+            total += (s.cols.capacity() + s.gemmOut.capacity()) *
+                     sizeof(float);
+            total += s.qcols.capacity();
+            total += (s.wino.v.capacity() + s.wino.m.capacity()) *
+                     sizeof(float);
+        }
+        return total;
+    }
 };
 
 } // namespace pcnn

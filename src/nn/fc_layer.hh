@@ -86,6 +86,12 @@ class FcLayer : public Layer
     /** True when offline-calibrated input params are pinned. */
     bool hasInputQuant() const { return haveInQuant; }
 
+    std::size_t
+    steadyStateScratchBytes() const override
+    {
+        return qx.capacity() + yT.capacity() * sizeof(float);
+    }
+
   private:
     /**
      * Parameters and the persistent packed panel derived from them,

@@ -74,6 +74,26 @@ quantizeSlot()
     return on;
 }
 
+/** PCNN_GRAPH environment seed ("1"/"true" enables). */
+bool
+graphEnvSeed()
+{
+    static const bool on = [] {
+        const char *e = std::getenv("PCNN_GRAPH");
+        return e != nullptr && (std::strcmp(e, "1") == 0 ||
+                                std::strcmp(e, "true") == 0);
+    }();
+    return on;
+}
+
+/** Compiled-graph dispatch slot, seeded from PCNN_GRAPH. */
+bool &
+graphSlot()
+{
+    static bool on = graphEnvSeed();
+    return on;
+}
+
 } // namespace
 
 bool
@@ -125,6 +145,24 @@ void
 clearQuantizeForced()
 {
     quantizeSlot() = quantizeEnvSeed();
+}
+
+bool
+graphEnabled()
+{
+    return graphSlot();
+}
+
+void
+setGraphEnabled(bool on)
+{
+    graphSlot() = on;
+}
+
+void
+clearGraphEnabled()
+{
+    graphSlot() = graphEnvSeed();
 }
 
 } // namespace pcnn

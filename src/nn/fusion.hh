@@ -3,7 +3,7 @@
  * Process-wide inference-fusion and algorithm-dispatch controls
  * (DESIGN.md §5e).
  *
- * Two runtime switches steer the inference hot path:
+ * Process-wide switches steer the inference hot path:
  *
  *  - ReLU folding: Network (and InceptionLayer branch chains) fold a
  *    ReLU layer into the producing Conv/Fc layer's fused-epilogue
@@ -22,6 +22,11 @@
  *    regardless of per-layer flags — the quantized analogue of the
  *    tier/algorithm forcing legs in CI. Training forwards are never
  *    quantized.
+ *
+ *  - Compiled-graph dispatch: PCNN_GRAPH=1 (or setGraphEnabled())
+ *    routes inference forwards through the compiled graph and its
+ *    static arena (DESIGN.md §5j) instead of the legacy ping-pong
+ *    chain. Off by default; bitwise identical results either way.
  *
  * Both are plain process-wide toggles, not per-network state: they
  * exist for benchmarking and testing, and the hot path reads them
@@ -61,6 +66,21 @@ void setQuantizeForced(bool on);
 
 /** Restore the PCNN_QUANTIZE environment default. */
 void clearQuantizeForced();
+
+/**
+ * True when inference forwards route through the compiled graph
+ * (pass-manager + static arena, DESIGN.md §5j) instead of the legacy
+ * layer chain. Off by default; PCNN_GRAPH=1 (or setGraphEnabled)
+ * turns it on. Results are bitwise identical either way — the switch
+ * exists for A/B verification and staged rollout.
+ */
+bool graphEnabled();
+
+/** Enable/disable the compiled-graph path (overrides PCNN_GRAPH). */
+void setGraphEnabled(bool on);
+
+/** Restore the PCNN_GRAPH environment default. */
+void clearGraphEnabled();
 
 } // namespace pcnn
 

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Internal interfaces between the graph compiler's stages (lowering
+ * and passes in graph_lower.cc, lifetime/arena planning in
+ * graph_plan.cc, execution in compiled_graph.cc). Not installed API;
+ * tests use the public surface in compiled_graph.hh.
+ */
+
+#ifndef PCNN_NN_GRAPH_GRAPH_INTERNAL_HH
+#define PCNN_NN_GRAPH_GRAPH_INTERNAL_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "nn/graph/graph_ir.hh"
+
+namespace pcnn {
+
+class Network;
+class Layer;
+
+/** Lowered (and optimized) op list plus its layer table. */
+struct LoweredGraph
+{
+    GraphSchedule sched;
+    std::vector<Layer *> flat;
+};
+
+/**
+ * Lower `net` into a schedule and run the optimization passes.
+ * Values carry shapes and perItem flags after this; lifetimes and
+ * arena offsets are planGraphArena's job.
+ */
+LoweredGraph lowerAndOptimize(Network &net, std::size_t batch);
+
+/**
+ * Recompute def/lastUse for every value from the op list alone,
+ * applying the tiling rule: a batch-wide value written inside the
+ * per-item loop is pinned live from op 0, so no per-item value can
+ * reuse its storage across item iterations.
+ */
+std::vector<std::pair<int, int>>
+computeGraphLiveness(const GraphSchedule &s);
+
+/**
+ * Fill in def/lastUse, assign arena offsets (greedy first-fit over
+ * descending extents, 16-float aligned) and set arenaFloats.
+ */
+void planGraphArena(GraphSchedule &s);
+
+} // namespace pcnn
+
+#endif // PCNN_NN_GRAPH_GRAPH_INTERNAL_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Flat op-graph IR for the compiled inference path (DESIGN.md §5j).
+ *
+ * A frozen Network lowers into a linear schedule of single-input ops
+ * over a set of values (activation tensors) whose storage is
+ * offset-assigned inside one static arena. The schedule is pure
+ * data: it serializes into plan format v4 (plan_io.cc) and executes
+ * through CompiledGraph (compiled_graph.hh), which resolves layer
+ * indices against the live Network.
+ *
+ * Two structural ideas carry the memory plan:
+ *
+ *  - Window writes. Concatenation is not an op: a value may have
+ *    several writers, each covering a disjoint channel window
+ *    (chanOff / chanCount). An inception branch terminal then writes
+ *    directly at its offset in the concat output and the per-branch
+ *    staging buffer disappears (the concat-elimination pass).
+ *
+ *  - Item tiling. Ops in the prefix [0, tiledOps) run once per batch
+ *    item over per-item values (GraphValue::perItem), so the arena
+ *    holds one item's activations for the convolutional trunk
+ *    instead of the whole batch's. The boundary into the batch-wide
+ *    tail is a per-item window write at the item's offset.
+ */
+
+#ifndef PCNN_NN_GRAPH_GRAPH_IR_HH
+#define PCNN_NN_GRAPH_GRAPH_IR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcnn {
+
+/** How a graph op executes. */
+enum class GraphOpExec : std::uint8_t
+{
+    Layer = 0,      ///< layer->forwardInto(x, false, y)
+    LayerFusedRelu, ///< layer->forwardFusedReluInto(x, y) (fuse pass)
+    CopyWindow,     ///< per-item channel-window copy (concat staging)
+};
+
+/** Sentinel input id: the op reads the network input tensor. */
+constexpr int kGraphInputValue = -1;
+
+/** One scheduled operation. */
+struct GraphOp
+{
+    GraphOpExec exec = GraphOpExec::Layer;
+    /// flat layer index (network order, inception branches inlined);
+    /// unused for CopyWindow
+    std::size_t layer = 0;
+    int input = kGraphInputValue; ///< value read, or the network input
+    int output = 0;               ///< value written
+    /// channel window written in the output value; chanCount == the
+    /// output value's channel count when the op covers it whole
+    std::size_t chanOff = 0;
+    std::size_t chanCount = 0;
+    bool tiled = false; ///< runs inside the per-item loop
+    /// layer identity for plan-adoption validation (empty for
+    /// CopyWindow); not used during execution
+    std::string layerKind;
+    std::string layerName;
+};
+
+/** One activation value with its arena placement and lifetime. */
+struct GraphValue
+{
+    std::size_t c = 0, h = 0, w = 0; ///< per-item extents
+    /// true: holds ONE item (tiled trunk); false: holds the whole
+    /// compiled batch
+    bool perItem = false;
+    /// network output: lives in the caller's tensor, not the arena
+    bool isOutput = false;
+    std::size_t offset = 0; ///< arena offset in floats
+    std::size_t extent = 0; ///< arena floats reserved
+    int def = 0;            ///< first op index whose run may write it
+    int lastUse = 0;        ///< last op index that reads or writes it
+};
+
+/**
+ * A compiled execution schedule: op order, value placement, arena
+ * size. Serializes as the plan-v4 schedule section.
+ */
+struct GraphSchedule
+{
+    std::size_t batch = 1;       ///< compiled batch capacity
+    std::size_t arenaFloats = 0; ///< one allocation of this many floats
+    std::size_t tiledOps = 0;    ///< ops [0, tiledOps) run per item
+    std::vector<GraphOp> ops;
+    std::vector<GraphValue> values;
+
+    /** Floats a value needs at the compiled batch. */
+    std::size_t
+    valueFloats(const GraphValue &v) const
+    {
+        return (v.perItem ? 1 : batch) * v.c * v.h * v.w;
+    }
+};
+
+/**
+ * Structural validation: every invariant the executor relies on.
+ * Returns false (with no side effects) on any violation — op/value
+ * ids out of range, lifetimes inconsistent with the op list, arena
+ * offsets out of bounds, simultaneously-live values overlapping in
+ * the arena, or channel windows that fail to partition their value.
+ * Plan deserialization calls this on hostile bytes; compile() calls
+ * it on its own output as a self-check.
+ */
+bool validateGraphSchedule(const GraphSchedule &s);
+
+} // namespace pcnn
+
+#endif // PCNN_NN_GRAPH_GRAPH_IR_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Lifetime analysis, static arena assignment, and schedule
+ * validation (DESIGN.md §5j).
+ *
+ * Lifetimes are op-index intervals [def, lastUse]. The one twist is
+ * item tiling: ops in [0, tiledOps) re-run once per batch item, so a
+ * batch-wide value they write (the tiled/batch boundary) holds item
+ * i's slice while items i+1.. are still executing — its def is
+ * pinned to op 0 so every per-item value's interval overlaps it and
+ * first-fit can never place them on the same bytes. Per-item values
+ * may share bytes across item iterations: an interval that ends at
+ * op k is dead for the rest of its own item, and the next item
+ * rewrites it before any read.
+ *
+ * Arena assignment is greedy first-fit over values sorted by
+ * descending extent: each value takes the lowest 16-float-aligned
+ * offset that avoids address overlap with every already-placed value
+ * whose lifetime overlaps its own. The arena size is the resulting
+ * high-water mark — the max of live sets rather than the sum of all
+ * buffers, which is the memory win over the ping-pong chain.
+ *
+ * validateGraphSchedule re-derives everything derivable and checks
+ * the rest for consistency; it is the gate hostile plan-v4 bytes
+ * must pass before an executor will touch a schedule.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph/graph_internal.hh"
+
+namespace pcnn {
+
+namespace {
+
+constexpr std::size_t kMaxGraphOps = 4096;
+constexpr std::size_t kMaxGraphValues = 4096;
+constexpr std::size_t kGraphDimCap = std::size_t(1) << 20;
+/// cap on any float count (extent, offset, arena size): generous for
+/// real models, tight enough that sums cannot overflow size_t
+constexpr std::size_t kGraphFloatCap = std::size_t(1) << 40;
+constexpr std::size_t kArenaAlignFloats = 16;
+
+/** [def,lastUse] intervals overlap. */
+bool
+liveOverlap(const GraphValue &a, const GraphValue &b)
+{
+    return a.def <= b.lastUse && b.def <= a.lastUse;
+}
+
+/** Address ranges [offset, offset+extent) overlap. */
+bool
+addressOverlap(const GraphValue &a, const GraphValue &b)
+{
+    return a.offset < b.offset + b.extent &&
+           b.offset < a.offset + a.extent;
+}
+
+} // namespace
+
+std::vector<std::pair<int, int>>
+computeGraphLiveness(const GraphSchedule &s)
+{
+    std::vector<std::pair<int, int>> live(s.values.size(), {-1, -1});
+    for (std::size_t k = 0; k < s.ops.size(); ++k) {
+        const GraphOp &op = s.ops[k];
+        if (op.output >= 0 &&
+            std::size_t(op.output) < s.values.size()) {
+            auto &lv = live[std::size_t(op.output)];
+            // Tiled writer of a batch-wide value: pinned live across
+            // the whole item loop (see file comment).
+            const int def =
+                (op.tiled && !s.values[std::size_t(op.output)].perItem)
+                    ? 0
+                    : int(k);
+            lv.first = lv.first < 0 ? def : std::min(lv.first, def);
+            lv.second = std::max(lv.second, int(k));
+        }
+        if (op.input >= 0 && std::size_t(op.input) < s.values.size())
+            live[std::size_t(op.input)].second = std::max(
+                live[std::size_t(op.input)].second, int(k));
+    }
+    return live;
+}
+
+void
+planGraphArena(GraphSchedule &s)
+{
+    const auto live = computeGraphLiveness(s);
+    for (std::size_t v = 0; v < s.values.size(); ++v) {
+        s.values[v].def = live[v].first;
+        s.values[v].lastUse = live[v].second;
+        if (s.values[v].isOutput) {
+            s.values[v].offset = 0;
+            s.values[v].extent = 0;
+        } else {
+            const std::size_t need = s.valueFloats(s.values[v]);
+            s.values[v].extent =
+                (need + kArenaAlignFloats - 1) / kArenaAlignFloats *
+                kArenaAlignFloats;
+        }
+    }
+
+    std::vector<std::size_t> order;
+    for (std::size_t v = 0; v < s.values.size(); ++v)
+        if (!s.values[v].isOutput)
+            order.push_back(v);
+    std::sort(order.begin(), order.end(),
+              [&s](std::size_t a, std::size_t b) {
+                  if (s.values[a].extent != s.values[b].extent)
+                      return s.values[a].extent > s.values[b].extent;
+                  return a < b;
+              });
+
+    s.arenaFloats = 0;
+    std::vector<std::size_t> placed;
+    for (std::size_t v : order) {
+        GraphValue &val = s.values[std::size_t(v)];
+        // Conflicting placed intervals, sorted by offset; slide past
+        // each one the candidate range would collide with.
+        std::vector<std::pair<std::size_t, std::size_t>> busy;
+        for (std::size_t u : placed)
+            if (liveOverlap(s.values[u], val))
+                busy.emplace_back(s.values[u].offset,
+                                  s.values[u].extent);
+        std::sort(busy.begin(), busy.end());
+        std::size_t offset = 0;
+        for (const auto &[bo, be] : busy) {
+            if (offset + val.extent <= bo)
+                break;
+            offset = std::max(offset, bo + be);
+        }
+        val.offset = offset;
+        placed.push_back(v);
+        s.arenaFloats = std::max(s.arenaFloats, offset + val.extent);
+    }
+}
+
+bool
+validateGraphSchedule(const GraphSchedule &s)
+{
+    // Global caps first, so later arithmetic cannot overflow.
+    if (s.batch < 1 || s.batch > kGraphDimCap)
+        return false;
+    if (s.ops.empty() || s.ops.size() > kMaxGraphOps)
+        return false;
+    if (s.values.empty() || s.values.size() > kMaxGraphValues)
+        return false;
+    if (s.tiledOps > s.ops.size())
+        return false;
+    if (s.arenaFloats > kGraphFloatCap)
+        return false;
+
+    const int nv = int(s.values.size());
+    std::size_t outputs = 0;
+    for (const GraphValue &v : s.values) {
+        if (v.c < 1 || v.c > kGraphDimCap || v.h < 1 ||
+            v.h > kGraphDimCap || v.w < 1 || v.w > kGraphDimCap)
+            return false;
+        if (v.c * v.h * v.w > kGraphFloatCap / s.batch)
+            return false;
+        if (v.extent > kGraphFloatCap || v.offset > kGraphFloatCap)
+            return false;
+        if (v.isOutput) {
+            ++outputs;
+            // The output lives in the caller's tensor, never the
+            // arena, and the executor materializes it batch-wide.
+            if (v.perItem || v.extent != 0)
+                return false;
+        }
+    }
+    if (outputs != 1)
+        return false;
+
+    // Per-op structure.
+    for (std::size_t k = 0; k < s.ops.size(); ++k) {
+        const GraphOp &op = s.ops[k];
+        if (op.tiled != (k < s.tiledOps))
+            return false;
+        if (op.output < 0 || op.output >= nv)
+            return false;
+        if (op.input < kGraphInputValue || op.input >= nv ||
+            op.input == op.output)
+            return false;
+        const GraphValue &out = s.values[std::size_t(op.output)];
+        if (op.chanCount < 1 || op.chanOff > out.c ||
+            op.chanCount > out.c - op.chanOff)
+            return false;
+        if (!op.tiled && out.perItem)
+            return false;
+        if (op.input >= 0) {
+            const GraphValue &in = s.values[std::size_t(op.input)];
+            // Reading the network output, or a tiled op reading
+            // batch-wide data (it would see one stale item), is
+            // never emitted.
+            if (in.isOutput)
+                return false;
+            if (op.tiled != in.perItem)
+                return false;
+        }
+        if (op.exec == GraphOpExec::CopyWindow) {
+            // Concat staging copy: whole source into a window;
+            // tiled copies are always eliminated at compile.
+            if (op.tiled || op.input < 0 || !op.layerKind.empty())
+                return false;
+            const GraphValue &in = s.values[std::size_t(op.input)];
+            if (in.c != op.chanCount || in.h != out.h ||
+                in.w != out.w)
+                return false;
+        } else {
+            if (op.layerKind.empty() || op.layer > kMaxGraphOps)
+                return false;
+            if (out.h < 1 || out.w < 1)
+                return false;
+        }
+    }
+
+    // Channel windows of each value's writers must partition [0, c)
+    // exactly, and all writers must agree on tiledness (mixed
+    // writers would interleave per-item and batch stores).
+    for (int v = 0; v < nv; ++v) {
+        std::vector<std::pair<std::size_t, std::size_t>> windows;
+        bool tiled = false;
+        for (const GraphOp &op : s.ops)
+            if (op.output == v) {
+                if (!windows.empty() && op.tiled != tiled)
+                    return false;
+                tiled = op.tiled;
+                windows.emplace_back(op.chanOff, op.chanCount);
+            }
+        if (windows.empty())
+            return false; // every value needs a writer
+        std::sort(windows.begin(), windows.end());
+        std::size_t next = 0;
+        for (const auto &[off, cnt] : windows) {
+            if (off != next)
+                return false;
+            next = off + cnt;
+        }
+        if (next != s.values[std::size_t(v)].c)
+            return false;
+    }
+
+    // Stored lifetimes must equal the recomputed ones: an attacker
+    // cannot shorten a lifetime to sneak two live tensors onto the
+    // same bytes past the overlap check below.
+    const auto live = computeGraphLiveness(s);
+    for (int v = 0; v < nv; ++v) {
+        if (s.values[std::size_t(v)].def != live[std::size_t(v)].first ||
+            s.values[std::size_t(v)].lastUse !=
+                live[std::size_t(v)].second)
+            return false;
+        // Non-output values must also be read, or the op writing
+        // them is dead weight the compiler would have swept.
+        if (!s.values[std::size_t(v)].isOutput &&
+            live[std::size_t(v)].second <=
+                live[std::size_t(v)].first)
+            return false;
+    }
+
+    // Arena plan: capacity, bounds, and pairwise exclusivity of
+    // simultaneously-live values.
+    for (int v = 0; v < nv; ++v) {
+        const GraphValue &val = s.values[std::size_t(v)];
+        if (val.isOutput)
+            continue;
+        if (val.extent < s.valueFloats(val))
+            return false;
+        if (val.offset + val.extent > s.arenaFloats)
+            return false;
+    }
+    for (int a = 0; a < nv; ++a) {
+        const GraphValue &va = s.values[std::size_t(a)];
+        if (va.isOutput)
+            continue;
+        for (int b = a + 1; b < nv; ++b) {
+            const GraphValue &vb = s.values[std::size_t(b)];
+            if (vb.isOutput)
+                continue;
+            if (liveOverlap(va, vb) && addressOverlap(va, vb))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace pcnn

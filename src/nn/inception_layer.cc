@@ -215,6 +215,21 @@ InceptionLayer::backward(const Tensor &dy)
     return dx;
 }
 
+std::size_t
+InceptionLayer::steadyStateScratchBytes() const
+{
+    // Inner ping-pong staging plus whatever the branch layers hold.
+    // The compiled-graph path never touches actA/actB (branches write
+    // arena values directly), so on a graph-only replica these stay
+    // at zero capacity.
+    std::size_t total =
+        (actA.capacityFloats() + actB.capacityFloats()) * sizeof(float);
+    for (const Branch &branch : branches)
+        for (const auto &layer : branch)
+            total += layer->steadyStateScratchBytes();
+    return total;
+}
+
 std::vector<Param *>
 InceptionLayer::params()
 {

@@ -66,6 +66,17 @@ class InceptionLayer : public Layer
     /** Inner conv layers across all branches (for perforation). */
     const std::vector<ConvLayer *> &convLayers() const { return convs; }
 
+    /**
+     * The branch chains themselves, for the graph compiler's
+     * lowering (DESIGN.md §5j): a branch's layers execute in order
+     * on the module input and its terminal output occupies the next
+     * chanOff window of the concat output. The layers stay owned by
+     * this module.
+     */
+    const std::vector<Branch> &branchList() const { return branches; }
+
+    std::size_t steadyStateScratchBytes() const override;
+
   private:
     /** Output channels of one branch for a given input shape. */
     Shape branchOutputShape(std::size_t b, const Shape &in) const;

@@ -10,6 +10,7 @@
 #ifndef PCNN_NN_LAYER_HH
 #define PCNN_NN_LAYER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -198,6 +199,15 @@ class Layer
         (void)in;
         return 0.0;
     }
+
+    /**
+     * Bytes of grow-only per-replica scratch this layer currently
+     * holds for inference forwards (not parameters, not caller
+     * activations). Feeds Network::steadyMemoryBytes(), the footprint
+     * the arena planner is benchmarked against; layers whose scratch
+     * lives in a shared pool (DESIGN.md §5j) report 0 while pooled.
+     */
+    virtual std::size_t steadyStateScratchBytes() const { return 0; }
 };
 
 } // namespace pcnn

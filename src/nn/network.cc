@@ -1,9 +1,12 @@
 #include "nn/network.hh"
 
+#include <algorithm>
+
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/tags.hh"
 #include "nn/fusion.hh"
+#include "nn/graph/compiled_graph.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -12,6 +15,60 @@ Network::Network(std::string name, Shape input_shape)
     : netName(std::move(name)), inShape(input_shape)
 {
     inShape.n = 1;
+}
+
+// Defined where CompiledGraph is complete (unique_ptr member).
+// Moving a Network keeps the compiled graph valid: it holds raw
+// layer pointers and the layers themselves live behind unique_ptrs
+// whose pointees do not move.
+Network::Network(Network &&) noexcept = default;
+Network &Network::operator=(Network &&) noexcept = default;
+Network::~Network() = default;
+
+void
+Network::ensureCompiledGraph(std::size_t batch)
+{
+    batch = std::max<std::size_t>(batch, 1);
+    const bool fold = reluFoldingEnabled();
+    const bool quant = graphQuantFingerprint(*this);
+    if (graph && !graph->staleFor(batch, fold, quant))
+        return;
+    // pcnn-analyze: allow(hot-path-alloc): grow-only recompile —
+    // happens on first use or a config flip, never in steady state.
+    const std::size_t cap =
+        std::max(batch, graph ? graph->batchCapacity() : 0);
+    // Destroy the stale graph first: its destructor detaches the
+    // conv scratch pool, which must not run after the new graph has
+    // installed its own.
+    graph.reset();
+    graph = CompiledGraph::compile(*this, cap);
+    ++graphCompiles;
+}
+
+void
+Network::adoptGraphSchedule(const GraphSchedule &s)
+{
+    graph.reset(); // see ensureCompiledGraph on destruction order
+    graph = CompiledGraph::adopt(*this, s);
+    ++graphCompiles;
+}
+
+void
+Network::clearCompiledGraph()
+{
+    graph.reset();
+}
+
+std::size_t
+Network::steadyMemoryBytes() const
+{
+    std::size_t total =
+        (actA.capacityFloats() + actB.capacityFloats()) * sizeof(float);
+    for (const auto &l : layers)
+        total += l->steadyStateScratchBytes();
+    if (graph)
+        total += graph->arenaBytes() + graph->scratchPoolBytes();
+    return total;
 }
 
 Tensor
@@ -33,6 +90,22 @@ Network::forwardInto(const Tensor &x, bool train, Tensor &out)
     PCNN_CHECK(!layers.empty(), netName, ": empty network");
     PCNN_CHECK(&out != &x, netName,
                ": forwardInto output must not alias the input");
+    // Compiled-graph dispatch (DESIGN.md §5j): inference forwards
+    // run the static-arena schedule when the toggle is on. The
+    // schedule invokes the same layer forwards in the same order on
+    // the same bytes, so logits are bitwise equal to the chain
+    // below; training always takes the chain (backward needs the
+    // layers' own caches and stochastic behaviour).
+    if (!train && graphEnabled()) {
+        // pcnn-analyze: allow(hot-path-alloc): compile-on-first-use;
+        // the graph is cached and steady-state forwards re-use it.
+        ensureCompiledGraph(x.shape().n);
+        // pcnn-analyze: allow(hot-path-alloc): CompiledGraph::run is
+        // itself a tagged hot-path root; the name-based call graph
+        // would otherwise drag in every other run() in the tree.
+        graph->run(x, out);
+        return;
+    }
     // Activations ping-pong between two persistent per-network
     // buffers (the last layer writes straight into `out`), so a
     // steady-state inference forward performs no allocator traffic

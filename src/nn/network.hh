@@ -17,6 +17,9 @@
 
 namespace pcnn {
 
+class CompiledGraph;
+struct GraphSchedule;
+
 /**
  * A feed-forward chain of layers ending in classifier logits.
  *
@@ -36,8 +39,11 @@ class Network
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
-    Network(Network &&) = default;
-    Network &operator=(Network &&) = default;
+    // Out of line: the compiled-graph member's type is incomplete
+    // here (unique_ptr needs it complete at destroy).
+    Network(Network &&) noexcept;
+    Network &operator=(Network &&) noexcept;
+    ~Network();
 
     /** Append a pre-built layer (for composites built elsewhere). */
     Layer *
@@ -155,6 +161,44 @@ class Network
      */
     Network cloneSharingWeights();
 
+    /**
+     * Compile (or recompile) the graph-dispatch schedule for batches
+     * up to `batch` (DESIGN.md §5j). forwardInto does this lazily
+     * when graphEnabled(); calling it up front — as ServeEngine does
+     * per replica at maxBatch — moves the one arena allocation out
+     * of the serving hot path. No-op when a compatible graph exists.
+     */
+    void ensureCompiledGraph(std::size_t batch);
+
+    /**
+     * Adopt a deserialized plan-v4 schedule (offline compiler) as
+     * this network's compiled graph; fails a PCNN_CHECK loudly when
+     * the schedule does not match this network.
+     */
+    void adoptGraphSchedule(const GraphSchedule &s);
+
+    /** Drop the compiled graph; next graph forward recompiles. */
+    void clearCompiledGraph();
+
+    /** The active compiled graph, or nullptr. */
+    const CompiledGraph *compiledGraph() const { return graph.get(); }
+
+    /**
+     * How many times a graph (and hence its arena) was compiled on
+     * this network. Serving asserts exactly one per replica.
+     */
+    std::size_t graphCompileCount() const { return graphCompiles; }
+
+    /**
+     * Current bytes of steady-state inference working memory:
+     * ping-pong activation capacity, per-layer grow-only scratch,
+     * and — when a graph is compiled — its arena and shared conv
+     * scratch pool. Parameters and caller tensors excluded. This is
+     * the `peak_arena_bytes` metric the ≥30% reduction criterion is
+     * measured on.
+     */
+    std::size_t steadyMemoryBytes() const;
+
   private:
     std::string netName;
     Shape inShape;
@@ -164,6 +208,10 @@ class Network
     /// forwardInto ping-pong activation scratch; grow-only,
     /// per-network (replicas get their own via cloneSharingWeights)
     Tensor actA, actB;
+    /// compiled-graph executable (graphEnabled() dispatch); never
+    /// carried by cloneSharingWeights — each replica compiles its own
+    std::unique_ptr<CompiledGraph> graph;
+    std::size_t graphCompiles = 0; ///< arena allocations performed
 };
 
 } // namespace pcnn

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "nn/graph/compiled_graph.hh"
+#include "nn/network.hh"
 #include "pcnn/offline/resource_model.hh"
 #include "pcnn/satisfaction.hh"
 
@@ -108,6 +110,23 @@ OfflineCompiler::compile(const NetDescriptor &net,
     }
     plan.timeRequirementMissed = plan.latencyS() > req.imperceptibleS;
     return plan;
+}
+
+void
+attachGraphSchedule(CompiledPlan &plan, Network &net)
+{
+    pcnn_assert(net.convLayers().size() == plan.layers.size(),
+                "plan does not match the network");
+    // Mirror the Executor's pinning so the schedule is compiled for
+    // exactly the configuration the runtime will execute: the quant
+    // fingerprint decides item tiling, and the algorithm selections
+    // decide per-layer scratch shapes.
+    for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+        net.convLayers()[i]->setAlgo(plan.layers[i].kernel.algo);
+        net.convLayers()[i]->setQuantized(
+            plan.layers[i].kernel.quantized);
+    }
+    plan.schedule = buildGraphSchedule(net, plan.batch);
 }
 
 } // namespace pcnn

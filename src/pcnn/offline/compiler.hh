@@ -12,9 +12,11 @@
 #ifndef PCNN_PCNN_OFFLINE_COMPILER_HH
 #define PCNN_PCNN_OFFLINE_COMPILER_HH
 
+#include <optional>
 #include <vector>
 
 #include "gpu/memory_model.hh"
+#include "nn/graph/graph_ir.hh"
 #include "pcnn/offline/batch_selector.hh"
 #include "pcnn/offline/kernel_tuner.hh"
 #include "pcnn/offline/time_model.hh"
@@ -44,6 +46,11 @@ struct CompiledPlan
     /// true when even batch == 1 misses the user's time requirement;
     /// run-time accuracy tuning is then the only remaining lever
     bool timeRequirementMissed = false;
+    /// compiled-graph execution schedule (DESIGN.md §5j): op order,
+    /// arena offsets and lifetimes at this plan's batch. Optional —
+    /// plans compiled before format v4 (or without a frozen network)
+    /// carry none and the runtime compiles one on first forward.
+    std::optional<GraphSchedule> schedule;
 
     /** Predicted end-to-end batch latency in seconds. */
     double latencyS() const { return time.total(); }
@@ -61,6 +68,18 @@ enum class AlgoSweep
     Off,
     On,
 };
+
+class Network;
+
+/**
+ * Build the compiled-graph schedule for `net` at the plan's batch
+ * and attach it to the plan (plan format v4, DESIGN.md §5j). Applies
+ * the plan's per-layer algorithm and precision pins to `net` first —
+ * the same configuration the runtime Executor applies before
+ * adopting the schedule — so the compiled op structure (tiling,
+ * fusion) matches what will execute.
+ */
+void attachGraphSchedule(CompiledPlan &plan, Network &net);
 
 /** The offline compiler, bound to one GPU. */
 class OfflineCompiler

@@ -16,8 +16,11 @@ namespace {
 // version byte, and each layer record carries its conv algorithm.
 // Version 3 keeps the V2 magic (the version byte discriminates) and
 // appends a per-layer int8 `quantized` flag after the algorithm.
-// Old plans keep loading (algorithm defaults to im2col, quantized
-// to false).
+// Version 4 appends an optional compiled-graph schedule section
+// (DESIGN.md §5j) after the layer records: a presence flag, then the
+// GraphSchedule header (batch / arenaFloats / tiledOps / counts),
+// the ops and the values. Old plans keep loading (algorithm defaults
+// to im2col, quantized to false, schedule to nullopt).
 constexpr char kMagicV1[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '1'};
 constexpr char kMagicV2[8] = {'P', 'C', 'N', 'N', 'P', 'L', 'N', '2'};
 
@@ -41,6 +44,12 @@ putStr(std::vector<std::uint8_t> &out, const std::string &s)
 {
     putU64(out, s.size());
     out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putI64(std::vector<std::uint8_t> &out, std::int64_t v)
+{
+    putU64(out, std::uint64_t(v));
 }
 
 class Reader
@@ -74,6 +83,16 @@ class Reader
     }
 
     bool
+    i64(std::int64_t &v)
+    {
+        std::uint64_t bits;
+        if (!u64(bits))
+            return false;
+        v = std::int64_t(bits);
+        return true;
+    }
+
+    bool
     str(std::string &s)
     {
         // `pos + len` can wrap for a hostile 64-bit length, so the
@@ -101,6 +120,119 @@ class Reader
     bool ok = true;
 };
 
+/** Append the v4 schedule section for `s`. */
+void
+putSchedule(std::vector<std::uint8_t> &out, const GraphSchedule &s)
+{
+    putU64(out, s.batch);
+    putU64(out, s.arenaFloats);
+    putU64(out, s.tiledOps);
+    putU64(out, s.ops.size());
+    putU64(out, s.values.size());
+    for (const GraphOp &op : s.ops) {
+        putU64(out, std::uint64_t(op.exec));
+        putU64(out, op.layer);
+        putI64(out, op.input);
+        putI64(out, op.output);
+        putU64(out, op.chanOff);
+        putU64(out, op.chanCount);
+        putU64(out, op.tiled ? 1 : 0);
+        putStr(out, op.layerKind);
+        putStr(out, op.layerName);
+    }
+    for (const GraphValue &v : s.values) {
+        putU64(out, v.c);
+        putU64(out, v.h);
+        putU64(out, v.w);
+        putU64(out, v.perItem ? 1 : 0);
+        putU64(out, v.isOutput ? 1 : 0);
+        putU64(out, v.offset);
+        putU64(out, v.extent);
+        putI64(out, v.def);
+        putI64(out, v.lastUse);
+    }
+}
+
+/**
+ * Parse the v4 schedule section into `s`. Counts are bounded before
+ * any container grows, every enum/flag/id is range-checked as it is
+ * read, and the assembled schedule must pass the full structural
+ * validator (validateGraphSchedule) before the caller sees it — a
+ * hostile section (truncated op list, out-of-range arena offsets,
+ * lifetimes edited to alias two live values, an arena smaller than
+ * the highest offset + extent) returns false, never a crash.
+ */
+PCNN_BINARY_READER
+bool
+readSchedule(Reader &r, GraphSchedule &s)
+{
+    constexpr std::uint64_t kCountCap = 4096;
+    constexpr std::int64_t kIdCap = std::int64_t(kCountCap);
+    std::uint64_t batch = 0, arena = 0, tiled_ops = 0, n_ops = 0,
+                  n_values = 0;
+    if (!r.u64(batch) || !r.u64(arena) || !r.u64(tiled_ops) ||
+        !r.u64(n_ops) || !r.u64(n_values))
+        return false;
+    if (n_ops == 0 || n_ops > kCountCap || n_values == 0 ||
+        n_values > kCountCap || tiled_ops > n_ops)
+        return false;
+    s.batch = batch;
+    s.arenaFloats = arena;
+    s.tiledOps = tiled_ops;
+    s.ops.resize(n_ops);
+    s.values.resize(n_values);
+    for (GraphOp &op : s.ops) {
+        std::uint64_t exec = 0, layer = 0, chan_off = 0,
+                      chan_count = 0, tiled = 0;
+        std::int64_t input = 0, output = 0;
+        if (!r.u64(exec) || !r.u64(layer) || !r.i64(input) ||
+            !r.i64(output) || !r.u64(chan_off) ||
+            !r.u64(chan_count) || !r.u64(tiled) ||
+            !r.str(op.layerKind) || !r.str(op.layerName))
+            return false;
+        if (exec > std::uint64_t(GraphOpExec::CopyWindow) ||
+            tiled > 1)
+            return false;
+        if (input < kGraphInputValue || input >= kIdCap ||
+            output < 0 || output >= kIdCap)
+            return false;
+        op.exec = GraphOpExec(std::uint8_t(exec));
+        op.layer = layer;
+        op.input = int(input);
+        op.output = int(output);
+        op.chanOff = chan_off;
+        op.chanCount = chan_count;
+        op.tiled = tiled != 0;
+    }
+    for (GraphValue &v : s.values) {
+        std::uint64_t c = 0, h = 0, w = 0, per_item = 0,
+                      is_output = 0, offset = 0, extent = 0;
+        std::int64_t def = 0, last_use = 0;
+        if (!r.u64(c) || !r.u64(h) || !r.u64(w) ||
+            !r.u64(per_item) || !r.u64(is_output) ||
+            !r.u64(offset) || !r.u64(extent) || !r.i64(def) ||
+            !r.i64(last_use))
+            return false;
+        if (per_item > 1 || is_output > 1)
+            return false;
+        // Lifetimes are op indices; the validator recomputes and
+        // compares them, but the range must be sane first.
+        if (def < -1 || def >= kIdCap || last_use < -1 ||
+            last_use >= kIdCap)
+            return false;
+        v.c = c;
+        v.h = h;
+        v.w = w;
+        v.perItem = per_item != 0;
+        v.isOutput = is_output != 0;
+        v.offset = offset;
+        v.extent = extent;
+        v.def = int(def);
+        v.lastUse = int(last_use);
+    }
+    return validateGraphSchedule(s);
+}
+
 } // namespace
 
 std::vector<std::uint8_t>
@@ -116,6 +248,7 @@ serializePlan(const CompiledPlan &plan, std::uint8_t version)
                 "unsupported plan format version ", version);
     const bool v2 = version >= 2;
     const bool v3 = version >= 3;
+    const bool v4 = version >= 4;
     std::vector<std::uint8_t> out;
     // Byte-wise append: vector::insert over a raw range trips a
     // GCC 12 -Wstringop-overflow false positive under sanitizer
@@ -162,6 +295,11 @@ serializePlan(const CompiledPlan &plan, std::uint8_t version)
         putF64(out, ls.timeS);
         putF64(out, ls.util);
     }
+    if (v4) {
+        putU64(out, plan.schedule.has_value() ? 1 : 0);
+        if (plan.schedule)
+            putSchedule(out, *plan.schedule);
+    }
     return out;
 }
 
@@ -178,6 +316,7 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
         return std::nullopt;
     std::size_t header = 8;
     bool v3 = false;
+    bool v4 = false;
     if (v2) {
         // Explicit format-version byte; anything newer than this
         // build understands is rejected rather than misparsed.
@@ -185,6 +324,7 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
             bytes[8] > kPlanFormatVersion)
             return std::nullopt;
         v3 = bytes[8] >= 3;
+        v4 = bytes[8] >= 4;
         header = 9;
     }
     const std::vector<std::uint8_t> body(
@@ -307,6 +447,21 @@ deserializePlan(const std::vector<std::uint8_t> &bytes)
                       ? c.winogradGemmShape(plan.batch)
                       : c.gemmShape(plan.batch);
         plan.layers.push_back(std::move(ls));
+    }
+    if (v4) {
+        std::uint64_t has_schedule = 0;
+        if (!r.u64(has_schedule) || has_schedule > 1)
+            return std::nullopt;
+        if (has_schedule != 0) {
+            GraphSchedule sched;
+            if (!readSchedule(r, sched))
+                return std::nullopt;
+            // The schedule was compiled at the plan's batch; a
+            // mismatch marks a spliced or tampered file.
+            if (sched.batch != plan.batch)
+                return std::nullopt;
+            plan.schedule = std::move(sched);
+        }
     }
     if (!r.done())
         return std::nullopt;

@@ -22,18 +22,19 @@
 namespace pcnn {
 
 /** Newest plan format version this build reads and writes. */
-constexpr std::uint8_t kPlanFormatVersion = 3;
+constexpr std::uint8_t kPlanFormatVersion = 4;
 
 /** Serialize a compiled plan to bytes (current format version). */
 std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan);
 
 /**
- * Serialize in a specific format version: 3 (current: adds the
- * per-layer int8 `quantized` flag), 2 (explicit version byte +
+ * Serialize in a specific format version: 4 (current: appends the
+ * optional compiled-graph schedule section, DESIGN.md §5j), 3 (adds
+ * the per-layer int8 `quantized` flag), 2 (explicit version byte +
  * per-layer conv algorithm), or 1 (legacy PR 2 format: no version
  * byte, no algorithm — readers default those layers to im2col).
- * Readers accept all three; older versions load with
- * quantized=false. Old-version writing exists for compatibility
+ * Readers accept all four; older versions load with quantized=false
+ * and no schedule. Old-version writing exists for compatibility
  * tests.
  */
 std::vector<std::uint8_t> serializePlan(const CompiledPlan &plan,

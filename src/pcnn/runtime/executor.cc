@@ -1,6 +1,7 @@
 #include "pcnn/runtime/executor.hh"
 
 #include "common/logging.hh"
+#include "nn/fusion.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace pcnn {
@@ -20,6 +21,12 @@ Executor::Executor(Network &network, CompiledPlan plan, GpuSpec gpu,
         net.convLayers()[i]->setQuantized(
             compiled.layers[i].kernel.quantized);
     }
+    // Plan-v4 schedules adopt after the pins above so the validation
+    // inside adoption sees the network exactly as the plan configured
+    // it. With the graph path off (or a pre-v4 plan) the network
+    // compiles its own schedule lazily — or runs the legacy chain.
+    if (compiled.schedule && graphEnabled())
+        net.adoptGraphSchedule(*compiled.schedule);
     // Before tuning: a single exact level that always calibrates fine.
     TuningEntry exact;
     exact.positions.assign(compiled.layers.size(), 0);

@@ -10,6 +10,7 @@
 #include "common/parallel.hh"
 #include "common/tags.hh"
 #include "gpu/gpu_spec.hh"
+#include "nn/fusion.hh"
 #include "pcnn/offline/batch_selector.hh"
 #include "pcnn/offline/host_tuner.hh"
 
@@ -55,6 +56,18 @@ ServeEngine::ServeEngine(Network &prototype, EngineConfig config)
     replicas.reserve(cfg.workers);
     for (std::size_t i = 0; i < cfg.workers; ++i)
         replicas.push_back(proto.cloneSharingWeights());
+
+    // With the compiled-graph path on, compile every replica up
+    // front at the batch ceiling (DESIGN.md §5j): each replica takes
+    // its one arena allocation here, before any worker thread
+    // exists, and no serving batch can trigger a recompile later.
+    // The lane cap matches the workers' so the shared conv scratch
+    // pool is sized for exactly the lanes a worker will use.
+    if (graphEnabled()) {
+        ScopedLaneLimit limit(lanes);
+        for (Network &r : replicas)
+            r.ensureCompiledGraph(cfg.maxBatch);
+    }
 
     // Warm-up forward before any worker thread exists: materializes
     // every weight-derived panel the inference route reads (the conv

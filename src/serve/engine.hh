@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/graph/compiled_graph.hh"
 #include "nn/model_zoo.hh"
 #include "nn/network.hh"
 #include "pcnn/task.hh"
@@ -107,6 +108,25 @@ class ServeEngine
 
     /** Queue depth high-water mark. */
     std::size_t queueHighWater() const { return queue.highWater(); }
+
+    /**
+     * Graph compiles a replica has performed (0 with the graph path
+     * off). With PCNN_GRAPH on this is exactly 1 for every replica —
+     * the constructor compiles at the batch ceiling, so serving
+     * never recompiles and each replica owns exactly one arena
+     * allocation for the engine's lifetime.
+     */
+    std::size_t replicaGraphCompiles(std::size_t worker) const
+    {
+        return replicas[worker].graphCompileCount();
+    }
+
+    /** Bytes of replica `worker`'s activation arena (0 when off). */
+    std::size_t replicaArenaBytes(std::size_t worker) const
+    {
+        const CompiledGraph *g = replicas[worker].compiledGraph();
+        return g != nullptr ? g->arenaBytes() : 0;
+    }
 
   private:
     /** Worker replica loop: pop a batch, run it, fulfill promises. */

@@ -29,6 +29,71 @@ Tensor::Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
 {
 }
 
+Tensor::Tensor(const Tensor &o) : shp(o.shp)
+{
+    // Deep-copy into owned storage even when `o` is a view: a copy
+    // must never silently alias arena memory it does not manage.
+    buf.assign(o.data(), o.data() + o.size());
+}
+
+Tensor &
+Tensor::operator=(const Tensor &o)
+{
+    if (this == &o)
+        return *this;
+    shp = o.shp;
+    ext = nullptr;
+    extCap = 0;
+    buf.assign(o.data(), o.data() + o.size());
+    return *this;
+}
+
+Tensor::Tensor(Tensor &&o) noexcept
+    : shp(o.shp), buf(std::move(o.buf)), ext(o.ext), extCap(o.extCap)
+{
+    // Leave the source empty without touching the allocator (moves
+    // happen on the zero-alloc hot path): size() == 0, no view.
+    o.shp = Shape{0, 0, 0, 0};
+    o.ext = nullptr;
+    o.extCap = 0;
+}
+
+Tensor &
+Tensor::operator=(Tensor &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    shp = o.shp;
+    buf = std::move(o.buf);
+    ext = o.ext;
+    extCap = o.extCap;
+    o.shp = Shape{0, 0, 0, 0};
+    o.ext = nullptr;
+    o.extCap = 0;
+    return *this;
+}
+
+void
+Tensor::bindView(float *p, std::size_t cap, Shape s)
+{
+    pcnn_assert(p != nullptr && s.size() <= cap, "bindView: shape ",
+                s.str(), " exceeds window capacity ", cap);
+    buf.clear();
+    buf.shrink_to_fit();
+    ext = p;
+    extCap = cap;
+    shp = s;
+}
+
+void
+Tensor::unbind()
+{
+    ext = nullptr;
+    extCap = 0;
+    shp = Shape{1, 1, 1, 1};
+    buf.assign(1, 0.0f);
+}
+
 float &
 Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
 {
@@ -37,7 +102,7 @@ Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
     PCNN_DCHECK(n < shp.n && c < shp.c && h < shp.h && w < shp.w,
                 "index (", n, ",", c, ",", h, ",", w, ") out of ",
                 shp.str());
-    return buf[((n * shp.c + c) * shp.h + h) * shp.w + w];
+    return data()[((n * shp.c + c) * shp.h + h) * shp.w + w];
 }
 
 float
@@ -50,27 +115,29 @@ Tensor::at(std::size_t n, std::size_t c, std::size_t h,
 void
 Tensor::fill(float v)
 {
-    std::fill(buf.begin(), buf.end(), v);
+    std::fill(data(), data() + size(), v);
 }
 
 void
 Tensor::fillGaussian(Rng &rng, float mean, float stddev)
 {
-    for (auto &x : buf)
-        x = static_cast<float>(rng.gaussian(mean, stddev));
+    float *d = data();
+    for (std::size_t i = 0, e = size(); i < e; ++i)
+        d[i] = static_cast<float>(rng.gaussian(mean, stddev));
 }
 
 void
 Tensor::fillUniform(Rng &rng, float lo, float hi)
 {
-    for (auto &x : buf)
-        x = static_cast<float>(rng.uniform(lo, hi));
+    float *d = data();
+    for (std::size_t i = 0, e = size(); i < e; ++i)
+        d[i] = static_cast<float>(rng.uniform(lo, hi));
 }
 
 void
 Tensor::reshape(Shape s)
 {
-    pcnn_assert(s.size() == buf.size(), "reshape ", shp.str(), " -> ",
+    pcnn_assert(s.size() == size(), "reshape ", shp.str(), " -> ",
                 s.str(), " changes element count");
     shp = s;
 }
@@ -78,6 +145,14 @@ Tensor::reshape(Shape s)
 void
 Tensor::resize(Shape s)
 {
+    if (ext != nullptr) {
+        // View: re-shape within the bound window; the planner sized
+        // it, and the bytes belong to whoever wrote them (bindView).
+        PCNN_CHECK(s.size() <= extCap, "resize ", s.str(),
+                   " exceeds bound view capacity ", extCap);
+        shp = s;
+        return;
+    }
     shp = s;
     buf.assign(s.size(), 0.0f);
 }
@@ -88,8 +163,8 @@ Tensor::item(std::size_t i) const
     pcnn_assert(i < shp.n, "item ", i, " out of batch ", shp.n);
     Tensor out(Shape{1, shp.c, shp.h, shp.w});
     const std::size_t stride = shp.itemSize();
-    std::copy(buf.begin() + i * stride, buf.begin() + (i + 1) * stride,
-              out.buf.begin());
+    std::copy(data() + i * stride, data() + (i + 1) * stride,
+              out.data());
     return out;
 }
 
@@ -97,8 +172,9 @@ double
 Tensor::sum() const
 {
     double s = 0.0;
-    for (float x : buf)
-        s += x;
+    const float *d = data();
+    for (std::size_t i = 0, e = size(); i < e; ++i)
+        s += d[i];
     return s;
 }
 
@@ -108,8 +184,10 @@ Tensor::maxAbsDiff(const Tensor &o) const
     pcnn_assert(shp == o.shp, "maxAbsDiff shape mismatch ", shp.str(),
                 " vs ", o.shp.str());
     double m = 0.0;
-    for (std::size_t i = 0; i < buf.size(); ++i)
-        m = std::max(m, std::abs(double(buf[i]) - double(o.buf[i])));
+    const float *a = data();
+    const float *b = o.data();
+    for (std::size_t i = 0, e = size(); i < e; ++i)
+        m = std::max(m, std::abs(double(a[i]) - double(b[i])));
     return m;
 }
 

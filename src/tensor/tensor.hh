@@ -42,7 +42,11 @@ struct Shape
 /**
  * Dense float tensor, NCHW layout, value-semantic.
  *
- * Invariant: data.size() == shape.size() at all times.
+ * Invariant: the accessible storage holds exactly shape.size()
+ * floats. Storage is normally owned; bindView() switches a tensor
+ * into a non-owning view over caller-managed memory (the compiled
+ * graph's arena slices, DESIGN.md §5j). Copying a view deep-copies
+ * its contents into owned storage, so views never escape by value.
  */
 class Tensor
 {
@@ -56,11 +60,41 @@ class Tensor
     /** Convenience constructor from dimensions. */
     Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
 
+    Tensor(const Tensor &o);
+    Tensor &operator=(const Tensor &o);
+    Tensor(Tensor &&o) noexcept;
+    Tensor &operator=(Tensor &&o) noexcept;
+    ~Tensor() = default;
+
     /** Shape accessor. */
     const Shape &shape() const { return shp; }
 
     /** Total element count. */
-    std::size_t size() const { return buf.size(); }
+    std::size_t size() const { return shp.size(); }
+
+    /**
+     * Turn this tensor into a non-owning view of `cap` floats at
+     * `p`, shaped `s` (s.size() <= cap). The bytes are NOT zeroed:
+     * a view is a window onto storage someone else plans — binding
+     * must not disturb data other views already wrote there. Any
+     * owned storage is released. resize() on a view only re-shapes
+     * within `cap` (again without zero-filling), so views must only
+     * receive outputs of operations that fully overwrite their
+     * destination — every inference-mode layer forward does.
+     */
+    void bindView(float *p, std::size_t cap, Shape s);
+
+    /** Release a view binding; back to an owned 1x1x1x1 zero. */
+    void unbind();
+
+    /** True when this tensor is a non-owning view. */
+    bool isView() const { return ext != nullptr; }
+
+    /** Storage capacity in floats (owned buffer or bound window). */
+    std::size_t capacityFloats() const
+    {
+        return ext != nullptr ? extCap : buf.capacity();
+    }
 
     /** Mutable element access with bounds assertions. */
     float &at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
@@ -70,16 +104,19 @@ class Tensor
              std::size_t w) const;
 
     /** Raw flat access (row-major over NCHW). */
-    float &operator[](std::size_t i) { return buf[i]; }
+    float &operator[](std::size_t i) { return data()[i]; }
 
     /** Raw flat const access. */
-    float operator[](std::size_t i) const { return buf[i]; }
+    float operator[](std::size_t i) const { return data()[i]; }
 
     /** Raw pointer to the first element. */
-    float *data() { return buf.data(); }
+    float *data() { return ext != nullptr ? ext : buf.data(); }
 
     /** Const raw pointer to the first element. */
-    const float *data() const { return buf.data(); }
+    const float *data() const
+    {
+        return ext != nullptr ? ext : buf.data();
+    }
 
     /** Set every element to v. */
     void fill(float v);
@@ -96,7 +133,11 @@ class Tensor
      */
     void reshape(Shape s);
 
-    /** Resize and zero; prior contents are discarded. */
+    /**
+     * Resize and zero; prior contents are discarded. On a view the
+     * shape changes within the bound capacity and the bytes are left
+     * untouched (see bindView).
+     */
     void resize(Shape s);
 
     /** Extract batch item i as an n=1 tensor (copies). */
@@ -111,6 +152,8 @@ class Tensor
   private:
     Shape shp;
     std::vector<float> buf;
+    float *ext = nullptr;   ///< view storage; owned when null
+    std::size_t extCap = 0; ///< view capacity in floats
 };
 
 } // namespace pcnn

@@ -1,0 +1,21 @@
+// Fixture: reader-check on a plan-v4 style schedule section — a
+// count-driven loop of reads in a PCNN_BINARY_READER with no
+// early-failure guard between reading the count and consuming the
+// records must be flagged (the real readSchedule guards every step).
+
+#include <cstring>
+
+#include "common/tags.hh"
+
+namespace pcnn {
+
+PCNN_BINARY_READER
+unsigned long
+readScheduleSection(const unsigned char *bytes, unsigned long *ops)
+{
+    const unsigned long n_ops = bytes[0];
+    std::memcpy(ops, bytes + 1, n_ops * sizeof *ops);
+    return n_ops;
+}
+
+} // namespace pcnn

@@ -127,6 +127,14 @@ TEST(Analyze, FlagsUncheckedReaderCopy)
     expectViolation("reader_check.cc", "reader-check");
 }
 
+TEST(Analyze, FlagsUnguardedScheduleReader)
+{
+    // The plan-v4 schedule section shape: a record count drives the
+    // reads that follow, so a reader without a guard between the two
+    // is exactly the hostile-truncation bug class.
+    expectViolation("schedule_reader.cc", "reader-check");
+}
+
 TEST(Analyze, MissingFileIsUsageError)
 {
     const auto [status, out] =

@@ -610,7 +610,7 @@ TEST(QuantPlanIo, V3RoundTripPreservesQuantizedFlags)
     plan.layers[0].kernel.quantized = true;
     plan.layers[2].kernel.quantized = true;
 
-    const auto bytes = serializePlan(plan);
+    const auto bytes = serializePlan(plan, 3);
     ASSERT_GE(bytes.size(), 9u);
     EXPECT_EQ(bytes[8], 3u); // v3 discriminated by the version byte
 

@@ -1,85 +1,32 @@
 #!/usr/bin/env bash
-# Run the benchmark suites and snapshot the results as JSON.
+# Run the current PR's benchmark snapshot.
 #
-# Usage: tools/run_bench.sh [build-dir] [micro.json] [e2e.json] \
-#            [algo.json] [serve.json] [tier.json] [alloc.json] \
-#            [quant.json]
+# Usage: tools/run_bench.sh [build-dir] [out.json]
 #
-# Defaults: build directory ./build, micro-kernel output
-# BENCH_pr1.json, end-to-end model output BENCH_pr3.json,
-# per-conv-algorithm output BENCH_pr4.json, serving-engine
-# output BENCH_pr5.json, kernel-tier sweep output BENCH_pr6.json,
-# allocation-probe snapshot BENCH_pr7.json, and int8 quantized-GEMM
-# snapshot BENCH_pr8.json in the repository root.
+# Defaults: build directory ./build, output BENCH_pr9.json in the
+# repository root. Historical BENCH_pr*.json snapshots are frozen
+# artifacts of the PRs that produced them — this script no longer
+# regenerates them (re-running old suites on a different host only
+# destroys the numbers the docs cite).
 #
-# BENCH_pr1.json records SGEMM / im2col / conv-forward throughput
-# (including the AlexNet CONV2 acceptance shape) at 1..4 pool lanes;
-# thread counts above the host core count are expected to be flat,
-# not faster — the guarantee under test is that they stay bitwise
-# identical, which tests/test_parallel.cc asserts.
-#
-# BENCH_pr3.json records whole-network forward latency for the
-# model-zoo nets (MiniAlexNet / MiniVgg / MiniInception) at batch
-# 1/4/16, full-resolution and 25%-perforated — the zero-repack hot
-# path acceptance numbers (DESIGN.md section 5d).
-#
-# BENCH_pr4.json records the per-conv-layer algorithm breakdown
-# (im2col vs winograd vs cost-model dispatch on the MiniVgg and
-# VGG-16 3x3 shapes at batch 1), the winograd microbench, and the
-# ReLU-folding A/B — the conv-algorithm dispatch acceptance numbers
-# (DESIGN.md section 5e).
-#
-# BENCH_pr6.json records the SIMD kernel-tier sweep: the prepacked
-# SGEMM hot path at fixed square shapes and the e2e conv GEMM shapes
-# (AlexNet CONV2, VGG-16 CONV2_1/CONV3_1), each at three kernel
-# configurations — portable (the pre-dispatch baseline), the
-# runtime-dispatched best tier at its cache-derived default blocking,
-# and the per-host autotuned winner (pcnn_autotune is run first to
-# guarantee a tune cache exists). Every row carries a
-# bitwise_threads_ok counter asserting the per-tier determinism
-# contract at 1/2/4 pool lanes, and the JSON context records the CPU
-# model, SIMD feature flags, and cache sizes the numbers depend on
-# (DESIGN.md section 5g).
-#
-# BENCH_pr7.json records the allocation-probe acceptance rows
-# (DESIGN.md section 5h): the full-resolution e2e forwards with
-# their steady_allocs counter, which must be 0 on every row when
-# the build has PCNN_COUNT_ALLOCS (alloc_counting = 1) — the
-# runtime cross-check of the pcnn_analyze hot-path-alloc rule. The
-# serving engine's closed/open-loop rows in BENCH_pr5.json carry
-# the same counter for the post-warmup worker loop.
-#
-# BENCH_pr8.json records the int8 quantized GEMM sweep (DESIGN.md
-# section 5i): the full per-forward int8 cost (activation
-# quantize+pack plus qgemm with the fused dequant epilogue) on the
-# batch-1 conv GEMM acceptance shapes (AlexNet CONV2, VGG-16
-# CONV2_1/CONV3_1), at the portable and dispatched-best int8 tiers.
-# Each row carries speedup_vs_fp32 (a same-methodology tuned-fp32
-# sgemmPrepacked baseline on the identical shape; the large-K rows
-# must clear 2x at the dispatched tier), bitwise_threads_ok (the
-# cross-thread bitwise-identity contract), and steady_allocs (must
-# be 0 when alloc_counting = 1). The network-level fp32-vs-int8 A/B
-# rows (BM_E2EQuantized, with top1_match / entropy_delta accuracy
-# proxies) ride along in BENCH_pr3.json's unfiltered e2e run.
-#
-# BENCH_pr5.json records the concurrent serving engine: closed-loop
-# throughput at 1/2/4 worker replicas (with a bitwise logits check
-# across worker counts), an open-loop Poisson arrival sweep against
-# the deadline-aware batcher, and a cross-check of the batching
-# behaviour against the analytical ServingSimulator (DESIGN.md
-# section 5f). Worker counts above the host core count are expected
-# to be flat, not faster; the JSON records the host thread count.
+# BENCH_pr9.json records the compiled-graph A/B (DESIGN.md section
+# 5j): every model-zoo net at batch 1 and 16, each measured with the
+# legacy ping-pong executor (graph:0) and the compiled graph with its
+# static arena plan (graph:1). Rows carry img/s, steady_allocs (must
+# be 0 when alloc_counting = 1), steady_mem_bytes (the measured
+# path's steady activation+scratch footprint), baseline_scratch_bytes
+# (the legacy chain's footprint on a fresh twin net — the memory the
+# arena replaces), and peak_arena_bytes (the single per-net arena
+# allocation; 0 on legacy rows). The acceptance numbers are the
+# batch-1 MiniInception img/s uplift on the graph:1 row and
+# peak_arena_bytes <= 70% of baseline_scratch_bytes on the MiniVgg
+# and MiniInception batch-16 rows. The plain e2e family
+# (BM_E2EMini*) rides along unfiltered for latency context.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-micro_json="${2:-$repo_root/BENCH_pr1.json}"
-e2e_json="${3:-$repo_root/BENCH_pr3.json}"
-algo_json="${4:-$repo_root/BENCH_pr4.json}"
-serve_json="${5:-$repo_root/BENCH_pr5.json}"
-tier_json="${6:-$repo_root/BENCH_pr6.json}"
-alloc_json="${7:-$repo_root/BENCH_pr7.json}"
-quant_json="${8:-$repo_root/BENCH_pr8.json}"
+graph_json="${2:-$repo_root/BENCH_pr9.json}"
 
 run_bench() {
     local bench_bin="$1" out_json="$2" filter="${3:-}"
@@ -90,17 +37,18 @@ run_bench() {
     fi
     local args=()
     [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
-    # Old google-benchmark: --benchmark_min_time takes a bare double (s).
+    # Old google-benchmark: --benchmark_min_time takes a bare double
+    # (s). 1 s/row: the 1-core bench host is noisy at 0.25 s.
     "$bench_bin" "${args[@]}" \
-        --benchmark_min_time=0.25 \
+        --benchmark_min_time=1 \
         --benchmark_format=json \
         --benchmark_out="$out_json" \
         --benchmark_out_format=json
     echo "wrote $out_json"
 }
 
-# The tier sweep's "tuned" rows read the per-host tune cache; sweep
-# and persist it first so they never skip.
+# The e2e nets read the per-host tune cache; sweep and persist it
+# first so dispatched kernels never skip.
 autotune_bin="$build_dir/tools/pcnn_autotune"
 if [[ ! -x "$autotune_bin" ]]; then
     echo "error: $autotune_bin not built; run:" >&2
@@ -109,21 +57,5 @@ if [[ ! -x "$autotune_bin" ]]; then
 fi
 "$autotune_bin" --reps 2
 
-run_bench "$build_dir/bench/bench_micro_kernels" "$micro_json"
-run_bench "$build_dir/bench/bench_micro_kernels" "$tier_json" "SgemmTier"
-run_bench "$build_dir/bench/bench_micro_kernels" "$quant_json" "Qgemm"
-run_bench "$build_dir/bench/bench_e2e_models" "$e2e_json"
-run_bench "$build_dir/bench/bench_e2e_models" "$algo_json" \
-    "ConvAlgoLayer|ReluFolding"
-run_bench "$build_dir/bench/bench_e2e_models" "$alloc_json" \
-    'BM_E2EMini[A-Za-z]*/[0-9]+/100'
-
-# The serving-engine bench is a plain binary (real threads, not
-# google-benchmark); it writes its JSON itself.
-serve_bin="$build_dir/bench/bench_serving_engine"
-if [[ ! -x "$serve_bin" ]]; then
-    echo "error: $serve_bin not built; run:" >&2
-    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
-    exit 1
-fi
-"$serve_bin" "$serve_json"
+run_bench "$build_dir/bench/bench_e2e_models" "$graph_json" \
+    'BM_E2EGraph|BM_E2EMini[A-Za-z]*/[0-9]+/100'
