@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Multi-tenant serving bench (DESIGN.md §5k) -> BENCH_pr10.json.
+ *
+ * Drives the MultiTenantEngine over the registered mini zoo with a
+ * Zipf-weighted three-model mix (MiniAlexNet/full, MiniVgg/full,
+ * MiniInception/p50) and the Table II class split:
+ *
+ *  1. Interactive-only baseline: open-loop Poisson arrivals at an
+ *     interactive utilization of ~0.5, establishing the p99 the mixed
+ *     run must protect.
+ *  2. Isolated per-model runs: each model's full workload (its
+ *     interactive share plus its background quota) alone on the
+ *     engine, timed wall-to-wall. Run sequentially these are the
+ *     "one model per host" deployment the multi-tenant engine
+ *     replaces.
+ *  3. Mixed run: all three workloads at once through one queue
+ *     fabric, with the background flood sized to saturate the spare
+ *     capacity the interactive stream leaves. Reports per-class
+ *     latency tails, SLO attainment, shed rate, the autoscaler's
+ *     replica trajectory, and the steady-state allocation probe.
+ *  4. Bitwise probe: the same inputs served under 1 and 2 intra-op
+ *     lanes must match the prototype forward bit for bit.
+ *
+ * Acceptance (read from the JSON): mixed interactive p99 <= 1.25x
+ * the interactive-only p99, aggregate mixed throughput >= 0.9x the
+ * sequential isolated baseline, bitwise_threads_ok, and
+ * steady_allocs == 0 on every row.
+ *
+ * Usage: bench_multitenant [--quick] [out.json]
+ * --quick shrinks the workload for CI smoke runs.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/alloc_count.hh"
+#include "common/parallel.hh"
+#include "common/random.hh"
+#include "nn/model_zoo.hh"
+#include "serve/multi_engine.hh"
+#include "tensor/microkernel.hh"
+
+using namespace pcnn;
+
+namespace {
+
+/** The three traffic-bearing models and their Zipf weights. */
+struct TrafficModel
+{
+    std::size_t index = 0; ///< registry index
+    std::string name;
+    double weight = 0.0;   ///< normalized Zipf share
+    double batch1S = 0.0;  ///< calibrated batch-1 service time
+    double lambdaHz = 0.0; ///< interactive arrival rate
+    std::size_t nInteractive = 0;
+    std::size_t nBackground = 0;
+};
+
+double
+nowS(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+Tensor
+randomInput(Rng &rng, const Shape &in)
+{
+    Tensor t(Shape{1, in.c, in.h, in.w});
+    t.fillUniform(rng, -1.0f, 1.0f);
+    return t;
+}
+
+/**
+ * Median end-to-end service time of singleton requests through a
+ * live engine: unlike timing the bare prototype forward, this
+ * includes the queue handoff, staging, promise fulfillment and
+ * thread wake-ups every real request pays, so the arrival rates
+ * derived from it hit the intended utilization instead of
+ * accidentally saturating the engine. Doubles as the warm-up that
+ * faults in every page before the measured runs.
+ */
+double
+calibrateBatch1S(MultiTenantEngine &engine, Model &model,
+                 std::size_t index, std::size_t reps)
+{
+    Rng rng(404 + index);
+    std::vector<double> ts;
+    ts.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        Tensor x = randomInput(rng, model.inputShape());
+        const auto t0 = std::chrono::steady_clock::now();
+        auto sub =
+            engine.submit(index, TaskClass::Interactive, std::move(x));
+        if (sub.status != SubmitStatus::Accepted)
+            continue;
+        (void)sub.result.get();
+        ts.push_back(nowS(t0));
+    }
+    if (ts.empty())
+        return 0.0;
+    std::sort(ts.begin(), ts.end());
+    return ts[ts.size() / 2];
+}
+
+MultiEngineConfig
+mixConfig()
+{
+    MultiEngineConfig cfg;
+    cfg.workers = 1; // the bench host has one core
+    cfg.initialReplicas = 1;
+    cfg.fabric.queueCapacity = 48;
+    cfg.autoscaleTickS = 0.020;
+    // Millisecond-scale nets: let real backlog move the pools so the
+    // trajectory in the JSON shows the hysteresis at work.
+    cfg.autoscaler.maxReplicas = 2;
+    cfg.autoscaler.growBacklogS = 0.002;
+    cfg.autoscaler.shrinkBacklogS = 0.0005;
+    return cfg;
+}
+
+/** One run's outcome. */
+struct RunResult
+{
+    double wallS = 0.0;
+    std::uint64_t submitted = 0;
+    TenantMetricsSnapshot metrics;
+};
+
+/**
+ * Drive one engine run: an open-loop Poisson interactive stream over
+ * `models` (Zipf-weighted pick per arrival) plus a windowed
+ * background flood that keeps `window` requests in flight per model
+ * until each model's quota is spent. Either side can be disabled by
+ * zero counts. The run ends when every accepted future resolved.
+ */
+RunResult
+driveRun(MultiTenantEngine &engine, ModelRegistry &reg,
+         const std::vector<TrafficModel> &models, double lambdaTotHz,
+         std::size_t nInteractive, bool withBackground,
+         std::size_t window, unsigned seed)
+{
+    std::vector<std::future<TenantResult>> intFuts;
+    std::vector<std::future<TenantResult>> bgFuts;
+    intFuts.reserve(nInteractive);
+    std::uint64_t submitted = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Background flood on its own thread: top the in-flight window
+    // up whenever it drains, round-robin over models with quota
+    // left. The window stays under the queue capacity so the flood
+    // itself is never shed; evictions by urgent arrivals (admission
+    // control) resolve the future with shed=true and count against
+    // the quota — work handed to the engine, not work completed.
+    std::thread bg;
+    if (withBackground) {
+        bg = std::thread([&] {
+            Rng inputs(seed + 1);
+            std::vector<std::size_t> quota(models.size());
+            std::size_t total = 0;
+            for (std::size_t i = 0; i < models.size(); ++i)
+                total += quota[i] = models[i].nBackground;
+            std::deque<std::future<TenantResult>> inflight;
+            std::size_t cursor = 0;
+            while (total > 0 || !inflight.empty()) {
+                if (total > 0 && inflight.size() < window) {
+                    while (quota[cursor] == 0)
+                        cursor = (cursor + 1) % models.size();
+                    auto sub = engine.submit(
+                        models[cursor].index, TaskClass::Background,
+                        randomInput(inputs,
+                                    reg.model(models[cursor].index)
+                                        .inputShape()));
+                    if (sub.status == SubmitStatus::Accepted) {
+                        inflight.push_back(std::move(sub.result));
+                        --quota[cursor];
+                        --total;
+                        cursor = (cursor + 1) % models.size();
+                    } else {
+                        // transient backpressure: yield, retry
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(200));
+                    }
+                } else {
+                    inflight.front().wait();
+                    bgFuts.push_back(std::move(inflight.front()));
+                    inflight.pop_front();
+                }
+            }
+        });
+    }
+
+    // Interactive open loop: Poisson interarrivals, Zipf model pick.
+    if (nInteractive > 0) {
+        Rng arrivals(seed);
+        Rng inputs(seed + 2);
+        auto next = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < nInteractive; ++i) {
+            next += std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    -std::log(1.0 - arrivals.uniform()) /
+                    lambdaTotHz));
+            std::this_thread::sleep_until(next);
+            double u = arrivals.uniform();
+            std::size_t pick = models.size() - 1;
+            for (std::size_t m = 0; m < models.size(); ++m) {
+                u -= models[m].weight;
+                if (u <= 0.0) {
+                    pick = m;
+                    break;
+                }
+            }
+            auto sub = engine.submit(
+                models[pick].index, TaskClass::Interactive,
+                randomInput(inputs,
+                            reg.model(models[pick].index)
+                                .inputShape()));
+            if (sub.status == SubmitStatus::Accepted)
+                intFuts.push_back(std::move(sub.result));
+        }
+    }
+
+    if (bg.joinable())
+        bg.join();
+    submitted = intFuts.size() + bgFuts.size();
+    for (auto &f : intFuts)
+        f.get();
+    for (auto &f : bgFuts)
+        f.get();
+
+    RunResult r;
+    r.wallS = nowS(t0);
+    r.submitted = submitted;
+    r.metrics = engine.metrics();
+    return r;
+}
+
+const char *
+className(std::size_t cls)
+{
+    switch (static_cast<TaskClass>(cls)) {
+      case TaskClass::Interactive: return "interactive";
+      case TaskClass::RealTime: return "real_time";
+      case TaskClass::Background: return "background";
+    }
+    return "?";
+}
+
+void
+jsonClassRow(std::FILE *f, const char *indent,
+             const TenantClassStats &s, std::size_t cls, bool last)
+{
+    std::fprintf(
+        f,
+        "%s{\"class\": \"%s\", \"completed\": %llu, \"shed\": %llu, "
+        "\"slo_attainment\": %.4f, \"p50_ms\": %.4f, "
+        "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+        "\"mean_queue_ms\": %.4f}%s\n",
+        indent, className(cls),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.shed), s.sloAttainment(),
+        s.latency.p50S * 1e3, s.latency.p95S * 1e3,
+        s.latency.p99S * 1e3, s.latency.p999S * 1e3,
+        s.queueWait.meanS * 1e3, last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_pr10.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else
+            out_path = argv[i];
+    }
+
+    // ------------------------------------------------ registry
+    Rng zoo_rng(42);
+    ModelRegistry reg;
+    const std::size_t zoo = registerMiniZoo(reg, zoo_rng,
+                                            /*max_batch=*/4,
+                                            /*max_replicas=*/2);
+    std::printf("registered %zu zoo models, reserved arena %zu "
+                "bytes\n",
+                zoo, reg.totalReservedArenaBytes());
+
+    std::vector<TrafficModel> models(3);
+    models[0].name = "MiniAlexNet/full";
+    models[1].name = "MiniVgg/full";
+    models[2].name = "MiniInception/p50";
+    double wsum = 0.0;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        models[m].index = reg.indexOf(models[m].name);
+        if (models[m].index == reg.size()) {
+            std::fprintf(stderr, "model %s not registered\n",
+                         models[m].name.c_str());
+            return 1;
+        }
+        models[m].weight = 1.0 / double(m + 1); // Zipf s=1
+        wsum += models[m].weight;
+    }
+    for (TrafficModel &m : models)
+        m.weight /= wsum;
+
+    // ------------------------------------------------ calibration
+    // Size the interactive stream to utilization ~0.5 and the
+    // background quotas to ~1.5x the spare capacity over the span,
+    // so background always has work while interactive runs.
+    const double spanS = quick ? 0.8 : 4.0;
+    const double rhoInteractive = 0.5;
+    double mixCostS = 0.0;
+    {
+        MultiEngineConfig ccfg = mixConfig();
+        ccfg.autoscaleTickS = 0.0;
+        MultiTenantEngine cal_engine(reg, ccfg);
+        for (TrafficModel &m : models) {
+            m.batch1S =
+                calibrateBatch1S(cal_engine, reg.model(m.index),
+                                 m.index, quick ? 21 : 61);
+            mixCostS += m.weight * m.batch1S;
+        }
+        cal_engine.stop();
+    }
+    const double lambdaTot = rhoInteractive / mixCostS;
+    const std::size_t nInteractive =
+        static_cast<std::size_t>(lambdaTot * spanS);
+    const double bgWorkS = 1.5 * (1.0 - rhoInteractive) * spanS;
+    for (TrafficModel &m : models) {
+        m.lambdaHz = m.weight * lambdaTot;
+        m.nInteractive = static_cast<std::size_t>(
+            double(nInteractive) * m.weight);
+        m.nBackground = static_cast<std::size_t>(
+            std::max(1.0, m.weight * bgWorkS / m.batch1S));
+    }
+
+    TextTable cal({"Model", "Zipf share", "batch-1 (ms)",
+                   "lambda (req/s)", "N interactive",
+                   "N background"});
+    for (const TrafficModel &m : models)
+        cal.addRow({m.name, TextTable::num(m.weight, 3),
+                    bench::ms(m.batch1S),
+                    TextTable::num(m.lambdaHz, 0),
+                    std::to_string(m.nInteractive),
+                    std::to_string(m.nBackground)});
+    printSection("Multi-tenant bench — calibrated workload", cal.render());
+
+    const std::size_t window = 24;
+
+    // ------------------------------------------------ 1. baseline
+    RunResult base;
+    {
+        MultiTenantEngine engine(reg, mixConfig());
+        base = driveRun(engine, reg, models, lambdaTot, nInteractive,
+                        /*withBackground=*/false, window, 1001);
+        engine.stop();
+    }
+    const TenantClassStats &baseInt =
+        base.metrics
+            .byClass[static_cast<std::size_t>(TaskClass::Interactive)];
+
+    // ------------------------------------------------ 2. isolated
+    std::vector<RunResult> isolated;
+    double isolatedWallS = 0.0;
+    std::uint64_t isolatedCompleted = 0;
+    for (const TrafficModel &m : models) {
+        std::vector<TrafficModel> solo{m};
+        solo[0].weight = 1.0;
+        MultiTenantEngine engine(reg, mixConfig());
+        RunResult r =
+            driveRun(engine, reg, solo, m.lambdaHz, m.nInteractive,
+                     /*withBackground=*/true, window, 2002);
+        engine.stop();
+        isolatedWallS += r.wallS;
+        isolatedCompleted += r.metrics.completed;
+        isolated.push_back(std::move(r));
+    }
+    const double isolatedAggRps =
+        isolatedWallS > 0.0 ? double(isolatedCompleted) / isolatedWallS
+                            : 0.0;
+
+    // ------------------------------------------------ 3. mixed
+    RunResult mixed;
+    {
+        MultiTenantEngine engine(reg, mixConfig());
+        mixed = driveRun(engine, reg, models, lambdaTot, nInteractive,
+                         /*withBackground=*/true, window, 3003);
+        engine.stop();
+    }
+    const TenantClassStats &mixInt =
+        mixed.metrics
+            .byClass[static_cast<std::size_t>(TaskClass::Interactive)];
+    const double mixedAggRps =
+        mixed.wallS > 0.0 ? double(mixed.metrics.completed) / mixed.wallS
+                          : 0.0;
+
+    TextTable tails({"Run", "Class", "Completed", "Shed", "SLO",
+                     "p50 (ms)", "p99 (ms)", "p99.9 (ms)"});
+    auto addTail = [&](const char *run, const TenantClassStats &s,
+                       std::size_t cls) {
+        if (s.completed == 0 && s.shed == 0)
+            return;
+        tails.addRow({run, className(cls), std::to_string(s.completed),
+                      std::to_string(s.shed),
+                      TextTable::num(s.sloAttainment(), 3),
+                      bench::ms(s.latency.p50S),
+                      bench::ms(s.latency.p99S),
+                      bench::ms(s.latency.p999S)});
+    };
+    for (std::size_t c = 0; c < kTaskClassCount; ++c)
+        addTail("interactive-only", base.metrics.byClass[c], c);
+    for (std::size_t c = 0; c < kTaskClassCount; ++c)
+        addTail("mixed", mixed.metrics.byClass[c], c);
+    printSection("Multi-tenant bench — latency tails", tails.render());
+
+    // ------------------------------------------------ 4. bitwise
+    // Identical inputs through 1-lane and 2-lane engines, submitted
+    // strictly one at a time (singleton batches), must reproduce the
+    // prototype forward bit for bit.
+    bool bitwise_ok = true;
+    {
+        const std::size_t probes = quick ? 3 : 6;
+        Rng prng(7070);
+        std::vector<std::vector<Tensor>> xs(models.size());
+        std::vector<std::vector<Tensor>> want(models.size());
+        for (std::size_t m = 0; m < models.size(); ++m) {
+            Model &model = reg.model(models[m].index);
+            for (std::size_t p = 0; p < probes; ++p) {
+                xs[m].push_back(
+                    randomInput(prng, model.inputShape()));
+                Tensor out;
+                model.prototype().forwardInto(xs[m].back(), false,
+                                              out);
+                want[m].push_back(std::move(out));
+            }
+        }
+        for (std::size_t lanes : {1u, 2u}) {
+            MultiEngineConfig cfg = mixConfig();
+            cfg.lanesPerWorker = lanes;
+            cfg.autoscaleTickS = 0.0;
+            MultiTenantEngine engine(reg, cfg);
+            for (std::size_t m = 0; m < models.size(); ++m) {
+                for (std::size_t p = 0; p < probes; ++p) {
+                    auto sub = engine.submit(models[m].index,
+                                             TaskClass::Interactive,
+                                             xs[m][p]);
+                    if (sub.status != SubmitStatus::Accepted) {
+                        bitwise_ok = false;
+                        continue;
+                    }
+                    const TenantResult r = sub.result.get();
+                    if (r.logits.size() != want[m][p].size() ||
+                        std::memcmp(r.logits.data(),
+                                    want[m][p].data(),
+                                    want[m][p].size() *
+                                        sizeof(float)) != 0)
+                        bitwise_ok = false;
+                }
+            }
+            engine.stop();
+        }
+    }
+
+    // ------------------------------------------------ acceptance
+    const double p99Ratio =
+        baseInt.latency.p99S > 0.0
+            ? mixInt.latency.p99S / baseInt.latency.p99S
+            : 0.0;
+    const double rpsRatio =
+        isolatedAggRps > 0.0 ? mixedAggRps / isolatedAggRps : 0.0;
+    const bool steadyOk = base.metrics.steadyAllocs == 0 &&
+                          mixed.metrics.steadyAllocs == 0 &&
+                          [&] {
+                              for (const RunResult &r : isolated)
+                                  if (r.metrics.steadyAllocs != 0)
+                                      return false;
+                              return true;
+                          }();
+    const double shedRate =
+        mixed.submitted + mixed.metrics.shed > 0
+            ? double(mixed.metrics.shed) /
+                  double(mixed.submitted + mixed.metrics.shed)
+            : 0.0;
+
+    std::printf("interactive p99: baseline %s ms, mixed %s ms "
+                "(ratio %.3f, target <= 1.25)\n",
+                bench::ms(baseInt.latency.p99S).c_str(),
+                bench::ms(mixInt.latency.p99S).c_str(), p99Ratio);
+    std::printf("aggregate throughput: mixed %.0f req/s vs isolated "
+                "%.0f req/s (ratio %.3f, target >= 0.9)\n",
+                mixedAggRps, isolatedAggRps, rpsRatio);
+    std::printf("bitwise across lane counts: %s; steady allocs "
+                "zero: %s\n",
+                bitwise_ok ? "yes" : "NO", steadyOk ? "yes" : "NO");
+
+    // ------------------------------------------------ JSON
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"multitenant\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"alloc_counting\": %s,\n",
+                 allocCountingEnabled() ? "true" : "false");
+    const CpuFeatures &cpu = cpuFeatures();
+    const CacheInfo &ci = cacheInfo();
+    std::fprintf(f,
+                 "  \"host\": {\"hardware_threads\": %u, "
+                 "\"pcnn_threads\": %zu,\n"
+                 "    \"cpu_model\": \"%s\", \"cpu_features\": "
+                 "\"%s\",\n"
+                 "    \"cache_l1d_bytes\": %zu, \"cache_l2_bytes\": "
+                 "%zu, \"cache_l3_bytes\": %zu,\n"
+                 "    \"kernel_tier\": \"%s\"},\n",
+                 std::thread::hardware_concurrency(), threadCount(),
+                 cpu.model.c_str(), cpu.str().c_str(), ci.l1d, ci.l2,
+                 ci.l3, kernelTierName(activeKernelTier()));
+    std::fprintf(f,
+                 "  \"registry\": {\"models\": %zu, "
+                 "\"reserved_arena_bytes\": %zu},\n",
+                 reg.size(), reg.totalReservedArenaBytes());
+
+    std::fprintf(f, "  \"workload\": [\n");
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        const TrafficModel &tm = models[m];
+        std::fprintf(f,
+                     "    {\"model\": \"%s\", \"zipf_share\": %.4f, "
+                     "\"batch1_ms\": %.4f, \"lambda_hz\": %.1f, "
+                     "\"n_interactive\": %zu, \"n_background\": "
+                     "%zu}%s\n",
+                     tm.name.c_str(), tm.weight, tm.batch1S * 1e3,
+                     tm.lambdaHz, tm.nInteractive, tm.nBackground,
+                     m + 1 < models.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    auto runJson = [&](const char *key, const RunResult &r,
+                       bool trailing_comma) {
+        const TenantMetricsSnapshot &m = r.metrics;
+        std::fprintf(
+            f,
+            "  \"%s\": {\"wall_s\": %.4f, \"submitted\": %llu, "
+            "\"completed\": %llu, \"shed\": %llu, "
+            "\"background_evicted\": %llu, \"throughput_rps\": "
+            "%.1f,\n    \"queue_high_water\": %zu, "
+            "\"live_arena_bytes\": %zu, \"steady_allocs\": %llu, "
+            "\"steady_probed_batches\": %llu,\n    \"by_class\": [\n",
+            key, r.wallS, static_cast<unsigned long long>(r.submitted),
+            static_cast<unsigned long long>(m.completed),
+            static_cast<unsigned long long>(m.shed),
+            static_cast<unsigned long long>(m.backgroundEvicted),
+            r.wallS > 0.0 ? double(m.completed) / r.wallS : 0.0,
+            m.queueHighWater, m.liveArenaBytes,
+            static_cast<unsigned long long>(m.steadyAllocs),
+            static_cast<unsigned long long>(m.steadyProbedBatches));
+        for (std::size_t c = 0; c < kTaskClassCount; ++c)
+            jsonClassRow(f, "      ", m.byClass[c], c,
+                         c + 1 == kTaskClassCount);
+        std::fprintf(f, "    ],\n    \"replica_trajectory\": [");
+        for (std::size_t i = 0; i < m.replicaTrajectory.size(); ++i) {
+            const ReplicaEvent &e = m.replicaTrajectory[i];
+            std::fprintf(f,
+                         "%s{\"t_s\": %.4f, \"model\": %zu, "
+                         "\"replicas\": %zu}",
+                         i == 0 ? "" : ", ", e.tS, e.model,
+                         e.replicas);
+        }
+        std::fprintf(f, "]}%s\n", trailing_comma ? "," : "");
+    };
+
+    runJson("interactive_only", base, true);
+    std::fprintf(f, "  \"isolated\": [\n");
+    for (std::size_t i = 0; i < isolated.size(); ++i) {
+        const RunResult &r = isolated[i];
+        std::fprintf(
+            f,
+            "    {\"model\": \"%s\", \"wall_s\": %.4f, "
+            "\"completed\": %llu, \"throughput_rps\": %.1f, "
+            "\"steady_allocs\": %llu}%s\n",
+            models[i].name.c_str(), r.wallS,
+            static_cast<unsigned long long>(r.metrics.completed),
+            r.wallS > 0.0 ? double(r.metrics.completed) / r.wallS
+                          : 0.0,
+            static_cast<unsigned long long>(r.metrics.steadyAllocs),
+            i + 1 < isolated.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    runJson("mixed", mixed, true);
+
+    std::fprintf(
+        f,
+        "  \"acceptance\": {\"interactive_p99_baseline_ms\": %.4f, "
+        "\"interactive_p99_mixed_ms\": %.4f,\n"
+        "    \"interactive_p99_ratio\": %.4f, \"p99_ratio_ok\": %s,\n"
+        "    \"mixed_agg_rps\": %.1f, \"isolated_agg_rps\": %.1f, "
+        "\"throughput_ratio\": %.4f, \"throughput_ok\": %s,\n"
+        "    \"shed_rate\": %.4f, \"bitwise_threads_ok\": %d, "
+        "\"steady_allocs_ok\": %s}\n",
+        baseInt.latency.p99S * 1e3, mixInt.latency.p99S * 1e3,
+        p99Ratio, p99Ratio <= 1.25 ? "true" : "false", mixedAggRps,
+        isolatedAggRps, rpsRatio, rpsRatio >= 0.9 ? "true" : "false",
+        shedRate, bitwise_ok ? 1 : 0, steadyOk ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return (bitwise_ok && steadyOk) ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#include "pcnn/runtime/slack.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pcnn {
+
+double
+socTimeSlackS(const UserRequirement &req, double est_service_s)
+{
+    if (req.timeInsensitive)
+        return std::numeric_limits<double>::infinity();
+    pcnn_assert(est_service_s >= 0.0,
+                "service estimate must be non-negative");
+    return std::max(0.0, req.imperceptibleS - est_service_s);
+}
+
+double
+backgroundOccupancyBudgetS(const UserRequirement &req,
+                           double est_service_s,
+                           const SlackConfig &cfg)
+{
+    if (req.timeInsensitive)
+        return std::numeric_limits<double>::infinity();
+    const double soc_term =
+        cfg.socFraction * socTimeSlackS(req, est_service_s);
+    const double tail_term = std::max(
+        cfg.occupancyFactor * est_service_s, cfg.minOccupancyS);
+    return std::min(soc_term, tail_term);
+}
+
+} // namespace pcnn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SoC_time slack accounting for multi-tenant serving (DESIGN.md §5k).
+ *
+ * The paper's task classes (Table II) give background work its whole
+ * runtime story: background requests score SoC_time = 1 at any
+ * latency, so their slack is the resource the scheduler may spend to
+ * protect the latency-bearing classes. This header quantifies that
+ * spend as an *occupancy budget*: the longest a background batch may
+ * hold a replica such that an interactive request arriving the
+ * moment the batch starts still completes inside its imperceptible
+ * region (Fig. 3) — and, tighter, close to the latency it would see
+ * with no background traffic at all.
+ */
+
+#ifndef PCNN_PCNN_RUNTIME_SLACK_HH
+#define PCNN_PCNN_RUNTIME_SLACK_HH
+
+#include "pcnn/task.hh"
+
+namespace pcnn {
+
+/** Background-admission policy knobs (DESIGN.md §5k). */
+struct SlackConfig
+{
+    /// share of the Fig. 3 SoC_time slack background work may spend;
+    /// the rest absorbs queueing ahead of the arriving request and
+    /// estimator error
+    double socFraction = 0.5;
+    /// tail-protection cap: background occupancy may not exceed this
+    /// multiple of the latency-class EWMA service estimate, so the
+    /// head-of-line blocking a background batch can add to an
+    /// interactive response stays proportional to one service time
+    double occupancyFactor = 2.0;
+    /// occupancy floor in seconds: background always gets at least
+    /// this much batch grain (and never less than one request), so a
+    /// hyper-tight interactive estimate cannot starve throughput
+    double minOccupancyS = 0.0;
+};
+
+/**
+ * SoC_time slack of a latency-bearing requirement given the EWMA
+ * service estimate for its class (Fig. 3): the wait a response can
+ * absorb before leaving the imperceptible region. Non-negative;
+ * +infinity for time-insensitive requirements.
+ */
+double socTimeSlackS(const UserRequirement &req, double est_service_s);
+
+/**
+ * Occupancy budget for one background batch: how long it may hold a
+ * replica given the tightest latency-bearing requirement currently
+ * active and that class's EWMA service estimate.
+ *
+ *   budget = min(socFraction * socTimeSlackS(req, est),
+ *                max(occupancyFactor * est, minOccupancyS))
+ *
+ * The first term spends the paper's slack; the second keeps the p99
+ * inflation of the protected class proportional to its own service
+ * time. +infinity when `req` is time-insensitive (no latency-bearing
+ * traffic to protect).
+ */
+double backgroundOccupancyBudgetS(const UserRequirement &req,
+                                  double est_service_s,
+                                  const SlackConfig &cfg);
+
+} // namespace pcnn
+
+#endif // PCNN_PCNN_RUNTIME_SLACK_HH

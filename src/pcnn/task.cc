@@ -52,6 +52,15 @@ inferRequirement(const AppSpec &app)
     return req;
 }
 
+UserRequirement
+classRequirement(TaskClass cls)
+{
+    AppSpec app;
+    app.taskClass = cls;
+    app.dataRateHz = cls == TaskClass::RealTime ? 60.0 : 1.0;
+    return inferRequirement(app);
+}
+
 AppSpec
 ageDetectionApp()
 {

@@ -67,6 +67,15 @@ struct UserRequirement
  */
 UserRequirement inferRequirement(const AppSpec &app);
 
+/**
+ * Default requirement for a bare task class (multi-tenant serving,
+ * DESIGN.md §5k): the Section IV.A look-up applied to a class with
+ * no further application detail. Interactive gets the 100 ms / 3 s
+ * HCI thresholds, real-time a 60 FPS frame deadline, background is
+ * time-insensitive.
+ */
+UserRequirement classRequirement(TaskClass cls);
+
 /** The paper's three evaluation applications (Section V.C). */
 AppSpec ageDetectionApp();    ///< interactive
 AppSpec videoSurveillanceApp(); ///< real-time, 60 FPS

@@ -14,8 +14,39 @@ constexpr double kAlpha = 0.3;
 
 } // namespace
 
+ServiceEstimator::ServiceEstimator(std::size_t max_batch)
+    : cap(max_batch), ewma(max_batch + 1, 0.0)
+{
+    pcnn_assert(cap >= 1, "estimator maxBatch must be >= 1");
+}
+
+void
+ServiceEstimator::record(std::size_t batch, double service_s)
+{
+    pcnn_assert(batch >= 1 && batch <= cap,
+                "recorded batch out of range");
+    MutexLock lk(mu);
+    double &slot = ewma[batch];
+    slot = slot == 0.0 ? service_s
+                       : (1.0 - kAlpha) * slot + kAlpha * service_s;
+}
+
+double
+ServiceEstimator::estS(std::size_t batch) const
+{
+    const std::size_t b = std::min(batch, cap);
+    MutexLock lk(mu);
+    // Exact size first, then the largest observed size under it:
+    // service time grows with batch, so a smaller batch's time is a
+    // usable (under-)estimate while samples are still sparse.
+    for (std::size_t i = b; i >= 1; --i)
+        if (ewma[i] != 0.0)
+            return ewma[i];
+    return 0.0;
+}
+
 Batcher::Batcher(BatcherConfig config)
-    : cfg(config), ewma(cfg.maxBatch + 1, 0.0)
+    : cfg(config), est(std::max<std::size_t>(1, cfg.maxBatch))
 {
     pcnn_assert(cfg.maxBatch >= 1, "batcher maxBatch must be >= 1");
     pcnn_assert(cfg.maxWaitS >= 0.0, "batcher maxWaitS must be >= 0");
@@ -34,7 +65,7 @@ Batcher::waitBudgetS(double oldest_age_s, std::size_t queued) const
         // completes it no earlier than age + w + service(maxBatch),
         // so the slack before T_i is the wait we can still afford.
         const double slack = cfg.requirement.imperceptibleS -
-                             estServiceS(cfg.maxBatch) - oldest_age_s;
+                             est.estS(cfg.maxBatch) - oldest_age_s;
         budget = std::min(budget, slack);
     }
     return std::max(budget, 0.0);
@@ -43,26 +74,13 @@ Batcher::waitBudgetS(double oldest_age_s, std::size_t queued) const
 void
 Batcher::recordService(std::size_t batch, double service_s)
 {
-    pcnn_assert(batch >= 1 && batch <= cfg.maxBatch,
-                "recorded batch out of range");
-    MutexLock lk(mu);
-    double &slot = ewma[batch];
-    slot = slot == 0.0 ? service_s
-                       : (1.0 - kAlpha) * slot + kAlpha * service_s;
+    est.record(batch, service_s);
 }
 
 double
 Batcher::estServiceS(std::size_t batch) const
 {
-    const std::size_t b = std::min(batch, cfg.maxBatch);
-    MutexLock lk(mu);
-    // Exact size first, then the largest observed size under it:
-    // service time grows with batch, so a smaller batch's time is a
-    // usable (under-)estimate while samples are still sparse.
-    for (std::size_t i = b; i >= 1; --i)
-        if (ewma[i] != 0.0)
-            return ewma[i];
-    return 0.0;
+    return est.estS(batch);
 }
 
 } // namespace pcnn

@@ -9,6 +9,11 @@
  * incomplete batch is flushed early as soon as waiting any longer
  * would push the *oldest* request's completion past the end of the
  * imperceptible region, where SoC_time starts decaying.
+ *
+ * The per-batch-size EWMA the flush decision needs is factored out
+ * as ServiceEstimator so the multi-tenant scheduler and autoscaler
+ * (DESIGN.md §5k) can maintain the same learned service model per
+ * model without carrying a batching policy around.
  */
 
 #ifndef PCNN_SERVE_BATCHER_HH
@@ -21,6 +26,39 @@
 #include "pcnn/task.hh"
 
 namespace pcnn {
+
+/**
+ * Thread-safe per-batch-size EWMA service-time model. Workers feed
+ * measured batch execution times back after every batch; consumers
+ * (flush decisions, background slack admission, autoscaling) read
+ * smoothed estimates.
+ */
+class ServiceEstimator
+{
+  public:
+    /** @param max_batch largest batch size tracked (>= 1) */
+    explicit ServiceEstimator(std::size_t max_batch);
+
+    /** Largest batch size tracked. */
+    std::size_t maxBatch() const { return cap; }
+
+    /** Feed back one measured batch execution time. */
+    void record(std::size_t batch, double service_s);
+
+    /**
+     * Estimated service time of a batch: the EWMA for that size, the
+     * largest observed size at or under it as a fallback, 0 before
+     * any observation (optimistic: never act earlier than measured
+     * evidence demands).
+     */
+    double estS(std::size_t batch) const;
+
+  private:
+    std::size_t cap;
+    mutable Mutex mu;
+    /// [batch] -> smoothed seconds, 0 unset
+    std::vector<double> ewma PCNN_GUARDED_BY(mu);
+};
 
 /** Batching policy knobs. */
 struct BatcherConfig
@@ -67,19 +105,12 @@ class Batcher
      */
     void recordService(std::size_t batch, double service_s);
 
-    /**
-     * Estimated service time of a batch: the EWMA for that size, the
-     * largest observed size at or under it as a fallback, 0 before
-     * any observation (optimistic: never flush earlier than measured
-     * evidence demands).
-     */
+    /** The underlying EWMA estimate (see ServiceEstimator::estS). */
     double estServiceS(std::size_t batch) const;
 
   private:
     BatcherConfig cfg;
-    mutable Mutex mu;
-    /// [batch] -> smoothed seconds, 0 unset
-    std::vector<double> ewma PCNN_GUARDED_BY(mu);
+    ServiceEstimator est;
 };
 
 } // namespace pcnn

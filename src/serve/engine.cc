@@ -51,41 +51,41 @@ ServeEngine::ServeEngine(Network &prototype, EngineConfig config)
                 ? cfg.lanesPerWorker
                 : std::max<std::size_t>(1, threadCount() / cfg.workers);
 
-    // Replicate first: sharing freezes the weights, so nothing can
-    // invalidate the warm-up below after it runs.
+    // Register the Model handle (DESIGN.md §5k): a frozen clone of
+    // the prototype plus the graph schedule built exactly once for
+    // the whole engine — adopted from the serialized plan-v4 section
+    // when the config carries one, compiled here otherwise. Cloning
+    // freezes the caller's prototype, so nothing can invalidate the
+    // replica warm-ups below after they run.
+    ModelConfig mc;
+    mc.name = proto.name();
+    mc.maxBatch = cfg.maxBatch;
+    mc.maxReplicas = cfg.workers;
+    mc.schedule = cfg.schedule;
+    const RegisterStatus st =
+        registry.registerModel(proto.cloneSharingWeights(),
+                               std::move(mc));
+    PCNN_CHECK(st == RegisterStatus::Registered,
+               "engine model registration failed: ",
+               registerStatusName(st));
+    Model &model = registry.model(0);
+
+    // Each replica adopts the shared schedule (its one arena
+    // allocation, before any worker thread exists — no serving batch
+    // can trigger a recompile later) and warms at the batch ceiling,
+    // so every grow-only buffer reaches its steady-state envelope up
+    // front. The first warm-up also materializes every weight-derived
+    // panel the inference route reads; panels then reach the workers
+    // through the thread-creation happens-before edge, and the frozen
+    // generation guarantees no worker ever re-packs — the steady
+    // state takes no locks on weight state at all.
     replicas.reserve(cfg.workers);
     for (std::size_t i = 0; i < cfg.workers; ++i)
-        replicas.push_back(proto.cloneSharingWeights());
+        replicas.push_back(model.makeReplica(lanes));
 
-    // With the compiled-graph path on, compile every replica up
-    // front at the batch ceiling (DESIGN.md §5j): each replica takes
-    // its one arena allocation here, before any worker thread
-    // exists, and no serving batch can trigger a recompile later.
-    // The lane cap matches the workers' so the shared conv scratch
-    // pool is sized for exactly the lanes a worker will use.
-    if (graphEnabled()) {
-        ScopedLaneLimit limit(lanes);
-        for (Network &r : replicas)
-            r.ensureCompiledGraph(cfg.maxBatch);
-    }
-
-    // Warm-up forward before any worker thread exists: materializes
-    // every weight-derived panel the inference route reads (the conv
-    // algorithm choice depends on layer geometry, not batch size, so
-    // batch 1 covers all serving batches). The panels then reach the
-    // workers through the thread-creation happens-before edge, and
-    // the frozen generation guarantees no worker ever re-packs — the
-    // steady state takes no locks on weight state at all.
-    const Shape &in = proto.inputShape();
-    Tensor warm(Shape{1, in.c, in.h, in.w});
-    {
-        ScopedLaneLimit limit(lanes);
-        const auto t0 = std::chrono::steady_clock::now();
-        (void)replicas[0].forward(warm, false);
-        const auto t1 = std::chrono::steady_clock::now();
-        // Seed the flush decision with a measured service time.
-        policy.recordService(1, secondsSince(t0, t1));
-    }
+    // Seed the flush decision with the measured warm-up service time.
+    policy.recordService(cfg.maxBatch,
+                         model.estimator().estS(cfg.maxBatch));
 
     meter.start();
     threads.reserve(cfg.workers);

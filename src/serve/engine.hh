@@ -29,6 +29,7 @@
 #include "pcnn/task.hh"
 #include "serve/batcher.hh"
 #include "serve/metrics.hh"
+#include "serve/model_registry.hh"
 #include "serve/request_queue.hh"
 
 namespace pcnn {
@@ -46,6 +47,9 @@ struct EngineConfig
     /// intra-op lanes per worker; 0 = partition threadCount() evenly
     /// (at least 1 lane each)
     std::size_t lanesPerWorker = 0;
+    /// serialized plan-v4 schedule for the replicas to adopt
+    /// (DESIGN.md §5k); nullptr compiles one at construction instead
+    const GraphSchedule *schedule = nullptr;
 };
 
 /**
@@ -112,9 +116,10 @@ class ServeEngine
     /**
      * Graph compiles a replica has performed (0 with the graph path
      * off). With PCNN_GRAPH on this is exactly 1 for every replica —
-     * the constructor compiles at the batch ceiling, so serving
-     * never recompiles and each replica owns exactly one arena
-     * allocation for the engine's lifetime.
+     * the schedule is built (or adopted from a serialized plan) once
+     * for the whole engine and every replica adopts it at the batch
+     * ceiling, so serving never recompiles and each replica owns
+     * exactly one arena allocation for the engine's lifetime.
      */
     std::size_t replicaGraphCompiles(std::size_t worker) const
     {
@@ -135,6 +140,10 @@ class ServeEngine
     EngineConfig cfg;
     std::size_t lanes = 1;
     Network &proto;
+    /// single-entry registry holding the engine's Model handle
+    /// (frozen clone of the prototype + shared schedule + service
+    /// estimator); replicas clone from it (DESIGN.md §5k)
+    ModelRegistry registry;
     std::vector<Network> replicas; ///< one per worker
     RequestQueue queue;
     Batcher policy;

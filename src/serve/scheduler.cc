@@ -1,0 +1,289 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/check.hh"
+
+namespace pcnn {
+
+QueueFabric::QueueFabric(const ModelRegistry &registry,
+                         FabricConfig config, TenantMetrics &metrics)
+    : reg(registry), cfg(config), meter(metrics),
+      states(registry.size())
+{
+    PCNN_CHECK(reg.size() >= 1, "fabric needs a registered model");
+    PCNN_CHECK(cfg.queueCapacity >= 1,
+               "fabric queueCapacity must be >= 1");
+}
+
+SubmitStatus
+QueueFabric::push(TenantRequest &&req)
+{
+    PCNN_CHECK(req.model < reg.size(), "fabric push: model index ",
+               req.model, " out of range (", reg.size(), " models)");
+    // The evicted request's promise is fulfilled after the lock is
+    // released: set_value may run arbitrary waiter wake-up work.
+    std::optional<TenantRequest> evictedReq;
+    SubmitStatus status = SubmitStatus::Accepted;
+    {
+        UniqueLock lk(mu);
+        if (stopped) {
+            status = SubmitStatus::Stopped;
+        } else {
+            ModelState &st = states[req.model];
+            bool admit = true;
+            if (st.urgent.size() + st.background.size() >=
+                cfg.queueCapacity) {
+                // Admission control: background sheds before
+                // interactive. An urgent arrival makes room by
+                // evicting the newest queued background request (the
+                // one that has invested the least waiting); anything
+                // else is rejected.
+                if (req.urgent() && !st.background.empty()) {
+                    evictedReq = std::move(st.background.back());
+                    st.background.pop_back();
+                } else {
+                    admit = false;
+                    status = SubmitStatus::QueueFull;
+                }
+            }
+            if (admit) {
+                if (req.urgent()) {
+                    // EDF: keep the urgent lane sorted by absolute
+                    // deadline; stable for equal deadlines (arrival
+                    // order).
+                    auto pos = std::upper_bound(
+                        st.urgent.begin(), st.urgent.end(),
+                        req.deadline,
+                        [](const auto &d, const TenantRequest &r) {
+                            return d < r.deadline;
+                        });
+                    st.urgent.insert(pos, std::move(req));
+                } else {
+                    st.background.push_back(std::move(req));
+                }
+                meter.recordQueueDepth(st.urgent.size() +
+                                       st.background.size());
+            }
+        }
+    }
+    if (evictedReq) {
+        meter.recordShed(evictedReq->cls, true);
+        TenantResult shedResult;
+        shedResult.shed = true;
+        evictedReq->done.set_value(std::move(shedResult));
+    }
+    if (status == SubmitStatus::Accepted)
+        cv.notifyOne();
+    else if (status == SubmitStatus::QueueFull)
+        meter.recordShed(req.cls, false);
+    return status;
+}
+
+BatchGrant
+QueueFabric::take()
+{
+    UniqueLock lk(mu);
+    for (;;) {
+        BatchGrant g;
+        if (formGrant(g))
+            return g;
+        if (stopped) {
+            bool drained = true;
+            for (const ModelState &st : states)
+                if (!st.urgent.empty() || !st.background.empty())
+                    drained = false;
+            if (drained) {
+                // Cascade the shutdown: every other waiting worker
+                // must also observe closed-and-drained and exit.
+                cv.notifyAll();
+                return BatchGrant{};
+            }
+        }
+        cv.wait(lk, mu);
+    }
+}
+
+bool
+QueueFabric::tryTake(BatchGrant &out)
+{
+    MutexLock lk(mu);
+    return formGrant(out);
+}
+
+bool
+QueueFabric::formGrant(BatchGrant &out)
+{
+    // Urgent first: among models with both queued urgent work and an
+    // idle replica, serve the earliest head deadline (EDF across
+    // models as well as within a lane).
+    std::size_t best = states.size();
+    for (std::size_t m = 0; m < states.size(); ++m) {
+        const ModelState &st = states[m];
+        if (st.idle == 0 || st.urgent.empty())
+            continue;
+        if (best == states.size() ||
+            st.urgent.front().deadline <
+                states[best].urgent.front().deadline)
+            best = m;
+    }
+    if (best != states.size()) {
+        ModelState &st = states[best];
+        const std::size_t cap = reg.model(best).maxBatch();
+        const std::size_t b = std::min(cap, st.urgent.size());
+        out.model = best;
+        out.background = false;
+        out.batch.clear();
+        out.batch.reserve(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            out.batch.push_back(std::move(st.urgent.front()));
+            st.urgent.pop_front();
+        }
+        --st.idle;
+        return true;
+    }
+
+    // Background fills leftover capacity. Any model with an idle
+    // replica here has an empty urgent lane (it would have matched
+    // above), so a free worker serving bounded background work is
+    // strictly better than idling — but the batch must fit the
+    // occupancy budget so an urgent arrival is never blocked longer
+    // than the SoC_time slack policy allows. After close() the
+    // budget is waived: drain everything.
+    best = states.size();
+    for (std::size_t m = 0; m < states.size(); ++m) {
+        const ModelState &st = states[m];
+        if (st.idle == 0 || st.background.empty())
+            continue;
+        if (best == states.size() ||
+            st.background.size() > states[best].background.size())
+            best = m;
+    }
+    if (best == states.size())
+        return false;
+
+    ModelState &st = states[best];
+    const std::size_t cap = reg.model(best).maxBatch();
+    std::size_t b = std::min(cap, st.background.size());
+    if (!stopped) {
+        const double budget = budgetLocked();
+        const ServiceEstimator &est = reg.model(best).estimator();
+        // Largest batch whose estimated service fits the budget; a
+        // single request always passes so background cannot starve
+        // (minOccupancyS expresses the same floor in time units).
+        while (b > 1 && est.estS(b) > budget)
+            --b;
+    }
+    out.model = best;
+    out.background = true;
+    out.batch.clear();
+    out.batch.reserve(b);
+    for (std::size_t i = 0; i < b; ++i) {
+        out.batch.push_back(std::move(st.background.front()));
+        st.background.pop_front();
+    }
+    --st.idle;
+    return true;
+}
+
+double
+QueueFabric::budgetLocked() const
+{
+    // The protected latency class's EWMA service estimate: the
+    // slowest model's batch-1 time, since an urgent request for any
+    // model may arrive while a background batch holds a replica.
+    double urgentEst = 0.0;
+    for (std::size_t m = 0; m < reg.size(); ++m)
+        urgentEst =
+            std::max(urgentEst, reg.model(m).estimator().estS(1));
+    return backgroundOccupancyBudgetS(cfg.guardRequirement, urgentEst,
+                                      cfg.slack);
+}
+
+void
+QueueFabric::addIdle(std::size_t model)
+{
+    bool drain = false;
+    {
+        MutexLock lk(mu);
+        PCNN_CHECK(model < states.size(),
+                   "addIdle: model out of range");
+        ++states[model].idle;
+        drain = stopped;
+    }
+    // During drain every waiter must recheck (one may be the last to
+    // observe drained); in steady state one replica serves one taker.
+    if (drain)
+        cv.notifyAll();
+    else
+        cv.notifyOne();
+}
+
+bool
+QueueFabric::removeIdle(std::size_t model)
+{
+    MutexLock lk(mu);
+    PCNN_CHECK(model < states.size(),
+               "removeIdle: model out of range");
+    if (states[model].idle == 0)
+        return false;
+    --states[model].idle;
+    return true;
+}
+
+void
+QueueFabric::close()
+{
+    {
+        MutexLock lk(mu);
+        stopped = true;
+    }
+    cv.notifyAll();
+}
+
+bool
+QueueFabric::closed() const
+{
+    MutexLock lk(mu);
+    return stopped;
+}
+
+std::size_t
+QueueFabric::urgentQueued(std::size_t model) const
+{
+    MutexLock lk(mu);
+    return states.at(model).urgent.size();
+}
+
+std::size_t
+QueueFabric::backgroundQueued(std::size_t model) const
+{
+    MutexLock lk(mu);
+    return states.at(model).background.size();
+}
+
+std::size_t
+QueueFabric::queued(std::size_t model) const
+{
+    MutexLock lk(mu);
+    return states.at(model).urgent.size() +
+           states.at(model).background.size();
+}
+
+std::size_t
+QueueFabric::idleCount(std::size_t model) const
+{
+    MutexLock lk(mu);
+    return states.at(model).idle;
+}
+
+double
+QueueFabric::backgroundBudgetS() const
+{
+    MutexLock lk(mu);
+    return budgetLocked();
+}
+
+} // namespace pcnn

@@ -3,52 +3,31 @@
 #
 # Usage: tools/run_bench.sh [build-dir] [out.json]
 #
-# Defaults: build directory ./build, output BENCH_pr9.json in the
+# Defaults: build directory ./build, output BENCH_pr10.json in the
 # repository root. Historical BENCH_pr*.json snapshots are frozen
 # artifacts of the PRs that produced them — this script no longer
 # regenerates them (re-running old suites on a different host only
 # destroys the numbers the docs cite).
 #
-# BENCH_pr9.json records the compiled-graph A/B (DESIGN.md section
-# 5j): every model-zoo net at batch 1 and 16, each measured with the
-# legacy ping-pong executor (graph:0) and the compiled graph with its
-# static arena plan (graph:1). Rows carry img/s, steady_allocs (must
-# be 0 when alloc_counting = 1), steady_mem_bytes (the measured
-# path's steady activation+scratch footprint), baseline_scratch_bytes
-# (the legacy chain's footprint on a fresh twin net — the memory the
-# arena replaces), and peak_arena_bytes (the single per-net arena
-# allocation; 0 on legacy rows). The acceptance numbers are the
-# batch-1 MiniInception img/s uplift on the graph:1 row and
-# peak_arena_bytes <= 70% of baseline_scratch_bytes on the MiniVgg
-# and MiniInception batch-16 rows. The plain e2e family
-# (BM_E2EMini*) rides along unfiltered for latency context.
+# BENCH_pr10.json records the multi-tenant serving engine (DESIGN.md
+# section 5k) under a Zipf-weighted three-model mix with the Table II
+# class split: an interactive-only baseline, sequential isolated
+# per-model runs, and the mixed run with background saturating the
+# spare capacity. The acceptance numbers are in the JSON's
+# "acceptance" block: mixed interactive p99 <= 1.25x the
+# interactive-only p99, aggregate mixed throughput >= 0.9x the
+# sequential isolated baseline, bitwise_threads_ok = 1, and
+# steady_allocs = 0 on every row (alloc_counting permitting). The
+# bench runs with PCNN_GRAPH=1 so replicas adopt the shared compiled
+# schedule and the arena gauges are live.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-graph_json="${2:-$repo_root/BENCH_pr9.json}"
+mt_json="${2:-$repo_root/BENCH_pr10.json}"
 
-run_bench() {
-    local bench_bin="$1" out_json="$2" filter="${3:-}"
-    if [[ ! -x "$bench_bin" ]]; then
-        echo "error: $bench_bin not built; run:" >&2
-        echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
-        exit 1
-    fi
-    local args=()
-    [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
-    # Old google-benchmark: --benchmark_min_time takes a bare double
-    # (s). 1 s/row: the 1-core bench host is noisy at 0.25 s.
-    "$bench_bin" "${args[@]}" \
-        --benchmark_min_time=1 \
-        --benchmark_format=json \
-        --benchmark_out="$out_json" \
-        --benchmark_out_format=json
-    echo "wrote $out_json"
-}
-
-# The e2e nets read the per-host tune cache; sweep and persist it
-# first so dispatched kernels never skip.
+# The nets read the per-host tune cache; sweep and persist it first
+# so dispatched kernels never skip.
 autotune_bin="$build_dir/tools/pcnn_autotune"
 if [[ ! -x "$autotune_bin" ]]; then
     echo "error: $autotune_bin not built; run:" >&2
@@ -57,5 +36,11 @@ if [[ ! -x "$autotune_bin" ]]; then
 fi
 "$autotune_bin" --reps 2
 
-run_bench "$build_dir/bench/bench_e2e_models" "$graph_json" \
-    'BM_E2EGraph|BM_E2EMini[A-Za-z]*/[0-9]+/100'
+mt_bin="$build_dir/bench/bench_multitenant"
+if [[ ! -x "$mt_bin" ]]; then
+    echo "error: $mt_bin not built; run:" >&2
+    echo "  cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+    exit 1
+fi
+PCNN_GRAPH=1 "$mt_bin" "$mt_json"
+echo "wrote $mt_json"
